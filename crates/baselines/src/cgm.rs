@@ -1,0 +1,499 @@
+//! The CGM cache-driven schedulers (paper §6.3).
+//!
+//! "In their approach ... the cache schedules all refreshes and polls
+//! sources for values. The refresh frequency for each object Oᵢ is set
+//! independently based on an estimate of its average update rate λᵢ."
+//!
+//! Three variants, matching Figure 6's curves:
+//!
+//! * [`CgmVariant::IdealCacheBased`] — no polling cost (each refresh is 1
+//!   message) and oracle knowledge of every λᵢ; the freshness-optimal
+//!   allocation is computed once and followed forever.
+//! * [`CgmVariant::Cgm1`] — refreshes cost a round trip (2 messages), and
+//!   rates are estimated from last-modified times reported by sources.
+//! * [`CgmVariant::Cgm2`] — as CGM1 but only binary change detection.
+//!
+//! Practical variants start from a uniform allocation, poll, estimate,
+//! and periodically re-solve the allocation with the current estimates.
+//! A small exploration floor keeps every object polled occasionally so a
+//! pessimistic early estimate cannot starve it forever (the original
+//! experiments re-tuned by repeated runs; the floor is our equivalent
+//! safeguard, recorded in DESIGN.md).
+
+use std::collections::VecDeque;
+
+use besync_data::{Metric, ObjectId, TruthTable};
+use besync_net::Link;
+use besync_sim::rng::{self, streams};
+use besync_sim::stats::RunningStats;
+use besync_sim::{EventQueue, SimTime, Wave};
+use besync_workloads::{Updater, WorkloadSpec};
+use besync::report::RunReport;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::estimators::{
+    BinaryChangeEstimator, ChangeObservation, LastModifiedEstimator, RateEstimate,
+};
+use crate::freshness::allocate;
+
+/// Which CGM flavour to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CgmVariant {
+    /// Free polling + oracle rates ("ideal cache-based").
+    IdealCacheBased,
+    /// Round-trip polling, last-modified-time estimation.
+    Cgm1,
+    /// Round-trip polling, binary change detection.
+    Cgm2,
+}
+
+impl CgmVariant {
+    /// Bandwidth units one refresh costs under this variant.
+    pub fn cost_per_refresh(self) -> f64 {
+        match self {
+            CgmVariant::IdealCacheBased => 1.0,
+            CgmVariant::Cgm1 | CgmVariant::Cgm2 => 2.0,
+        }
+    }
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            CgmVariant::IdealCacheBased => "ideal cache-based",
+            CgmVariant::Cgm1 => "CGM1",
+            CgmVariant::Cgm2 => "CGM2",
+        }
+    }
+}
+
+/// Configuration of a CGM run.
+#[derive(Debug, Clone)]
+pub struct CgmConfig {
+    /// Which variant.
+    pub variant: CgmVariant,
+    /// Divergence metric accounted (CGM optimizes staleness; other
+    /// metrics are measured but not targeted).
+    pub metric: Metric,
+    /// Average cache-side bandwidth (messages/second). The CGM polling
+    /// model assumes no source-side limits (§6.3).
+    pub cache_bandwidth_mean: f64,
+    /// The paper holds bandwidth constant for this comparison (`m_B = 0`);
+    /// nonzero values are supported for extensions.
+    pub bandwidth_change_rate: f64,
+    /// How often practical variants re-solve the allocation (seconds).
+    pub realloc_period: f64,
+    /// Fraction of the poll budget reserved as a uniform exploration
+    /// floor (practical variants only).
+    pub exploration_floor: f64,
+    /// Simulation tick.
+    pub tick: f64,
+    /// Warm-up duration (seconds).
+    pub warmup: f64,
+    /// Measured duration (seconds).
+    pub measure: f64,
+    /// Simulation-side seed (phases).
+    pub sim_seed: u64,
+}
+
+impl Default for CgmConfig {
+    fn default() -> Self {
+        CgmConfig {
+            variant: CgmVariant::IdealCacheBased,
+            metric: Metric::Staleness,
+            cache_bandwidth_mean: 50.0,
+            bandwidth_change_rate: 0.0,
+            realloc_period: 50.0,
+            exploration_floor: 0.1,
+            tick: 1.0,
+            warmup: 100.0,
+            measure: 500.0,
+            sim_seed: 0,
+        }
+    }
+}
+
+impl CgmConfig {
+    /// End of the run.
+    pub fn horizon(&self) -> f64 {
+        self.warmup + self.measure
+    }
+
+    /// The refresh budget in refreshes/second (bandwidth divided by the
+    /// per-refresh message cost).
+    pub fn refresh_budget(&self) -> f64 {
+        self.cache_bandwidth_mean / self.variant.cost_per_refresh()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Update(ObjectId),
+    Poll(ObjectId),
+    Realloc,
+    Tick,
+    EndWarmup,
+}
+
+enum Estimator {
+    Oracle,
+    LastModified(LastModifiedEstimator),
+    Binary(BinaryChangeEstimator),
+}
+
+/// A running CGM scheduler over a workload.
+pub struct CgmSystem {
+    cfg: CgmConfig,
+    truth: TruthTable,
+    updaters: Vec<Updater>,
+    rngs: Vec<SmallRng>,
+    sched_rng: SmallRng,
+    true_rates: Vec<f64>,
+    freqs: Vec<f64>,
+    estimators: Vec<Estimator>,
+    last_update_time: Vec<SimTime>,
+    last_poll_time: Vec<SimTime>,
+    last_poll_updates: Vec<u64>,
+    poll_scheduled: Vec<bool>,
+    link: Link<()>,
+    pending: VecDeque<u32>,
+    queue: EventQueue<Ev>,
+    polls: u64,
+    updates_processed: u64,
+}
+
+impl CgmSystem {
+    /// Builds a CGM run over the workload (sources in the layout are
+    /// irrelevant to CGM, which sees a flat set of objects).
+    pub fn new(cfg: CgmConfig, spec: WorkloadSpec) -> Self {
+        spec.validate().expect("invalid workload spec");
+        let total = spec.total_objects();
+        let truth = TruthTable::new(cfg.metric, &spec.initial_values, spec.weights.clone());
+        let budget = cfg.refresh_budget();
+
+        let (freqs, estimators): (Vec<f64>, Vec<Estimator>) = match cfg.variant {
+            CgmVariant::IdealCacheBased => (
+                allocate(&spec.rates, budget),
+                (0..total).map(|_| Estimator::Oracle).collect(),
+            ),
+            CgmVariant::Cgm1 => (
+                vec![budget / total as f64; total],
+                (0..total)
+                    .map(|_| Estimator::LastModified(LastModifiedEstimator::new()))
+                    .collect(),
+            ),
+            CgmVariant::Cgm2 => (
+                vec![budget / total as f64; total],
+                (0..total)
+                    .map(|_| Estimator::Binary(BinaryChangeEstimator::new()))
+                    .collect(),
+            ),
+        };
+
+        let mut rngs = spec.object_rngs();
+        let mut sched_rng = rng::stream_rng(cfg.sim_seed, streams::SCHEDULER);
+        let mut queue = EventQueue::with_capacity(2 * total + 3);
+        queue.schedule(SimTime::new(cfg.warmup), Ev::EndWarmup);
+        queue.schedule(SimTime::new(cfg.tick), Ev::Tick);
+        if !matches!(cfg.variant, CgmVariant::IdealCacheBased) {
+            queue.schedule(SimTime::new(cfg.realloc_period), Ev::Realloc);
+        }
+        let mut poll_scheduled = vec![false; total];
+        for obj in spec.layout.all_objects() {
+            let idx = obj.index();
+            if let Some(t0) = spec.updaters[idx].first_time(SimTime::ZERO, &mut rngs[idx]) {
+                queue.schedule(t0, Ev::Update(obj));
+            }
+            if freqs[idx] > 0.0 {
+                // Random phase so periodic refreshes don't all collide.
+                let phase = sched_rng.gen_range(0.0..1.0) / freqs[idx];
+                queue.schedule(SimTime::new(phase.min(cfg.horizon())), Ev::Poll(obj));
+                poll_scheduled[idx] = true;
+            }
+        }
+
+        CgmSystem {
+            truth,
+            updaters: spec.updaters,
+            rngs,
+            sched_rng,
+            true_rates: spec.rates,
+            freqs,
+            estimators,
+            last_update_time: vec![SimTime::ZERO; total],
+            last_poll_time: vec![SimTime::ZERO; total],
+            last_poll_updates: vec![0; total],
+            poll_scheduled,
+            link: Link::new(Wave::fluctuating(
+                cfg.cache_bandwidth_mean,
+                cfg.bandwidth_change_rate,
+                0.0,
+            )),
+            pending: VecDeque::new(),
+            queue,
+            polls: 0,
+            updates_processed: 0,
+            cfg,
+        }
+    }
+
+    /// Runs to the horizon and reports.
+    pub fn run(mut self) -> RunReport {
+        let horizon = SimTime::new(self.cfg.horizon());
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event vanished");
+            match ev {
+                Ev::Update(obj) => self.on_update(now, obj),
+                Ev::Poll(obj) => self.on_poll_due(now, obj),
+                Ev::Realloc => self.on_realloc(now),
+                Ev::Tick => self.on_tick(now),
+                Ev::EndWarmup => self.truth.begin_measurement(now),
+            }
+        }
+        RunReport {
+            divergence: self.truth.report(horizon),
+            refreshes_sent: self.polls,
+            refreshes_delivered: self.polls,
+            feedback_messages: 0,
+            polls_sent: if matches!(self.cfg.variant, CgmVariant::IdealCacheBased) {
+                0
+            } else {
+                self.polls
+            },
+            max_cache_queue: self.pending.len(),
+            mean_queue_wait: 0.0,
+            threshold_stats: RunningStats::new(),
+            updates_processed: self.updates_processed,
+        }
+    }
+
+    fn on_update(&mut self, now: SimTime, obj: ObjectId) {
+        self.updates_processed += 1;
+        let idx = obj.index();
+        let current = self.truth.truth(obj).source_value;
+        let (value, next) = self.updaters[idx].fire(now, current, &mut self.rngs[idx]);
+        self.truth.source_update(now, obj, value);
+        self.last_update_time[idx] = now;
+        if let Some(t) = next {
+            self.queue.schedule(t, Ev::Update(obj));
+        }
+    }
+
+    fn on_poll_due(&mut self, now: SimTime, obj: ObjectId) {
+        let idx = obj.index();
+        self.poll_scheduled[idx] = false;
+        let cost = self.cfg.variant.cost_per_refresh();
+        if self.link.try_consume(now, cost) {
+            self.do_poll(now, obj);
+            self.schedule_next_poll(now, obj);
+        } else {
+            // Not enough bandwidth right now: wait in FIFO order for the
+            // tick drain (a poll "queued in the network").
+            self.pending.push_back(obj.0);
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        let cost = self.cfg.variant.cost_per_refresh();
+        while !self.pending.is_empty() && self.link.try_consume(now, cost) {
+            let obj = ObjectId(self.pending.pop_front().expect("checked non-empty"));
+            self.do_poll(now, obj);
+            self.schedule_next_poll(now, obj);
+        }
+        self.queue.schedule(now + self.cfg.tick, Ev::Tick);
+    }
+
+    fn do_poll(&mut self, now: SimTime, obj: ObjectId) {
+        let idx = obj.index();
+        let interval = (now - self.last_poll_time[idx]).max(1e-9);
+        let changed = self.truth.truth(obj).source_updates > self.last_poll_updates[idx];
+        match &mut self.estimators[idx] {
+            Estimator::Oracle => {}
+            Estimator::LastModified(e) => {
+                let obs = if changed {
+                    ChangeObservation::Changed {
+                        age: now - self.last_update_time[idx],
+                    }
+                } else {
+                    ChangeObservation::Unchanged
+                };
+                e.observe(interval, obs);
+            }
+            Estimator::Binary(e) => {
+                let obs = if changed {
+                    ChangeObservation::Changed {
+                        age: interval / 2.0,
+                    }
+                } else {
+                    ChangeObservation::Unchanged
+                };
+                e.observe(interval, obs);
+            }
+        }
+        // The poll response carries the current value: a perfectly fresh
+        // refresh (propagation neglected, as in the paper).
+        self.truth.apply_fresh_refresh(now, obj);
+        self.last_poll_time[idx] = now;
+        self.last_poll_updates[idx] = self.truth.truth(obj).source_updates;
+        self.polls += 1;
+    }
+
+    fn schedule_next_poll(&mut self, now: SimTime, obj: ObjectId) {
+        let idx = obj.index();
+        let f = self.freqs[idx];
+        if f > 0.0 && !self.poll_scheduled[idx] {
+            self.queue.schedule(now + 1.0 / f, Ev::Poll(obj));
+            self.poll_scheduled[idx] = true;
+        }
+    }
+
+    fn on_realloc(&mut self, now: SimTime) {
+        let budget = self.cfg.refresh_budget();
+        let n = self.freqs.len();
+        let fallback = budget / n as f64;
+        let rates_hat: Vec<f64> = self
+            .estimators
+            .iter()
+            .enumerate()
+            .map(|(i, e)| match e {
+                Estimator::Oracle => self.true_rates[i],
+                Estimator::LastModified(e) => e.estimate(fallback),
+                Estimator::Binary(e) => e.estimate(fallback),
+            })
+            .collect();
+        let mut freqs = allocate(&rates_hat, budget);
+        // Exploration floor: keep every object polled occasionally so
+        // estimates can recover, then re-normalize to the budget.
+        let floor = self.cfg.exploration_floor * budget / n as f64;
+        if floor > 0.0 {
+            for f in &mut freqs {
+                if *f < floor {
+                    *f = floor;
+                }
+            }
+            let sum: f64 = freqs.iter().sum();
+            if sum > 0.0 {
+                let scale = budget / sum;
+                for f in &mut freqs {
+                    *f *= scale;
+                }
+            }
+        }
+        self.freqs = freqs;
+        // Revive objects that had zero frequency (no scheduled poll).
+        for i in 0..n {
+            if self.freqs[i] > 0.0 && !self.poll_scheduled[i] && !self.pending.contains(&(i as u32))
+            {
+                let phase = self.sched_rng.gen_range(0.0..1.0) / self.freqs[i];
+                self.queue.schedule(now + phase, Ev::Poll(ObjectId(i as u32)));
+                self.poll_scheduled[i] = true;
+            }
+        }
+        self.queue
+            .schedule(now + self.cfg.realloc_period, Ev::Realloc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use besync_workloads::generators::fig6_workload;
+
+    fn cfg(variant: CgmVariant, bandwidth: f64) -> CgmConfig {
+        CgmConfig {
+            variant,
+            cache_bandwidth_mean: bandwidth,
+            warmup: 50.0,
+            measure: 200.0,
+            ..CgmConfig::default()
+        }
+    }
+
+    #[test]
+    fn ideal_runs_and_refreshes() {
+        let spec = fig6_workload(5, 10, 1);
+        let r = CgmSystem::new(cfg(CgmVariant::IdealCacheBased, 25.0), spec).run();
+        assert!(r.refreshes_sent > 0);
+        assert!(r.mean_divergence() >= 0.0 && r.mean_divergence() <= 1.0);
+        assert_eq!(r.polls_sent, 0);
+    }
+
+    #[test]
+    fn practical_variants_run() {
+        for v in [CgmVariant::Cgm1, CgmVariant::Cgm2] {
+            let spec = fig6_workload(5, 10, 2);
+            let r = CgmSystem::new(cfg(v, 25.0), spec).run();
+            assert!(r.polls_sent > 0, "{}", v.name());
+            assert!(r.mean_divergence().is_finite());
+        }
+    }
+
+    #[test]
+    fn round_trip_cost_halves_throughput() {
+        let spec_a = fig6_workload(5, 10, 3);
+        let spec_b = fig6_workload(5, 10, 3);
+        let ideal = CgmSystem::new(cfg(CgmVariant::IdealCacheBased, 20.0), spec_a).run();
+        let practical = CgmSystem::new(cfg(CgmVariant::Cgm1, 20.0), spec_b).run();
+        // Same bandwidth, but polls cost 2: roughly half the refreshes.
+        let ratio = practical.refreshes_sent as f64 / ideal.refreshes_sent as f64;
+        assert!(
+            (0.3..0.75).contains(&ratio),
+            "refresh ratio {ratio} (ideal {}, practical {})",
+            ideal.refreshes_sent,
+            practical.refreshes_sent
+        );
+    }
+
+    #[test]
+    fn ideal_beats_practical_on_staleness() {
+        let ideal = CgmSystem::new(
+            cfg(CgmVariant::IdealCacheBased, 30.0),
+            fig6_workload(5, 10, 4),
+        )
+        .run();
+        let cgm2 = CgmSystem::new(cfg(CgmVariant::Cgm2, 30.0), fig6_workload(5, 10, 4)).run();
+        assert!(
+            ideal.mean_divergence() <= cgm2.mean_divergence() + 0.02,
+            "ideal {} vs CGM2 {}",
+            ideal.mean_divergence(),
+            cgm2.mean_divergence()
+        );
+    }
+
+    #[test]
+    fn more_bandwidth_less_staleness() {
+        let poor = CgmSystem::new(
+            cfg(CgmVariant::IdealCacheBased, 5.0),
+            fig6_workload(5, 10, 5),
+        )
+        .run();
+        let rich = CgmSystem::new(
+            cfg(CgmVariant::IdealCacheBased, 45.0),
+            fig6_workload(5, 10, 5),
+        )
+        .run();
+        assert!(rich.mean_divergence() < poor.mean_divergence());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = CgmSystem::new(cfg(CgmVariant::Cgm1, 25.0), fig6_workload(5, 10, 6)).run();
+        let b = CgmSystem::new(cfg(CgmVariant::Cgm1, 25.0), fig6_workload(5, 10, 6)).run();
+        assert_eq!(a.mean_divergence(), b.mean_divergence());
+        assert_eq!(a.polls_sent, b.polls_sent);
+    }
+
+    #[test]
+    fn poll_rate_respects_budget() {
+        let spec = fig6_workload(5, 10, 7);
+        let c = cfg(CgmVariant::Cgm1, 20.0);
+        let horizon = c.horizon();
+        let r = CgmSystem::new(c, spec).run();
+        // 20 units/s ÷ 2 per poll = ≤10 polls/s on average (plus burst).
+        let rate = r.polls_sent as f64 / horizon;
+        assert!(rate <= 10.5, "poll rate {rate}");
+    }
+}

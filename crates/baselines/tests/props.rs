@@ -1,0 +1,138 @@
+//! Property tests for the CGM baselines: allocation optimality and
+//! estimator consistency under randomized inputs.
+
+use besync_baselines::estimators::{
+    BinaryChangeEstimator, ChangeObservation, LastModifiedEstimator, RateEstimate,
+};
+use besync_baselines::freshness::{allocate, freshness, marginal_gain, total_freshness};
+use besync_sim::rng::stream_rng;
+use proptest::prelude::*;
+use rand::Rng;
+
+proptest! {
+    /// Freshness is a proper probability: in [0, 1], increasing in f,
+    /// decreasing in λ.
+    #[test]
+    fn freshness_is_probability(lambda in 0.001f64..100.0, f in 0.0f64..100.0) {
+        let v = freshness(lambda, f);
+        prop_assert!((0.0..=1.0).contains(&v), "F={v}");
+        if f > 0.0 {
+            prop_assert!(freshness(lambda, f * 1.5) >= v - 1e-12);
+            prop_assert!(freshness(lambda * 1.5, f) <= v + 1e-12);
+        }
+    }
+
+    /// Allocation meets the budget exactly, is non-negative, and no
+    /// pairwise transfer of budget improves total freshness (local
+    /// optimality / KKT).
+    #[test]
+    fn allocation_is_locally_optimal(
+        rates in prop::collection::vec(0.01f64..5.0, 2..12),
+        budget in 0.1f64..20.0,
+    ) {
+        let freqs = allocate(&rates, budget);
+        let sum: f64 = freqs.iter().sum();
+        prop_assert!((sum - budget).abs() < 1e-6 * budget, "sum {sum} vs budget {budget}");
+        prop_assert!(freqs.iter().all(|&f| f >= 0.0));
+
+        let base = total_freshness(&rates, &freqs);
+        let eps = budget * 1e-5;
+        for i in 0..rates.len() {
+            if freqs[i] < eps {
+                continue;
+            }
+            for j in 0..rates.len() {
+                if i == j { continue; }
+                let mut alt = freqs.clone();
+                alt[i] -= eps;
+                alt[j] += eps;
+                prop_assert!(total_freshness(&rates, &alt) <= base + 1e-9,
+                    "moving {eps} from {i} to {j} improved freshness");
+            }
+        }
+    }
+
+    /// Active objects share (approximately) one marginal gain µ.
+    #[test]
+    fn allocation_equalizes_marginals(
+        rates in prop::collection::vec(0.01f64..5.0, 2..10),
+        budget in 0.5f64..20.0,
+    ) {
+        let freqs = allocate(&rates, budget);
+        let margins: Vec<f64> = rates
+            .iter()
+            .zip(&freqs)
+            .filter(|&(_, &f)| f > budget * 1e-6)
+            .map(|(&l, &f)| marginal_gain(l, f))
+            .collect();
+        if margins.len() >= 2 {
+            let mu = margins[0];
+            for &m in &margins[1..] {
+                prop_assert!((m - mu).abs() < mu * 0.01, "marginals {margins:?}");
+            }
+        }
+    }
+
+    /// The last-modified MLE converges to the true rate for any rate and
+    /// polling interval (consistency).
+    #[test]
+    fn last_modified_consistent(lambda in 0.05f64..3.0, interval in 0.2f64..5.0, seed in 0u64..100) {
+        let mut est = LastModifiedEstimator::new();
+        let mut rng = stream_rng(seed, 9);
+        for _ in 0..30_000 {
+            let none = rng.gen::<f64>() < (-lambda * interval).exp();
+            if none {
+                est.observe(interval, ChangeObservation::Unchanged);
+            } else {
+                let u: f64 = rng.gen();
+                let age = -(1.0 - u * (1.0 - (-lambda * interval).exp())).ln() / lambda;
+                est.observe(interval, ChangeObservation::Changed { age });
+            }
+        }
+        let got = est.estimate(f64::NAN);
+        prop_assert!((got - lambda).abs() < lambda * 0.1,
+            "λ={lambda} I={interval}: estimated {got}");
+    }
+
+    /// The binary MLE is consistent too — strictly harder information, so
+    /// allow a wider (but still tight) tolerance.
+    #[test]
+    fn binary_consistent(lambda in 0.05f64..2.0, interval in 0.3f64..3.0, seed in 0u64..100) {
+        let mut est = BinaryChangeEstimator::new();
+        let mut rng = stream_rng(seed, 10);
+        for _ in 0..30_000 {
+            let none = rng.gen::<f64>() < (-lambda * interval).exp();
+            let obs = if none {
+                ChangeObservation::Unchanged
+            } else {
+                ChangeObservation::Changed { age: interval / 2.0 }
+            };
+            est.observe(interval, obs);
+        }
+        let got = est.estimate(f64::NAN);
+        prop_assert!((got - lambda).abs() < lambda * 0.15,
+            "λ={lambda} I={interval}: estimated {got}");
+    }
+
+    /// Estimates are always positive and finite, whatever the
+    /// observation mix.
+    #[test]
+    fn estimates_always_sane(
+        obs in prop::collection::vec((0.01f64..10.0, prop::bool::ANY, 0.0f64..10.0), 1..200),
+    ) {
+        let mut lm = LastModifiedEstimator::new();
+        let mut bin = BinaryChangeEstimator::new();
+        for &(interval, changed, age) in &obs {
+            let o = if changed {
+                ChangeObservation::Changed { age }
+            } else {
+                ChangeObservation::Unchanged
+            };
+            lm.observe(interval, o);
+            bin.observe(interval, o);
+        }
+        for e in [lm.estimate(1.0), bin.estimate(1.0)] {
+            prop_assert!(e.is_finite() && e > 0.0, "estimate {e}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Bench for one Figure 4 grid cell (pragmatic + ideal runs on the same
+//! workload) for each divergence metric.
+
+use besync_data::Metric;
+use besync_experiments::fig4::run_cell;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for metric in Metric::all_three() {
+        g.bench_with_input(
+            BenchmarkId::new("cell", metric.name()),
+            &metric,
+            |b, &metric| {
+                b.iter(|| run_cell(metric, 10, 10, 10.0, 20.0, 0.05, 100.0, 3));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Bench for one Figure 5 point: the wind-buoy workload through the
+//! cooperative system at a constrained satellite link.
+
+use besync::config::SystemConfig;
+use besync::{CoopSystem, IdealSystem};
+use besync_data::Metric;
+use besync_workloads::buoy::{self, BuoyConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn point(bw_per_min: f64, ideal: bool) -> f64 {
+    let bcfg = BuoyConfig::quick();
+    let spec = buoy::workload(&bcfg, 11);
+    let cfg = SystemConfig {
+        metric: Metric::abs_deviation(),
+        cache_bandwidth_mean: bw_per_min / 60.0,
+        source_bandwidth_mean: 1.0,
+        warmup: 0.25 * bcfg.duration,
+        measure: 0.75 * bcfg.duration,
+        ..SystemConfig::default()
+    };
+    if ideal {
+        IdealSystem::new(cfg, spec).run().mean_divergence()
+    } else {
+        CoopSystem::new(cfg, spec).run().mean_divergence()
+    }
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for bw in [2.0, 40.0] {
+        g.bench_with_input(BenchmarkId::new("coop", bw), &bw, |b, &bw| {
+            b.iter(|| point(bw, false));
+        });
+        g.bench_with_input(BenchmarkId::new("ideal", bw), &bw, |b, &bw| {
+            b.iter(|| point(bw, true));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Bench for one Figure 6 point: all five schedulers (ideal cooperative,
+//! our algorithm, ideal cache-based, CGM1, CGM2) on one workload, and
+//! individual scheduler timings for profiling.
+
+use besync::config::SystemConfig;
+use besync::priority::{PolicyKind, RateEstimator};
+use besync::CoopSystem;
+use besync_baselines::{CgmConfig, CgmSystem, CgmVariant};
+use besync_data::Metric;
+use besync_experiments::fig6::run_point;
+use besync_workloads::generators::fig6_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+
+    for fraction in [0.1, 0.5] {
+        g.bench_with_input(
+            BenchmarkId::new("point_all_five", fraction),
+            &fraction,
+            |b, &f| {
+                b.iter(|| run_point(10, 10, f, 100.0, 5));
+            },
+        );
+    }
+
+    // Individual schedulers, for profiling the hot paths separately.
+    g.bench_function("coop_only", |b| {
+        b.iter(|| {
+            let cfg = SystemConfig {
+                metric: Metric::Staleness,
+                policy: PolicyKind::PoissonClosedForm,
+                estimator: RateEstimator::LongRun,
+                cache_bandwidth_mean: 50.0,
+                source_bandwidth_mean: 1e9,
+                warmup: 30.0,
+                measure: 100.0,
+                ..SystemConfig::default()
+            };
+            CoopSystem::new(cfg, fig6_workload(10, 10, 6)).run()
+        });
+    });
+    g.bench_function("cgm1_only", |b| {
+        b.iter(|| {
+            let cfg = CgmConfig {
+                variant: CgmVariant::Cgm1,
+                cache_bandwidth_mean: 50.0,
+                warmup: 30.0,
+                measure: 100.0,
+                ..CgmConfig::default()
+            };
+            CgmSystem::new(cfg, fig6_workload(10, 10, 6)).run()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

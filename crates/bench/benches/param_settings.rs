@@ -1,0 +1,47 @@
+//! Bench for the §6.1 parameter-sweep experiment: one (α, ω) cell of the
+//! threshold grid at a reduced scale, across representative settings.
+
+use besync::config::SystemConfig;
+use besync::CoopSystem;
+use besync_workloads::generators::{random_walk_poisson, PoissonWorkloadOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn cell(alpha: f64, omega: f64) -> f64 {
+    let spec = random_walk_poisson(
+        PoissonWorkloadOptions {
+            sources: 10,
+            objects_per_source: 10,
+            rate_range: (0.02, 1.0),
+            weight_range: (1.0, 10.0),
+            fluctuating_weights: true,
+        },
+        7,
+    );
+    let cfg = SystemConfig {
+        alpha,
+        omega,
+        cache_bandwidth_mean: 30.0,
+        source_bandwidth_mean: 6.0,
+        bandwidth_change_rate: 0.05,
+        warmup: 20.0,
+        measure: 100.0,
+        ..SystemConfig::default()
+    };
+    CoopSystem::new(cfg, spec).run().mean_divergence()
+}
+
+fn bench_params(c: &mut Criterion) {
+    let mut g = c.benchmark_group("param_sweep");
+    g.sample_size(10);
+    for (alpha, omega) in [(1.1, 10.0), (1.05, 2.0), (1.5, 50.0)] {
+        g.bench_with_input(
+            BenchmarkId::new("cell", format!("a{alpha}_w{omega}")),
+            &(alpha, omega),
+            |b, &(alpha, omega)| b.iter(|| cell(alpha, omega)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_params);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Bench for the §4.3 priority-validation experiments (E-VAL-U /
+//! E-VAL-S): measures the cost of regenerating one comparison cell and,
+//! as a side effect, smoke-checks the kernels the `experiments
+//! validate-*` commands run at scale.
+
+use besync_data::Metric;
+use besync_experiments::validate::run_pair;
+use besync_workloads::generators::{skewed_validation, uniform_validation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_validation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("validate");
+    g.sample_size(10);
+
+    for n in [10u32, 100] {
+        g.bench_with_input(BenchmarkId::new("uniform_cell", n), &n, |b, &n| {
+            b.iter(|| {
+                let spec = uniform_validation(n, 1);
+                run_pair(&spec, Metric::Staleness, 100.0)
+            });
+        });
+    }
+
+    for metric in Metric::all_three() {
+        g.bench_with_input(
+            BenchmarkId::new("skew_cell", metric.name()),
+            &metric,
+            |b, &metric| {
+                b.iter(|| {
+                    let spec = skewed_validation(100, 2);
+                    run_pair(&spec, metric, 100.0)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

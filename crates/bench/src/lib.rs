@@ -1,0 +1,6 @@
+//! Criterion benches for the besync workspace live in `benches/`.
+//!
+//! One bench per paper table/figure (`priority_validation`,
+//! `param_settings`, `fig4_ratio`, `fig5_buoys`, `fig6_cgm`) plus
+//! micro-benches (`micro`) and design-choice ablations (`ablations`).
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,205 @@
+//! Competitive bandwidth partitioning (paper §7).
+//!
+//! When sources and the cache disagree on refresh priorities — different
+//! weights, different divergence functions — the cache can dedicate a
+//! fraction `Ψ` of its bandwidth to satisfying *source* priorities and the
+//! rest to its own. The paper sketches three ways to divide the Ψ share:
+//!
+//! 1. every source gets an equal share;
+//! 2. shares proportional to the number of cached objects per source;
+//! 3. shares proportional to how much each source contributes to the
+//!    cache's own objectives — implemented as a piggyback entitlement of
+//!    `Ψ/(1−Ψ)` source-chosen objects per cache-priority refresh.
+//!
+//! Options 1 and 2 are implemented as explicit rate allocations the cache
+//! advertises with its feedback; option 3 as the piggyback ratio.
+
+/// How the Ψ share is divided among sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharePolicy {
+    /// Option (1): equal share per source.
+    EqualShare,
+    /// Option (2): proportional to the number of cached objects.
+    ProportionalToObjects,
+    /// Option (3): proportional to the source's contribution to the
+    /// cache's objective, realized as piggybacking.
+    ProportionalToValue,
+}
+
+/// A Ψ-partition of cache-side bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthPartition {
+    /// Fraction of cache bandwidth dedicated to source priorities
+    /// (`0 ≤ Ψ < 1`).
+    pub psi: f64,
+    /// How the Ψ share is split.
+    pub policy: SharePolicy,
+}
+
+impl BandwidthPartition {
+    /// Creates a partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ psi < 1` (Ψ = 1 would starve the cache priority
+    /// entirely and makes the option-3 ratio undefined).
+    pub fn new(psi: f64, policy: SharePolicy) -> Self {
+        assert!((0.0..1.0).contains(&psi), "psi must be in [0, 1)");
+        BandwidthPartition { psi, policy }
+    }
+
+    /// No partitioning: all bandwidth follows the cache's priority.
+    pub fn none() -> Self {
+        BandwidthPartition {
+            psi: 0.0,
+            policy: SharePolicy::EqualShare,
+        }
+    }
+
+    /// The per-source refresh-rate allocations (messages/second) out of a
+    /// total cache bandwidth, under options (1) and (2). `value_share` is
+    /// only used by [`SharePolicy::ProportionalToValue`], where the
+    /// entitlement is informational (actual enforcement is by
+    /// piggybacking).
+    pub fn allocations(
+        &self,
+        cache_bandwidth: f64,
+        objects_per_source: &[u32],
+        value_share: Option<&[f64]>,
+    ) -> Vec<f64> {
+        let m = objects_per_source.len();
+        let pool = self.psi * cache_bandwidth;
+        if m == 0 || pool <= 0.0 {
+            return vec![0.0; m];
+        }
+        match self.policy {
+            SharePolicy::EqualShare => vec![pool / m as f64; m],
+            SharePolicy::ProportionalToObjects => {
+                let total: u64 = objects_per_source.iter().map(|&n| n as u64).sum();
+                if total == 0 {
+                    return vec![0.0; m];
+                }
+                objects_per_source
+                    .iter()
+                    .map(|&n| pool * n as f64 / total as f64)
+                    .collect()
+            }
+            SharePolicy::ProportionalToValue => {
+                let shares = value_share.expect("value shares required for option 3");
+                assert_eq!(shares.len(), m);
+                let total: f64 = shares.iter().sum();
+                if total <= 0.0 {
+                    return vec![0.0; m];
+                }
+                shares.iter().map(|&v| pool * v / total).collect()
+            }
+        }
+    }
+
+    /// Option (3) entitlement: sources may piggyback, on average,
+    /// `Ψ/(1−Ψ)` objects of their own choosing per cache-priority refresh.
+    pub fn piggyback_ratio(&self) -> f64 {
+        self.psi / (1.0 - self.psi)
+    }
+
+    /// The fraction of bandwidth left for the cache's own priority.
+    pub fn cache_fraction(&self) -> f64 {
+        1.0 - self.psi
+    }
+}
+
+/// Accumulates fractional piggyback entitlement for one source under
+/// option (3): each cache-priority refresh earns `Ψ/(1−Ψ)` credits, and
+/// each whole credit may be spent on one source-chosen refresh.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PiggybackCredit {
+    credit: f64,
+}
+
+impl PiggybackCredit {
+    /// Earns credit for one cache-priority refresh.
+    pub fn earn(&mut self, ratio: f64) {
+        self.credit += ratio;
+    }
+
+    /// Spends one unit if available.
+    pub fn try_spend(&mut self) -> bool {
+        if self.credit >= 1.0 {
+            self.credit -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remaining fractional credit.
+    pub fn balance(&self) -> f64 {
+        self.credit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_share_divides_pool() {
+        let p = BandwidthPartition::new(0.5, SharePolicy::EqualShare);
+        let a = p.allocations(100.0, &[10, 10, 10, 10], None);
+        assert_eq!(a, vec![12.5; 4]);
+        assert_eq!(p.cache_fraction(), 0.5);
+    }
+
+    #[test]
+    fn proportional_to_objects() {
+        let p = BandwidthPartition::new(0.4, SharePolicy::ProportionalToObjects);
+        let a = p.allocations(100.0, &[10, 30], None);
+        assert!((a[0] - 10.0).abs() < 1e-12);
+        assert!((a[1] - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_to_value() {
+        let p = BandwidthPartition::new(0.5, SharePolicy::ProportionalToValue);
+        let a = p.allocations(100.0, &[5, 5], Some(&[1.0, 3.0]));
+        assert!((a[0] - 12.5).abs() < 1e-12);
+        assert!((a[1] - 37.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn piggyback_ratio_formula() {
+        let p = BandwidthPartition::new(0.5, SharePolicy::ProportionalToValue);
+        assert!((p.piggyback_ratio() - 1.0).abs() < 1e-12);
+        let p = BandwidthPartition::new(0.25, SharePolicy::ProportionalToValue);
+        assert!((p.piggyback_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(BandwidthPartition::none().piggyback_ratio(), 0.0);
+    }
+
+    #[test]
+    fn piggyback_credit_accumulates() {
+        let mut c = PiggybackCredit::default();
+        let ratio = 1.0 / 3.0;
+        let mut spent = 0;
+        for _ in 0..9 {
+            c.earn(ratio);
+            if c.try_spend() {
+                spent += 1;
+            }
+        }
+        // 9 refreshes × 1/3 = 3 piggybacks.
+        assert_eq!(spent, 3);
+        assert!(c.balance() < 1.0);
+    }
+
+    #[test]
+    fn zero_psi_allocates_nothing() {
+        let p = BandwidthPartition::none();
+        assert_eq!(p.allocations(100.0, &[1, 2, 3], None), vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "psi")]
+    fn rejects_full_psi() {
+        let _ = BandwidthPartition::new(1.0, SharePolicy::EqualShare);
+    }
+}

@@ -1,0 +1,505 @@
+//! Cooperation in competitive environments (paper §7).
+//!
+//! Sources and the cache may disagree about what deserves to stay fresh:
+//! the cache has one weighting (e.g. page importance in a Web index),
+//! each source has its own (e.g. a retailer pushing its specials). The
+//! paper's compromise dedicates a fraction `Ψ` of cache bandwidth to
+//! *source* priorities:
+//!
+//! * options (1)/(2): sources get explicit refresh-rate allocations
+//!   (equal, or proportional to their object counts) and spend them on
+//!   their own highest-priority objects, while the remaining bandwidth
+//!   runs the ordinary threshold protocol under the cache's priority;
+//! * option (3): a source earns a piggyback entitlement of `Ψ/(1−Ψ)`
+//!   own-choice refreshes per cache-priority refresh it performs, so
+//!   sources that serve the cache well get proportionally more say.
+//!
+//! [`CompetitiveSystem`] extends the §5 machinery with a second,
+//! source-weighted priority view per object; both objectives are
+//! accounted against the same ground truth, so the Ψ trade-off is
+//! directly measurable.
+
+use besync_data::ids::ObjectLayout;
+use besync_data::{ObjectId, SourceId, TruthTable, WeightProfile};
+use besync_net::Link;
+use besync_sim::{EventQueue, SimTime};
+use besync_workloads::{Updater, WorkloadSpec};
+use rand::rngs::SmallRng;
+
+use crate::cache::partition::{BandwidthPartition, PiggybackCredit, SharePolicy};
+use crate::cache::CacheRuntime;
+use crate::config::SystemConfig;
+use crate::heap::LazyMaxHeap;
+use crate::priority::PolicyKind;
+use crate::source::SourceRuntime;
+use crate::system::RefreshMsg;
+
+/// Configuration of a §7 competitive run.
+#[derive(Debug, Clone)]
+pub struct CompetitiveConfig {
+    /// The base system configuration. The workload's weight profiles are
+    /// the **cache's** priorities; the policy must be
+    /// [`PolicyKind::Area`] (the §7 machinery derives both priority views
+    /// from the shared area tracker).
+    pub base: SystemConfig,
+    /// Each object's weight under its **source's** objectives.
+    pub source_weights: Vec<WeightProfile>,
+    /// The Ψ partition.
+    pub partition: BandwidthPartition,
+}
+
+/// Outcome of a competitive run: both objectives, measured on the same
+/// ground truth.
+#[derive(Debug, Clone)]
+pub struct CompetitiveReport {
+    /// Weighted mean divergence under the cache's weights.
+    pub cache_objective: f64,
+    /// Weighted mean divergence under the sources' weights.
+    pub source_objective: f64,
+    /// Refreshes sent through the threshold (cache-priority) pool.
+    pub threshold_refreshes: u64,
+    /// Refreshes sent from source allocations / piggyback entitlements.
+    pub source_refreshes: u64,
+    /// Positive feedback messages sent.
+    pub feedback_messages: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Update(ObjectId),
+    Tick,
+    EndWarmup,
+}
+
+/// The §7 competitive synchronization system.
+pub struct CompetitiveSystem {
+    cfg: SystemConfig,
+    partition: BandwidthPartition,
+    layout: ObjectLayout,
+    /// Ground truth weighted by the cache's priorities.
+    cache_truth: TruthTable,
+    /// Same events, weighted by the sources' priorities.
+    source_truth: TruthTable,
+    sources: Vec<SourceRuntime>,
+    /// Per-source own-priority heap (source weights).
+    own_heaps: Vec<LazyMaxHeap>,
+    source_weights: Vec<WeightProfile>,
+    /// Options (1)/(2): per-source allocated refresh rate and accrued
+    /// credit.
+    allocations: Vec<f64>,
+    own_credit: Vec<f64>,
+    /// Option (3): piggyback entitlements.
+    piggyback: Vec<PiggybackCredit>,
+    cache_link: Link<RefreshMsg>,
+    cache: CacheRuntime,
+    queue: EventQueue<Ev>,
+    updaters: Vec<Updater>,
+    rngs: Vec<SmallRng>,
+    scratch: Vec<RefreshMsg>,
+    threshold_refreshes: u64,
+    source_refreshes: u64,
+    deliveries_this_tick: u64,
+    delivery_rate_ewma: f64,
+}
+
+impl CompetitiveSystem {
+    /// Builds the competitive system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base policy is not [`PolicyKind::Area`], the spec is
+    /// inconsistent, or `source_weights` doesn't cover every object.
+    pub fn new(cfg: CompetitiveConfig, spec: WorkloadSpec) -> Self {
+        assert!(
+            matches!(cfg.base.policy, PolicyKind::Area),
+            "competitive runs require the Area policy"
+        );
+        spec.validate().expect("invalid workload spec");
+        assert_eq!(
+            cfg.source_weights.len(),
+            spec.total_objects(),
+            "one source weight per object"
+        );
+        let layout = spec.layout;
+        let m = layout.sources();
+        let base = cfg.base;
+        let cache_truth = TruthTable::new(base.metric, &spec.initial_values, spec.weights.clone());
+        let source_truth = TruthTable::new(
+            base.metric,
+            &spec.initial_values,
+            cfg.source_weights.clone(),
+        );
+        let tparams = base.threshold_params(m);
+
+        let mut sources = Vec::with_capacity(m as usize);
+        let mut own_heaps = Vec::with_capacity(m as usize);
+        for sid in layout.all_sources() {
+            let base_idx = sid.0 * layout.objects_per_source();
+            let lo = base_idx as usize;
+            let hi = lo + layout.objects_per_source() as usize;
+            sources.push(SourceRuntime::new(
+                sid,
+                base_idx,
+                &spec.initial_values[lo..hi],
+                spec.weights[lo..hi].to_vec(),
+                spec.rates[lo..hi].to_vec(),
+                Link::new(base.source_wave(sid.0)),
+                tparams,
+                base.metric,
+                base.policy,
+                base.estimator,
+                None,
+                SimTime::ZERO,
+            ));
+            own_heaps.push(LazyMaxHeap::new(hi - lo));
+        }
+
+        let objects_per_source = vec![layout.objects_per_source(); m as usize];
+        let allocations = match cfg.partition.policy {
+            SharePolicy::ProportionalToValue => vec![0.0; m as usize],
+            _ => cfg
+                .partition
+                .allocations(base.cache_bandwidth_mean, &objects_per_source, None),
+        };
+
+        let mut rngs = spec.object_rngs();
+        let mut queue = EventQueue::with_capacity(spec.total_objects() + 2);
+        queue.schedule(SimTime::new(base.warmup), Ev::EndWarmup);
+        queue.schedule(SimTime::new(base.tick), Ev::Tick);
+        for obj in layout.all_objects() {
+            let idx = obj.index();
+            if let Some(t0) = spec.updaters[idx].first_time(SimTime::ZERO, &mut rngs[idx]) {
+                queue.schedule(t0, Ev::Update(obj));
+            }
+        }
+
+        let cache_link = Link::new(base.cache_wave());
+        let cache = CacheRuntime::new(
+            m,
+            base.initial_threshold,
+            base.feedback_targeting,
+            base.sim_seed,
+        );
+
+        CompetitiveSystem {
+            cfg: base,
+            partition: cfg.partition,
+            layout,
+            cache_truth,
+            source_truth,
+            sources,
+            own_heaps,
+            source_weights: cfg.source_weights,
+            allocations,
+            own_credit: vec![0.0; m as usize],
+            piggyback: vec![PiggybackCredit::default(); m as usize],
+            cache_link,
+            cache,
+            queue,
+            updaters: spec.updaters,
+            rngs,
+            scratch: Vec::new(),
+            threshold_refreshes: 0,
+            source_refreshes: 0,
+            deliveries_this_tick: 0,
+            delivery_rate_ewma: 0.0,
+        }
+    }
+
+    /// Runs to the horizon and reports both objectives.
+    pub fn run(mut self) -> CompetitiveReport {
+        let horizon = SimTime::new(self.cfg.horizon());
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event vanished");
+            match ev {
+                Ev::Update(obj) => self.on_update(now, obj),
+                Ev::Tick => self.on_tick(now),
+                Ev::EndWarmup => {
+                    self.cache_truth.begin_measurement(now);
+                    self.source_truth.begin_measurement(now);
+                }
+            }
+        }
+        CompetitiveReport {
+            cache_objective: self.cache_truth.report(horizon).mean_weighted,
+            source_objective: self.source_truth.report(horizon).mean_weighted,
+            threshold_refreshes: self.threshold_refreshes,
+            source_refreshes: self.source_refreshes,
+            feedback_messages: self.cache.feedback_sent,
+        }
+    }
+
+    fn own_priority(&self, now: SimTime, sid: usize, local: u32) -> f64 {
+        let raw = self.sources[sid].raw_area_priority(now, local);
+        let obj = self.sources[sid].global(local);
+        raw * self.source_weights[obj.index()].weight_at(now)
+    }
+
+    fn on_update(&mut self, now: SimTime, obj: ObjectId) {
+        let idx = obj.index();
+        let sid = self.layout.source_of(obj).index();
+        let local = self.sources[sid].local(obj);
+        let current = self.sources[sid].state(local).value;
+        let (value, next) = self.updaters[idx].fire(now, current, &mut self.rngs[idx]);
+        self.cache_truth.source_update(now, obj, value);
+        self.source_truth.source_update(now, obj, value);
+        self.sources[sid].record_update(now, local, value);
+        let own_p = self.own_priority(now, sid, local);
+        self.own_heaps[sid].push(local, own_p);
+        self.attempt_threshold_sends(now, sid);
+        if let Some(t) = next {
+            self.queue.schedule(t, Ev::Update(obj));
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        // Deliver queued refreshes.
+        let mut msgs = std::mem::take(&mut self.scratch);
+        msgs.clear();
+        self.cache_link.service(now, &mut msgs);
+        for msg in &msgs {
+            self.deliver(now, *msg);
+        }
+        self.scratch = msgs;
+
+        // Source-allocation sends (options 1/2) come first: they are the
+        // sources' entitlement regardless of the threshold pool's state.
+        for sid in 0..self.sources.len() {
+            self.own_credit[sid] =
+                (self.own_credit[sid] + self.allocations[sid] * self.cfg.tick).min(2.0);
+            while self.own_credit[sid] >= 1.0 {
+                if !self.send_own_top(now, sid) {
+                    break;
+                }
+                self.own_credit[sid] -= 1.0;
+            }
+        }
+
+        // Threshold-pool sends under the cache's priority.
+        for sid in 0..self.sources.len() {
+            self.attempt_threshold_sends(now, sid);
+        }
+
+        // Positive feedback from genuine surplus, as in the base
+        // protocol (utilization reserve included).
+        self.delivery_rate_ewma =
+            0.8 * self.delivery_rate_ewma + 0.2 * self.deliveries_this_tick as f64;
+        self.deliveries_this_tick = 0;
+        self.send_feedback(now);
+
+        self.queue.schedule(now + self.cfg.tick, Ev::Tick);
+    }
+
+    /// Sends the source's own-priority top object, if it has one with
+    /// positive priority and uplink credit. Returns whether a send
+    /// happened.
+    fn send_own_top(&mut self, now: SimTime, sid: usize) -> bool {
+        loop {
+            let (quoted, local) = match self.own_heaps[sid].peek_valid() {
+                Some(c) => c,
+                None => return false,
+            };
+            // Re-derive with the current weight; quotes are lazy.
+            let p = self.own_priority(now, sid, local);
+            if quoted <= 0.0 && p <= 0.0 {
+                return false;
+            }
+            if p <= 0.0 {
+                // Stale quote; refresh it and retry.
+                self.own_heaps[sid].push(local, p);
+                continue;
+            }
+            if !self.sources[sid].uplink.try_consume(now, 1.0) {
+                return false;
+            }
+            let snapshot = self.sources[sid].mark_sent_unthrottled(now, local);
+            self.own_heaps[sid].invalidate(local);
+            let msg = RefreshMsg {
+                obj: self.sources[sid].global(local),
+                src: SourceId(sid as u32),
+                snapshot,
+                threshold: self.sources[sid].threshold.value(),
+            };
+            self.source_refreshes += 1;
+            if let Some(delivered) = self.cache_link.offer(now, msg) {
+                self.deliver(now, delivered);
+            }
+            return true;
+        }
+    }
+
+    fn attempt_threshold_sends(&mut self, now: SimTime, sid: usize) {
+        loop {
+            let (priority, local) = match self.sources[sid].candidate() {
+                Some(c) => c,
+                None => {
+                    self.sources[sid].saturated = false;
+                    return;
+                }
+            };
+            if priority <= self.sources[sid].threshold.value() {
+                self.sources[sid].saturated = false;
+                return;
+            }
+            if !self.sources[sid].uplink.try_consume(now, 1.0) {
+                self.sources[sid].saturated = true;
+                return;
+            }
+            let snapshot = self.sources[sid].mark_sent(now, local);
+            self.own_heaps[sid].invalidate(local);
+            let msg = RefreshMsg {
+                obj: self.sources[sid].global(local),
+                src: SourceId(sid as u32),
+                snapshot,
+                threshold: self.sources[sid].threshold.value(),
+            };
+            self.threshold_refreshes += 1;
+            if let Some(delivered) = self.cache_link.offer(now, msg) {
+                self.deliver(now, delivered);
+            }
+            // Option (3): each cache-priority refresh earns piggyback
+            // credit, spent immediately on own-priority sends.
+            if matches!(self.partition.policy, SharePolicy::ProportionalToValue) {
+                self.piggyback[sid].earn(self.partition.piggyback_ratio());
+                while self.piggyback[sid].try_spend() {
+                    if !self.send_own_top(now, sid) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_feedback(&mut self, now: SimTime) {
+        if self.cache_link.has_backlog() {
+            return;
+        }
+        let surplus = (self.cache_link.credit(now) - self.delivery_rate_ewma).floor();
+        if surplus < 1.0 {
+            return;
+        }
+        let k = (surplus as usize).min(self.sources.len());
+        if k == 0 {
+            return;
+        }
+        let targets: Vec<u32> = self.cache.select_targets(k).to_vec();
+        for sid in targets {
+            if !self.cache_link.try_consume(now, 1.0) {
+                break;
+            }
+            self.cache.feedback_sent += 1;
+            let sid = sid as usize;
+            let saturated = self.sources[sid].saturated;
+            self.sources[sid].threshold.on_feedback(now, saturated);
+            self.attempt_threshold_sends(now, sid);
+        }
+    }
+
+    fn deliver(&mut self, now: SimTime, msg: RefreshMsg) {
+        self.cache_truth
+            .apply_refresh(now, msg.obj, msg.snapshot.value, msg.snapshot.updates);
+        self.source_truth
+            .apply_refresh(now, msg.obj, msg.snapshot.value, msg.snapshot.updates);
+        self.cache.observe_threshold(msg.src, msg.threshold);
+        self.deliveries_this_tick += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use besync_data::Metric;
+    use besync_workloads::generators::{random_walk_poisson, PoissonWorkloadOptions};
+
+    /// Cache wants the first half of each source's objects; sources want
+    /// the second half.
+    fn conflicted() -> (WorkloadSpec, Vec<WeightProfile>) {
+        let mut spec = random_walk_poisson(
+            PoissonWorkloadOptions {
+                sources: 4,
+                objects_per_source: 10,
+                rate_range: (0.1, 0.8),
+                weight_range: (1.0, 1.0),
+                fluctuating_weights: false,
+            },
+            5,
+        );
+        let n = spec.layout.objects_per_source();
+        let mut source_weights = Vec::new();
+        for obj in spec.layout.all_objects() {
+            let local = obj.0 % n;
+            let cache_w = if local < n / 2 { 10.0 } else { 1.0 };
+            let source_w = if local < n / 2 { 1.0 } else { 10.0 };
+            spec.weights[obj.index()] = WeightProfile::constant(cache_w);
+            source_weights.push(WeightProfile::constant(source_w));
+        }
+        (spec, source_weights)
+    }
+
+    fn base_cfg() -> SystemConfig {
+        SystemConfig {
+            metric: Metric::Staleness,
+            cache_bandwidth_mean: 8.0,
+            source_bandwidth_mean: 4.0,
+            warmup: 30.0,
+            measure: 150.0,
+            ..SystemConfig::default()
+        }
+    }
+
+    fn run_with(psi: f64, policy: SharePolicy) -> CompetitiveReport {
+        let (spec, source_weights) = conflicted();
+        CompetitiveSystem::new(
+            CompetitiveConfig {
+                base: base_cfg(),
+                source_weights,
+                partition: BandwidthPartition::new(psi, policy),
+            },
+            spec,
+        )
+        .run()
+    }
+
+    #[test]
+    fn psi_zero_matches_plain_protocol_shape() {
+        let r = run_with(0.0, SharePolicy::EqualShare);
+        assert_eq!(r.source_refreshes, 0);
+        assert!(r.threshold_refreshes > 0);
+    }
+
+    #[test]
+    fn psi_shifts_the_objectives() {
+        let none = run_with(0.0, SharePolicy::EqualShare);
+        let half = run_with(0.5, SharePolicy::EqualShare);
+        // Giving sources bandwidth must help their objective...
+        assert!(
+            half.source_objective < none.source_objective,
+            "source objective should improve: {} -> {}",
+            none.source_objective,
+            half.source_objective
+        );
+        assert!(half.source_refreshes > 0);
+    }
+
+    #[test]
+    fn piggyback_option_sends_source_refreshes() {
+        let r = run_with(0.5, SharePolicy::ProportionalToValue);
+        assert!(r.source_refreshes > 0);
+        // Ratio 1:1 at Ψ=0.5 — piggybacks bounded by threshold sends
+        // (plus own-heap availability).
+        assert!(r.source_refreshes <= r.threshold_refreshes + 1);
+    }
+
+    #[test]
+    fn proportional_share_equals_equal_share_for_uniform_sources() {
+        // All sources own the same number of objects, so options 1 and 2
+        // coincide exactly.
+        let a = run_with(0.4, SharePolicy::EqualShare);
+        let b = run_with(0.4, SharePolicy::ProportionalToObjects);
+        assert_eq!(a.source_refreshes, b.source_refreshes);
+        assert_eq!(a.cache_objective, b.cache_objective);
+    }
+}

@@ -1,0 +1,302 @@
+//! Lazy-invalidation priority heap.
+//!
+//! Sources keep their modified objects "in priority order" (paper Figure
+//! 2) so the highest-priority object is found quickly whenever bandwidth
+//! frees up (§8). Priorities change only when an object is updated (§8.2),
+//! so a classic lazy heap works: every recomputation pushes a fresh entry
+//! stamped with a per-object version, and stale entries are discarded when
+//! they surface at the top. Entries *below* the refresh threshold are
+//! deliberately kept — the threshold itself moves (feedback can slash it
+//! 10×), so yesterday's ineligible object may be tomorrow's refresh.
+//!
+//! To bound memory on long runs the heap self-compacts when stale entries
+//! dominate (see [`LazyMaxHeap::pop_valid`] callers and
+//! [`LazyMaxHeap::needs_compaction`]).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One heap entry: a priority quote for a local object index.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    priority: f64,
+    version: u64,
+    item: u32,
+    /// Global quote sequence number: ties are served FIFO (the quote that
+    /// has waited longest wins). This matters for discrete priorities —
+    /// under the staleness metric whole cohorts tie at `1·W`, and an
+    /// id-based tie-break would permanently starve high ids.
+    seq: u64,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by priority; ties FIFO by quote age (smaller seq =
+        // greater entry), fully deterministic.
+        self.priority
+            .total_cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A max-heap over `n` items with O(1) priority revision via lazy
+/// invalidation.
+#[derive(Debug, Clone)]
+pub struct LazyMaxHeap {
+    heap: BinaryHeap<Entry>,
+    /// Monotone quote counter for FIFO tie-breaking.
+    next_seq: u64,
+    /// Current version per item; heap entries with older versions are
+    /// stale. `u64::MAX` bit tricks are avoided: version 0 = never pushed.
+    versions: Vec<u64>,
+    /// Number of live (current-version) entries in the heap.
+    live: usize,
+}
+
+impl LazyMaxHeap {
+    /// Creates a heap for items `0..n`.
+    pub fn new(n: usize) -> Self {
+        LazyMaxHeap {
+            heap: BinaryHeap::with_capacity(n.min(1024)),
+            next_seq: 0,
+            versions: vec![0; n],
+            live: 0,
+        }
+    }
+
+    /// Number of items the heap covers.
+    pub fn items(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Number of live entries (items with a current quote in the heap).
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total entries including stale ones (for compaction heuristics).
+    pub fn raw_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Quotes a new priority for `item`, superseding any previous quote.
+    pub fn push(&mut self, item: u32, priority: f64) {
+        let idx = item as usize;
+        if self.versions[idx] != 0 && self.entry_is_live(idx) {
+            // The previous quote becomes stale.
+            self.live -= 1;
+        }
+        self.versions[idx] = self.versions[idx].wrapping_add(1);
+        self.mark_live(idx);
+        self.live += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            priority,
+            version: self.versions[idx],
+            item,
+            seq,
+        });
+    }
+
+    /// Removes `item`'s current quote, if any (e.g. after sending it).
+    pub fn invalidate(&mut self, item: u32) {
+        let idx = item as usize;
+        if self.entry_is_live(idx) {
+            self.live -= 1;
+            self.mark_dead(idx);
+            self.versions[idx] = self.versions[idx].wrapping_add(1);
+        }
+    }
+
+    /// The current top (priority, item) without removing it, discarding
+    /// stale entries that surface.
+    pub fn peek_valid(&mut self) -> Option<(f64, u32)> {
+        while let Some(top) = self.heap.peek() {
+            if self.is_current(top) {
+                return Some((top.priority, top.item));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Removes and returns the top valid (priority, item).
+    pub fn pop_valid(&mut self) -> Option<(f64, u32)> {
+        let (p, item) = self.peek_valid()?;
+        self.heap.pop();
+        self.live -= 1;
+        self.mark_dead(item as usize);
+        self.versions[item as usize] = self.versions[item as usize].wrapping_add(1);
+        Some((p, item))
+    }
+
+    /// Whether stale entries dominate enough that the caller should
+    /// rebuild the heap with [`LazyMaxHeap::rebuild`].
+    pub fn needs_compaction(&self) -> bool {
+        self.heap.len() > 64 && self.heap.len() > 4 * self.live.max(1)
+    }
+
+    /// Rebuilds the heap from an iterator of live (item, priority) quotes.
+    /// All previous quotes are dropped.
+    pub fn rebuild(&mut self, live: impl IntoIterator<Item = (u32, f64)>) {
+        self.heap.clear();
+        for v in &mut self.versions {
+            *v = (*v & !LIVE_BIT).wrapping_add(1);
+        }
+        self.live = 0;
+        for (item, priority) in live {
+            let idx = item as usize;
+            self.mark_live(idx);
+            self.live += 1;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Entry {
+                priority,
+                version: self.versions[idx],
+                item,
+                seq,
+            });
+        }
+    }
+
+    fn is_current(&self, e: &Entry) -> bool {
+        self.versions[e.item as usize] == e.version && self.entry_is_live(e.item as usize)
+    }
+
+    fn entry_is_live(&self, idx: usize) -> bool {
+        self.versions[idx] & LIVE_BIT != 0
+    }
+
+    fn mark_live(&mut self, idx: usize) {
+        self.versions[idx] |= LIVE_BIT;
+    }
+
+    fn mark_dead(&mut self, idx: usize) {
+        self.versions[idx] &= !LIVE_BIT;
+    }
+}
+
+/// High bit of the version word doubles as the "has a live quote" flag.
+const LIVE_BIT: u64 = 1 << 63;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_priority_order() {
+        let mut h = LazyMaxHeap::new(4);
+        h.push(0, 1.0);
+        h.push(1, 5.0);
+        h.push(2, 3.0);
+        assert_eq!(h.pop_valid(), Some((5.0, 1)));
+        assert_eq!(h.pop_valid(), Some((3.0, 2)));
+        assert_eq!(h.pop_valid(), Some((1.0, 0)));
+        assert_eq!(h.pop_valid(), None);
+    }
+
+    #[test]
+    fn newer_quote_supersedes() {
+        let mut h = LazyMaxHeap::new(2);
+        h.push(0, 10.0);
+        h.push(0, 2.0); // revised downward
+        h.push(1, 5.0);
+        assert_eq!(h.pop_valid(), Some((5.0, 1)));
+        assert_eq!(h.pop_valid(), Some((2.0, 0)));
+        assert_eq!(h.pop_valid(), None);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut h = LazyMaxHeap::new(1);
+        h.push(0, 7.0);
+        assert_eq!(h.peek_valid(), Some((7.0, 0)));
+        assert_eq!(h.peek_valid(), Some((7.0, 0)));
+        assert_eq!(h.pop_valid(), Some((7.0, 0)));
+    }
+
+    #[test]
+    fn invalidate_removes_quote() {
+        let mut h = LazyMaxHeap::new(2);
+        h.push(0, 9.0);
+        h.push(1, 1.0);
+        h.invalidate(0);
+        assert_eq!(h.pop_valid(), Some((1.0, 1)));
+        assert_eq!(h.pop_valid(), None);
+        // Re-quoting after invalidation works.
+        h.push(0, 4.0);
+        assert_eq!(h.pop_valid(), Some((4.0, 0)));
+    }
+
+    #[test]
+    fn live_count_tracks_quotes() {
+        let mut h = LazyMaxHeap::new(3);
+        assert_eq!(h.live(), 0);
+        h.push(0, 1.0);
+        h.push(1, 2.0);
+        assert_eq!(h.live(), 2);
+        h.push(0, 3.0); // revision, not a new live item
+        assert_eq!(h.live(), 2);
+        h.invalidate(1);
+        assert_eq!(h.live(), 1);
+        h.pop_valid();
+        assert_eq!(h.live(), 0);
+    }
+
+    #[test]
+    fn compaction_rebuild() {
+        let mut h = LazyMaxHeap::new(8);
+        // Blow up the stale count.
+        for round in 0..200 {
+            for i in 0..8 {
+                h.push(i, round as f64 + i as f64);
+            }
+        }
+        assert!(h.needs_compaction());
+        let live: Vec<(u32, f64)> = (0..8).map(|i| (i, i as f64)).collect();
+        h.rebuild(live);
+        assert_eq!(h.raw_len(), 8);
+        assert_eq!(h.live(), 8);
+        assert_eq!(h.pop_valid(), Some((7.0, 7)));
+        assert_eq!(h.peek_valid(), Some((6.0, 6)));
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let mut a = LazyMaxHeap::new(4);
+        let mut b = LazyMaxHeap::new(4);
+        for h in [&mut a, &mut b] {
+            h.push(2, 1.0);
+            h.push(0, 1.0);
+            h.push(3, 1.0);
+            h.push(1, 1.0);
+        }
+        for _ in 0..4 {
+            assert_eq!(a.pop_valid(), b.pop_valid());
+        }
+    }
+
+    #[test]
+    fn negative_priorities_are_fine() {
+        let mut h = LazyMaxHeap::new(2);
+        h.push(0, -5.0);
+        h.push(1, -1.0);
+        assert_eq!(h.pop_valid(), Some((-1.0, 1)));
+        assert_eq!(h.pop_valid(), Some((-5.0, 0)));
+    }
+}

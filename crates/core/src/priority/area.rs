@@ -1,0 +1,177 @@
+//! The general refresh priority: area above the divergence curve (§3.3).
+
+use besync_sim::stats::PiecewiseConstant;
+use besync_sim::SimTime;
+
+/// Incremental tracker for one object's unweighted refresh priority
+///
+/// ```text
+/// P_raw(t) = (t − t_last)·D(t) − ∫_{t_last}^{t} D(τ) dτ
+/// ```
+///
+/// i.e. the area of the region *above* the divergence curve and below its
+/// current level, between the last refresh and now (the shaded regions of
+/// the paper's Figure 3). Divergence is piecewise constant (it changes
+/// only on updates, §8.2), so the tracker stores the current level and the
+/// running integral and updates in O(1) per event — the "running total of
+/// the past divergence values weighted by the amount of time the value was
+/// active" that §8.2 prescribes.
+#[derive(Debug, Clone, Copy)]
+pub struct AreaTracker {
+    divergence: PiecewiseConstant,
+    last_refresh: SimTime,
+}
+
+impl AreaTracker {
+    /// Starts tracking at `t0` with zero divergence (cache synchronized).
+    pub fn new(t0: SimTime) -> Self {
+        AreaTracker {
+            divergence: PiecewiseConstant::new(t0, 0.0),
+            last_refresh: t0,
+        }
+    }
+
+    /// Time of the last refresh (or the start of tracking).
+    #[inline]
+    pub fn last_refresh(&self) -> SimTime {
+        self.last_refresh
+    }
+
+    /// The divergence level currently in effect (source's view).
+    #[inline]
+    pub fn divergence(&self) -> f64 {
+        self.divergence.value()
+    }
+
+    /// Integral of divergence since the last refresh, up to `now`.
+    #[inline]
+    pub fn integral(&self, now: SimTime) -> f64 {
+        self.divergence.integral_at(now)
+    }
+
+    /// Records that the object's divergence changed to `d` at `now`
+    /// (because an update arrived).
+    pub fn on_update(&mut self, now: SimTime, d: f64) {
+        self.divergence.set(now, d);
+    }
+
+    /// Records a refresh at `now`: divergence returns to zero and the
+    /// accumulated area restarts.
+    pub fn on_refresh(&mut self, now: SimTime) {
+        self.divergence.reset(now, 0.0);
+        self.last_refresh = now;
+    }
+
+    /// The unweighted priority `(now − t_last)·D − ∫D`.
+    ///
+    /// Between updates this is constant: both terms grow at rate `D`
+    /// (§8.2, Equation 3). It can be negative when current divergence is
+    /// below its historical average since the refresh — e.g. a random walk
+    /// that has returned to the cached value — which correctly ranks such
+    /// objects below freshly diverged ones.
+    #[inline]
+    pub fn raw_priority(&self, now: SimTime) -> f64 {
+        (now - self.last_refresh) * self.divergence.value() - self.divergence.integral_at(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn priority_zero_right_after_refresh() {
+        let mut a = AreaTracker::new(t(0.0));
+        a.on_update(t(1.0), 2.0);
+        a.on_refresh(t(5.0));
+        assert_eq!(a.raw_priority(t(5.0)), 0.0);
+        assert_eq!(a.divergence(), 0.0);
+        assert_eq!(a.last_refresh(), t(5.0));
+    }
+
+    #[test]
+    fn figure3_slow_then_sudden_beats_fast_then_flat() {
+        // Object O1: unchanged until recently, then a significant change.
+        let mut o1 = AreaTracker::new(t(0.0));
+        o1.on_update(t(9.0), 5.0); // diverged late
+        // Object O2: significant change immediately after refresh, flat since.
+        let mut o2 = AreaTracker::new(t(0.0));
+        o2.on_update(t(1.0), 5.0); // diverged early
+        let now = t(10.0);
+        // Same current divergence...
+        assert_eq!(o1.divergence(), o2.divergence());
+        // ...but O1 has much higher priority (paper Figure 3).
+        assert!(o1.raw_priority(now) > o2.raw_priority(now));
+        // Exact areas: O1 = 10·5 − 5·1 = 45; O2 = 10·5 − 5·9 = 5.
+        assert!((o1.raw_priority(now) - 45.0).abs() < 1e-12);
+        assert!((o2.raw_priority(now) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn priority_constant_between_updates() {
+        let mut a = AreaTracker::new(t(0.0));
+        a.on_update(t(2.0), 3.0);
+        let p1 = a.raw_priority(t(4.0));
+        let p2 = a.raw_priority(t(400.0));
+        assert!((p1 - p2).abs() < 1e-9, "{p1} vs {p2}");
+    }
+
+    #[test]
+    fn priority_negative_when_divergence_collapses() {
+        let mut a = AreaTracker::new(t(0.0));
+        a.on_update(t(1.0), 4.0);
+        a.on_update(t(3.0), 0.0); // walk returned to cached value
+        // (now − t_last)·0 − ∫ = −8
+        assert!((a.raw_priority(t(5.0)) + 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_integration() {
+        // Arbitrary piecewise-constant divergence path; compare the O(1)
+        // tracker against a brute-force Riemann computation.
+        let path: &[(f64, f64)] = &[(1.0, 2.0), (2.5, 1.0), (4.0, 6.0), (7.0, 3.0)];
+        let mut a = AreaTracker::new(t(0.0));
+        for &(at, d) in path {
+            a.on_update(t(at), d);
+        }
+        let now = 9.0;
+        // Brute force with fine steps.
+        let mut integral = 0.0;
+        let dt = 1e-4;
+        let mut s = 0.0;
+        let d_at = |x: f64| {
+            let mut d = 0.0;
+            for &(at, v) in path {
+                if x >= at {
+                    d = v;
+                }
+            }
+            d
+        };
+        while s < now {
+            integral += d_at(s + dt / 2.0) * dt;
+            s += dt;
+        }
+        let expected = now * 3.0 - integral;
+        let got = a.raw_priority(t(now));
+        assert!((got - expected).abs() < 1e-2, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn longer_flat_tail_increases_staleness_priority() {
+        // Under a 0/1 staleness curve the area priority equals the time
+        // the object stayed fresh after its refresh: slow-changing objects
+        // win, matching the 1/λ closed-form intuition.
+        let mut fresh_long = AreaTracker::new(t(0.0));
+        fresh_long.on_update(t(8.0), 1.0);
+        let mut fresh_short = AreaTracker::new(t(0.0));
+        fresh_short.on_update(t(1.0), 1.0);
+        let now = t(10.0);
+        assert!((fresh_long.raw_priority(now) - 8.0).abs() < 1e-12);
+        assert!((fresh_short.raw_priority(now) - 1.0).abs() < 1e-12);
+    }
+}

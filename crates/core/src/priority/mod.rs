@@ -1,0 +1,227 @@
+//! Refresh priority policies (paper §3–§4, §9).
+//!
+//! The paper's central insight is that prioritizing refreshes by *current
+//! weighted divergence* is not a good policy: an object that diverged
+//! immediately after its last refresh and then stabilized should rank
+//! below one that stayed synchronized for a long time and diverged only
+//! recently, even when their current divergence is equal — refreshing the
+//! latter buys more long-term divergence reduction. The right priority is
+//! the weighted **area above the divergence curve** since the last
+//! refresh:
+//!
+//! ```text
+//! P(O, t) = [ (t − t_last)·D(O, t)  −  ∫_{t_last}^{t} D(O, τ) dτ ] · W(O, t)
+//! ```
+//!
+//! [`area::AreaTracker`] maintains that quantity exactly and
+//! incrementally; [`poisson`] provides the §3.4 closed forms under Poisson
+//! updates; [`simple`] is the naive baseline the paper validates against
+//! (§4.3); [`bounds`] is the §9 variant that minimizes guaranteed
+//! divergence *bounds* instead of actual divergence.
+
+pub mod area;
+pub mod bounds;
+pub mod poisson;
+pub mod simple;
+
+pub use area::AreaTracker;
+pub use bounds::BoundTracker;
+
+use besync_sim::SimTime;
+
+/// Which refresh priority policy a scheduler uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The paper's priority function computed from the *realized*
+    /// divergence curve (§3.3): applicable to any metric.
+    Area,
+    /// The §3.4 closed forms under Poisson updates (staleness and lag
+    /// metrics; falls back to [`PolicyKind::Area`] for value deviation,
+    /// for which no closed form exists).
+    PoissonClosedForm,
+    /// The naive alternative `P = D(O,t) · W(O,t)` the paper refutes in
+    /// §4.3.
+    SimpleWeighted,
+    /// The §9 divergence-bound priority `P = R·(t − t_last)²/2 · W` for
+    /// objects with known maximum divergence rates.
+    Bound,
+}
+
+impl PolicyKind {
+    /// Whether priorities under this policy change only at update events
+    /// (true for all but [`PolicyKind::Bound`], which grows continuously
+    /// with time — see §8.2 for why the others are piecewise constant).
+    pub fn piecewise_constant(self) -> bool {
+        !matches!(self, PolicyKind::Bound)
+    }
+
+    /// A short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Area => "area",
+            PolicyKind::PoissonClosedForm => "poisson",
+            PolicyKind::SimpleWeighted => "simple",
+            PolicyKind::Bound => "bound",
+        }
+    }
+}
+
+/// How a source estimates an object's Poisson update rate λ for the
+/// closed-form policies (§8.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateEstimator {
+    /// Oracle: use the workload's true nominal rate.
+    Known,
+    /// Updates observed since the beginning of the run divided by elapsed
+    /// time ("monitored over a longer period of time", §8.1).
+    LongRun,
+    /// Updates since the last refresh divided by the time since the last
+    /// refresh ("the number of updates divided by the time elapsed since
+    /// the last refresh", §8.1).
+    SinceRefresh,
+}
+
+impl RateEstimator {
+    /// Produces λ̂ for one object.
+    ///
+    /// * `true_rate` — the workload's nominal rate (used by `Known`).
+    /// * `total_updates` / `since` — lifetime counters from `t0`.
+    /// * `updates_since_refresh` / `refresh_elapsed` — counters since the
+    ///   last refresh.
+    ///
+    /// Estimates are floored at a small positive value so closed forms
+    /// that divide by λ̂ stay finite; an object that has never updated has
+    /// zero divergence and therefore zero priority anyway.
+    pub fn estimate(
+        self,
+        true_rate: f64,
+        total_updates: u64,
+        since_start: f64,
+        updates_since_refresh: u64,
+        since_refresh: f64,
+    ) -> f64 {
+        const FLOOR: f64 = 1e-9;
+        match self {
+            RateEstimator::Known => true_rate.max(FLOOR),
+            RateEstimator::LongRun => {
+                let elapsed = since_start.max(1.0);
+                (total_updates as f64 / elapsed).max(FLOOR)
+            }
+            RateEstimator::SinceRefresh => {
+                let elapsed = since_refresh.max(1.0);
+                (updates_since_refresh.max(1) as f64 / elapsed).max(FLOOR)
+            }
+        }
+    }
+}
+
+/// Everything a policy needs to price one object for refresh at `now`.
+///
+/// The state is from the *source's* viewpoint: divergence is measured
+/// against the snapshot carried by the source's most recent refresh
+/// message (the source optimistically assumes its refreshes arrive).
+#[derive(Debug, Clone, Copy)]
+pub struct PriorityInputs {
+    /// Current time.
+    pub now: SimTime,
+    /// Divergence of the object right now, from the source's view.
+    pub divergence: f64,
+    /// Updates applied since the last refresh (lag from source's view).
+    pub updates_since_refresh: u64,
+    /// Estimated (or known) Poisson rate λ̂.
+    pub lambda_hat: f64,
+    /// The object's weight `W(O, now)`.
+    pub weight: f64,
+    /// §9: the object's known maximum divergence rate, if any.
+    pub max_rate: f64,
+}
+
+/// Computes the refresh priority of one object under `policy`.
+///
+/// `area` must be the object's [`AreaTracker`]; it is consulted by the
+/// `Area` policy (and the deviation fallback of `PoissonClosedForm`) and
+/// ignored by the rest.
+pub fn compute_priority(
+    policy: PolicyKind,
+    metric_is_deviation: bool,
+    area: &AreaTracker,
+    inputs: &PriorityInputs,
+) -> f64 {
+    match policy {
+        PolicyKind::Area => area.raw_priority(inputs.now) * inputs.weight,
+        PolicyKind::PoissonClosedForm => {
+            if metric_is_deviation {
+                area.raw_priority(inputs.now) * inputs.weight
+            } else if inputs.updates_since_refresh == 0 {
+                0.0
+            } else if inputs.divergence <= 1.0 {
+                // Staleness closed form: P = Dₛ/λ · W (§3.4). Also exact
+                // for lag = 1 (1·2/(2λ) = 1/λ).
+                poisson::staleness_priority(inputs.divergence, inputs.lambda_hat, inputs.weight)
+            } else {
+                poisson::lag_priority(inputs.divergence, inputs.lambda_hat, inputs.weight)
+            }
+        }
+        PolicyKind::SimpleWeighted => simple::simple_priority(inputs.divergence, inputs.weight),
+        PolicyKind::Bound => bounds::bound_priority(
+            inputs.max_rate,
+            inputs.now - area.last_refresh(),
+            inputs.weight,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimator_known_uses_true_rate() {
+        let e = RateEstimator::Known;
+        assert_eq!(e.estimate(0.25, 100, 10.0, 5, 2.0), 0.25);
+    }
+
+    #[test]
+    fn estimator_long_run() {
+        let e = RateEstimator::LongRun;
+        assert!((e.estimate(9.9, 50, 100.0, 5, 2.0) - 0.5).abs() < 1e-12);
+        // No updates yet → tiny but positive.
+        let l = e.estimate(9.9, 0, 100.0, 0, 2.0);
+        assert!(l > 0.0 && l < 1e-6);
+    }
+
+    #[test]
+    fn estimator_since_refresh() {
+        let e = RateEstimator::SinceRefresh;
+        assert!((e.estimate(9.9, 50, 100.0, 4, 8.0) - 0.5).abs() < 1e-12);
+        // Floors the count at 1 so a fresh estimate isn't zero.
+        assert!((e.estimate(9.9, 50, 100.0, 0, 8.0) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_names_and_constancy() {
+        assert!(PolicyKind::Area.piecewise_constant());
+        assert!(PolicyKind::PoissonClosedForm.piecewise_constant());
+        assert!(PolicyKind::SimpleWeighted.piecewise_constant());
+        assert!(!PolicyKind::Bound.piecewise_constant());
+        assert_eq!(PolicyKind::Area.name(), "area");
+        assert_eq!(PolicyKind::Bound.name(), "bound");
+    }
+
+    #[test]
+    fn closed_form_zero_updates_zero_priority() {
+        let area = AreaTracker::new(SimTime::ZERO);
+        let inputs = PriorityInputs {
+            now: SimTime::new(10.0),
+            divergence: 0.0,
+            updates_since_refresh: 0,
+            lambda_hat: 0.5,
+            weight: 3.0,
+            max_rate: 0.0,
+        };
+        assert_eq!(
+            compute_priority(PolicyKind::PoissonClosedForm, false, &area, &inputs),
+            0.0
+        );
+    }
+}

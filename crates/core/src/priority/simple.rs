@@ -1,0 +1,35 @@
+//! The naive weighted-divergence priority (§4.3's "simpler alternative").
+//!
+//! `P(O, t) = D(O, t) · W(O, t)` looks like the obvious policy — refresh
+//! whatever currently diverges most — but it ignores *how the divergence
+//! got there*. The paper shows it trails the area priority by 64–84% under
+//! skewed weights and rates (§4.3), which experiment `validate-skew`
+//! reproduces. It is implemented here as the comparison baseline.
+
+/// The naive priority `P = D · W`.
+#[inline]
+pub fn simple_priority(divergence: f64, weight: f64) -> f64 {
+    divergence * weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_to_both_factors() {
+        assert_eq!(simple_priority(2.0, 3.0), 6.0);
+        assert_eq!(simple_priority(0.0, 100.0), 0.0);
+        assert!(simple_priority(5.0, 1.0) > simple_priority(4.0, 1.0));
+        assert!(simple_priority(1.0, 5.0) > simple_priority(1.0, 4.0));
+    }
+
+    #[test]
+    fn blind_to_divergence_history() {
+        // The defining flaw: two objects with equal current divergence are
+        // tied regardless of when they diverged.
+        let early_diverger = simple_priority(5.0, 1.0);
+        let late_diverger = simple_priority(5.0, 1.0);
+        assert_eq!(early_diverger, late_diverger);
+    }
+}

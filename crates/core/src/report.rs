@@ -1,0 +1,82 @@
+//! Run reports.
+
+use besync_data::account::DivergenceReport;
+use besync_sim::stats::RunningStats;
+
+/// Everything a simulation run reports: the divergence outcome plus the
+/// protocol activity needed to judge communication overhead and stability
+/// (queue peaks reveal flooding; feedback counts reveal overhead).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Time-averaged divergence over the measurement window.
+    pub divergence: DivergenceReport,
+    /// Refresh messages sent by sources.
+    pub refreshes_sent: u64,
+    /// Refresh messages delivered at the cache.
+    pub refreshes_delivered: u64,
+    /// Positive feedback messages sent by the cache.
+    pub feedback_messages: u64,
+    /// Poll round-trips issued (cache-driven baselines only).
+    pub polls_sent: u64,
+    /// Largest backlog observed on the cache-side link.
+    pub max_cache_queue: usize,
+    /// Mean time refresh messages spent queued (seconds).
+    pub mean_queue_wait: f64,
+    /// Distribution of final local thresholds across sources.
+    pub threshold_stats: RunningStats,
+    /// Source updates processed during the run.
+    pub updates_processed: u64,
+}
+
+impl RunReport {
+    /// Mean divergence per object — the y-axis of the paper's figures.
+    pub fn mean_divergence(&self) -> f64 {
+        self.divergence.mean_unweighted
+    }
+
+    /// Weighted mean divergence per object.
+    pub fn mean_weighted_divergence(&self) -> f64 {
+        self.divergence.mean_weighted
+    }
+
+    /// Total protocol messages (refreshes + feedback + polls×2), the
+    /// communication-overhead measure.
+    pub fn total_messages(&self) -> u64 {
+        self.refreshes_sent + self.feedback_messages + 2 * self.polls_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_divergence() -> DivergenceReport {
+        DivergenceReport {
+            objects: 10,
+            total_unweighted: 5.0,
+            total_weighted: 7.0,
+            mean_unweighted: 0.5,
+            mean_weighted: 0.7,
+            max_unweighted: 1.2,
+            refreshes_applied: 42,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = RunReport {
+            divergence: dummy_divergence(),
+            refreshes_sent: 40,
+            refreshes_delivered: 38,
+            feedback_messages: 5,
+            polls_sent: 3,
+            max_cache_queue: 7,
+            mean_queue_wait: 0.4,
+            threshold_stats: RunningStats::new(),
+            updates_processed: 100,
+        };
+        assert_eq!(r.mean_divergence(), 0.5);
+        assert_eq!(r.mean_weighted_divergence(), 0.7);
+        assert_eq!(r.total_messages(), 40 + 5 + 6);
+    }
+}

@@ -1,0 +1,432 @@
+//! Source-side runtime (paper §5, §8).
+//!
+//! Each participating source keeps, per object: its current value and
+//! update count, the snapshot carried by its most recent refresh message
+//! (its optimistic view of the cache), and the incremental area tracker
+//! behind the priority function. Modified objects live in a lazy priority
+//! heap so the highest-priority one is found in O(log n) "whenever spare
+//! bandwidth becomes available" (§8); the adaptive local threshold governs
+//! which of them may actually be sent.
+
+pub mod sampling;
+
+use besync_data::{Metric, ObjectId, SourceId, WeightProfile};
+use besync_net::Link;
+use besync_sim::SimTime;
+
+use crate::heap::LazyMaxHeap;
+use crate::priority::{
+    compute_priority, AreaTracker, BoundTracker, PolicyKind, PriorityInputs, RateEstimator,
+};
+use crate::threshold::{ThresholdParams, ThresholdState};
+
+/// Per-object synchronization state from the source's viewpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectState {
+    /// Current value at the source.
+    pub value: f64,
+    /// Total updates applied at the source.
+    pub updates: u64,
+    /// Value carried by the most recent refresh message.
+    pub snap_value: f64,
+    /// Update count at the time of the most recent refresh message.
+    pub snap_updates: u64,
+    /// Incremental area-above-divergence-curve tracker.
+    pub area: AreaTracker,
+}
+
+impl ObjectState {
+    fn new(t0: SimTime, value: f64) -> Self {
+        ObjectState {
+            value,
+            updates: 0,
+            snap_value: value,
+            snap_updates: 0,
+            area: AreaTracker::new(t0),
+        }
+    }
+
+    /// Updates not yet reflected in the source's last refresh message.
+    #[inline]
+    pub fn updates_since_refresh(&self) -> u64 {
+        self.updates - self.snap_updates
+    }
+}
+
+/// The snapshot a refresh message carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// The value being shipped to the cache.
+    pub value: f64,
+    /// The source's update counter at snapshot time.
+    pub updates: u64,
+}
+
+/// One cooperating source: object states, priority heap, uplink, and the
+/// adaptive refresh threshold.
+#[derive(Debug, Clone)]
+pub struct SourceRuntime {
+    /// This source's identity.
+    pub id: SourceId,
+    /// First global object id owned by this source.
+    base: u32,
+    /// Source-side uplink (token bucket; the "queue" of a bandwidth-starved
+    /// source is its over-threshold heap, not a message queue — §5 fn. 3).
+    pub uplink: Link<()>,
+    /// The §5 adaptive threshold.
+    pub threshold: ThresholdState,
+    /// Priority heap over local object indices.
+    pub heap: LazyMaxHeap,
+    /// Whether the last send attempt was blocked by source-side bandwidth
+    /// while over-threshold work remained (feeds footnote 3's rule).
+    pub saturated: bool,
+    /// Refresh messages sent.
+    pub sends: u64,
+    states: Vec<ObjectState>,
+    bounds: Option<Vec<BoundTracker>>,
+    weights: Vec<WeightProfile>,
+    rates: Vec<f64>,
+    metric: Metric,
+    policy: PolicyKind,
+    estimator: RateEstimator,
+    start: SimTime,
+}
+
+impl SourceRuntime {
+    /// Creates a source owning objects `base..base+initial_values.len()`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: SourceId,
+        base: u32,
+        initial_values: &[f64],
+        weights: Vec<WeightProfile>,
+        rates: Vec<f64>,
+        uplink: Link<()>,
+        threshold_params: ThresholdParams,
+        metric: Metric,
+        policy: PolicyKind,
+        estimator: RateEstimator,
+        bound_rates: Option<Vec<f64>>,
+        t0: SimTime,
+    ) -> Self {
+        let n = initial_values.len();
+        assert_eq!(weights.len(), n);
+        assert_eq!(rates.len(), n);
+        let bounds = bound_rates.map(|rs| {
+            assert_eq!(rs.len(), n, "one bound rate per object");
+            rs.into_iter()
+                .map(|r| BoundTracker::new(t0, r, 0.0))
+                .collect()
+        });
+        assert!(
+            !matches!(policy, PolicyKind::Bound) || bounds.is_some(),
+            "Bound policy requires bound rates"
+        );
+        SourceRuntime {
+            id,
+            base,
+            uplink,
+            threshold: ThresholdState::new(threshold_params, t0),
+            heap: LazyMaxHeap::new(n),
+            saturated: false,
+            sends: 0,
+            states: initial_values
+                .iter()
+                .map(|&v| ObjectState::new(t0, v))
+                .collect(),
+            bounds,
+            weights,
+            rates,
+            metric,
+            policy,
+            estimator,
+            start: t0,
+        }
+    }
+
+    /// Number of objects owned.
+    pub fn objects(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Local index of a global object id.
+    #[inline]
+    pub fn local(&self, obj: ObjectId) -> u32 {
+        debug_assert!(obj.0 >= self.base && obj.0 < self.base + self.states.len() as u32);
+        obj.0 - self.base
+    }
+
+    /// Global object id of a local index.
+    #[inline]
+    pub fn global(&self, local: u32) -> ObjectId {
+        ObjectId(self.base + local)
+    }
+
+    /// Read access to one object's state.
+    pub fn state(&self, local: u32) -> &ObjectState {
+        &self.states[local as usize]
+    }
+
+    /// Current priority of one object (recomputed from scratch; the heap
+    /// holds cached quotes of this quantity).
+    pub fn priority_of(&self, now: SimTime, local: u32) -> f64 {
+        let idx = local as usize;
+        let st = &self.states[idx];
+        let divergence = self.metric.divergence(
+            st.value,
+            st.updates,
+            st.snap_value,
+            st.snap_updates,
+        );
+        let lambda_hat = self.estimator.estimate(
+            self.rates[idx],
+            st.updates,
+            now - self.start,
+            st.updates_since_refresh(),
+            now - st.area.last_refresh(),
+        );
+        let inputs = PriorityInputs {
+            now,
+            divergence,
+            updates_since_refresh: st.updates_since_refresh(),
+            lambda_hat,
+            weight: self.weights[idx].weight_at(now),
+            max_rate: self.bounds.as_ref().map_or(0.0, |b| b[idx].max_rate),
+        };
+        compute_priority(
+            self.policy,
+            matches!(self.metric, Metric::Deviation(_)),
+            &st.area,
+            &inputs,
+        )
+    }
+
+    /// Records a local update: the object's value becomes `new_value` at
+    /// `now`; its priority is recomputed and quoted to the heap. Returns
+    /// the new priority.
+    pub fn record_update(&mut self, now: SimTime, local: u32, new_value: f64) -> f64 {
+        let idx = local as usize;
+        {
+            let st = &mut self.states[idx];
+            st.value = new_value;
+            st.updates += 1;
+            let d = self
+                .metric
+                .divergence(st.value, st.updates, st.snap_value, st.snap_updates);
+            st.area.on_update(now, d);
+        }
+        let p = self.priority_of(now, local);
+        self.heap.push(local, p);
+        if self.heap.needs_compaction() {
+            self.compact(now);
+        }
+        p
+    }
+
+    /// Re-quotes every modified object's priority (used per tick by the
+    /// time-dependent Bound policy, and by heap compaction).
+    pub fn requote_all(&mut self, now: SimTime) {
+        self.compact(now);
+    }
+
+    fn compact(&mut self, now: SimTime) {
+        let quotes: Vec<(u32, f64)> = (0..self.states.len() as u32)
+            .filter(|&l| {
+                // Only objects with something to ship need a quote.
+                let st = &self.states[l as usize];
+                st.updates_since_refresh() > 0
+            })
+            .map(|l| (l, self.priority_of(now, l)))
+            .collect();
+        self.heap.rebuild(quotes);
+    }
+
+    /// Marks one object as sent at `now`: the snapshot becomes the current
+    /// value, the area restarts, the heap quote is withdrawn, and the
+    /// threshold takes its multiplicative increase. Returns the snapshot
+    /// to put in the refresh message.
+    pub fn mark_sent(&mut self, now: SimTime, local: u32) -> Snapshot {
+        let snap = self.mark_sent_unthrottled(now, local);
+        self.threshold.on_refresh(now);
+        snap
+    }
+
+    /// Like [`SourceRuntime::mark_sent`] but without the threshold
+    /// increase. Used for refreshes that do not draw on the
+    /// threshold-governed bandwidth pool — the §7 competitive sends from a
+    /// source's own allocation or piggyback entitlement.
+    pub fn mark_sent_unthrottled(&mut self, now: SimTime, local: u32) -> Snapshot {
+        let idx = local as usize;
+        let st = &mut self.states[idx];
+        st.snap_value = st.value;
+        st.snap_updates = st.updates;
+        st.area.on_refresh(now);
+        if let Some(bounds) = &mut self.bounds {
+            bounds[idx].on_refresh(now);
+        }
+        self.heap.invalidate(local);
+        self.sends += 1;
+        Snapshot {
+            value: st.snap_value,
+            updates: st.snap_updates,
+        }
+    }
+
+    /// The raw (weight-free) area priority of one object — the §7
+    /// competitive machinery derives differently-weighted priorities from
+    /// this single tracker.
+    pub fn raw_area_priority(&self, now: SimTime, local: u32) -> f64 {
+        self.states[local as usize].area.raw_priority(now)
+    }
+
+    /// The top candidate `(priority, local index)` if any.
+    pub fn candidate(&mut self) -> Option<(f64, u32)> {
+        self.heap.peek_valid()
+    }
+
+    /// The policy's rate estimator (exposed for diagnostics).
+    pub fn estimator(&self) -> RateEstimator {
+        self.estimator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use besync_sim::Wave;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    fn make_source(n: usize, policy: PolicyKind) -> SourceRuntime {
+        SourceRuntime::new(
+            SourceId(0),
+            0,
+            &vec![0.0; n],
+            vec![WeightProfile::unit(); n],
+            vec![0.5; n],
+            Link::new(Wave::Constant(10.0)),
+            ThresholdParams {
+                alpha: 1.1,
+                omega: 10.0,
+                initial: 1.0,
+                expected_feedback_period: 10.0,
+            },
+            Metric::abs_deviation(),
+            policy,
+            RateEstimator::Known,
+            None,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn update_quotes_priority() {
+        let mut s = make_source(2, PolicyKind::Area);
+        assert!(s.candidate().is_none());
+        s.record_update(t(1.0), 0, 3.0);
+        let (p, l) = s.candidate().unwrap();
+        assert_eq!(l, 0);
+        // Area right after the update is (1−0)·3 − 0·1 = 3... the area
+        // priority at the instant of the first update: elapsed 1s at
+        // divergence 0, then jumps to 3: (1)·3 − 0 = 3.
+        assert!((p - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mark_sent_resets_view() {
+        let mut s = make_source(1, PolicyKind::Area);
+        s.record_update(t(1.0), 0, 5.0);
+        let snap = s.mark_sent(t(2.0), 0);
+        assert_eq!(snap, Snapshot {
+            value: 5.0,
+            updates: 1
+        });
+        assert!(s.candidate().is_none());
+        assert_eq!(s.state(0).updates_since_refresh(), 0);
+        assert_eq!(s.sends, 1);
+        // Threshold took its α increase.
+        assert!((s.threshold.value() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_divergence_on_top() {
+        let mut s = make_source(3, PolicyKind::SimpleWeighted);
+        s.record_update(t(1.0), 0, 1.0);
+        s.record_update(t(1.0), 1, 4.0);
+        s.record_update(t(1.0), 2, 2.0);
+        assert_eq!(s.candidate().unwrap().1, 1);
+    }
+
+    #[test]
+    fn local_global_mapping() {
+        let s = SourceRuntime::new(
+            SourceId(3),
+            30,
+            &[0.0; 10],
+            vec![WeightProfile::unit(); 10],
+            vec![0.1; 10],
+            Link::new(Wave::Constant(1.0)),
+            ThresholdParams::paper_defaults(4, 10.0),
+            Metric::Staleness,
+            PolicyKind::Area,
+            RateEstimator::LongRun,
+            None,
+            SimTime::ZERO,
+        );
+        assert_eq!(s.local(ObjectId(35)), 5);
+        assert_eq!(s.global(5), ObjectId(35));
+    }
+
+    #[test]
+    fn compaction_preserves_pending_work() {
+        let mut s = make_source(4, PolicyKind::Area);
+        // Many updates to churn heap versions.
+        for round in 0..100 {
+            for l in 0..4 {
+                s.record_update(t(1.0 + round as f64 * 0.01), l, round as f64);
+            }
+        }
+        s.requote_all(t(2.0));
+        assert_eq!(s.heap.raw_len(), 4);
+        // All four objects still pending.
+        let mut seen = Vec::new();
+        while let Some((_, l)) = s.heap.pop_valid() {
+            seen.push(l);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn poisson_policy_uses_estimates() {
+        let mut s = SourceRuntime::new(
+            SourceId(0),
+            0,
+            &[0.0, 0.0],
+            vec![WeightProfile::unit(); 2],
+            vec![0.1, 1.0], // object 0 slow, object 1 fast
+            Link::new(Wave::Constant(10.0)),
+            ThresholdParams::paper_defaults(1, 10.0),
+            Metric::Staleness,
+            PolicyKind::PoissonClosedForm,
+            RateEstimator::Known,
+            None,
+            SimTime::ZERO,
+        );
+        s.record_update(t(1.0), 0, 1.0);
+        s.record_update(t(1.0), 1, 1.0);
+        // Both stale; the slow changer has 10× the priority (Dₛ/λ).
+        let p0 = s.priority_of(t(1.0), 0);
+        let p1 = s.priority_of(t(1.0), 1);
+        assert!((p0 - 10.0).abs() < 1e-9);
+        assert!((p1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "Bound policy requires bound rates")]
+    fn bound_policy_requires_rates() {
+        let _ = make_source(1, PolicyKind::Bound);
+    }
+}

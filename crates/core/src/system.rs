@@ -1,0 +1,450 @@
+//! The pragmatic cooperative synchronization system (paper §5).
+//!
+//! [`CoopSystem`] wires a [`WorkloadSpec`] into the full protocol:
+//!
+//! * **Sources** watch their objects, keep them "in priority order", and
+//!   whenever source-side bandwidth permits, send the highest-priority
+//!   object *if* its priority exceeds the local threshold `Tⱼ`; each send
+//!   multiplies `Tⱼ` by `α·β` and piggybacks the new threshold.
+//! * **The shared cache-side link** carries refresh messages; messages
+//!   beyond its fluctuating capacity queue up (the flooding hazard).
+//! * **The cache** applies delivered snapshots and, when it sees surplus
+//!   bandwidth after serving the queue, spends the surplus on positive
+//!   feedback messages to the highest-threshold sources, each dividing
+//!   that source's threshold by ω (unless the source is saturated).
+//!
+//! Ground-truth divergence is accounted exactly by a
+//! [`besync_data::TruthTable`]; note the asymmetry the paper exploits:
+//! sources reason optimistically from their last *sent* snapshot, while
+//! the truth reflects what actually reached the cache and when.
+
+use besync_data::ids::ObjectLayout;
+use besync_data::{ObjectId, SourceId, TruthTable};
+use besync_net::Link;
+use besync_sim::stats::RunningStats;
+use besync_sim::{EventQueue, SimTime};
+use besync_workloads::{Updater, WorkloadSpec};
+use rand::rngs::SmallRng;
+
+use crate::cache::CacheRuntime;
+use crate::config::SystemConfig;
+use crate::report::RunReport;
+use crate::source::{Snapshot, SourceRuntime};
+
+/// A refresh message in flight from a source to the cache.
+#[derive(Debug, Clone, Copy)]
+pub struct RefreshMsg {
+    /// The object being refreshed.
+    pub obj: ObjectId,
+    /// Originating source.
+    pub src: SourceId,
+    /// The (send-time) snapshot of the object.
+    pub snapshot: Snapshot,
+    /// The source's local threshold, piggybacked (§5).
+    pub threshold: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A source object updates.
+    Update(ObjectId),
+    /// Once-per-second bandwidth accounting boundary.
+    Tick,
+    /// End of warm-up: measurement begins.
+    EndWarmup,
+}
+
+/// The full cooperative system of the paper, ready to run.
+pub struct CoopSystem {
+    cfg: SystemConfig,
+    layout: ObjectLayout,
+    truth: TruthTable,
+    sources: Vec<SourceRuntime>,
+    cache_link: Link<RefreshMsg>,
+    cache: CacheRuntime,
+    queue: EventQueue<Ev>,
+    updaters: Vec<Updater>,
+    rngs: Vec<SmallRng>,
+    scratch: Vec<RefreshMsg>,
+    refreshes_delivered: u64,
+    updates_processed: u64,
+    /// Refreshes delivered since the last tick (feeds the utilization
+    /// estimate below).
+    deliveries_this_tick: u64,
+    /// EWMA of refresh deliveries per tick: the cache's estimate of the
+    /// bandwidth refreshes will need, reserved before spending "excess"
+    /// on feedback. The paper's cache "continually monitors cache-side
+    /// bandwidth utilization" (§5); reserving the running utilization is
+    /// what keeps feedback from stealing bandwidth that refreshes arriving
+    /// later in the tick would have used.
+    delivery_rate_ewma: f64,
+}
+
+impl CoopSystem {
+    /// Builds the system from a configuration and workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload spec is internally inconsistent or if
+    /// `bound_rates` is required/mismatched (see
+    /// [`crate::priority::PolicyKind::Bound`]).
+    pub fn new(cfg: SystemConfig, spec: WorkloadSpec) -> Self {
+        spec.validate().expect("invalid workload spec");
+        let layout = spec.layout;
+        let m = layout.sources();
+        let truth = TruthTable::new(cfg.metric, &spec.initial_values, spec.weights.clone());
+        let tparams = cfg.threshold_params(m);
+
+        let mut sources = Vec::with_capacity(m as usize);
+        for sid in layout.all_sources() {
+            let base = sid.0 * layout.objects_per_source();
+            let lo = base as usize;
+            let hi = lo + layout.objects_per_source() as usize;
+            let bound_rates = cfg
+                .bound_rates
+                .as_ref()
+                .map(|all| all[lo..hi].to_vec());
+            sources.push(SourceRuntime::new(
+                sid,
+                base,
+                &spec.initial_values[lo..hi],
+                spec.weights[lo..hi].to_vec(),
+                spec.rates[lo..hi].to_vec(),
+                Link::new(cfg.source_wave(sid.0)),
+                tparams,
+                cfg.metric,
+                cfg.policy,
+                cfg.estimator,
+                bound_rates,
+                SimTime::ZERO,
+            ));
+        }
+
+        let cache_link = Link::new(cfg.cache_wave());
+        let cache = CacheRuntime::new(m, cfg.initial_threshold, cfg.feedback_targeting, cfg.sim_seed);
+
+        let mut rngs = spec.object_rngs();
+        let mut queue = EventQueue::with_capacity(spec.total_objects() + 2);
+        queue.schedule(SimTime::new(cfg.warmup), Ev::EndWarmup);
+        queue.schedule(SimTime::new(cfg.tick), Ev::Tick);
+        for obj in layout.all_objects() {
+            let idx = obj.index();
+            if let Some(t0) = spec.updaters[idx].first_time(SimTime::ZERO, &mut rngs[idx]) {
+                queue.schedule(t0, Ev::Update(obj));
+            }
+        }
+
+        CoopSystem {
+            cfg,
+            layout,
+            truth,
+            sources,
+            cache_link,
+            cache,
+            queue,
+            updaters: spec.updaters,
+            rngs,
+            scratch: Vec::new(),
+            refreshes_delivered: 0,
+            updates_processed: 0,
+            deliveries_this_tick: 0,
+            delivery_rate_ewma: 0.0,
+        }
+    }
+
+    /// Runs to the configured horizon and reports.
+    pub fn run(mut self) -> RunReport {
+        let horizon = SimTime::new(self.cfg.horizon());
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event vanished");
+            match ev {
+                Ev::Update(obj) => self.on_update(now, obj),
+                Ev::Tick => self.on_tick(now),
+                Ev::EndWarmup => self.truth.begin_measurement(now),
+            }
+        }
+        self.report(horizon)
+    }
+
+    /// The ground truth (for inspection mid-construction or in tests).
+    pub fn truth(&self) -> &TruthTable {
+        &self.truth
+    }
+
+    fn on_update(&mut self, now: SimTime, obj: ObjectId) {
+        self.updates_processed += 1;
+        let idx = obj.index();
+        let sid = self.layout.source_of(obj);
+        let local = self.sources[sid.index()].local(obj);
+        let current = self.sources[sid.index()].state(local).value;
+        let (value, next) = self.updaters[idx].fire(now, current, &mut self.rngs[idx]);
+        self.truth.source_update(now, obj, value);
+        self.sources[sid.index()].record_update(now, local, value);
+        // §3.4: "sources have direct knowledge of update times and decide
+        // whether to refresh immediately after each update".
+        self.attempt_sends(now, sid.index());
+        if let Some(t) = next {
+            self.queue.schedule(t, Ev::Update(obj));
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        // 1) Deliver queued refreshes as capacity allows.
+        let mut msgs = std::mem::take(&mut self.scratch);
+        msgs.clear();
+        self.cache_link.service(now, &mut msgs);
+        for msg in &msgs {
+            self.deliver(now, *msg);
+        }
+        self.scratch = msgs;
+
+        // 2) Time-dependent policies (Bound) need fresh quotes each tick.
+        if !self.cfg.policy.piecewise_constant() {
+            for s in &mut self.sources {
+                s.requote_all(now);
+            }
+        }
+
+        // 3) Each source ships what its credit and threshold allow.
+        for sid in 0..self.sources.len() {
+            self.attempt_sends(now, sid);
+        }
+
+        // 4) Update the utilization estimate, then spend genuine surplus
+        //    on positive feedback (§5), aimed at the highest thresholds.
+        self.delivery_rate_ewma =
+            0.8 * self.delivery_rate_ewma + 0.2 * self.deliveries_this_tick as f64;
+        self.deliveries_this_tick = 0;
+        self.send_feedback(now);
+
+        self.queue.schedule(now + self.cfg.tick, Ev::Tick);
+    }
+
+    /// Sends from source `sid` while (a) an over-threshold candidate
+    /// exists and (b) source-side credit remains. Updates the saturation
+    /// flag per §5 footnote 3.
+    fn attempt_sends(&mut self, now: SimTime, sid: usize) {
+        loop {
+            let (priority, local) = match self.sources[sid].candidate() {
+                Some(c) => c,
+                None => {
+                    self.sources[sid].saturated = false;
+                    return;
+                }
+            };
+            if priority <= self.sources[sid].threshold.value() {
+                self.sources[sid].saturated = false;
+                return;
+            }
+            if !self.sources[sid].uplink.try_consume(now, 1.0) {
+                // Over-threshold work pending but no source bandwidth.
+                self.sources[sid].saturated = true;
+                return;
+            }
+            let snapshot = self.sources[sid].mark_sent(now, local);
+            let msg = RefreshMsg {
+                obj: self.sources[sid].global(local),
+                src: self.sources[sid].id,
+                snapshot,
+                threshold: self.sources[sid].threshold.value(),
+            };
+            if let Some(delivered) = self.cache_link.offer(now, msg) {
+                self.deliver(now, delivered);
+            }
+        }
+    }
+
+    fn send_feedback(&mut self, now: SimTime) {
+        if self.cache_link.has_backlog() {
+            return;
+        }
+        // Reserve the bandwidth refreshes have been using; only what's
+        // left beyond that is surplus. Without the reserve, feedback sent
+        // at the tick boundary starves refreshes that arrive mid-tick.
+        let surplus = (self.cache_link.credit(now) - self.delivery_rate_ewma).floor();
+        if surplus < 1.0 {
+            return;
+        }
+        let k = (surplus as usize).min(self.sources.len());
+        if k == 0 {
+            return;
+        }
+        let targets: Vec<u32> = self.cache.select_targets(k).to_vec();
+        for sid in targets {
+            // Refreshes triggered by earlier feedback may have refilled
+            // the queue; surplus is gone then.
+            if !self.cache_link.try_consume(now, 1.0) {
+                break;
+            }
+            self.cache.feedback_sent += 1;
+            let sid = sid as usize;
+            let saturated = self.sources[sid].saturated;
+            self.sources[sid].threshold.on_feedback(now, saturated);
+            // The lowered threshold may make objects eligible right away.
+            self.attempt_sends(now, sid);
+        }
+    }
+
+    fn deliver(&mut self, now: SimTime, msg: RefreshMsg) {
+        self.truth
+            .apply_refresh(now, msg.obj, msg.snapshot.value, msg.snapshot.updates);
+        self.cache.observe_threshold(msg.src, msg.threshold);
+        self.refreshes_delivered += 1;
+        self.deliveries_this_tick += 1;
+    }
+
+    fn report(self, horizon: SimTime) -> RunReport {
+        let mut threshold_stats = RunningStats::new();
+        let mut refreshes_sent = 0;
+        for s in &self.sources {
+            threshold_stats.push(s.threshold.value());
+            refreshes_sent += s.sends;
+        }
+        let link_stats = self.cache_link.stats();
+        RunReport {
+            divergence: self.truth.report(horizon),
+            refreshes_sent,
+            refreshes_delivered: self.refreshes_delivered,
+            feedback_messages: self.cache.feedback_sent,
+            polls_sent: 0,
+            max_cache_queue: link_stats.max_queue,
+            mean_queue_wait: link_stats.total_wait / (link_stats.delivered.max(1) as f64),
+            threshold_stats,
+            updates_processed: self.updates_processed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::PolicyKind;
+    use besync_data::Metric;
+    use besync_workloads::generators::{random_walk_poisson, PoissonWorkloadOptions};
+
+    fn small_spec(seed: u64) -> WorkloadSpec {
+        random_walk_poisson(
+            PoissonWorkloadOptions {
+                sources: 4,
+                objects_per_source: 5,
+                rate_range: (0.05, 0.5),
+                weight_range: (1.0, 1.0),
+                fluctuating_weights: false,
+            },
+            seed,
+        )
+    }
+
+    fn quick_cfg() -> SystemConfig {
+        SystemConfig {
+            metric: Metric::Staleness,
+            cache_bandwidth_mean: 10.0,
+            source_bandwidth_mean: 5.0,
+            warmup: 20.0,
+            measure: 100.0,
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn runs_and_reports() {
+        let report = CoopSystem::new(quick_cfg(), small_spec(1)).run();
+        assert!(report.updates_processed > 0);
+        assert!(report.refreshes_sent > 0);
+        assert!(report.refreshes_delivered <= report.refreshes_sent);
+        assert!(report.mean_divergence() >= 0.0);
+        assert!(report.mean_divergence() <= 1.0); // staleness is 0/1
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let a = CoopSystem::new(quick_cfg(), small_spec(7)).run();
+        let b = CoopSystem::new(quick_cfg(), small_spec(7)).run();
+        assert_eq!(a.mean_divergence(), b.mean_divergence());
+        assert_eq!(a.refreshes_sent, b.refreshes_sent);
+        assert_eq!(a.feedback_messages, b.feedback_messages);
+    }
+
+    #[test]
+    fn ample_bandwidth_keeps_divergence_low() {
+        let cfg = SystemConfig {
+            cache_bandwidth_mean: 1000.0,
+            source_bandwidth_mean: 1000.0,
+            ..quick_cfg()
+        };
+        let report = CoopSystem::new(cfg, small_spec(2)).run();
+        // With bandwidth far above the update rate and feedback pulling
+        // thresholds down, staleness should be small.
+        assert!(
+            report.mean_divergence() < 0.2,
+            "divergence {} too high for ample bandwidth",
+            report.mean_divergence()
+        );
+        assert!(report.feedback_messages > 0);
+    }
+
+    #[test]
+    fn starved_bandwidth_raises_divergence() {
+        let rich = CoopSystem::new(
+            SystemConfig {
+                cache_bandwidth_mean: 50.0,
+                ..quick_cfg()
+            },
+            small_spec(3),
+        )
+        .run();
+        let poor = CoopSystem::new(
+            SystemConfig {
+                cache_bandwidth_mean: 0.5,
+                ..quick_cfg()
+            },
+            small_spec(3),
+        )
+        .run();
+        assert!(poor.mean_divergence() > rich.mean_divergence());
+    }
+
+    #[test]
+    fn no_unbounded_flooding() {
+        // Starve the cache massively; the positive-feedback design must
+        // keep the queue bounded (thresholds rise in the absence of
+        // feedback).
+        let cfg = SystemConfig {
+            cache_bandwidth_mean: 0.5,
+            source_bandwidth_mean: 50.0,
+            warmup: 50.0,
+            measure: 300.0,
+            ..quick_cfg()
+        };
+        let report = CoopSystem::new(cfg, small_spec(4)).run();
+        assert!(
+            report.max_cache_queue < 100,
+            "cache queue peaked at {}",
+            report.max_cache_queue
+        );
+    }
+
+    #[test]
+    fn works_with_all_metrics_and_policies() {
+        for metric in Metric::all_three() {
+            for policy in [
+                PolicyKind::Area,
+                PolicyKind::PoissonClosedForm,
+                PolicyKind::SimpleWeighted,
+            ] {
+                let cfg = SystemConfig {
+                    metric,
+                    policy,
+                    warmup: 10.0,
+                    measure: 50.0,
+                    ..quick_cfg()
+                };
+                let report = CoopSystem::new(cfg, small_spec(5)).run();
+                assert!(report.mean_divergence().is_finite());
+            }
+        }
+    }
+}

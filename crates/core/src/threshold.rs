@@ -1,0 +1,274 @@
+//! The adaptive local refresh threshold (paper §5).
+//!
+//! Each source `Sⱼ` holds a local threshold `Tⱼ` and refreshes only
+//! objects whose priority exceeds it. Coordination across sources uses
+//! **positive feedback only**:
+//!
+//! * after every refresh the source raises its threshold multiplicatively,
+//!   `Tⱼ := Tⱼ · (α·β)` — by default it conservatively backs off;
+//! * when the cache detects surplus bandwidth it sends feedback asking the
+//!   source to *lower* its threshold, `Tⱼ := Tⱼ / ω` — unless the source
+//!   is already saturating its own uplink (footnote 3: lowering the
+//!   threshold of a source that cannot send any faster would only build a
+//!   burst that later floods the cache).
+//!
+//! `β` accelerates the back-off when the network looks flooded: if the
+//! time since the last feedback exceeds the expected feedback period
+//! `P_feedback ≈ (#sources)/(average cache bandwidth)`, then
+//! `β = t_feedback / P_feedback`, else `β = 1`. The paper finds `α = 1.1`
+//! and `ω = 10` work best and notes the algorithm is not overly sensitive
+//! to them — experiment `param-sweep` reproduces that.
+
+use besync_sim::SimTime;
+
+/// Tuning parameters for the threshold state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdParams {
+    /// Multiplicative increase per refresh (paper's best: 1.1).
+    pub alpha: f64,
+    /// Multiplicative decrease per feedback message (paper's best: 10).
+    pub omega: f64,
+    /// Initial threshold value ("any initial values can be used; we
+    /// assume a warm-up period").
+    pub initial: f64,
+    /// Expected feedback period `P_feedback` in seconds — "the ratio of
+    /// the total number of sources divided by the average cache-side
+    /// bandwidth. It ... need only be a rough estimate."
+    pub expected_feedback_period: f64,
+}
+
+impl ThresholdParams {
+    /// The paper's recommended settings with a computed feedback period.
+    pub fn paper_defaults(sources: u32, avg_cache_bandwidth: f64) -> Self {
+        ThresholdParams {
+            alpha: 1.1,
+            omega: 10.0,
+            initial: 1.0,
+            expected_feedback_period: expected_feedback_period(sources, avg_cache_bandwidth),
+        }
+    }
+}
+
+/// `P_feedback = m / B̄_C`, floored to keep β well-defined on degenerate
+/// configurations.
+pub fn expected_feedback_period(sources: u32, avg_cache_bandwidth: f64) -> f64 {
+    (sources as f64 / avg_cache_bandwidth.max(1e-9)).max(1e-6)
+}
+
+/// Hard clamp keeping the threshold inside a numerically safe range; the
+/// multiplicative updates would otherwise drift to 0/∞ during long
+/// droughts or floods.
+const T_MIN: f64 = 1e-12;
+const T_MAX: f64 = 1e18;
+
+/// One source's adaptive refresh threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdState {
+    params: ThresholdParams,
+    value: f64,
+    last_feedback: SimTime,
+    /// EWMA of observed feedback inter-arrival gaps. The configured
+    /// `P_feedback = m/B̄` assumes the whole cache link could carry
+    /// feedback, which under-estimates the healthy period whenever
+    /// refreshes legitimately occupy most of it (e.g. bursty workloads);
+    /// β would then misfire on every send. Sources therefore calibrate
+    /// against the feedback cadence they actually observe, never below
+    /// the configured estimate — genuine feedback droughts still raise β
+    /// against the recent healthy baseline.
+    observed_period: f64,
+    increases: u64,
+    decreases: u64,
+}
+
+impl ThresholdState {
+    /// Creates the state at time `t0` with the configured initial value.
+    pub fn new(params: ThresholdParams, t0: SimTime) -> Self {
+        assert!(params.alpha >= 1.0, "alpha must be >= 1");
+        assert!(params.omega >= 1.0, "omega must be >= 1");
+        assert!(params.initial > 0.0, "initial threshold must be positive");
+        assert!(params.expected_feedback_period > 0.0);
+        ThresholdState {
+            params,
+            value: params.initial,
+            last_feedback: t0,
+            observed_period: params.expected_feedback_period,
+            increases: 0,
+            decreases: 0,
+        }
+    }
+
+    /// The current threshold `Tⱼ`.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &ThresholdParams {
+        &self.params
+    }
+
+    /// Number of multiplicative increases applied so far.
+    pub fn increases(&self) -> u64 {
+        self.increases
+    }
+
+    /// Number of multiplicative decreases applied so far.
+    pub fn decreases(&self) -> u64 {
+        self.decreases
+    }
+
+    /// The feedback period the source currently expects: the configured
+    /// rough estimate, raised to the cadence actually observed.
+    pub fn effective_feedback_period(&self) -> f64 {
+        self.observed_period.max(self.params.expected_feedback_period)
+    }
+
+    /// The flood-acceleration factor β at `now` (§5): 1 while feedback is
+    /// arriving on schedule, growing once it is overdue relative to the
+    /// effective (observed) feedback period.
+    pub fn beta(&self, now: SimTime) -> f64 {
+        let since = now - self.last_feedback;
+        let period = self.effective_feedback_period();
+        if since > period {
+            since / period
+        } else {
+            1.0
+        }
+    }
+
+    /// Applies the per-refresh increase `Tⱼ := Tⱼ · (α·β)`.
+    pub fn on_refresh(&mut self, now: SimTime) {
+        let factor = self.params.alpha * self.beta(now);
+        self.value = (self.value * factor).clamp(T_MIN, T_MAX);
+        self.increases += 1;
+    }
+
+    /// Handles a positive feedback message: `Tⱼ := Tⱼ / ω`, skipped when
+    /// the source is saturating its own uplink. The feedback arrival time
+    /// is recorded either way (β measures feedback *receipt*).
+    pub fn on_feedback(&mut self, now: SimTime, source_saturated: bool) {
+        let gap = now - self.last_feedback;
+        if gap > 0.0 {
+            self.observed_period = 0.8 * self.observed_period + 0.2 * gap;
+        }
+        self.last_feedback = now;
+        if !source_saturated {
+            self.value = (self.value / self.params.omega).clamp(T_MIN, T_MAX);
+            self.decreases += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    fn params() -> ThresholdParams {
+        ThresholdParams {
+            alpha: 1.1,
+            omega: 10.0,
+            initial: 1.0,
+            expected_feedback_period: 10.0,
+        }
+    }
+
+    #[test]
+    fn refresh_increases_by_alpha() {
+        let mut s = ThresholdState::new(params(), t(0.0));
+        s.on_refresh(t(1.0)); // β = 1 (feedback not overdue)
+        assert!((s.value() - 1.1).abs() < 1e-12);
+        s.on_refresh(t(2.0));
+        assert!((s.value() - 1.21).abs() < 1e-12);
+        assert_eq!(s.increases(), 2);
+    }
+
+    #[test]
+    fn feedback_divides_by_omega() {
+        let mut s = ThresholdState::new(params(), t(0.0));
+        s.on_refresh(t(1.0));
+        s.on_feedback(t(2.0), false);
+        assert!((s.value() - 0.11).abs() < 1e-12);
+        assert_eq!(s.decreases(), 1);
+    }
+
+    #[test]
+    fn saturated_source_ignores_decrease_but_records_receipt() {
+        let mut s = ThresholdState::new(params(), t(0.0));
+        s.on_feedback(t(5.0), true);
+        assert_eq!(s.value(), 1.0);
+        assert_eq!(s.decreases(), 0);
+        // β resets relative to the received feedback even when saturated.
+        assert_eq!(s.beta(t(10.0)), 1.0);
+        assert!((s.beta(t(35.0)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_accelerates_when_feedback_overdue() {
+        let s = ThresholdState::new(params(), t(0.0));
+        assert_eq!(s.beta(t(5.0)), 1.0);
+        assert_eq!(s.beta(t(10.0)), 1.0);
+        assert!((s.beta(t(40.0)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdue_feedback_compounds_backoff() {
+        // With feedback starved, successive refreshes raise T by α·β with
+        // growing β — the flood brake.
+        let mut s = ThresholdState::new(params(), t(0.0));
+        s.on_refresh(t(20.0)); // β = 2 → ×2.2
+        assert!((s.value() - 2.2).abs() < 1e-12);
+        s.on_refresh(t(50.0)); // β = 5 → ×5.5
+        assert!((s.value() - 12.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_period_calibrates_beta() {
+        // Feedback arrives every 50s although the configured estimate is
+        // 10s (legitimately busy link). After a few observations the
+        // source accepts the slower cadence: β returns to 1.
+        let mut s = ThresholdState::new(params(), t(0.0));
+        for k in 1..=20 {
+            s.on_feedback(t(k as f64 * 50.0), false);
+        }
+        assert!(s.effective_feedback_period() > 40.0);
+        assert_eq!(s.beta(t(20.0 * 50.0 + 45.0)), 1.0);
+        // A genuine drought relative to the calibrated cadence still
+        // raises β.
+        assert!(s.beta(t(20.0 * 50.0 + 500.0)) > 5.0);
+    }
+
+    #[test]
+    fn clamps_extremes() {
+        let mut s = ThresholdState::new(params(), t(0.0));
+        for _ in 0..10_000 {
+            s.on_feedback(t(1.0), false);
+        }
+        assert!(s.value() >= T_MIN);
+        let mut s = ThresholdState::new(params(), t(0.0));
+        for k in 0..10_000 {
+            s.on_refresh(t(k as f64));
+        }
+        assert!(s.value() <= T_MAX);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let p = ThresholdParams::paper_defaults(100, 50.0);
+        assert_eq!(p.alpha, 1.1);
+        assert_eq!(p.omega, 10.0);
+        assert!((p.expected_feedback_period - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_shrinking_alpha() {
+        let mut p = params();
+        p.alpha = 0.9;
+        let _ = ThresholdState::new(p, t(0.0));
+    }
+}

@@ -1,0 +1,241 @@
+//! Property tests for the core protocol data structures: the lazy heap
+//! against a reference model, threshold algebra, and priority invariants.
+
+use besync::heap::LazyMaxHeap;
+use besync::priority::{compute_priority, AreaTracker, PolicyKind, PriorityInputs};
+use besync::source::sampling::SamplingMonitor;
+use besync::threshold::{ThresholdParams, ThresholdState};
+use besync_sim::SimTime;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Operations driving the heap model test.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32, f64),
+    Invalidate(u32),
+    Pop,
+    Peek,
+}
+
+fn arb_op(n: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n, -100.0f64..100.0).prop_map(|(i, p)| Op::Push(i, p)),
+        (0..n).prop_map(Op::Invalidate),
+        Just(Op::Pop),
+        Just(Op::Peek),
+    ]
+}
+
+/// Reference model: a map item → (priority, seq), max by (priority, then
+/// FIFO by seq).
+#[derive(Default)]
+struct Model {
+    quotes: HashMap<u32, (f64, u64)>,
+    next_seq: u64,
+}
+
+impl Model {
+    fn push(&mut self, item: u32, p: f64) {
+        self.quotes.insert(item, (p, self.next_seq));
+        self.next_seq += 1;
+    }
+    fn invalidate(&mut self, item: u32) {
+        self.quotes.remove(&item);
+    }
+    fn top(&self) -> Option<(f64, u32)> {
+        self.quotes
+            .iter()
+            .max_by(|a, b| {
+                a.1 .0
+                    .total_cmp(&b.1 .0)
+                    .then(b.1 .1.cmp(&a.1 .1)) // FIFO: older seq wins ties
+            })
+            .map(|(&item, &(p, _))| (p, item))
+    }
+    fn pop(&mut self) -> Option<(f64, u32)> {
+        let t = self.top()?;
+        self.quotes.remove(&t.1);
+        Some(t)
+    }
+}
+
+proptest! {
+    /// The lazy heap behaves exactly like the reference model under any
+    /// operation sequence.
+    #[test]
+    fn heap_matches_model(ops in prop::collection::vec(arb_op(16), 1..200)) {
+        let mut heap = LazyMaxHeap::new(16);
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Push(i, p) => {
+                    heap.push(i, p);
+                    model.push(i, p);
+                }
+                Op::Invalidate(i) => {
+                    heap.invalidate(i);
+                    model.invalidate(i);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(heap.pop_valid(), model.pop());
+                }
+                Op::Peek => {
+                    prop_assert_eq!(heap.peek_valid(), model.top());
+                }
+            }
+            prop_assert_eq!(heap.live(), model.quotes.len());
+        }
+    }
+
+    /// Compaction (rebuild) preserves exactly the live quotes.
+    #[test]
+    fn heap_rebuild_preserves_live(ops in prop::collection::vec(arb_op(12), 1..100)) {
+        let mut heap = LazyMaxHeap::new(12);
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Push(i, p) => { heap.push(i, p); model.push(i, p); }
+                Op::Invalidate(i) => { heap.invalidate(i); model.invalidate(i); }
+                Op::Pop => { let _ = heap.pop_valid(); let _ = model.pop(); }
+                Op::Peek => {}
+            }
+        }
+        // Rebuild from the model's live set.
+        let live: Vec<(u32, f64)> = model.quotes.iter().map(|(&i, &(p, _))| (i, p)).collect();
+        heap.rebuild(live.clone());
+        prop_assert_eq!(heap.live(), live.len());
+        let mut drained = Vec::new();
+        while let Some((p, i)) = heap.pop_valid() {
+            drained.push((i, p));
+        }
+        let mut expect = live;
+        expect.sort_by_key(|e| e.0);
+        drained.sort_by_key(|e| e.0);
+        prop_assert_eq!(drained, expect);
+    }
+
+    /// Threshold algebra: the value is always positive and finite; n
+    /// refreshes with β=1 multiply by exactly αⁿ; feedback divides by ω
+    /// unless saturated.
+    #[test]
+    fn threshold_algebra(
+        alpha in 1.0f64..2.0,
+        omega in 1.0f64..100.0,
+        initial in 1e-6f64..1e6,
+        refreshes in 0u32..50,
+    ) {
+        let params = ThresholdParams {
+            alpha,
+            omega,
+            initial,
+            expected_feedback_period: 1e9, // β = 1 throughout
+        };
+        let mut s = ThresholdState::new(params, SimTime::ZERO);
+        for k in 0..refreshes {
+            s.on_refresh(SimTime::new(k as f64 + 1.0));
+        }
+        let expect = (initial * alpha.powi(refreshes as i32)).clamp(1e-12, 1e18);
+        prop_assert!((s.value() - expect).abs() < 1e-6 * expect);
+        let before = s.value();
+        s.on_feedback(SimTime::new(100.0), true);
+        prop_assert_eq!(s.value(), before); // saturated: unchanged
+        s.on_feedback(SimTime::new(101.0), false);
+        prop_assert!((s.value() - (before / omega).clamp(1e-12, 1e18)).abs()
+            < 1e-9 * before.max(1.0));
+        prop_assert!(s.value() > 0.0 && s.value().is_finite());
+    }
+
+    /// β is 1 when feedback is on schedule and exactly t/P when overdue.
+    #[test]
+    fn beta_formula(period in 0.1f64..100.0, elapsed in 0.0f64..1000.0) {
+        let params = ThresholdParams {
+            alpha: 1.1,
+            omega: 10.0,
+            initial: 1.0,
+            expected_feedback_period: period,
+        };
+        let s = ThresholdState::new(params, SimTime::ZERO);
+        let beta = s.beta(SimTime::new(elapsed));
+        if elapsed <= period {
+            prop_assert_eq!(beta, 1.0);
+        } else {
+            prop_assert!((beta - elapsed / period).abs() < 1e-12);
+        }
+    }
+
+    /// Policy outputs are finite for any sane inputs, and the simple
+    /// policy is exactly D·W.
+    #[test]
+    fn policies_are_finite(
+        d in 0.0f64..1e6,
+        u in 0u64..1000,
+        lambda in 1e-6f64..1e3,
+        w in 0.0f64..1e3,
+        elapsed in 0.0f64..1e4,
+    ) {
+        let mut area = AreaTracker::new(SimTime::ZERO);
+        if u > 0 {
+            area.on_update(SimTime::new(elapsed.max(0.001) / 2.0), d);
+        }
+        let now = SimTime::new(elapsed.max(0.001));
+        let inputs = PriorityInputs {
+            now,
+            divergence: d,
+            updates_since_refresh: u,
+            lambda_hat: lambda,
+            weight: w,
+            max_rate: 1.0,
+        };
+        for (policy, is_dev) in [
+            (PolicyKind::Area, false),
+            (PolicyKind::PoissonClosedForm, false),
+            (PolicyKind::PoissonClosedForm, true),
+            (PolicyKind::SimpleWeighted, false),
+            (PolicyKind::Bound, false),
+        ] {
+            let p = compute_priority(policy, is_dev, &area, &inputs);
+            prop_assert!(p.is_finite(), "{policy:?} gave {p}");
+        }
+        let simple = compute_priority(PolicyKind::SimpleWeighted, false, &area, &inputs);
+        prop_assert_eq!(simple, d * w);
+    }
+
+    /// The sampling monitor's estimate is exact (up to float noise) when
+    /// it samples at exactly the divergence change points of a piecewise
+    /// constant path, sampling each segment twice.
+    #[test]
+    fn sampling_monitor_tracks_divergence_level(
+        segments in prop::collection::vec((0.1f64..10.0, 0.0f64..20.0), 1..20),
+    ) {
+        let mut exact = AreaTracker::new(SimTime::ZERO);
+        let mut monitor = SamplingMonitor::new(SimTime::ZERO);
+        let mut now = 0.0;
+        for &(gap, d) in &segments {
+            now += gap;
+            exact.on_update(SimTime::new(now), d);
+            monitor.on_sample(SimTime::new(now), d);
+            // Level always agrees; integral is an estimate.
+            prop_assert_eq!(monitor.current_divergence(), exact.divergence());
+        }
+        let t = SimTime::new(now + 1.0);
+        // The midpoint estimate of ∫D is within the total variation of
+        // the path times the max gap: each segment boundary contributes
+        // at most |ΔD|·gap/2, and the first sample (credited back to the
+        // refresh instant) at most d₁·gap₁.
+        let est = monitor.estimated_integral(t);
+        let truth = exact.integral(t);
+        let max_gap = segments.iter().map(|s| s.0).fold(0.0, f64::max);
+        let tv: f64 = {
+            let mut prev = 0.0;
+            let mut sum = 0.0;
+            for &(_, d) in &segments {
+                sum += (d - prev).abs();
+                prev = d;
+            }
+            sum
+        };
+        prop_assert!((est - truth).abs() <= tv * max_gap + 1e-9,
+            "est {est} vs truth {truth}, bound {}", tv * max_gap);
+    }
+}

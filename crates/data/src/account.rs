@@ -1,0 +1,348 @@
+//! Ground-truth divergence accounting.
+//!
+//! Every scheduler — cooperative, idealized, or cache-driven — is judged by
+//! the same yardstick: the time-averaged divergence between each source
+//! object and its cached copy (paper §3.3). [`TruthTable`] owns that
+//! ground truth. Simulations report *all* state transitions to it
+//! (source updates and refresh deliveries), and it maintains exact
+//! divergence integrals per object, both unweighted and weighted.
+//!
+//! Divergence is piecewise constant between transitions, so integrals are
+//! exact. Weights may fluctuate continuously; the weighted integral samples
+//! the weight at each divergence transition, which matches the paper's
+//! standing assumption that weights change slowly relative to refresh
+//! activity (§3.3).
+
+use besync_sim::stats::TimeAverage;
+use besync_sim::SimTime;
+
+use crate::ids::ObjectId;
+use crate::metric::Metric;
+use crate::weight::WeightProfile;
+
+/// The authoritative synchronization state of one object: the live source
+/// value and the possibly stale cached copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectTruth {
+    /// Current value at the source.
+    pub source_value: f64,
+    /// Total number of updates applied at the source.
+    pub source_updates: u64,
+    /// Value currently stored at the cache.
+    pub cached_value: f64,
+    /// `source_updates` at the moment the cached value was snapshot at the
+    /// source (used by the lag metric).
+    pub cached_updates: u64,
+}
+
+impl ObjectTruth {
+    fn synced(value: f64) -> Self {
+        ObjectTruth {
+            source_value: value,
+            source_updates: 0,
+            cached_value: value,
+            cached_updates: 0,
+        }
+    }
+
+    /// Divergence of this object under `metric`.
+    #[inline]
+    pub fn divergence(&self, metric: Metric) -> f64 {
+        metric.divergence(
+            self.source_value,
+            self.source_updates,
+            self.cached_value,
+            self.cached_updates,
+        )
+    }
+}
+
+/// Per-object divergence accounting (truth + integrals).
+#[derive(Debug, Clone, Copy)]
+pub struct DivergenceAccount {
+    truth: ObjectTruth,
+    unweighted: TimeAverage,
+    weighted: TimeAverage,
+}
+
+/// Ground truth and exact divergence accounting for a whole simulation.
+#[derive(Debug, Clone)]
+pub struct TruthTable {
+    metric: Metric,
+    weights: Vec<WeightProfile>,
+    accounts: Vec<DivergenceAccount>,
+    refreshes_applied: u64,
+}
+
+impl TruthTable {
+    /// Creates a table where every cached copy starts synchronized with its
+    /// source value (`initial_values`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_values` and `weights` lengths differ.
+    pub fn new(metric: Metric, initial_values: &[f64], weights: Vec<WeightProfile>) -> Self {
+        assert_eq!(
+            initial_values.len(),
+            weights.len(),
+            "one weight profile per object required"
+        );
+        let accounts = initial_values
+            .iter()
+            .map(|&v| DivergenceAccount {
+                truth: ObjectTruth::synced(v),
+                unweighted: TimeAverage::new(SimTime::ZERO, 0.0),
+                weighted: TimeAverage::new(SimTime::ZERO, 0.0),
+            })
+            .collect();
+        TruthTable {
+            metric,
+            weights,
+            accounts,
+            refreshes_applied: 0,
+        }
+    }
+
+    /// Convenience: unit weights for all objects.
+    pub fn with_unit_weights(metric: Metric, initial_values: &[f64]) -> Self {
+        let weights = vec![WeightProfile::unit(); initial_values.len()];
+        Self::new(metric, initial_values, weights)
+    }
+
+    /// Number of objects tracked.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// The metric under which divergence is accounted.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The current truth of one object.
+    pub fn truth(&self, obj: ObjectId) -> &ObjectTruth {
+        &self.accounts[obj.index()].truth
+    }
+
+    /// The weight of `obj` at time `t`.
+    pub fn weight_at(&self, obj: ObjectId, t: SimTime) -> f64 {
+        self.weights[obj.index()].weight_at(t)
+    }
+
+    /// The weight profile of `obj`.
+    pub fn weight_profile(&self, obj: ObjectId) -> &WeightProfile {
+        &self.weights[obj.index()]
+    }
+
+    /// Current divergence of `obj`.
+    pub fn divergence(&self, obj: ObjectId) -> f64 {
+        self.truth(obj).divergence(self.metric)
+    }
+
+    /// Total number of refreshes applied at the cache so far.
+    pub fn refreshes_applied(&self) -> u64 {
+        self.refreshes_applied
+    }
+
+    /// Records an update of `obj` at the source: the source value becomes
+    /// `new_value` at time `t`.
+    pub fn source_update(&mut self, t: SimTime, obj: ObjectId, new_value: f64) {
+        let weight = self.weights[obj.index()].weight_at(t);
+        let acct = &mut self.accounts[obj.index()];
+        acct.truth.source_value = new_value;
+        acct.truth.source_updates += 1;
+        let d = acct.truth.divergence(self.metric);
+        acct.unweighted.set(t, d);
+        acct.weighted.set(t, d * weight);
+    }
+
+    /// Records delivery of a refresh at the cache at time `t`: the cached
+    /// copy becomes the (possibly stale) snapshot the message carried.
+    ///
+    /// Schedulers with instantaneous refreshes pass the current source
+    /// state as the snapshot, which zeroes divergence; snapshots delayed by
+    /// queueing leave residual divergence — the stall effect §5 guards
+    /// against.
+    pub fn apply_refresh(
+        &mut self,
+        t: SimTime,
+        obj: ObjectId,
+        snapshot_value: f64,
+        snapshot_updates: u64,
+    ) {
+        let weight = self.weights[obj.index()].weight_at(t);
+        let acct = &mut self.accounts[obj.index()];
+        acct.truth.cached_value = snapshot_value;
+        acct.truth.cached_updates = snapshot_updates;
+        let d = acct.truth.divergence(self.metric);
+        acct.unweighted.set(t, d);
+        acct.weighted.set(t, d * weight);
+        self.refreshes_applied += 1;
+    }
+
+    /// Applies a refresh with the *current* source state (an instantaneous,
+    /// perfectly fresh refresh). Divergence drops to zero.
+    pub fn apply_fresh_refresh(&mut self, t: SimTime, obj: ObjectId) {
+        let truth = self.accounts[obj.index()].truth;
+        self.apply_refresh(t, obj, truth.source_value, truth.source_updates);
+    }
+
+    /// Marks the end of warm-up: averages are measured from `t` onward.
+    pub fn begin_measurement(&mut self, t: SimTime) {
+        for acct in &mut self.accounts {
+            acct.unweighted.begin_measurement(t);
+            acct.weighted.begin_measurement(t);
+        }
+    }
+
+    /// Summarizes divergence over the measurement window ending at `t`.
+    pub fn report(&self, t: SimTime) -> DivergenceReport {
+        let mut total_unweighted = 0.0;
+        let mut total_weighted = 0.0;
+        let mut max_unweighted: f64 = 0.0;
+        for acct in &self.accounts {
+            let u = acct.unweighted.average(t);
+            total_unweighted += u;
+            total_weighted += acct.weighted.average(t);
+            max_unweighted = max_unweighted.max(u);
+        }
+        let n = self.accounts.len().max(1) as f64;
+        DivergenceReport {
+            objects: self.accounts.len(),
+            total_unweighted,
+            total_weighted,
+            mean_unweighted: total_unweighted / n,
+            mean_weighted: total_weighted / n,
+            max_unweighted,
+            refreshes_applied: self.refreshes_applied,
+        }
+    }
+}
+
+/// Summary of time-averaged divergence over the measurement window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DivergenceReport {
+    /// Number of objects.
+    pub objects: usize,
+    /// Sum over objects of time-averaged divergence (the paper's
+    /// minimization objective, unweighted).
+    pub total_unweighted: f64,
+    /// Sum over objects of time-averaged weighted divergence.
+    pub total_weighted: f64,
+    /// `total_unweighted / objects` — "average divergence per data value"
+    /// as plotted in Figures 4–6.
+    pub mean_unweighted: f64,
+    /// `total_weighted / objects`.
+    pub mean_weighted: f64,
+    /// Largest per-object time-averaged divergence.
+    pub max_unweighted: f64,
+    /// Refreshes applied at the cache during the whole run.
+    pub refreshes_applied: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn starts_synchronized() {
+        let table = TruthTable::with_unit_weights(Metric::Staleness, &[1.0, 2.0]);
+        assert_eq!(table.divergence(ObjectId(0)), 0.0);
+        assert_eq!(table.divergence(ObjectId(1)), 0.0);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn staleness_account_integrates_exactly() {
+        let mut table = TruthTable::with_unit_weights(Metric::Staleness, &[0.0]);
+        table.begin_measurement(t(0.0));
+        table.source_update(t(2.0), ObjectId(0), 1.0); // stale from 2..6
+        table.apply_fresh_refresh(t(6.0), ObjectId(0)); // fresh from 6..10
+        let r = table.report(t(10.0));
+        // stale 4s of a 10s window → 0.4
+        assert!((r.mean_unweighted - 0.4).abs() < 1e-12);
+        assert_eq!(r.refreshes_applied, 1);
+    }
+
+    #[test]
+    fn lag_accumulates_updates() {
+        let mut table = TruthTable::with_unit_weights(Metric::Lag, &[0.0]);
+        table.begin_measurement(t(0.0));
+        table.source_update(t(1.0), ObjectId(0), 1.0); // lag 1 over [1,2)
+        table.source_update(t(2.0), ObjectId(0), 2.0); // lag 2 over [2,4)
+        table.apply_fresh_refresh(t(4.0), ObjectId(0)); // lag 0 after
+        let r = table.report(t(10.0));
+        // ∫ = 1·1 + 2·2 = 5 over 10s → 0.5
+        assert!((r.mean_unweighted - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_snapshot_leaves_residual_divergence() {
+        let mut table = TruthTable::with_unit_weights(Metric::Lag, &[0.0]);
+        table.begin_measurement(t(0.0));
+        table.source_update(t(1.0), ObjectId(0), 1.0);
+        // Snapshot taken after the first update...
+        let snap = *table.truth(ObjectId(0));
+        table.source_update(t(2.0), ObjectId(0), 2.0);
+        // ...delivered after the second: cache is still 1 behind.
+        table.apply_refresh(t(3.0), ObjectId(0), snap.source_value, snap.source_updates);
+        assert_eq!(table.divergence(ObjectId(0)), 1.0);
+    }
+
+    #[test]
+    fn deviation_uses_values() {
+        let mut table = TruthTable::with_unit_weights(Metric::abs_deviation(), &[5.0]);
+        table.begin_measurement(t(0.0));
+        table.source_update(t(0.0), ObjectId(0), 8.0);
+        assert_eq!(table.divergence(ObjectId(0)), 3.0);
+        let r = table.report(t(1.0));
+        assert!((r.mean_unweighted - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_average_scales_with_weight() {
+        let weights = vec![WeightProfile::constant(10.0)];
+        let mut table = TruthTable::new(Metric::Staleness, &[0.0], weights);
+        table.begin_measurement(t(0.0));
+        table.source_update(t(0.0), ObjectId(0), 1.0);
+        let r = table.report(t(4.0));
+        assert!((r.mean_unweighted - 1.0).abs() < 1e-12);
+        assert!((r.mean_weighted - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_totals_sum_over_objects() {
+        let mut table = TruthTable::with_unit_weights(Metric::Staleness, &[0.0, 0.0, 0.0]);
+        table.begin_measurement(t(0.0));
+        table.source_update(t(0.0), ObjectId(0), 1.0);
+        table.source_update(t(0.0), ObjectId(1), 1.0);
+        let r = table.report(t(2.0));
+        assert!((r.total_unweighted - 2.0).abs() < 1e-12);
+        assert!((r.mean_unweighted - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.max_unweighted - 1.0).abs() < 1e-12);
+        assert_eq!(r.objects, 3);
+    }
+
+    #[test]
+    fn random_walk_return_resets_staleness() {
+        let mut table = TruthTable::with_unit_weights(Metric::Staleness, &[0.0]);
+        table.begin_measurement(t(0.0));
+        table.source_update(t(1.0), ObjectId(0), 1.0);
+        assert_eq!(table.divergence(ObjectId(0)), 1.0);
+        // Walk returns to the cached value: no longer stale under the
+        // value-based staleness definition.
+        table.source_update(t(2.0), ObjectId(0), 0.0);
+        assert_eq!(table.divergence(ObjectId(0)), 0.0);
+        // But lag-style counters still advanced.
+        assert_eq!(table.truth(ObjectId(0)).source_updates, 2);
+    }
+}

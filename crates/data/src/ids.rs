@@ -1,0 +1,152 @@
+//! Object and source identities.
+//!
+//! Objects are numbered globally (`0..total_objects`), and each source owns
+//! a contiguous range of them, matching the paper's setup of `m` sources
+//! with `n` objects each. [`ObjectLayout`] maps between the two views.
+
+use std::fmt;
+
+/// Identifies a data object globally (across all sources).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+/// Identifies a data source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceId(pub u32);
+
+impl ObjectId {
+    /// The object id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl SourceId {
+    /// The source id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Maps objects to sources when every source owns the same number of
+/// objects (the paper's `m × n` layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectLayout {
+    sources: u32,
+    objects_per_source: u32,
+}
+
+impl ObjectLayout {
+    /// A layout of `sources` sources with `objects_per_source` objects each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the total overflows `u32`.
+    pub fn new(sources: u32, objects_per_source: u32) -> Self {
+        assert!(sources > 0, "need at least one source");
+        assert!(objects_per_source > 0, "need at least one object per source");
+        sources
+            .checked_mul(objects_per_source)
+            .expect("object count overflows u32");
+        ObjectLayout {
+            sources,
+            objects_per_source,
+        }
+    }
+
+    /// Number of sources.
+    #[inline]
+    pub fn sources(&self) -> u32 {
+        self.sources
+    }
+
+    /// Objects per source.
+    #[inline]
+    pub fn objects_per_source(&self) -> u32 {
+        self.objects_per_source
+    }
+
+    /// Total number of objects.
+    #[inline]
+    pub fn total_objects(&self) -> u32 {
+        self.sources * self.objects_per_source
+    }
+
+    /// The source owning `obj`.
+    #[inline]
+    pub fn source_of(&self, obj: ObjectId) -> SourceId {
+        debug_assert!(obj.0 < self.total_objects());
+        SourceId(obj.0 / self.objects_per_source)
+    }
+
+    /// The range of object ids owned by `source`.
+    pub fn objects_of(&self, source: SourceId) -> impl Iterator<Item = ObjectId> {
+        debug_assert!(source.0 < self.sources);
+        let start = source.0 * self.objects_per_source;
+        (start..start + self.objects_per_source).map(ObjectId)
+    }
+
+    /// Iterates over all object ids.
+    pub fn all_objects(&self) -> impl Iterator<Item = ObjectId> {
+        (0..self.total_objects()).map(ObjectId)
+    }
+
+    /// Iterates over all source ids.
+    pub fn all_sources(&self) -> impl Iterator<Item = SourceId> {
+        (0..self.sources).map(SourceId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_partitions_objects() {
+        let l = ObjectLayout::new(4, 3);
+        assert_eq!(l.total_objects(), 12);
+        assert_eq!(l.source_of(ObjectId(0)), SourceId(0));
+        assert_eq!(l.source_of(ObjectId(2)), SourceId(0));
+        assert_eq!(l.source_of(ObjectId(3)), SourceId(1));
+        assert_eq!(l.source_of(ObjectId(11)), SourceId(3));
+        let objs: Vec<_> = l.objects_of(SourceId(2)).collect();
+        assert_eq!(objs, vec![ObjectId(6), ObjectId(7), ObjectId(8)]);
+    }
+
+    #[test]
+    fn every_object_belongs_to_its_range() {
+        let l = ObjectLayout::new(7, 5);
+        for s in l.all_sources() {
+            for o in l.objects_of(s) {
+                assert_eq!(l.source_of(o), s);
+            }
+        }
+        assert_eq!(l.all_objects().count(), 35);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn rejects_zero_sources() {
+        let _ = ObjectLayout::new(0, 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ObjectId(3).to_string(), "O3");
+        assert_eq!(SourceId(1).to_string(), "S1");
+    }
+}

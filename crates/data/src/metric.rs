@@ -1,0 +1,159 @@
+//! Divergence metrics (paper §3.1).
+//!
+//! The divergence `D(O, t)` between a source object and its cached copy is
+//! zero immediately after a refresh and otherwise depends on how the source
+//! copy relates to the stale cached copy. The paper defines three metrics
+//! and stresses that its techniques are independent of the exact choice:
+//!
+//! 1. **Staleness** — 0 if the cached value equals the source value, else 1
+//!    (the complement of the freshness measure used by \[CGM00b\]).
+//! 2. **Lag** — the number of source updates not yet reflected in the cache.
+//! 3. **Value deviation** — any non-negative function `Δ(V₁, V₂)` of the
+//!    two versions; `|V₁ − V₂|` for numeric data, or application-specific
+//!    functions (TF/IDF similarity, weighted pixel differences, ...).
+
+/// A non-negative deviation function between two object values.
+///
+/// Kept as a plain function pointer so [`Metric`] stays `Copy` and can be
+/// freely embedded in configurations; closures capturing state can be
+/// promoted to statics by callers if ever needed.
+pub type DeviationFn = fn(source: f64, cached: f64) -> f64;
+
+/// The absolute-difference deviation `Δ(V₁, V₂) = |V₁ − V₂|` used
+/// throughout the paper's experiments (§4.3, §6.2.1).
+pub fn abs_deviation(source: f64, cached: f64) -> f64 {
+    (source - cached).abs()
+}
+
+/// Squared-difference deviation, an example of an alternative
+/// application-specific cost (penalizes large discrepancies harder).
+pub fn squared_deviation(source: f64, cached: f64) -> f64 {
+    let d = source - cached;
+    d * d
+}
+
+/// A divergence metric (paper §3.1).
+#[derive(Debug, Clone, Copy)]
+pub enum Metric {
+    /// Boolean staleness: 1 when the cached value differs from the source
+    /// value, 0 otherwise.
+    Staleness,
+    /// Update lag: the number of updates the cache is behind.
+    Lag,
+    /// Value deviation under the given deviation function.
+    Deviation(DeviationFn),
+}
+
+impl Metric {
+    /// Value deviation with the standard `|V₁ − V₂|` function.
+    pub fn abs_deviation() -> Metric {
+        Metric::Deviation(abs_deviation)
+    }
+
+    /// Computes divergence from the synchronization state of one object:
+    /// the source's current value and cumulative update count, and the
+    /// cached value together with the update count at which that value was
+    /// snapshot.
+    #[inline]
+    pub fn divergence(
+        &self,
+        source_value: f64,
+        source_updates: u64,
+        cached_value: f64,
+        cached_updates: u64,
+    ) -> f64 {
+        match self {
+            Metric::Staleness => {
+                if source_value == cached_value {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            Metric::Lag => source_updates.saturating_sub(cached_updates) as f64,
+            Metric::Deviation(delta) => delta(source_value, cached_value),
+        }
+    }
+
+    /// A short, stable name for reports and CSV headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Staleness => "staleness",
+            Metric::Lag => "lag",
+            Metric::Deviation(_) => "deviation",
+        }
+    }
+
+    /// The three metrics evaluated in the paper, with the standard
+    /// absolute-difference deviation.
+    pub fn all_three() -> [Metric; 3] {
+        [Metric::Staleness, Metric::Lag, Metric::abs_deviation()]
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staleness_is_boolean() {
+        let m = Metric::Staleness;
+        assert_eq!(m.divergence(5.0, 10, 5.0, 3), 0.0);
+        assert_eq!(m.divergence(5.0, 10, 4.0, 3), 1.0);
+    }
+
+    #[test]
+    fn staleness_ignores_counts_when_values_match() {
+        // A random walk can return to the cached value; staleness compares
+        // values, not update counts (paper §3.1 footnote: staleness = 1 −
+        // freshness, defined on values).
+        let m = Metric::Staleness;
+        assert_eq!(m.divergence(2.0, 7, 2.0, 0), 0.0);
+    }
+
+    #[test]
+    fn lag_counts_missed_updates() {
+        let m = Metric::Lag;
+        assert_eq!(m.divergence(0.0, 12, 0.0, 12), 0.0);
+        assert_eq!(m.divergence(0.0, 12, 0.0, 9), 3.0);
+        // Saturates rather than underflowing if counters are inconsistent.
+        assert_eq!(m.divergence(0.0, 3, 0.0, 9), 0.0);
+    }
+
+    #[test]
+    fn deviation_applies_delta() {
+        let m = Metric::abs_deviation();
+        assert_eq!(m.divergence(7.0, 0, 4.5, 0), 2.5);
+        assert_eq!(m.divergence(4.5, 0, 7.0, 0), 2.5);
+        let m = Metric::Deviation(squared_deviation);
+        assert_eq!(m.divergence(5.0, 0, 3.0, 0), 4.0);
+    }
+
+    #[test]
+    fn all_metrics_nonnegative_on_fuzz_grid() {
+        for m in Metric::all_three() {
+            for sv in [-3.0, 0.0, 2.5] {
+                for cv in [-3.0, 0.0, 2.5] {
+                    for su in [0u64, 5] {
+                        for cu in [0u64, 5] {
+                            assert!(m.divergence(sv, su, cv, cu) >= 0.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Metric::Staleness.name(), "staleness");
+        assert_eq!(Metric::Lag.name(), "lag");
+        assert_eq!(Metric::abs_deviation().to_string(), "deviation");
+    }
+}

@@ -1,0 +1,126 @@
+//! Object weights (paper §3.2).
+//!
+//! The refresh weight of an object is `W(O,t) = I(O,t) · P(O,t)`:
+//! importance times popularity. The paper's experiments let weights
+//! "vary over time following sine-wave patterns with randomly-assigned
+//! amplitudes and periods" (§6), and assume weights change slowly relative
+//! to refresh intervals so the priority function can use `W(O, t_now)` as a
+//! multiplier (§3.3).
+
+use besync_sim::signal::Signal;
+use besync_sim::{SimTime, Wave};
+
+/// The refresh weight of one object over time: an importance wave times a
+/// popularity wave.
+///
+/// Constant weights are the common case (`WeightProfile::constant(w)`);
+/// fluctuating experiments assign sine waves to either factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightProfile {
+    importance: Wave,
+    popularity: Wave,
+}
+
+impl WeightProfile {
+    /// Unit weight (`I = P = 1`), the paper's default when all objects are
+    /// treated equally.
+    pub fn unit() -> Self {
+        Self::constant(1.0)
+    }
+
+    /// A constant weight `w` (importance `w`, popularity 1).
+    pub fn constant(w: f64) -> Self {
+        assert!(w >= 0.0, "weights must be non-negative");
+        WeightProfile {
+            importance: Wave::Constant(w),
+            popularity: Wave::Constant(1.0),
+        }
+    }
+
+    /// A profile with explicit importance and popularity waves.
+    pub fn new(importance: Wave, popularity: Wave) -> Self {
+        WeightProfile {
+            importance,
+            popularity,
+        }
+    }
+
+    /// The weight at time `t`: `I(t) · P(t)`.
+    #[inline]
+    pub fn weight_at(&self, t: SimTime) -> f64 {
+        self.importance.value(t) * self.popularity.value(t)
+    }
+
+    /// The long-run mean weight (product of means; exact when at most one
+    /// factor fluctuates, which is how the experiments configure it).
+    pub fn mean(&self) -> f64 {
+        self.importance.mean() * self.popularity.mean()
+    }
+
+    /// The importance wave.
+    pub fn importance(&self) -> Wave {
+        self.importance
+    }
+
+    /// The popularity wave.
+    pub fn popularity(&self) -> Wave {
+        self.popularity
+    }
+}
+
+impl Default for WeightProfile {
+    fn default() -> Self {
+        Self::unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn unit_weight_is_one_everywhere() {
+        let w = WeightProfile::unit();
+        assert_eq!(w.weight_at(t(0.0)), 1.0);
+        assert_eq!(w.weight_at(t(999.0)), 1.0);
+        assert_eq!(w.mean(), 1.0);
+    }
+
+    #[test]
+    fn constant_weight() {
+        let w = WeightProfile::constant(10.0);
+        assert_eq!(w.weight_at(t(5.0)), 10.0);
+        assert_eq!(w.mean(), 10.0);
+    }
+
+    #[test]
+    fn fluctuating_weight_is_product() {
+        let imp = Wave::with_period(2.0, 0.5, 100.0, 0.0);
+        let pop = Wave::Constant(3.0);
+        let w = WeightProfile::new(imp, pop);
+        // At t = 25 (quarter period) the sine peaks: 2·(1+0.5)·3 = 9.
+        assert!((w.weight_at(t(25.0)) - 9.0).abs() < 1e-9);
+        assert_eq!(w.mean(), 6.0);
+    }
+
+    #[test]
+    fn weights_never_negative() {
+        let w = WeightProfile::new(
+            Wave::with_period(1.0, 1.0, 10.0, 0.0),
+            Wave::with_period(1.0, 1.0, 7.0, 1.0),
+        );
+        for i in 0..1000 {
+            assert!(w.weight_at(t(i as f64 * 0.1)) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weight() {
+        let _ = WeightProfile::constant(-1.0);
+    }
+}

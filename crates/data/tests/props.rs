@@ -1,0 +1,128 @@
+//! Property tests for the data model: metrics, weights, layout, and
+//! truth-table accounting.
+
+use besync_data::account::TruthTable;
+use besync_data::ids::{ObjectId, ObjectLayout, SourceId};
+use besync_data::metric::{abs_deviation, squared_deviation, Metric};
+use besync_data::weight::WeightProfile;
+use besync_sim::{SimTime, Wave};
+use proptest::prelude::*;
+
+proptest! {
+    /// All metrics are non-negative for arbitrary states, and exactly
+    /// zero when the cache matches the source.
+    #[test]
+    fn metrics_nonnegative_and_zero_on_sync(
+        sv in -1e6f64..1e6,
+        su in 0u64..1_000_000,
+        cv in -1e6f64..1e6,
+        cu in 0u64..1_000_000,
+    ) {
+        for m in Metric::all_three() {
+            prop_assert!(m.divergence(sv, su, cv, cu) >= 0.0);
+            prop_assert_eq!(m.divergence(sv, su, sv, su), 0.0);
+        }
+    }
+
+    /// Deviation functions are symmetric and zero on equality.
+    #[test]
+    fn deviations_symmetric(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        prop_assert_eq!(abs_deviation(a, b), abs_deviation(b, a));
+        prop_assert_eq!(squared_deviation(a, b), squared_deviation(b, a));
+        prop_assert_eq!(abs_deviation(a, a), 0.0);
+    }
+
+    /// Weight profiles are non-negative at all times and their product
+    /// structure holds.
+    #[test]
+    fn weights_nonnegative(
+        mean in 0.0f64..100.0,
+        amp in 0.0f64..1.0,
+        period in 1.0f64..1000.0,
+        phase in 0.0f64..6.2,
+        t in 0.0f64..1e5,
+    ) {
+        let w = WeightProfile::new(
+            Wave::with_period(mean, amp, period, phase),
+            Wave::Constant(2.0),
+        );
+        let v = w.weight_at(SimTime::new(t));
+        prop_assert!(v >= 0.0);
+        prop_assert!(v <= mean * (1.0 + amp) * 2.0 + 1e-9);
+    }
+
+    /// Layout round-trips: every object belongs to exactly one source, and
+    /// that source's range contains it.
+    #[test]
+    fn layout_partition(m in 1u32..100, n in 1u32..100) {
+        let layout = ObjectLayout::new(m, n);
+        let mut counts = vec![0u32; m as usize];
+        for obj in layout.all_objects() {
+            let s = layout.source_of(obj);
+            prop_assert!(s.0 < m);
+            counts[s.index()] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c == n));
+        // objects_of is consistent with source_of.
+        for s in 0..m {
+            for obj in layout.objects_of(SourceId(s)) {
+                prop_assert_eq!(layout.source_of(obj), SourceId(s));
+            }
+        }
+    }
+
+    /// Staleness time-averages always land in [0, 1] whatever the event
+    /// interleaving; lag averages are non-negative.
+    #[test]
+    fn truth_table_averages_bounded(
+        events in prop::collection::vec((0.0f64..500.0, prop::bool::ANY, -10.0f64..10.0), 1..100),
+    ) {
+        let mut evs = events;
+        evs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for metric in [Metric::Staleness, Metric::Lag] {
+            let mut table = TruthTable::with_unit_weights(metric, &[0.0, 0.0]);
+            table.begin_measurement(SimTime::ZERO);
+            for (i, &(t, refresh, v)) in evs.iter().enumerate() {
+                let obj = ObjectId((i % 2) as u32);
+                if refresh {
+                    table.apply_fresh_refresh(SimTime::new(t), obj);
+                } else {
+                    table.source_update(SimTime::new(t), obj, v);
+                }
+            }
+            let r = table.report(SimTime::new(500.0));
+            prop_assert!(r.mean_unweighted >= 0.0);
+            prop_assert!(r.max_unweighted >= 0.0);
+            if matches!(metric, Metric::Staleness) {
+                prop_assert!(r.mean_unweighted <= 1.0 + 1e-12);
+                prop_assert!(r.max_unweighted <= 1.0 + 1e-12);
+            }
+            prop_assert!(r.total_unweighted >= r.mean_unweighted);
+        }
+    }
+
+    /// Applying a perfectly fresh refresh always zeroes divergence; a
+    /// stale snapshot never *increases* lag beyond the pre-refresh value.
+    #[test]
+    fn refresh_effects(updates in prop::collection::vec(-5.0f64..5.0, 1..20)) {
+        let mut table = TruthTable::with_unit_weights(Metric::Lag, &[0.0]);
+        table.begin_measurement(SimTime::ZERO);
+        let obj = ObjectId(0);
+        let mut t = 0.0;
+        let mut snap = (0.0, 0u64);
+        for (i, &v) in updates.iter().enumerate() {
+            t += 1.0;
+            table.source_update(SimTime::new(t), obj, v);
+            if i == updates.len() / 2 {
+                let truth = table.truth(obj);
+                snap = (truth.source_value, truth.source_updates);
+            }
+        }
+        let before = table.divergence(obj);
+        table.apply_refresh(SimTime::new(t + 1.0), obj, snap.0, snap.1);
+        let after = table.divergence(obj);
+        prop_assert!(after <= before + 1e-12, "stale refresh increased lag {before} -> {after}");
+        table.apply_fresh_refresh(SimTime::new(t + 2.0), obj);
+        prop_assert_eq!(table.divergence(obj), 0.0);
+    }
+}

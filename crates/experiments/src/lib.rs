@@ -1,0 +1,69 @@
+//! Experiment harness: regenerates every table and figure in the paper's
+//! evaluation (see DESIGN.md for the experiment index).
+//!
+//! Each module owns one experiment and produces typed rows; the
+//! `experiments` binary prints them as aligned tables and writes CSV under
+//! `results/`. All experiments accept a [`Mode`]:
+//!
+//! * `Quick` — CI-scale (seconds), same qualitative shapes.
+//! * `Standard` — the default used to fill EXPERIMENTS.md (minutes).
+//! * `Full` — the paper's own grid sizes (can take hours).
+//!
+//! Determinism: every run derives from an explicit seed, so tables are
+//! regenerable bit-for-bit.
+
+pub mod bounds;
+pub mod competitive;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod output;
+pub mod params;
+pub mod runner;
+pub mod sampling;
+pub mod validate;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Seconds; used by integration tests and benches.
+    Quick,
+    /// Minutes; the EXPERIMENTS.md reference scale.
+    Standard,
+    /// Paper-scale grids.
+    Full,
+}
+
+impl Mode {
+    /// Parses `quick`/`standard`/`full`.
+    pub fn parse(s: &str) -> Option<Mode> {
+        match s {
+            "quick" => Some(Mode::Quick),
+            "standard" => Some(Mode::Standard),
+            "full" => Some(Mode::Full),
+            _ => None,
+        }
+    }
+
+    /// Name for filenames and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Quick => "quick",
+            Mode::Standard => "standard",
+            Mode::Full => "full",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parse_round_trip() {
+        for m in [Mode::Quick, Mode::Standard, Mode::Full] {
+            assert_eq!(Mode::parse(m.name()), Some(m));
+        }
+        assert_eq!(Mode::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,195 @@
+//! `experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments <command> [--mode quick|standard|full] [--seed N] [--out DIR]
+//!
+//! commands:
+//!   validate-uniform   §4.3 uniform-parameter policy comparison
+//!   validate-skew      §4.3 skewed-parameter policy comparison
+//!   param-sweep        §6.1 α/ω threshold parameter grid
+//!   fig4               Figure 4: ratio to the idealized scenario
+//!   fig5               Figure 5: wind-buoy data, fixed + fluctuating
+//!   fig6               Figure 6: cooperative vs cache-based (CGM)
+//!   bounds             §9 divergence-bound scheduling
+//!   sampling           §8.2.1 sampling-based priority monitoring
+//!   all                everything above, in order
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use besync_experiments::output::{render_table, write_csv, Row};
+use besync_experiments::{bounds, competitive, fig4, fig5, fig6, params, sampling, validate, Mode};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Manifest<'a> {
+    experiment: &'a str,
+    mode: &'a str,
+    seed: u64,
+    rows: usize,
+    csv: String,
+}
+
+struct Opts {
+    mode: Mode,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn emit<R: Row>(name: &str, opts: &Opts, rows: &[R]) {
+    println!("\n== {name} (mode={}, seed={}) ==", opts.mode.name(), opts.seed);
+    print!("{}", render_table(rows));
+    match write_csv(&opts.out, &format!("{name}_{}", opts.mode.name()), rows) {
+        Ok(path) => {
+            let manifest = Manifest {
+                experiment: name,
+                mode: opts.mode.name(),
+                seed: opts.seed,
+                rows: rows.len(),
+                csv: path.display().to_string(),
+            };
+            let mpath = opts.out.join(format!("{name}_{}.json", opts.mode.name()));
+            if let Ok(json) = serde_json::to_string_pretty(&manifest) {
+                let _ = std::fs::write(&mpath, json);
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        Err(e) => eprintln!("warning: could not write CSV for {name}: {e}"),
+    }
+}
+
+fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
+    match cmd {
+        "validate-uniform" => {
+            let rows = validate::run_uniform(opts.mode, opts.seed);
+            emit("validate_uniform", opts, &rows);
+        }
+        "validate-skew" => {
+            let rows = validate::run_skew(opts.mode, opts.seed);
+            emit("validate_skew", opts, &rows);
+        }
+        "param-sweep" => {
+            let rows = params::run(opts.mode, opts.seed);
+            emit("param_sweep", opts, &rows);
+            if let Some((a, w)) = params::best(&rows) {
+                println!("best setting: alpha={a}, omega={w}");
+            }
+        }
+        "fig4" => {
+            let rows = fig4::run(opts.mode, opts.seed);
+            emit("fig4", opts, &rows);
+            println!("median ratio by achievable-divergence band:");
+            for (band, median) in fig4::summarize(&rows) {
+                println!("  {band:>16}: {median:.3}");
+            }
+        }
+        "fig5" => {
+            let rows = fig5::run(opts.mode, opts.seed);
+            emit("fig5", opts, &rows);
+        }
+        "fig6" => {
+            let rows = fig6::run(opts.mode, opts.seed);
+            emit("fig6", opts, &rows);
+        }
+        "bounds" => {
+            let rows = bounds::run(opts.mode, opts.seed);
+            emit("bounds", opts, &rows);
+        }
+        "sampling" => {
+            let rows = sampling::run(opts.mode, opts.seed);
+            emit("sampling", opts, &rows);
+        }
+        "competitive" => {
+            let rows = competitive::run(opts.mode, opts.seed);
+            emit("competitive", opts, &rows);
+        }
+        "all" => {
+            for c in [
+                "validate-uniform",
+                "validate-skew",
+                "param-sweep",
+                "fig4",
+                "fig5",
+                "fig6",
+                "bounds",
+                "sampling",
+                "competitive",
+            ] {
+                run_command(c, opts)?;
+            }
+        }
+        other => return Err(format!("unknown command `{other}`")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd: Option<String> = None;
+    let mut opts = Opts {
+        mode: Mode::Standard,
+        seed: 42,
+        out: PathBuf::from("results"),
+    };
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => {
+                let v = it.next().unwrap_or_default();
+                match Mode::parse(&v) {
+                    Some(m) => opts.mode = m,
+                    None => {
+                        eprintln!("invalid --mode `{v}` (quick|standard|full)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => match it.next().unwrap_or_default().parse() {
+                Ok(s) => opts.seed = s,
+                Err(_) => {
+                    eprintln!("invalid --seed");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => opts.out = PathBuf::from(it.next().unwrap_or_default()),
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                return ExitCode::SUCCESS;
+            }
+            other if cmd.is_none() && !other.starts_with('-') => cmd = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(cmd) = cmd else {
+        println!("{}", HELP);
+        return ExitCode::FAILURE;
+    };
+    match run_command(&cmd, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+experiments — regenerate the paper's tables and figures
+
+usage: experiments <command> [--mode quick|standard|full] [--seed N] [--out DIR]
+
+commands:
+  validate-uniform   §4.3 uniform-parameter policy comparison
+  validate-skew      §4.3 skewed-parameter policy comparison (64/74/84%)
+  param-sweep        §6.1 alpha/omega threshold parameter grid
+  fig4               Figure 4: ratio to the idealized scenario
+  fig5               Figure 5: wind-buoy data, fixed + fluctuating bandwidth
+  fig6               Figure 6: cooperative vs cache-based (CGM)
+  bounds             §9 divergence-bound scheduling
+  sampling           §8.2.1 sampling-based priority monitoring
+  competitive        §7 competitive environments (Ψ sweep)
+  all                everything above, in order";

@@ -1,0 +1,112 @@
+//! Parallel sweep execution.
+//!
+//! Experiment grids are embarrassingly parallel (each cell is an
+//! independent, seeded simulation), so we fan them out over OS threads.
+//! Results come back in input order regardless of completion order, so
+//! tables and CSVs are deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f` over every item on up to `threads` worker threads, returning
+/// results in input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work mutex poisoned")
+                    .take()
+                    .expect("work item taken twice");
+                let r = f(item);
+                *results[i].lock().expect("result mutex poisoned") = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result mutex poisoned")
+                .expect("worker skipped an item")
+        })
+        .collect()
+}
+
+/// A sensible default worker count for experiment sweeps.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, 8, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = parallel_map(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(vec![5], 32, |x| x * x);
+        assert_eq!(out, vec![25]);
+    }
+
+    #[test]
+    fn heavy_closure_results_consistent() {
+        // Same computation in parallel and serial must agree exactly.
+        let items: Vec<u64> = (0..50).collect();
+        let f = |x: u64| {
+            let mut acc = x;
+            for i in 0..1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        };
+        let par = parallel_map(items.clone(), 8, f);
+        let ser: Vec<u64> = items.into_iter().map(f).collect();
+        assert_eq!(par, ser);
+    }
+}

@@ -1,0 +1,172 @@
+//! §8.2.1 — sampling-based priority monitoring (X-SAMPLE).
+//!
+//! When triggers are unavailable, sources sample divergence periodically
+//! and estimate priority by midpoint attribution. This experiment
+//! quantifies the trade-off: for a random-walk object under the value
+//! deviation metric, how far is the sampled priority estimate from the
+//! exact trigger-based priority, as a function of the sampling interval?
+//! It also validates the §8.2.1 crossing-time projection on noisy
+//! linearly-growing divergence.
+
+use besync::priority::AreaTracker;
+use besync::source::sampling::SamplingMonitor;
+use besync_sim::rng::{self, sample_normal, streams};
+use besync_sim::SimTime;
+use rand::Rng;
+
+use crate::output::{fnum, Row};
+use crate::Mode;
+
+/// Estimation quality at one sampling interval.
+#[derive(Debug, Clone)]
+pub struct SamplingRow {
+    /// Seconds between samples.
+    pub interval: f64,
+    /// Mean relative error of the priority estimate at sample times.
+    pub mean_rel_error: f64,
+    /// Mean relative error of the projected threshold-crossing time on a
+    /// noisy linear ramp.
+    pub crossing_rel_error: f64,
+}
+
+impl Row for SamplingRow {
+    fn headers() -> Vec<&'static str> {
+        vec!["sample_interval_s", "priority_rel_err", "crossing_rel_err"]
+    }
+    fn fields(&self) -> Vec<String> {
+        vec![
+            format!("{}", self.interval),
+            fnum(self.mean_rel_error),
+            fnum(self.crossing_rel_error),
+        ]
+    }
+}
+
+/// Runs the sampling-fidelity sweep.
+pub fn run(mode: Mode, seed: u64) -> Vec<SamplingRow> {
+    let (horizon, update_rate) = match mode {
+        Mode::Quick => (2_000.0, 0.5),
+        Mode::Standard => (20_000.0, 0.5),
+        Mode::Full => (100_000.0, 0.5),
+    };
+    let intervals = [1.0, 2.0, 5.0, 10.0, 30.0, 60.0];
+    intervals
+        .iter()
+        .map(|&interval| SamplingRow {
+            interval,
+            mean_rel_error: priority_error(interval, horizon, update_rate, seed),
+            crossing_rel_error: crossing_error(interval, seed),
+        })
+        .collect()
+}
+
+/// Simulates one random-walk object; at every sample time compares the
+/// sampled priority estimate with the exact trigger-based priority.
+fn priority_error(interval: f64, horizon: f64, rate: f64, seed: u64) -> f64 {
+    let mut rng = rng::stream_rng2(seed, streams::TRACE, (interval * 1000.0) as u64);
+    let mut exact = AreaTracker::new(SimTime::ZERO);
+    let mut monitor = SamplingMonitor::new(SimTime::ZERO);
+    let mut value: f64 = 0.0; // divergence = |value|, cached copy at 0
+    let mut next_update = -(1.0 - rng.gen::<f64>()).ln() / rate;
+    let mut next_sample = interval;
+    let mut err_sum = 0.0;
+    let mut err_n = 0u64;
+    let mut now = 0.0;
+    while now < horizon {
+        if next_update <= next_sample {
+            now = next_update;
+            value += if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            exact.on_update(SimTime::new(now), value.abs());
+            next_update = now - (1.0 - rng.gen::<f64>()).ln() / rate;
+        } else {
+            now = next_sample;
+            let t = SimTime::new(now);
+            monitor.on_sample(t, value.abs());
+            let p_exact = exact.raw_priority(t);
+            let p_est = monitor.estimated_priority(t);
+            // Relative to the running scale of the priority to avoid
+            // division blow-ups near zero crossings.
+            let scale = p_exact.abs().max(1.0);
+            err_sum += (p_est - p_exact).abs() / scale;
+            err_n += 1;
+            next_sample = now + interval;
+        }
+    }
+    err_sum / err_n.max(1) as f64
+}
+
+/// Noisy linear divergence D(t) = ρt + noise; predicts the threshold
+/// crossing from early samples and compares with the true crossing of the
+/// noiseless ramp.
+fn crossing_error(interval: f64, seed: u64) -> f64 {
+    let rho: f64 = 0.2;
+    let w: f64 = 1.0;
+    let threshold: f64 = 40.0;
+    // Exact crossing for D = ρt: P(t) = ρt²/2 → t* = √(2T/ρ).
+    let t_star = (2.0 * threshold / (rho * w)).sqrt();
+    let trials = 200;
+    let mut err = 0.0;
+    for k in 0..trials {
+        let mut rng = rng::stream_rng2(seed, streams::SCHEDULER, k);
+        let mut m = SamplingMonitor::new(SimTime::ZERO);
+        // Observe a handful of early samples, then project.
+        let samples = 4.max((t_star / (2.0 * interval)) as usize);
+        let mut last = SimTime::ZERO;
+        for i in 1..=samples {
+            let t = i as f64 * interval;
+            if t >= t_star {
+                break;
+            }
+            let d = (rho * t + 0.05 * sample_normal(&mut rng)).max(0.0);
+            m.on_sample(SimTime::new(t), d);
+            last = SimTime::new(t);
+        }
+        // Divergence restarts at zero on refresh, so the ratio through
+        // the origin is a far more stable slope estimate than the last
+        // two (noisy) samples.
+        let rho_hat = if last.seconds() > 0.0 {
+            (m.current_divergence() / last.seconds()).max(1e-6)
+        } else {
+            rho
+        };
+        let predicted = m
+            .projected_crossing(last, threshold, rho_hat, w)
+            .map_or(t_star, |t| t.seconds());
+        err += (predicted - t_star).abs() / t_star;
+    }
+    err / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tighter_sampling_is_more_accurate() {
+        let rows = run(Mode::Quick, 23);
+        assert!(rows.len() >= 4);
+        let first = &rows[0]; // 1s sampling
+        let last = &rows[rows.len() - 1]; // 60s sampling
+        assert!(
+            first.mean_rel_error < last.mean_rel_error,
+            "1s err {} should beat 60s err {}",
+            first.mean_rel_error,
+            last.mean_rel_error
+        );
+        // Dense sampling tracks the exact priority well.
+        assert!(first.mean_rel_error < 0.2, "{}", first.mean_rel_error);
+    }
+
+    #[test]
+    fn crossing_projection_is_sane() {
+        let rows = run(Mode::Quick, 24);
+        for r in &rows {
+            assert!(
+                r.crossing_rel_error < 0.5,
+                "interval {}: crossing error {}",
+                r.interval,
+                r.crossing_rel_error
+            );
+        }
+    }
+}

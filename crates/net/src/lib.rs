@@ -1,0 +1,19 @@
+//! Bandwidth-constrained network substrate.
+//!
+//! The paper assumes "a standard underlying network model where any
+//! messages for which there is not enough capacity become enqueued for
+//! later transmission" (§1.2), with every message costing one unit of
+//! bandwidth (§6). [`Link`] models exactly that: a token bucket replenished
+//! by a (possibly fluctuating) capacity signal, with a FIFO queue for
+//! messages that exceed the instantaneous capacity.
+//!
+//! Queueing is the crux of the paper's stability argument: an
+//! over-aggressive refresh policy floods the shared cache-side link, stalls
+//! refreshes in its queue, and *increases* divergence — which is why the
+//! threshold algorithm relies on positive rather than negative feedback
+//! (§5). The link keeps enough statistics (queue peaks, waiting time) for
+//! experiments to observe that effect directly.
+
+pub mod link;
+
+pub use link::{Link, LinkStats};

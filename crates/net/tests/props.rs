@@ -1,0 +1,124 @@
+//! Property tests for the network substrate: conservation, ordering, and
+//! capacity discipline under arbitrary traffic patterns.
+
+use besync_net::Link;
+use besync_sim::signal::Signal;
+use besync_sim::{SimTime, Wave};
+use proptest::prelude::*;
+
+/// A scripted traffic pattern: at each (monotonically increasing) time,
+/// offer `k` messages, then service.
+fn traffic() -> impl Strategy<Value = Vec<(f64, u8)>> {
+    prop::collection::vec((0.01f64..5.0, 0u8..10), 1..60)
+}
+
+proptest! {
+    /// Messages are conserved: everything offered is either delivered or
+    /// still queued, and nothing is duplicated.
+    #[test]
+    fn conservation(steps in traffic(), rate in 0.1f64..20.0) {
+        let mut link: Link<u64> = Link::new(Wave::Constant(rate));
+        let mut next_id = 0u64;
+        let mut delivered = Vec::new();
+        let mut now = 0.0;
+        for &(gap, k) in &steps {
+            now += gap;
+            let t = SimTime::new(now);
+            for _ in 0..k {
+                if let Some(m) = link.offer(t, next_id) {
+                    delivered.push(m);
+                }
+                next_id += 1;
+            }
+            let mut out = Vec::new();
+            link.service(t, &mut out);
+            delivered.extend(out);
+        }
+        prop_assert_eq!(delivered.len() + link.queue_len(), next_id as usize);
+        // No duplicates and delivery order is exactly offer order (FIFO +
+        // cut-through cannot reorder).
+        for w in delivered.windows(2) {
+            prop_assert!(w[0] < w[1], "out of order: {:?}", w);
+        }
+    }
+
+    /// Deliveries never exceed the capacity integral plus the burst cap.
+    #[test]
+    fn capacity_discipline(
+        steps in traffic(),
+        mean in 0.1f64..20.0,
+        m_b in 0.0f64..0.4,
+    ) {
+        let cap = Wave::fluctuating(mean, m_b, 1.0);
+        let mut link: Link<u64> = Link::new(cap);
+        let mut delivered = 0usize;
+        let mut now = 0.0;
+        for &(gap, k) in &steps {
+            now += gap;
+            let t = SimTime::new(now);
+            for i in 0..k {
+                if link.offer(t, i as u64).is_some() {
+                    delivered += 1;
+                }
+            }
+            let mut out = Vec::new();
+            delivered += link.service(t, &mut out);
+        }
+        let max = cap.integral(SimTime::ZERO, SimTime::new(now)) + mean * 2.0 + 2.0;
+        prop_assert!(delivered as f64 <= max + 1.0,
+            "delivered {delivered} > capacity bound {max}");
+    }
+
+    /// Overhead consumption (`try_consume`) never succeeds while refresh
+    /// messages wait, for any interleaving.
+    #[test]
+    fn overhead_never_preempts_queue(steps in traffic(), rate in 0.1f64..5.0) {
+        let mut link: Link<u64> = Link::new(Wave::Constant(rate));
+        let mut now = 0.0;
+        for &(gap, k) in &steps {
+            now += gap;
+            let t = SimTime::new(now);
+            for i in 0..k {
+                let _ = link.offer(t, i as u64);
+            }
+            if link.has_backlog() {
+                prop_assert!(!link.try_consume(t, 1.0));
+            }
+            let mut out = Vec::new();
+            link.service(t, &mut out);
+        }
+    }
+
+    /// Credit is bounded by the burst cap at all times.
+    #[test]
+    fn credit_bounded(gaps in prop::collection::vec(0.01f64..100.0, 1..30), rate in 0.1f64..50.0) {
+        let mut link: Link<u64> = Link::new(Wave::Constant(rate));
+        let burst = (rate * Link::<u64>::DEFAULT_BURST_SECONDS).max(2.0);
+        let mut now = 0.0;
+        for &gap in &gaps {
+            now += gap;
+            let c = link.credit(SimTime::new(now));
+            prop_assert!(c <= burst + 1e-9, "credit {c} above burst cap {burst}");
+            prop_assert!(c >= 0.0);
+        }
+    }
+
+    /// Cut-through happens exactly when the queue is empty and credit
+    /// suffices — mirrored by `can_send`.
+    #[test]
+    fn cut_through_iff_can_send(steps in traffic(), rate in 0.1f64..10.0) {
+        let mut link: Link<u64> = Link::new(Wave::Constant(rate));
+        let mut now = 0.0;
+        for &(gap, k) in &steps {
+            now += gap;
+            let t = SimTime::new(now);
+            for i in 0..k {
+                let predicted = link.can_send(t);
+                let got = link.offer(t, i as u64).is_some();
+                prop_assert_eq!(predicted, got);
+            }
+            let mut out = Vec::new();
+            link.service(t, &mut out);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Deterministic event queue.
+//!
+//! A thin priority queue keyed by [`SimTime`] with FIFO tie-breaking:
+//! events scheduled for the same instant fire in the order they were
+//! scheduled. This determinism matters — the paper's threshold algorithm is
+//! sensitive to the relative order of refresh arrivals and feedback within
+//! a tick, and reproducible figures require reproducible orderings.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+///
+/// Generic over the event payload `E`; each simulation defines its own
+/// event enum and drives its own loop, keeping control flow explicit and
+/// borrow-checker friendly (no callbacks into shared mutable state).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current simulation time; scheduling in
+    /// the past would silently reorder causality.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event at {:?} before now {:?}",
+            at,
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Schedules `event` to fire `delay` seconds from now.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        let at = self.now + delay.max(0.0);
+        self.schedule(at, event);
+    }
+
+    /// Removes and returns the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events without advancing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(3.0), "c");
+        q.schedule(SimTime::new(1.0), "a");
+        q.schedule(SimTime::new(2.0), "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((SimTime::new(1.0), "a")));
+        assert_eq!(q.pop(), Some((SimTime::new(2.0), "b")));
+        assert_eq!(q.pop(), Some((SimTime::new(3.0), "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::new(5.0);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(2.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::new(2.0));
+        // schedule_in is relative to the advanced clock.
+        q.schedule_in(1.5, ());
+        assert_eq!(q.peek_time(), Some(SimTime::new(3.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(2.0), ());
+        q.pop();
+        q.schedule(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    fn negative_delay_clamps_to_now() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(SimTime::new(1.0), ());
+        q.pop();
+        q.schedule_in(-5.0, ());
+        assert_eq!(q.peek_time(), Some(SimTime::new(1.0)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(1.0), 1u32);
+        q.schedule(SimTime::new(4.0), 4u32);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule(SimTime::new(2.0), 2u32);
+        q.schedule(SimTime::new(3.0), 3u32);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
+    }
+}

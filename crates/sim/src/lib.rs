@@ -1,0 +1,24 @@
+//! Discrete-event simulation kernel for the best-effort synchronization
+//! reproduction.
+//!
+//! This crate is deliberately independent of the caching domain: it provides
+//! a simulated clock ([`SimTime`]), a deterministic event queue
+//! ([`EventQueue`]), time-varying signals ([`Wave`]) used to model
+//! fluctuating bandwidth and weights, seeded RNG streams ([`rng`]), and
+//! time-weighted statistics ([`stats`]) used to measure divergence exactly
+//! between events.
+//!
+//! Everything is deterministic: given the same seed, a simulation built on
+//! this kernel replays identically, which is what lets the experiment
+//! harness regenerate the paper's figures reproducibly.
+
+pub mod events;
+pub mod rng;
+pub mod signal;
+pub mod stats;
+pub mod time;
+
+pub use events::EventQueue;
+pub use signal::Wave;
+pub use stats::{PiecewiseConstant, RunningStats, TimeAverage};
+pub use time::SimTime;

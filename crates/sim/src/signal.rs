@@ -1,0 +1,276 @@
+//! Time-varying signals.
+//!
+//! The paper models both fluctuating bandwidth and fluctuating object
+//! weights as sine waves (§6): "the available cache-side and source-side
+//! bandwidth fluctuate over time following a sine wave pattern", with the
+//! average controlled by `B_C`/`B_S` and "the maximum rate of bandwidth
+//! change ... controlled by simulation parameter m_B".
+//!
+//! [`Wave`] covers both uses. For a sine
+//! `B(t) = mean · (1 + A·sin(ω·t + φ))`, the peak relative change rate is
+//! `max |B'(t)| / mean = A·ω`, so given the paper's `m_B` and a chosen
+//! relative amplitude `A` we derive `ω = m_B / A`. `m_B = 0` degenerates to
+//! a constant signal, exactly as in the paper.
+
+use crate::time::SimTime;
+
+/// A deterministic, non-negative signal over simulated time.
+pub trait Signal {
+    /// The signal's value at time `t`.
+    fn value(&self, t: SimTime) -> f64;
+
+    /// The integral of the signal over `[from, to]`.
+    ///
+    /// Used by token-bucket links to accrue exactly the bandwidth available
+    /// over an interval, independent of tick granularity.
+    fn integral(&self, from: SimTime, to: SimTime) -> f64;
+
+    /// The long-run mean of the signal.
+    fn mean(&self) -> f64;
+}
+
+/// A concrete signal: either constant or a raised sine wave.
+///
+/// Kept as an enum (rather than boxed trait objects) because simulations
+/// hold one per source and per object; the enum is `Copy` and 32 bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Wave {
+    /// A constant value.
+    Constant(f64),
+    /// `mean · (1 + amplitude·sin(omega·t + phase))`, clamped at zero.
+    ///
+    /// `amplitude` is relative (0..=1 keeps the wave non-negative).
+    Sine {
+        /// Long-run mean of the wave.
+        mean: f64,
+        /// Relative amplitude in `[0, 1]`.
+        amplitude: f64,
+        /// Angular frequency in radians/second.
+        omega: f64,
+        /// Phase offset in radians.
+        phase: f64,
+    },
+}
+
+impl Wave {
+    /// Default relative amplitude used when deriving a wave from the
+    /// paper's `m_B` parameter.
+    pub const DEFAULT_AMPLITUDE: f64 = 0.5;
+
+    /// Constructs a wave with the given mean whose *peak relative change
+    /// rate* is `m_b` (the paper's `m_B` simulation parameter), using the
+    /// given relative `amplitude`.
+    ///
+    /// `m_b = 0` yields a constant signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean < 0`, `m_b < 0`, or `amplitude` is outside `(0, 1]`
+    /// when `m_b > 0`.
+    pub fn from_peak_rate(mean: f64, m_b: f64, amplitude: f64, phase: f64) -> Self {
+        assert!(mean >= 0.0, "mean must be non-negative");
+        assert!(m_b >= 0.0, "m_b must be non-negative");
+        if m_b == 0.0 {
+            return Wave::Constant(mean);
+        }
+        assert!(
+            amplitude > 0.0 && amplitude <= 1.0,
+            "amplitude must be in (0, 1], got {amplitude}"
+        );
+        Wave::Sine {
+            mean,
+            amplitude,
+            omega: m_b / amplitude,
+            phase,
+        }
+    }
+
+    /// Convenience: wave from `m_b` with the default amplitude.
+    pub fn fluctuating(mean: f64, m_b: f64, phase: f64) -> Self {
+        Wave::from_peak_rate(mean, m_b, Self::DEFAULT_AMPLITUDE, phase)
+    }
+
+    /// A sine wave specified by period (seconds) rather than peak rate,
+    /// as used for the paper's fluctuating object weights ("sine-wave
+    /// patterns with randomly-assigned amplitudes and periods").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period <= 0` or `amplitude` outside `[0, 1]`.
+    pub fn with_period(mean: f64, amplitude: f64, period: f64, phase: f64) -> Self {
+        assert!(period > 0.0, "period must be positive");
+        assert!(
+            (0.0..=1.0).contains(&amplitude),
+            "amplitude must be in [0, 1]"
+        );
+        if amplitude == 0.0 {
+            return Wave::Constant(mean);
+        }
+        Wave::Sine {
+            mean,
+            amplitude,
+            omega: std::f64::consts::TAU / period,
+            phase,
+        }
+    }
+
+    /// The peak relative change rate `max |B'(t)|/mean` of this wave
+    /// (zero for constants).
+    pub fn peak_relative_rate(&self) -> f64 {
+        match *self {
+            Wave::Constant(_) => 0.0,
+            Wave::Sine {
+                amplitude, omega, ..
+            } => amplitude * omega,
+        }
+    }
+}
+
+impl Signal for Wave {
+    #[inline]
+    fn value(&self, t: SimTime) -> f64 {
+        match *self {
+            Wave::Constant(v) => v,
+            Wave::Sine {
+                mean,
+                amplitude,
+                omega,
+                phase,
+            } => (mean * (1.0 + amplitude * (omega * t.seconds() + phase).sin())).max(0.0),
+        }
+    }
+
+    fn integral(&self, from: SimTime, to: SimTime) -> f64 {
+        debug_assert!(to >= from);
+        match *self {
+            Wave::Constant(v) => v * (to - from),
+            Wave::Sine {
+                mean,
+                amplitude,
+                omega,
+                phase,
+            } => {
+                // ∫ mean·(1 + A·sin(ωt+φ)) dt
+                //   = mean·Δt − (mean·A/ω)·[cos(ωt+φ)]
+                // The amplitude is ≤ 1 so the integrand never goes negative
+                // and no clamping correction is needed.
+                let dt = to - from;
+                let c0 = (omega * from.seconds() + phase).cos();
+                let c1 = (omega * to.seconds() + phase).cos();
+                mean * dt + mean * amplitude / omega * (c0 - c1)
+            }
+        }
+    }
+
+    #[inline]
+    fn mean(&self) -> f64 {
+        match *self {
+            Wave::Constant(v) => v,
+            Wave::Sine { mean, .. } => mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn constant_wave() {
+        let w = Wave::Constant(10.0);
+        assert_eq!(w.value(t(0.0)), 10.0);
+        assert_eq!(w.value(t(123.4)), 10.0);
+        assert_eq!(w.integral(t(2.0), t(5.0)), 30.0);
+        assert_eq!(w.mean(), 10.0);
+        assert_eq!(w.peak_relative_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_peak_rate_is_constant() {
+        let w = Wave::from_peak_rate(7.0, 0.0, 0.5, 1.0);
+        assert_eq!(w, Wave::Constant(7.0));
+    }
+
+    #[test]
+    fn sine_respects_peak_rate() {
+        // m_B = 0.25 with amplitude 0.5 → ω = 0.5 rad/s.
+        let w = Wave::from_peak_rate(100.0, 0.25, 0.5, 0.0);
+        match w {
+            Wave::Sine {
+                mean,
+                amplitude,
+                omega,
+                ..
+            } => {
+                assert_eq!(mean, 100.0);
+                assert_eq!(amplitude, 0.5);
+                assert!((omega - 0.5).abs() < 1e-12);
+            }
+            _ => panic!("expected sine"),
+        }
+        assert!((w.peak_relative_rate() - 0.25).abs() < 1e-12);
+        // Numeric derivative never exceeds m_B · mean.
+        let mut max_rate: f64 = 0.0;
+        let mut prev = w.value(t(0.0));
+        let dt = 1e-3;
+        let mut s = dt;
+        while s < 50.0 {
+            let v = w.value(t(s));
+            max_rate = max_rate.max(((v - prev) / dt).abs());
+            prev = v;
+            s += dt;
+        }
+        assert!(max_rate <= 0.25 * 100.0 + 1e-2, "max rate {max_rate}");
+    }
+
+    #[test]
+    fn sine_stays_nonnegative_and_averages_mean() {
+        let w = Wave::with_period(5.0, 1.0, 20.0, 0.3);
+        let mut min = f64::INFINITY;
+        let mut sum = 0.0;
+        let steps = 200_000;
+        for i in 0..steps {
+            let v = w.value(t(i as f64 * 20.0 / steps as f64 * 10.0));
+            min = min.min(v);
+            sum += v;
+        }
+        assert!(min >= 0.0);
+        let avg = sum / steps as f64;
+        assert!((avg - 5.0).abs() < 0.05, "avg {avg}");
+    }
+
+    #[test]
+    fn integral_matches_riemann_sum() {
+        let w = Wave::from_peak_rate(10.0, 0.05, 0.5, 0.7);
+        let (a, b) = (t(3.0), t(47.0));
+        let exact = w.integral(a, b);
+        let mut approx = 0.0;
+        let n = 1_000_000;
+        let dt = (b - a) / n as f64;
+        for i in 0..n {
+            approx += w.value(a + (i as f64 + 0.5) * dt) * dt;
+        }
+        assert!(
+            (exact - approx).abs() < 1e-4 * exact.abs().max(1.0),
+            "exact {exact} vs approx {approx}"
+        );
+    }
+
+    #[test]
+    fn integral_of_full_period_is_mean_times_period() {
+        let period = 40.0;
+        let w = Wave::with_period(8.0, 0.5, period, 1.1);
+        let i = w.integral(t(0.0), t(period));
+        assert!((i - 8.0 * period).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn rejects_bad_amplitude() {
+        let _ = Wave::from_peak_rate(1.0, 0.1, 1.5, 0.0);
+    }
+}

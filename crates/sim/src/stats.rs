@@ -1,0 +1,331 @@
+//! Time-weighted statistics.
+//!
+//! Divergence in the paper is a piecewise-constant function of time: it
+//! changes only when a source object is updated or a refresh is applied
+//! (§8.2). [`PiecewiseConstant`] tracks such a function exactly — the
+//! current value and its running time-integral — so that time-averaged
+//! divergence (the paper's objective, §3.3) is measured without sampling
+//! error. [`TimeAverage`] wraps it with a measurement window (the paper
+//! discards a warm-up period), and [`RunningStats`] accumulates scalar
+//! summaries across runs for the experiment harness.
+
+use crate::time::SimTime;
+
+/// Exact tracker for a piecewise-constant function of time.
+///
+/// Maintains the current value, the last time the value changed, and the
+/// integral accumulated so far. The paper's refresh priority needs exactly
+/// this state per object (current divergence and the area under the
+/// divergence curve since the last refresh), as does ground-truth
+/// divergence accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct PiecewiseConstant {
+    value: f64,
+    last_change: SimTime,
+    integral: f64,
+}
+
+impl PiecewiseConstant {
+    /// Starts tracking at `t0` with initial `value`.
+    pub fn new(t0: SimTime, value: f64) -> Self {
+        PiecewiseConstant {
+            value,
+            last_change: t0,
+            integral: 0.0,
+        }
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The time of the last `set` / `reset`.
+    #[inline]
+    pub fn last_change(&self) -> SimTime {
+        self.last_change
+    }
+
+    /// Sets the value at time `t`, accumulating the integral of the old
+    /// value over `[last_change, t]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `t` precedes the last change.
+    pub fn set(&mut self, t: SimTime, value: f64) {
+        debug_assert!(t >= self.last_change, "time must be monotonic");
+        self.integral += self.value * (t - self.last_change);
+        self.value = value;
+        self.last_change = t;
+    }
+
+    /// The integral of the function from its start through time `t`
+    /// (without mutating state).
+    pub fn integral_at(&self, t: SimTime) -> f64 {
+        debug_assert!(t >= self.last_change);
+        self.integral + self.value * (t - self.last_change)
+    }
+
+    /// Restarts the tracker at `t`: the integral is zeroed and the value
+    /// set to `value`. Returns the integral accumulated up to `t`.
+    ///
+    /// This is the "refresh" operation for per-object priority state: the
+    /// area under the divergence curve restarts from the refresh instant.
+    pub fn reset(&mut self, t: SimTime, value: f64) -> f64 {
+        let total = self.integral_at(t);
+        self.value = value;
+        self.last_change = t;
+        self.integral = 0.0;
+        total
+    }
+}
+
+/// Time-average of a piecewise-constant quantity over a measurement window.
+///
+/// The paper measures "average divergence over a period of 5000 seconds,
+/// after an initial warm-up period" (§6.1): integrals accumulated before
+/// `begin` are ignored.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeAverage {
+    tracker: PiecewiseConstant,
+    begin: Option<SimTime>,
+    begin_integral: f64,
+}
+
+impl TimeAverage {
+    /// Starts tracking at `t0` with an initial value; measurement has not
+    /// begun yet.
+    pub fn new(t0: SimTime, value: f64) -> Self {
+        TimeAverage {
+            tracker: PiecewiseConstant::new(t0, value),
+            begin: None,
+            begin_integral: 0.0,
+        }
+    }
+
+    /// Updates the tracked value at `t`.
+    pub fn set(&mut self, t: SimTime, value: f64) {
+        self.tracker.set(t, value);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> f64 {
+        self.tracker.value()
+    }
+
+    /// Marks the start of the measurement window (end of warm-up).
+    pub fn begin_measurement(&mut self, t: SimTime) {
+        self.begin = Some(t);
+        self.begin_integral = self.tracker.integral_at(t);
+    }
+
+    /// The integral accumulated within the measurement window up to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if measurement was never begun.
+    pub fn measured_integral(&self, t: SimTime) -> f64 {
+        assert!(self.begin.is_some(), "begin_measurement was never called");
+        self.tracker.integral_at(t) - self.begin_integral
+    }
+
+    /// The time-average over `[begin, t]`. Zero-length windows yield 0.
+    pub fn average(&self, t: SimTime) -> f64 {
+        let begin = self.begin.expect("begin_measurement was never called");
+        let span = t - begin;
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.measured_integral(t) / span
+        }
+    }
+}
+
+/// Welford-style running summary of a scalar sample stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty summary.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (+inf if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (−inf if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64) * (other.n as f64) / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn piecewise_integral_is_exact() {
+        let mut p = PiecewiseConstant::new(t(0.0), 2.0);
+        p.set(t(3.0), 5.0); // 2·3 = 6
+        p.set(t(4.0), 0.0); // + 5·1 = 11
+        assert_eq!(p.integral_at(t(10.0)), 11.0); // + 0·6
+        assert_eq!(p.value(), 0.0);
+    }
+
+    #[test]
+    fn reset_returns_and_clears_integral() {
+        let mut p = PiecewiseConstant::new(t(0.0), 1.0);
+        p.set(t(2.0), 3.0);
+        let total = p.reset(t(4.0), 0.0);
+        assert_eq!(total, 1.0 * 2.0 + 3.0 * 2.0);
+        assert_eq!(p.integral_at(t(4.0)), 0.0);
+        assert_eq!(p.last_change(), t(4.0));
+    }
+
+    #[test]
+    fn time_average_ignores_warmup() {
+        let mut a = TimeAverage::new(t(0.0), 100.0); // huge during warm-up
+        a.set(t(10.0), 2.0);
+        a.begin_measurement(t(10.0));
+        a.set(t(15.0), 4.0);
+        // window [10, 20]: 2·5 + 4·5 = 30 over 10s → 3.0
+        assert!((a.average(t(20.0)) - 3.0).abs() < 1e-12);
+        assert!((a.measured_integral(t(20.0)) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_average_empty_window() {
+        let mut a = TimeAverage::new(t(0.0), 5.0);
+        a.begin_measurement(t(1.0));
+        assert_eq!(a.average(t(1.0)), 0.0);
+    }
+
+    #[test]
+    fn running_stats_basics() {
+        let mut s = RunningStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn running_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.73).sin() * 5.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-12);
+        assert!((left.variance() - all.variance()).abs() < 1e-10);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = RunningStats::new();
+        s.push(3.0);
+        let before = (s.count(), s.mean());
+        s.merge(&RunningStats::new());
+        assert_eq!((s.count(), s.mean()), before);
+
+        let mut e = RunningStats::new();
+        e.merge(&s);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.mean(), 3.0);
+    }
+}

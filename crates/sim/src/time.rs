@@ -1,0 +1,198 @@
+//! Simulated time.
+//!
+//! The paper's simulator works in seconds: bandwidths are messages/second,
+//! update rates are per-second Poisson parameters, and measurement horizons
+//! are a few thousand seconds. We keep time as an `f64` number of seconds
+//! wrapped in [`SimTime`] so that arithmetic stays explicit and the type can
+//! enforce the invariants the event queue relies on (finite, totally
+//! ordered).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since the start of the simulation.
+///
+/// `SimTime` is totally ordered (NaN is rejected at construction), `Copy`,
+/// and cheap. Durations are plain `f64` seconds.
+#[derive(Clone, Copy, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero: the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is NaN or infinite — such values would corrupt
+    /// the event queue ordering.
+    #[inline]
+    pub fn new(seconds: f64) -> Self {
+        assert!(seconds.is_finite(), "SimTime must be finite, got {seconds}");
+        SimTime(seconds)
+    }
+
+    /// The raw number of seconds.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Elapsed seconds since `earlier`. Negative if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> f64 {
+        self.0 - earlier.0
+    }
+
+    /// The largest integer tick boundary at or before this time.
+    #[inline]
+    pub fn floor_tick(self, tick: f64) -> SimTime {
+        SimTime((self.0 / tick).floor() * tick)
+    }
+
+    /// The smallest tick boundary strictly after this time.
+    #[inline]
+    pub fn next_tick(self, tick: f64) -> SimTime {
+        // Flooring then stepping once lands strictly after `self`, also
+        // when `self` sits exactly on a boundary.
+        let f = (self.0 / tick).floor() * tick;
+        SimTime(f + tick)
+    }
+
+    /// Returns the later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Values are finite by construction, so total_cmp agrees with the
+        // usual ordering.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    #[inline]
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::new(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+
+    #[inline]
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+impl From<f64> for SimTime {
+    #[inline]
+    fn from(seconds: f64) -> Self {
+        SimTime::new(seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a, SimTime::new(1.0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::new(5.0) + 2.5;
+        assert_eq!(t.seconds(), 7.5);
+        assert_eq!(t - SimTime::new(5.0), 2.5);
+        assert_eq!(t.since(SimTime::ZERO), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_infinity() {
+        let _ = SimTime::new(f64::INFINITY);
+    }
+
+    #[test]
+    fn tick_boundaries() {
+        let t = SimTime::new(3.4);
+        assert_eq!(t.floor_tick(1.0).seconds(), 3.0);
+        assert_eq!(t.next_tick(1.0).seconds(), 4.0);
+        // Exactly on a boundary: next tick is strictly later.
+        let t = SimTime::new(3.0);
+        assert_eq!(t.next_tick(1.0).seconds(), 4.0);
+        assert_eq!(SimTime::ZERO.next_tick(1.0).seconds(), 1.0);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let t = SimTime::new(1.23456);
+        assert_eq!(format!("{t}"), "1.235");
+        assert_eq!(format!("{t:?}"), "1.235s");
+    }
+}

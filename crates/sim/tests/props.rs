@@ -1,0 +1,157 @@
+//! Property tests for the simulation kernel.
+
+use besync_sim::signal::Signal;
+use besync_sim::stats::{PiecewiseConstant, RunningStats, TimeAverage};
+use besync_sim::{EventQueue, SimTime, Wave};
+use proptest::prelude::*;
+
+proptest! {
+    /// The piecewise-constant integral equals a brute-force sum over the
+    /// segments, for arbitrary event sequences.
+    #[test]
+    fn piecewise_integral_matches_reference(
+        segments in prop::collection::vec((0.001f64..50.0, -10.0f64..10.0), 1..50),
+        tail in 0.0f64..20.0,
+    ) {
+        let mut p = PiecewiseConstant::new(SimTime::ZERO, 0.0);
+        let mut reference = 0.0;
+        let mut now = 0.0;
+        let mut current = 0.0;
+        for &(gap, value) in &segments {
+            reference += current * gap;
+            now += gap;
+            p.set(SimTime::new(now), value);
+            current = value;
+        }
+        reference += current * tail;
+        let end = SimTime::new(now + tail);
+        prop_assert!((p.integral_at(end) - reference).abs()
+            < 1e-9 * reference.abs().max(1.0));
+    }
+
+    /// `reset` returns exactly the accumulated integral and zeroes state.
+    #[test]
+    fn piecewise_reset_returns_total(
+        segments in prop::collection::vec((0.001f64..50.0, 0.0f64..10.0), 1..30),
+    ) {
+        let mut p = PiecewiseConstant::new(SimTime::ZERO, 0.0);
+        let mut now = 0.0;
+        for &(gap, value) in &segments {
+            now += gap;
+            p.set(SimTime::new(now), value);
+        }
+        let expected = p.integral_at(SimTime::new(now));
+        let got = p.reset(SimTime::new(now), 0.0);
+        prop_assert_eq!(got.to_bits(), expected.to_bits());
+        prop_assert_eq!(p.integral_at(SimTime::new(now + 5.0)), 0.0);
+    }
+
+    /// Wave integrals agree with midpoint Riemann sums for any valid
+    /// parameterization.
+    #[test]
+    fn wave_integral_matches_riemann(
+        mean in 0.1f64..100.0,
+        m_b in 0.0f64..0.5,
+        phase in 0.0f64..6.2,
+        a in 0.0f64..30.0,
+        len in 0.1f64..30.0,
+    ) {
+        let w = Wave::fluctuating(mean, m_b, phase);
+        let from = SimTime::new(a);
+        let to = SimTime::new(a + len);
+        let exact = w.integral(from, to);
+        let n = 20_000;
+        let dt = len / n as f64;
+        let mut approx = 0.0;
+        for i in 0..n {
+            approx += w.value(from + (i as f64 + 0.5) * dt) * dt;
+        }
+        prop_assert!((exact - approx).abs() < 1e-3 * exact.abs().max(1.0),
+            "exact {exact} vs approx {approx}");
+    }
+
+    /// Wave values are never negative and never exceed mean·(1+1).
+    #[test]
+    fn wave_bounded(
+        mean in 0.0f64..100.0,
+        m_b in 0.0f64..0.5,
+        phase in 0.0f64..6.2,
+        t in 0.0f64..10_000.0,
+    ) {
+        let w = Wave::fluctuating(mean, m_b, phase);
+        let v = w.value(SimTime::new(t));
+        prop_assert!(v >= 0.0);
+        prop_assert!(v <= mean * 2.0 + 1e-12);
+    }
+
+    /// The event queue pops in exactly the order of a stable sort by time.
+    #[test]
+    fn event_queue_matches_stable_sort(
+        times in prop::collection::vec(0.0f64..100.0, 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::new(t), i);
+        }
+        let mut expected: Vec<(SimTime, usize)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (SimTime::new(t), i))
+            .collect();
+        expected.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut got = Vec::new();
+        while let Some(e) = q.pop() {
+            got.push(e);
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// RunningStats::merge is equivalent to pushing all samples into one
+    /// accumulator, for any split point.
+    #[test]
+    fn running_stats_merge_any_split(
+        xs in prop::collection::vec(-100.0f64..100.0, 2..60),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+        let mut all = RunningStats::new();
+        for &x in &xs { all.push(x); }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &xs[..split] { left.push(x); }
+        for &x in &xs[split..] { right.push(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - all.variance()).abs() < 1e-7);
+        prop_assert_eq!(left.min().to_bits(), all.min().to_bits());
+        prop_assert_eq!(left.max().to_bits(), all.max().to_bits());
+    }
+
+    /// TimeAverage over a window equals the integral divided by the span,
+    /// regardless of what happened during warm-up.
+    #[test]
+    fn time_average_window_correct(
+        warm in prop::collection::vec((0.01f64..5.0, 0.0f64..10.0), 0..10),
+        measured in prop::collection::vec((0.01f64..5.0, 0.0f64..10.0), 1..20),
+    ) {
+        let mut ta = TimeAverage::new(SimTime::ZERO, 0.0);
+        let mut now = 0.0;
+        for &(gap, v) in &warm {
+            now += gap;
+            ta.set(SimTime::new(now), v);
+        }
+        ta.begin_measurement(SimTime::new(now));
+        let begin = now;
+        let mut reference = 0.0;
+        let mut current = ta.value();
+        for &(gap, v) in &measured {
+            reference += current * gap;
+            now += gap;
+            ta.set(SimTime::new(now), v);
+            current = v;
+        }
+        let span = now - begin;
+        prop_assert!((ta.average(SimTime::new(now)) - reference / span).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,162 @@
+//! Update processes.
+//!
+//! The paper uses two stochastic update models. §4.3 updates each object
+//! "with probability λᵢ each second" — a Bernoulli trial at every integer
+//! tick. §6.2 assigns "a Poisson update rate parameter λᵢ" — exponential
+//! inter-arrival times. Both are captured by [`UpdateProcess`]; for small
+//! rates they coincide (a Bernoulli(p)-per-second process is a discretized
+//! Poisson(p) process), which is why the paper uses them interchangeably.
+
+use besync_sim::SimTime;
+use rand::Rng;
+
+/// A stochastic update process for one object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdateProcess {
+    /// Poisson process with the given rate (updates/second).
+    Poisson {
+        /// Average updates per second (λ).
+        rate: f64,
+    },
+    /// One Bernoulli trial at every integer second: the object is updated
+    /// with probability `p`.
+    Bernoulli {
+        /// Per-second update probability.
+        p: f64,
+    },
+}
+
+impl UpdateProcess {
+    /// The nominal long-run update rate λ (updates/second).
+    pub fn rate(&self) -> f64 {
+        match *self {
+            UpdateProcess::Poisson { rate } => rate,
+            UpdateProcess::Bernoulli { p } => p,
+        }
+    }
+
+    /// Samples the time of the next update strictly after `now`, or `None`
+    /// if the process never fires (zero rate).
+    pub fn next_after<R: Rng + ?Sized>(&self, now: SimTime, rng: &mut R) -> Option<SimTime> {
+        match *self {
+            UpdateProcess::Poisson { rate } => {
+                if rate <= 0.0 {
+                    return None;
+                }
+                // Inverse-CDF exponential sample; 1-gen::<f64>() avoids ln(0).
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                Some(now + (-u.ln() / rate))
+            }
+            UpdateProcess::Bernoulli { p } => {
+                if p <= 0.0 {
+                    return None;
+                }
+                // First candidate tick strictly after `now`.
+                let first = now.seconds().floor() as i64 + 1;
+                if p >= 1.0 {
+                    return Some(SimTime::new(first as f64));
+                }
+                // Number of failed trials before the first success is
+                // geometric; sample it in closed form.
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                let skips = (u.ln() / (1.0 - p).ln()).floor().max(0.0);
+                Some(SimTime::new(first as f64 + skips))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use besync_sim::rng::stream_rng;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut rng = stream_rng(1, 1);
+        assert_eq!(
+            UpdateProcess::Poisson { rate: 0.0 }.next_after(t(0.0), &mut rng),
+            None
+        );
+        assert_eq!(
+            UpdateProcess::Bernoulli { p: 0.0 }.next_after(t(0.0), &mut rng),
+            None
+        );
+    }
+
+    #[test]
+    fn poisson_interarrivals_average_inverse_rate() {
+        let mut rng = stream_rng(7, 2);
+        let p = UpdateProcess::Poisson { rate: 4.0 };
+        let mut now = t(0.0);
+        let n = 200_000;
+        for _ in 0..n {
+            now = p.next_after(now, &mut rng).unwrap();
+        }
+        let mean_gap = now.seconds() / n as f64;
+        assert!(
+            (mean_gap - 0.25).abs() < 0.005,
+            "mean inter-arrival {mean_gap}, expected 0.25"
+        );
+    }
+
+    #[test]
+    fn bernoulli_fires_on_integer_ticks() {
+        let mut rng = stream_rng(3, 3);
+        let p = UpdateProcess::Bernoulli { p: 0.3 };
+        let mut now = t(0.25);
+        for _ in 0..1000 {
+            now = p.next_after(now, &mut rng).unwrap();
+            let s = now.seconds();
+            assert_eq!(s, s.floor(), "must fire exactly on ticks, got {s}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_next_is_strictly_later() {
+        let mut rng = stream_rng(5, 4);
+        let p = UpdateProcess::Bernoulli { p: 1.0 };
+        // Exactly on a tick: next fire is the *following* tick.
+        assert_eq!(p.next_after(t(3.0), &mut rng), Some(t(4.0)));
+        assert_eq!(p.next_after(t(3.5), &mut rng), Some(t(4.0)));
+    }
+
+    #[test]
+    fn bernoulli_rate_matches_p() {
+        let mut rng = stream_rng(11, 5);
+        let p = UpdateProcess::Bernoulli { p: 0.1 };
+        let mut count = 0u64;
+        let mut now = t(0.0);
+        let horizon = 200_000.0;
+        while let Some(next) = p.next_after(now, &mut rng) {
+            if next.seconds() > horizon {
+                break;
+            }
+            count += 1;
+            now = next;
+        }
+        let rate = count as f64 / horizon;
+        assert!((rate - 0.1).abs() < 0.005, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn p_one_fires_every_second() {
+        let mut rng = stream_rng(13, 6);
+        let p = UpdateProcess::Bernoulli { p: 1.0 };
+        let mut now = t(0.0);
+        for k in 1..=50 {
+            now = p.next_after(now, &mut rng).unwrap();
+            assert_eq!(now, t(k as f64));
+        }
+    }
+
+    #[test]
+    fn nominal_rates() {
+        assert_eq!(UpdateProcess::Poisson { rate: 2.5 }.rate(), 2.5);
+        assert_eq!(UpdateProcess::Bernoulli { p: 0.4 }.rate(), 0.4);
+    }
+}

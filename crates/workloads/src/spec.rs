@@ -1,0 +1,304 @@
+//! Workload specifications.
+//!
+//! A [`WorkloadSpec`] fully determines the data side of a simulation: the
+//! object layout, initial values, how each object's value evolves
+//! (stochastic process + random walk, or a scripted trace), per-object
+//! weight profiles, and nominal update rates. Given the same spec and
+//! seed, every scheduler sees the identical update sequence — updates are
+//! driven by per-object RNG streams, independent of scheduler decisions.
+
+use std::collections::VecDeque;
+
+use besync_data::ids::ObjectLayout;
+use besync_data::{ObjectId, WeightProfile};
+use besync_sim::rng::{self, streams};
+use besync_sim::SimTime;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::process::UpdateProcess;
+use crate::trace::Trace;
+use crate::walk::RandomWalk;
+
+/// How one object's value evolves over time.
+#[derive(Debug, Clone)]
+pub enum Updater {
+    /// Updates arrive from a stochastic process; each update applies a
+    /// random-walk step.
+    Stochastic {
+        /// Inter-arrival process.
+        process: UpdateProcess,
+        /// Value evolution per update.
+        walk: RandomWalk,
+    },
+    /// Updates replay a recorded `(time, value)` script.
+    Scripted {
+        /// Remaining events, front = next.
+        events: VecDeque<(SimTime, f64)>,
+    },
+}
+
+impl Updater {
+    /// The time of this object's first update at or after `start`.
+    pub fn first_time<R: Rng + ?Sized>(&self, start: SimTime, rng: &mut R) -> Option<SimTime> {
+        match self {
+            Updater::Stochastic { process, .. } => process.next_after(start, rng),
+            Updater::Scripted { events } => events.front().map(|&(t, _)| t),
+        }
+    }
+
+    /// Fires the update scheduled for `now`, returning the object's new
+    /// value and the time of its next update.
+    pub fn fire<R: Rng + ?Sized>(
+        &mut self,
+        now: SimTime,
+        current: f64,
+        rng: &mut R,
+    ) -> (f64, Option<SimTime>) {
+        match self {
+            Updater::Stochastic { process, walk } => {
+                let value = walk.apply(current, rng);
+                (value, process.next_after(now, rng))
+            }
+            Updater::Scripted { events } => {
+                let (_, value) = events
+                    .pop_front()
+                    .expect("scripted updater fired with no pending event");
+                let next = events.front().map(|&(t, _)| t);
+                (value, next)
+            }
+        }
+    }
+}
+
+/// A complete workload: the data side of one simulation run.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// How objects are distributed over sources.
+    pub layout: ObjectLayout,
+    /// Initial value of each object (cache starts synchronized).
+    pub initial_values: Vec<f64>,
+    /// How each object's value evolves.
+    pub updaters: Vec<Updater>,
+    /// Refresh weight of each object over time.
+    pub weights: Vec<WeightProfile>,
+    /// Nominal (true) update rate λᵢ of each object, used by schedulers
+    /// that are granted oracle rate knowledge (ideal cache-based baseline,
+    /// Poisson closed-form priorities with known λ).
+    pub rates: Vec<f64>,
+    /// Master seed; per-object RNG streams derive from it.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Builds a homogeneous stochastic workload: every object gets the
+    /// provided process/walk/weight via closures of its id.
+    pub fn stochastic(
+        layout: ObjectLayout,
+        seed: u64,
+        mut process_of: impl FnMut(ObjectId) -> UpdateProcess,
+        mut walk_of: impl FnMut(ObjectId) -> RandomWalk,
+        mut weight_of: impl FnMut(ObjectId) -> WeightProfile,
+        mut initial_of: impl FnMut(ObjectId) -> f64,
+    ) -> Self {
+        let total = layout.total_objects() as usize;
+        let mut initial_values = Vec::with_capacity(total);
+        let mut updaters = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        let mut rates = Vec::with_capacity(total);
+        for obj in layout.all_objects() {
+            let process = process_of(obj);
+            rates.push(process.rate());
+            updaters.push(Updater::Stochastic {
+                process,
+                walk: walk_of(obj),
+            });
+            weights.push(weight_of(obj));
+            initial_values.push(initial_of(obj));
+        }
+        WorkloadSpec {
+            layout,
+            initial_values,
+            updaters,
+            weights,
+            rates,
+            seed,
+        }
+    }
+
+    /// Builds a scripted workload from a trace. Initial values default to
+    /// each object's first scripted value (so runs start synchronized at a
+    /// sensible point); rates are the trace's empirical rates.
+    pub fn from_trace(layout: ObjectLayout, trace: &Trace, weights: Vec<WeightProfile>, seed: u64) -> Self {
+        let total = layout.total_objects() as usize;
+        assert_eq!(weights.len(), total, "one weight per object");
+        let queues = trace.per_object(total);
+        let rates = trace.empirical_rates(total);
+        let initial_values = queues
+            .iter()
+            .map(|q| q.front().map_or(0.0, |&(_, v)| v))
+            .collect();
+        let updaters = queues
+            .into_iter()
+            .map(|events| Updater::Scripted { events })
+            .collect();
+        WorkloadSpec {
+            layout,
+            initial_values,
+            updaters,
+            weights,
+            rates,
+            seed,
+        }
+    }
+
+    /// Total number of objects.
+    pub fn total_objects(&self) -> usize {
+        self.layout.total_objects() as usize
+    }
+
+    /// One independent RNG per object for update draws, derived from the
+    /// master seed. Identical across schedulers by construction.
+    pub fn object_rngs(&self) -> Vec<SmallRng> {
+        (0..self.total_objects() as u64)
+            .map(|i| rng::stream_rng2(self.seed, streams::UPDATES, i))
+            .collect()
+    }
+
+    /// Latest scripted event time across objects, if any object is
+    /// scripted (used to bound replay horizons).
+    pub fn scripted_end(&self) -> Option<SimTime> {
+        self.updaters
+            .iter()
+            .filter_map(|u| match u {
+                Updater::Scripted { events } => events.back().map(|&(t, _)| t),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Sanity-checks internal consistency (lengths agree, rates finite).
+    pub fn validate(&self) -> Result<(), String> {
+        let total = self.total_objects();
+        if self.initial_values.len() != total {
+            return Err(format!(
+                "initial_values has {} entries for {} objects",
+                self.initial_values.len(),
+                total
+            ));
+        }
+        if self.updaters.len() != total {
+            return Err(format!(
+                "updaters has {} entries for {} objects",
+                self.updaters.len(),
+                total
+            ));
+        }
+        if self.weights.len() != total {
+            return Err(format!(
+                "weights has {} entries for {} objects",
+                self.weights.len(),
+                total
+            ));
+        }
+        if self.rates.len() != total {
+            return Err(format!(
+                "rates has {} entries for {} objects",
+                self.rates.len(),
+                total
+            ));
+        }
+        if let Some(r) = self.rates.iter().find(|r| !r.is_finite() || **r < 0.0) {
+            return Err(format!("invalid rate {r}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+    use besync_sim::rng::stream_rng;
+
+    #[test]
+    fn stochastic_spec_is_consistent() {
+        let layout = ObjectLayout::new(2, 3);
+        let spec = WorkloadSpec::stochastic(
+            layout,
+            42,
+            |o| UpdateProcess::Poisson {
+                rate: 0.1 * (o.0 + 1) as f64,
+            },
+            |_| RandomWalk::unit(),
+            |_| WeightProfile::unit(),
+            |_| 0.0,
+        );
+        spec.validate().unwrap();
+        assert_eq!(spec.total_objects(), 6);
+        assert_eq!(spec.rates[3], 0.4);
+    }
+
+    #[test]
+    fn object_rngs_are_reproducible_and_independent() {
+        let layout = ObjectLayout::new(1, 2);
+        let spec = WorkloadSpec::stochastic(
+            layout,
+            7,
+            |_| UpdateProcess::Poisson { rate: 1.0 },
+            |_| RandomWalk::unit(),
+            |_| WeightProfile::unit(),
+            |_| 0.0,
+        );
+        let mut a = spec.object_rngs();
+        let mut b = spec.object_rngs();
+        assert_eq!(a[0].gen::<u64>(), b[0].gen::<u64>());
+        assert_ne!(a[0].gen::<u64>(), a[1].gen::<u64>());
+    }
+
+    #[test]
+    fn scripted_updater_replays_in_order() {
+        let trace = Trace::new(vec![
+            TraceEvent {
+                time: SimTime::new(1.0),
+                object: ObjectId(0),
+                value: 5.0,
+            },
+            TraceEvent {
+                time: SimTime::new(3.0),
+                object: ObjectId(0),
+                value: 7.0,
+            },
+        ]);
+        let layout = ObjectLayout::new(1, 1);
+        let mut spec = WorkloadSpec::from_trace(layout, &trace, vec![WeightProfile::unit()], 0);
+        spec.validate().unwrap();
+        assert_eq!(spec.initial_values[0], 5.0);
+        assert_eq!(spec.scripted_end(), Some(SimTime::new(3.0)));
+
+        let mut rng = stream_rng(0, 0);
+        let first = spec.updaters[0].first_time(SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(first, SimTime::new(1.0));
+        let (v, next) = spec.updaters[0].fire(first, 5.0, &mut rng);
+        assert_eq!(v, 5.0);
+        assert_eq!(next, Some(SimTime::new(3.0)));
+        let (v, next) = spec.updaters[0].fire(SimTime::new(3.0), v, &mut rng);
+        assert_eq!(v, 7.0);
+        assert_eq!(next, None);
+    }
+
+    #[test]
+    fn validate_catches_length_mismatch() {
+        let layout = ObjectLayout::new(1, 2);
+        let mut spec = WorkloadSpec::stochastic(
+            layout,
+            1,
+            |_| UpdateProcess::Poisson { rate: 1.0 },
+            |_| RandomWalk::unit(),
+            |_| WeightProfile::unit(),
+            |_| 0.0,
+        );
+        spec.weights.pop();
+        assert!(spec.validate().is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Recorded update traces.
+//!
+//! A [`Trace`] is a time-ordered list of `(time, object, new value)`
+//! events. Traces serve two purposes: replaying external data sets (the
+//! wind-buoy experiment of §6.2.1 — real data can be supplied as CSV), and
+//! recording a stochastic workload once so several schedulers can be
+//! compared on byte-identical update sequences.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, Write};
+
+use besync_data::ObjectId;
+use besync_sim::SimTime;
+
+/// One recorded update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// When the update occurs.
+    pub time: SimTime,
+    /// Which object it updates.
+    pub object: ObjectId,
+    /// The object's new value.
+    pub value: f64,
+}
+
+/// A time-ordered sequence of update events.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Builds a trace from events, sorting them by time (stably, so
+    /// same-instant events keep their relative order).
+    pub fn new(mut events: Vec<TraceEvent>) -> Self {
+        events.sort_by_key(|e| e.time);
+        Trace { events }
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The time of the last event (None if empty).
+    pub fn end_time(&self) -> Option<SimTime> {
+        self.events.last().map(|e| e.time)
+    }
+
+    /// Splits the trace into one per-object queue of `(time, value)` pairs,
+    /// for objects `0..total_objects`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event references an object outside the range.
+    pub fn per_object(&self, total_objects: usize) -> Vec<VecDeque<(SimTime, f64)>> {
+        let mut queues = vec![VecDeque::new(); total_objects];
+        for e in &self.events {
+            queues[e.object.index()].push_back((e.time, e.value));
+        }
+        queues
+    }
+
+    /// The empirical update rate of each object over the trace duration
+    /// (events / end time), for objects `0..total_objects`.
+    pub fn empirical_rates(&self, total_objects: usize) -> Vec<f64> {
+        let mut counts = vec![0u64; total_objects];
+        for e in &self.events {
+            counts[e.object.index()] += 1;
+        }
+        let horizon = self.end_time().map_or(1.0, |t| t.seconds().max(1e-9));
+        counts.iter().map(|&c| c as f64 / horizon).collect()
+    }
+
+    /// Writes the trace as CSV (`time,object,value` with a header).
+    pub fn to_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "time,object,value")?;
+        for e in &self.events {
+            writeln!(w, "{},{},{}", e.time.seconds(), e.object.0, e.value)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace from CSV as written by [`Trace::to_csv`] (a leading
+    /// header line is skipped if present). This is also the entry point for
+    /// replaying the *real* TAO/PMEL buoy data if it is available.
+    pub fn from_csv<R: BufRead>(r: R) -> io::Result<Trace> {
+        let mut events = Vec::new();
+        for (lineno, line) in r.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || (lineno == 0 && line.starts_with("time")) {
+                continue;
+            }
+            let mut parts = line.split(',');
+            let parse_err = |what: &str| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad {what}: {line}", lineno + 1),
+                )
+            };
+            let time: f64 = parts
+                .next()
+                .and_then(|s| s.trim().parse().ok())
+                .ok_or_else(|| parse_err("time"))?;
+            let object: u32 = parts
+                .next()
+                .and_then(|s| s.trim().parse().ok())
+                .ok_or_else(|| parse_err("object"))?;
+            let value: f64 = parts
+                .next()
+                .and_then(|s| s.trim().parse().ok())
+                .ok_or_else(|| parse_err("value"))?;
+            events.push(TraceEvent {
+                time: SimTime::new(time),
+                object: ObjectId(object),
+                value,
+            });
+        }
+        Ok(Trace::new(events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, o: u32, v: f64) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::new(t),
+            object: ObjectId(o),
+            value: v,
+        }
+    }
+
+    #[test]
+    fn sorts_by_time() {
+        let tr = Trace::new(vec![ev(3.0, 0, 1.0), ev(1.0, 1, 2.0), ev(2.0, 0, 3.0)]);
+        let times: Vec<f64> = tr.events().iter().map(|e| e.time.seconds()).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+        assert_eq!(tr.end_time(), Some(SimTime::new(3.0)));
+    }
+
+    #[test]
+    fn per_object_split() {
+        let tr = Trace::new(vec![ev(1.0, 0, 1.0), ev(2.0, 1, 2.0), ev(3.0, 0, 3.0)]);
+        let q = tr.per_object(2);
+        assert_eq!(q[0].len(), 2);
+        assert_eq!(q[1].len(), 1);
+        assert_eq!(q[0][0], (SimTime::new(1.0), 1.0));
+        assert_eq!(q[0][1], (SimTime::new(3.0), 3.0));
+    }
+
+    #[test]
+    fn empirical_rates() {
+        let tr = Trace::new(vec![ev(1.0, 0, 1.0), ev(5.0, 0, 2.0), ev(10.0, 1, 3.0)]);
+        let r = tr.empirical_rates(2);
+        assert!((r[0] - 0.2).abs() < 1e-12);
+        assert!((r[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let tr = Trace::new(vec![ev(1.5, 0, -2.25), ev(2.0, 3, 4.0)]);
+        let mut buf = Vec::new();
+        tr.to_csv(&mut buf).unwrap();
+        let back = Trace::from_csv(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.events(), tr.events());
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let bad = "time,object,value\n1.0,notanumber,3\n";
+        assert!(Trace::from_csv(io::BufReader::new(bad.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn csv_without_header() {
+        let raw = "1.0,0,5.0\n2.0,1,6.0\n";
+        let tr = Trace::from_csv(io::BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(tr.len(), 2);
+    }
+}

@@ -1,0 +1,73 @@
+//! Random-walk value evolution.
+//!
+//! "Upon each update, the object's value was either incremented or
+//! decremented by 1, with equal probability (following a random walk
+//! pattern)" — paper §4.3. The step size is configurable so experiments
+//! can scale deviation magnitudes.
+
+use rand::Rng;
+
+/// A symmetric random walk: each update moves the value by ±`step` with
+/// equal probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWalk {
+    /// Magnitude of each step.
+    pub step: f64,
+}
+
+impl RandomWalk {
+    /// The paper's unit-step walk.
+    pub fn unit() -> Self {
+        RandomWalk { step: 1.0 }
+    }
+
+    /// Applies one update to `value`.
+    #[inline]
+    pub fn apply<R: Rng + ?Sized>(&self, value: f64, rng: &mut R) -> f64 {
+        if rng.gen::<bool>() {
+            value + self.step
+        } else {
+            value - self.step
+        }
+    }
+}
+
+impl Default for RandomWalk {
+    fn default() -> Self {
+        Self::unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use besync_sim::rng::stream_rng;
+
+    #[test]
+    fn steps_are_plus_minus_step() {
+        let w = RandomWalk { step: 2.5 };
+        let mut rng = stream_rng(1, 1);
+        for _ in 0..100 {
+            let v = w.apply(10.0, &mut rng);
+            assert!(v == 12.5 || v == 7.5);
+        }
+    }
+
+    #[test]
+    fn walk_is_roughly_unbiased() {
+        let w = RandomWalk::unit();
+        let mut rng = stream_rng(2, 2);
+        let mut v = 0.0;
+        let n = 100_000;
+        for _ in 0..n {
+            v = w.apply(v, &mut rng);
+        }
+        // Mean displacement is 0 with std-dev √n ≈ 316; 5σ bound.
+        assert!(v.abs() < 5.0 * (n as f64).sqrt(), "drifted to {v}");
+    }
+
+    #[test]
+    fn unit_default() {
+        assert_eq!(RandomWalk::default(), RandomWalk::unit());
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for workload generation: process statistics, trace
+//! round-trips, and spec reproducibility.
+
+use besync_data::ids::ObjectLayout;
+use besync_data::{ObjectId, WeightProfile};
+use besync_sim::rng::stream_rng;
+use besync_sim::SimTime;
+use besync_workloads::generators::{
+    random_walk_poisson, skewed_validation, uniform_validation, PoissonWorkloadOptions,
+};
+use besync_workloads::{Trace, TraceEvent, UpdateProcess, WorkloadSpec};
+use proptest::prelude::*;
+
+proptest! {
+    /// Poisson inter-arrival sampling has the right mean (law of large
+    /// numbers check with generous tolerance).
+    #[test]
+    fn poisson_rate_is_respected(rate in 0.05f64..5.0, seed in 0u64..1000) {
+        let p = UpdateProcess::Poisson { rate };
+        let mut rng = stream_rng(seed, 1);
+        let mut now = SimTime::ZERO;
+        let n = 5000;
+        for _ in 0..n {
+            now = p.next_after(now, &mut rng).unwrap();
+        }
+        let empirical = n as f64 / now.seconds();
+        prop_assert!((empirical - rate).abs() < rate * 0.15,
+            "rate {rate}, empirical {empirical}");
+    }
+
+    /// Bernoulli processes only ever fire on integer ticks, strictly in
+    /// the future.
+    #[test]
+    fn bernoulli_fires_on_future_ticks(p in 0.01f64..1.0, start in 0.0f64..100.0, seed in 0u64..1000) {
+        let proc = UpdateProcess::Bernoulli { p };
+        let mut rng = stream_rng(seed, 2);
+        let mut now = SimTime::new(start);
+        for _ in 0..100 {
+            let next = proc.next_after(now, &mut rng).unwrap();
+            prop_assert!(next > now);
+            prop_assert_eq!(next.seconds().fract(), 0.0);
+            now = next;
+        }
+    }
+
+    /// Traces survive a CSV round-trip exactly (modulo float printing,
+    /// which Rust guarantees is lossless for f64 display).
+    #[test]
+    fn trace_csv_round_trip(
+        events in prop::collection::vec(
+            (0.0f64..1e4, 0u32..50, -1e6f64..1e6), 0..100),
+    ) {
+        let trace = Trace::new(
+            events
+                .iter()
+                .map(|&(t, o, v)| TraceEvent {
+                    time: SimTime::new(t),
+                    object: ObjectId(o),
+                    value: v,
+                })
+                .collect(),
+        );
+        let mut buf = Vec::new();
+        trace.to_csv(&mut buf).unwrap();
+        let back = Trace::from_csv(std::io::BufReader::new(&buf[..])).unwrap();
+        prop_assert_eq!(back.events(), trace.events());
+    }
+
+    /// Per-object trace queues partition the events: counts add up and
+    /// every queue is time-ordered.
+    #[test]
+    fn trace_partition(
+        events in prop::collection::vec((0.0f64..1e3, 0u32..10, 0.0f64..10.0), 1..200),
+    ) {
+        let trace = Trace::new(
+            events
+                .iter()
+                .map(|&(t, o, v)| TraceEvent {
+                    time: SimTime::new(t),
+                    object: ObjectId(o),
+                    value: v,
+                })
+                .collect(),
+        );
+        let queues = trace.per_object(10);
+        let total: usize = queues.iter().map(|q| q.len()).sum();
+        prop_assert_eq!(total, trace.len());
+        for q in &queues {
+            for w in q.iter().collect::<Vec<_>>().windows(2) {
+                prop_assert!(w[0].0 <= w[1].0);
+            }
+        }
+    }
+
+    /// Generators are pure functions of their seed.
+    #[test]
+    fn generators_reproducible(seed in 0u64..10_000) {
+        let a = uniform_validation(50, seed);
+        let b = uniform_validation(50, seed);
+        prop_assert_eq!(a.rates, b.rates);
+        let a = skewed_validation(100, seed);
+        let b = skewed_validation(100, seed);
+        prop_assert_eq!(a.rates, b.rates);
+        prop_assert_eq!(
+            a.weights.iter().map(|w| w.weight_at(SimTime::ZERO)).collect::<Vec<_>>(),
+            b.weights.iter().map(|w| w.weight_at(SimTime::ZERO)).collect::<Vec<_>>()
+        );
+    }
+
+    /// Every generated spec validates and its parameters respect the
+    /// requested ranges.
+    #[test]
+    fn poisson_spec_in_range(
+        sources in 1u32..10,
+        n in 1u32..10,
+        lo in 0.01f64..0.5,
+        span in 0.01f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let spec = random_walk_poisson(
+            PoissonWorkloadOptions {
+                sources,
+                objects_per_source: n,
+                rate_range: (lo, lo + span),
+                weight_range: (1.0, 10.0),
+                fluctuating_weights: true,
+            },
+            seed,
+        );
+        spec.validate().unwrap();
+        for &r in &spec.rates {
+            prop_assert!(r >= lo && r <= lo + span);
+        }
+        for w in &spec.weights {
+            // Weights stay non-negative at arbitrary times.
+            prop_assert!(w.weight_at(SimTime::new(123.456)) >= 0.0);
+        }
+    }
+
+    /// Scripted specs replay their trace exactly: firing every scheduled
+    /// update reproduces the trace's value sequence.
+    #[test]
+    fn scripted_replay_is_exact(
+        raw in prop::collection::vec((0.001f64..100.0, 0.0f64..10.0), 1..50),
+    ) {
+        // Build a single-object trace with strictly increasing times.
+        let mut t = 0.0;
+        let events: Vec<TraceEvent> = raw
+            .iter()
+            .map(|&(gap, v)| {
+                t += gap;
+                TraceEvent {
+                    time: SimTime::new(t),
+                    object: ObjectId(0),
+                    value: v,
+                }
+            })
+            .collect();
+        let expected: Vec<f64> = events.iter().map(|e| e.value).collect();
+        let trace = Trace::new(events);
+        let layout = ObjectLayout::new(1, 1);
+        let mut spec =
+            WorkloadSpec::from_trace(layout, &trace, vec![WeightProfile::unit()], 0);
+        let mut rng = stream_rng(0, 0);
+        let mut got = Vec::new();
+        let mut next = spec.updaters[0].first_time(SimTime::ZERO, &mut rng);
+        let mut current = spec.initial_values[0];
+        while let Some(at) = next {
+            let (v, n) = spec.updaters[0].fire(at, current, &mut rng);
+            got.push(v);
+            current = v;
+            next = n;
+        }
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,86 @@
+//! Video-conferencing screen regions — the paper's CU-SeeMe motivation:
+//! a viewer screen is a cache of camera regions; bandwidth can't carry
+//! every frame of every region, so refreshes are prioritized by how far a
+//! region's cached pixels have drifted, with extra weight on the center
+//! of attention.
+//!
+//! ```sh
+//! cargo run --release --example video_wall
+//! ```
+
+use besync::config::SystemConfig;
+use besync::priority::PolicyKind;
+use besync::CoopSystem;
+use besync_data::metric::squared_deviation;
+use besync_data::{Metric, WeightProfile};
+use besync_workloads::generators::{random_walk_poisson, PoissonWorkloadOptions};
+use besync_workloads::WorkloadSpec;
+
+const CAMERAS: u32 = 4;
+const GRID: u32 = 8; // 8×8 regions per camera
+
+/// Each camera is a source; each of its 64 screen regions is an object.
+/// Center regions change fast (speaker) and are weighted high; the
+/// periphery is calm and cheap.
+fn screen_workload(seed: u64) -> WorkloadSpec {
+    let mut spec = random_walk_poisson(
+        PoissonWorkloadOptions {
+            sources: CAMERAS,
+            objects_per_source: GRID * GRID,
+            rate_range: (0.05, 0.05), // overwritten below
+            weight_range: (1.0, 1.0),
+            fluctuating_weights: false,
+        },
+        seed,
+    );
+    for obj in spec.layout.all_objects() {
+        let local = obj.0 % (GRID * GRID);
+        let (row, col) = (local / GRID, local % GRID);
+        let center_dist = ((row as f64 - 3.5).powi(2) + (col as f64 - 3.5).powi(2)).sqrt();
+        // Motion concentrates at the center; weight does too (the
+        // CU-SeeMe deviation function emphasizes clustered differences —
+        // we emulate with squared deviation + center weighting).
+        let rate = (1.2 - 0.2 * center_dist).max(0.05);
+        let weight = (5.0 - center_dist).max(1.0);
+        spec.rates[obj.index()] = rate;
+        spec.updaters[obj.index()] = besync_workloads::Updater::Stochastic {
+            process: besync_workloads::UpdateProcess::Poisson { rate },
+            walk: besync_workloads::RandomWalk { step: 1.0 },
+        };
+        spec.weights[obj.index()] = WeightProfile::constant(weight);
+    }
+    spec
+}
+
+fn main() {
+    let regions = CAMERAS * GRID * GRID;
+    println!("{CAMERAS} cameras × {GRID}×{GRID} regions = {regions} cached regions");
+    println!("metric: squared pixel deviation, center-weighted\n");
+    println!("link budget (msgs/s)   weighted deviation   refreshes/s   peak queue");
+
+    for bandwidth in [10.0, 30.0, 80.0, 160.0] {
+        let cfg = SystemConfig {
+            metric: Metric::Deviation(squared_deviation),
+            policy: PolicyKind::Area,
+            cache_bandwidth_mean: bandwidth,
+            source_bandwidth_mean: bandwidth / 2.0, // per-camera uplink
+            warmup: 30.0,
+            measure: 200.0,
+            ..SystemConfig::default()
+        };
+        let horizon = cfg.horizon();
+        let r = CoopSystem::new(cfg, screen_workload(5)).run();
+        println!(
+            "{:>19}   {:>18.3}   {:>11.1}   {:>10}",
+            bandwidth,
+            r.mean_weighted_divergence(),
+            r.refreshes_delivered as f64 / horizon,
+            r.max_cache_queue
+        );
+    }
+
+    println!();
+    println!("the screen degrades gracefully: scarce bandwidth concentrates");
+    println!("refreshes on the fast-moving, attention-weighted center regions");
+    println!("instead of spreading frames uniformly.");
+}

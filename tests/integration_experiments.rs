@@ -1,0 +1,155 @@
+//! Structural integration tests of the experiment harness: every
+//! table/figure generator produces well-formed rows with the paper's
+//! qualitative shape at quick scale, and CSV emission round-trips.
+
+use besync_experiments::output::{render_csv, render_table, Row};
+use besync_experiments::{bounds, competitive, fig4, fig5, fig6, params, sampling, validate, Mode};
+
+#[test]
+fn fig6_reproduces_paper_ordering() {
+    let rows = fig6::run(Mode::Quick, 101);
+    assert!(!rows.is_empty());
+    for r in &rows {
+        // All five curves present and ordered: cooperation ≤ cache-based.
+        for v in [r.ideal_coop, r.ours, r.ideal_cache, r.cgm1, r.cgm2] {
+            assert!((0.0..=1.0).contains(&v), "staleness out of range: {v}");
+        }
+        assert!(r.ideal_coop <= r.ours + 0.05);
+        assert!(r.ours <= r.cgm1.max(r.cgm2) + 0.02);
+    }
+    let csv = render_csv(&rows);
+    assert!(csv.starts_with("m,n,bw_fraction"));
+    assert_eq!(csv.lines().count(), rows.len() + 1);
+}
+
+#[test]
+fn fig4_ratio_compresses_toward_one_at_high_divergence() {
+    let rows = fig4::run(Mode::Quick, 102);
+    let finite: Vec<&fig4::Fig4Row> = rows.iter().filter(|r| r.ratio.is_finite()).collect();
+    assert!(finite.len() >= 6, "too few informative cells");
+    let summary = fig4::summarize(&rows);
+    assert!(!summary.is_empty());
+    // For each metric with all three bands present, high-band ratios are
+    // no worse than low-band ones (the paper's key shape).
+    for metric in ["staleness", "lag", "deviation"] {
+        let low = summary.iter().find(|(k, _)| k == &format!("{metric}/low"));
+        let high = summary.iter().find(|(k, _)| k == &format!("{metric}/high"));
+        if let (Some((_, lo)), Some((_, hi))) = (low, high) {
+            assert!(
+                hi <= lo,
+                "{metric}: high-divergence median ratio {hi} should not exceed low {lo}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig5_table_is_well_formed() {
+    let rows = fig5::run(Mode::Quick, 103);
+    assert_eq!(rows.len(), 8); // 4 bandwidths × 2 regimes at quick scale
+    for r in &rows {
+        assert!(r.ideal >= 0.0 && r.ours >= 0.0);
+        assert!(r.ideal <= 10.0 && r.ours <= 10.0); // wind range
+    }
+    let table = render_table(&rows);
+    assert!(table.contains("fluctuating"));
+}
+
+#[test]
+fn validation_tables_match_paper_direction() {
+    let uniform = validate::run_uniform(Mode::Quick, 104);
+    for r in &uniform {
+        assert!(
+            r.increase_pct.abs() < 30.0,
+            "uniform: policies should be close, got {:+.1}% ({} n={})",
+            r.increase_pct,
+            r.metric,
+            r.n
+        );
+    }
+    let skew = validate::run_skew(Mode::Quick, 104);
+    for r in &skew {
+        assert!(
+            r.increase_pct > 10.0,
+            "skew: simple should lose clearly, got {:+.1}% ({})",
+            r.increase_pct,
+            r.metric
+        );
+    }
+}
+
+#[test]
+fn param_sweep_paper_setting_is_competitive() {
+    // The paper's claim is robustness, not a sharp optimum: α=1.1, ω=10
+    // must be within a whisker of the best cell, and the aggressive
+    // corner (large α with small ω) must be clearly worse.
+    let rows = params::run(Mode::Quick, 105);
+    let best = rows
+        .iter()
+        .map(|r| r.divergence)
+        .fold(f64::INFINITY, f64::min);
+    let paper = rows
+        .iter()
+        .find(|r| r.alpha == 1.1 && r.omega == 10.0)
+        .expect("grid includes the paper's setting");
+    assert!(
+        paper.divergence <= best * 1.15,
+        "paper setting {} vs best {best}",
+        paper.divergence
+    );
+    let worst = rows
+        .iter()
+        .max_by(|a, b| a.divergence.total_cmp(&b.divergence))
+        .unwrap();
+    assert!(
+        worst.alpha >= 1.5 || worst.omega <= 2.0,
+        "worst cell should be an aggressive corner, got α={} ω={}",
+        worst.alpha,
+        worst.omega
+    );
+    assert!(worst.divergence > best);
+}
+
+#[test]
+fn bounds_experiment_validates_section9() {
+    let rows = bounds::run(Mode::Quick, 106);
+    let names: Vec<&str> = rows.iter().map(|r| r.policy).collect();
+    assert!(names.contains(&"analytic_optimum"));
+    assert!(names.contains(&"bound_priority"));
+    let ours = rows.iter().find(|r| r.policy == "bound_priority").unwrap();
+    assert!(ours.vs_optimal < 1.1);
+}
+
+#[test]
+fn sampling_experiment_shows_interval_tradeoff() {
+    let rows = sampling::run(Mode::Quick, 107);
+    assert!(rows.len() >= 4);
+    assert!(rows[0].mean_rel_error < rows.last().unwrap().mean_rel_error);
+}
+
+#[test]
+fn competitive_experiment_produces_all_options() {
+    let rows = competitive::run(Mode::Quick, 108);
+    for option in ["equal_share", "per_object", "piggyback"] {
+        assert!(
+            rows.iter().any(|r| r.option == option),
+            "missing option {option}"
+        );
+    }
+    // Ψ=0 rows exist and spend nothing on source priorities.
+    for r in rows.iter().filter(|r| r.psi == 0.0) {
+        assert_eq!(r.source_refreshes, 0, "option {}", r.option);
+    }
+}
+
+#[test]
+fn experiment_rows_are_deterministic_per_seed() {
+    let a = fig6::run(Mode::Quick, 109);
+    let b = fig6::run(Mode::Quick, 109);
+    let fields_a: Vec<Vec<String>> = a.iter().map(|r| r.fields()).collect();
+    let fields_b: Vec<Vec<String>> = b.iter().map(|r| r.fields()).collect();
+    assert_eq!(fields_a, fields_b);
+    let c = fig6::run(Mode::Quick, 110);
+    let fields_c: Vec<Vec<String>> = c.iter().map(|r| r.fields()).collect();
+    assert_ne!(fields_a, fields_c, "different seeds should differ");
+}
