@@ -20,15 +20,48 @@ use std::process::ExitCode;
 
 use besync_experiments::output::{render_table, write_csv, Row};
 use besync_experiments::{bounds, competitive, fig4, fig5, fig6, params, sampling, validate, Mode};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Manifest<'a> {
     experiment: &'a str,
     mode: &'a str,
     seed: u64,
     rows: usize,
     csv: String,
+}
+
+impl Manifest<'_> {
+    /// Renders the manifest as pretty-printed JSON (the only JSON this
+    /// binary emits; hand-rolled to keep the tree dependency-free).
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"experiment\": {},\n  \"mode\": {},\n  \"seed\": {},\n  \
+             \"rows\": {},\n  \"csv\": {}\n}}",
+            json_string(self.experiment),
+            json_string(self.mode),
+            self.seed,
+            self.rows,
+            json_string(&self.csv),
+        )
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 struct Opts {
@@ -50,9 +83,7 @@ fn emit<R: Row>(name: &str, opts: &Opts, rows: &[R]) {
                 csv: path.display().to_string(),
             };
             let mpath = opts.out.join(format!("{name}_{}.json", opts.mode.name()));
-            if let Ok(json) = serde_json::to_string_pretty(&manifest) {
-                let _ = std::fs::write(&mpath, json);
-            }
+            let _ = std::fs::write(&mpath, manifest.to_json());
             eprintln!("wrote {}", path.display());
         }
         Err(e) => eprintln!("warning: could not write CSV for {name}: {e}"),

@@ -1,0 +1,12 @@
+//! Workspace umbrella crate.
+//!
+//! Holds the repo-level integration tests (`tests/`) and runnable examples
+//! (`examples/`); the library itself only re-exports the member crates so
+//! `cargo doc` produces one entry point.
+
+pub use besync;
+pub use besync_baselines;
+pub use besync_data;
+pub use besync_net;
+pub use besync_sim;
+pub use besync_workloads;

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the API surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
+//! median-of-samples wall-clock harness instead of criterion's full
+//! statistical machinery.
+//!
+//! Output is one line per benchmark: `name ... time: <t> per iter`.
+//! Passing `--test` (as `cargo test` does for bench targets) or setting
+//! `CRITERION_QUICK=1` runs each benchmark body once, so benches double as
+//! smoke tests without burning CI time.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.quick, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named set of benchmarks (prefixes every benchmark id).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the sample count here is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is adaptive.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.0);
+        run_one(&name, self.criterion.quick, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark without an input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_one(&name, self.criterion.quick, &mut f);
+        self
+    }
+
+    /// No-op; reports are printed as benchmarks run.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a displayed parameter.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (strings or ids).
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the body.
+pub struct Bencher {
+    quick: bool,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `body`, storing the per-iteration wall-clock estimate.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        if self.quick {
+            black_box(body());
+            self.result = None;
+            return;
+        }
+        // Calibrate: grow the iteration count until a batch takes >= 25 ms.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(body());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(25) || iters >= (1 << 20) {
+                break elapsed / (iters as u32).max(1);
+            }
+            iters = iters.saturating_mul(4);
+        };
+        // Measure: median of 5 batches sized from the calibration.
+        let mut samples: Vec<Duration> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(body());
+                }
+                start.elapsed() / (iters as u32).max(1)
+            })
+            .collect();
+        samples.sort_unstable();
+        self.result = Some(samples[samples.len() / 2].max(per_iter.min(samples[0])));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, quick: bool, f: &mut F) {
+    let mut b = Bencher {
+        quick,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some(t) => println!("{name:<60} time: {t:>12.3?} per iter"),
+        None => println!("{name:<60} ok (quick mode)"),
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` to run the listed [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

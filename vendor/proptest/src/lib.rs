@@ -1,0 +1,360 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of proptest's API the workspace's property tests use: the
+//! [`proptest!`] macro, range / tuple / `Just` / `prop_oneof!` /
+//! `prop::collection::vec` / `prop::bool::ANY` strategies, `prop_map`, and
+//! the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its seed, case index, and
+//!   the sampled inputs, but is not minimized.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test name (override with `PROPTEST_SEED`), so failures reproduce
+//!   exactly without a persistence file. `PROPTEST_CASES` controls the
+//!   case count (default 64).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// RNG for one test case, derived from a test seed and case index.
+    pub fn for_case(test_seed: u64, case: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(
+            test_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    fn rng(&mut self) -> &mut SmallRng {
+        &mut self.0
+    }
+}
+
+/// FNV-1a over a string: stable per-test seeds from test names.
+pub fn seed_from_name(name: &str) -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse().unwrap_or(0xcbf2_9ce4_8422_2325),
+        Err(_) => {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        }
+    }
+}
+
+/// Number of cases per property: env `PROPTEST_CASES` if set, else the
+/// (possibly `proptest_config`-overridden) default.
+pub fn case_count(default_cases: u32) -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_cases as u64)
+}
+
+/// Per-block configuration (the subset of upstream's `ProptestConfig`
+/// that matters here).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values for one property-test argument.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream `Strategy::prop_map`).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value (upstream `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among equally weighted boxed strategies
+/// (the engine behind [`prop_oneof!`]).
+pub struct OneOf<T> {
+    choices: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds from the given choices (must be non-empty).
+    pub fn new(choices: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { choices }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.rng().gen_range(0..self.choices.len());
+        self.choices[i].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+pub mod prop {
+    //! The `prop::` namespace of upstream proptest.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// A strategy for `Vec`s with lengths drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        /// Generates vectors whose length is uniform in `size` and whose
+        /// elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let len = if self.size.start + 1 >= self.size.end {
+                    self.size.start
+                } else {
+                    rng.rng().gen_range(self.size.clone())
+                };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod bool {
+        //! Boolean strategies.
+
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// The type of [`ANY`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Generates `true` or `false` with equal probability.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.rng().gen::<bool>()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)+
+        }
+    };
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let seed = $crate::seed_from_name(stringify!($name));
+                let config: $crate::ProptestConfig = $cfg;
+                let cases = $crate::case_count(config.cases);
+                for case in 0..cases {
+                    let mut rng = $crate::TestRng::for_case(seed, case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        $(let $arg = $arg;)+
+                        $body
+                    }));
+                    if let Err(panic) = result {
+                        eprintln!(
+                            "proptest failure in `{}` (case {case}/{cases}, seed {seed})",
+                            stringify!($name),
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking; panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$(Box::new($strat) as Box<dyn $crate::Strategy<Value = _>>),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0.5f64..2.0, n in 1u32..10) {
+            prop_assert!((0.5..2.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respected(xs in prop::collection::vec(0.0f64..1.0, 2..7)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 7);
+            prop_assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+
+        #[test]
+        fn tuples_and_map(p in (0u32..4, 0.0f64..1.0).prop_map(|(i, f)| (i, f)) ) {
+            prop_assert!(p.0 < 4);
+        }
+
+        #[test]
+        fn oneof_covers_arms(choice in prop_oneof![Just(1u32), Just(2u32), (5u32..7)]) {
+            prop_assert!(choice == 1 || choice == 2 || choice == 5 || choice == 6);
+        }
+
+        #[test]
+        fn bool_any(b in prop::bool::ANY) {
+            prop_assert!(b || !b);
+        }
+    }
+
+    #[test]
+    fn seeds_stable() {
+        assert_eq!(
+            crate::seed_from_name("alpha"),
+            crate::seed_from_name("alpha")
+        );
+        assert_ne!(crate::seed_from_name("alpha"), crate::seed_from_name("beta"));
+    }
+}
