@@ -1,0 +1,340 @@
+//! `besync-bench` — the repo's throughput baseline harness.
+//!
+//! Runs a fixed set of seeded [`CoopSystem`] scenarios end-to-end, reports
+//! wall-clock time and simulation events per second for each, and
+//! optionally writes a machine-readable JSON trajectory point (e.g.
+//! `BENCH_pr1.json` at the repo root) so successive PRs can be compared
+//! with the *same* binary run on both trees.
+//!
+//! ```text
+//! besync-bench [--out PATH] [--only NAME] [--quick] [--list]
+//! ```
+//!
+//! An *event* is one unit of simulation work: a source-side update, a
+//! refresh message sent, or a feedback message sent (per-second bandwidth
+//! ticks are excluded — they are a fixed, negligible fraction). Counters
+//! are deterministic per seed, so two trees disagreeing on any counter
+//! column are not running the same simulation — that check comes free
+//! with every measurement.
+
+use std::time::Instant;
+
+use besync::config::SystemConfig;
+use besync::system::CoopSystem;
+use besync_data::Metric;
+use besync_workloads::generators::{random_walk_poisson, PoissonWorkloadOptions};
+
+/// One fixed benchmark scenario.
+struct Scenario {
+    name: &'static str,
+    seed: u64,
+    sources: u32,
+    objects_per_source: u32,
+    rate_range: (f64, f64),
+    metric: Metric,
+    cache_bw: f64,
+    source_bw: f64,
+    warmup: f64,
+    measure: f64,
+}
+
+impl Scenario {
+    fn objects(&self) -> u32 {
+        self.sources * self.objects_per_source
+    }
+
+    /// CI-scale variant: same shape, ~1/40 the work.
+    fn quick(mut self) -> Self {
+        self.sources = (self.sources / 4).max(1);
+        self.warmup = 5.0;
+        self.measure = self.measure / 10.0;
+        self.cache_bw = (self.cache_bw / 4.0).max(1.0);
+        self
+    }
+
+    /// Runs the scenario `repeats` times and reports the median wall
+    /// clock. Counters must agree bit-for-bit across repeats (same seed ⇒
+    /// same simulation); a mismatch aborts, because it means the tree has
+    /// lost determinism and its timings compare nothing.
+    fn run(&self, repeats: usize) -> ScenarioResult {
+        let cfg = SystemConfig {
+            metric: self.metric,
+            cache_bandwidth_mean: self.cache_bw,
+            source_bandwidth_mean: self.source_bw,
+            warmup: self.warmup,
+            measure: self.measure,
+            ..SystemConfig::default()
+        };
+        let mut walls = Vec::with_capacity(repeats);
+        let mut reference: Option<(u64, u64, u64, f64)> = None;
+        let mut last = None;
+        for _ in 0..repeats.max(1) {
+            let spec = random_walk_poisson(
+                PoissonWorkloadOptions {
+                    sources: self.sources,
+                    objects_per_source: self.objects_per_source,
+                    rate_range: self.rate_range,
+                    weight_range: (1.0, 4.0),
+                    fluctuating_weights: false,
+                },
+                self.seed,
+            );
+            // Construction (workload generation) is deliberately untimed;
+            // the measured region is exactly the event loop + reporting.
+            let system = CoopSystem::new(cfg.clone(), spec);
+            let start = Instant::now();
+            let report = system.run();
+            walls.push(start.elapsed().as_secs_f64());
+            let fingerprint = (
+                report.updates_processed,
+                report.refreshes_sent,
+                report.feedback_messages,
+                report.mean_divergence(),
+            );
+            match &reference {
+                None => reference = Some(fingerprint),
+                Some(r) => assert_eq!(
+                    *r, fingerprint,
+                    "scenario `{}` is non-deterministic across repeats",
+                    self.name
+                ),
+            }
+            last = Some(report);
+        }
+        let report = last.expect("at least one repeat");
+        walls.sort_by(f64::total_cmp);
+        let wall = walls[walls.len() / 2];
+        let events =
+            report.updates_processed + report.refreshes_sent + report.feedback_messages;
+        ScenarioResult {
+            name: self.name,
+            seed: self.seed,
+            objects: self.objects(),
+            metric: metric_name(self.metric),
+            wall_seconds: wall,
+            events,
+            events_per_sec: events as f64 / wall.max(1e-12),
+            updates: report.updates_processed,
+            refreshes_sent: report.refreshes_sent,
+            refreshes_delivered: report.refreshes_delivered,
+            feedback: report.feedback_messages,
+            mean_divergence: report.mean_divergence(),
+        }
+    }
+}
+
+fn metric_name(m: Metric) -> &'static str {
+    match m {
+        Metric::Staleness => "staleness",
+        Metric::Lag => "lag",
+        Metric::Deviation(_) => "deviation",
+    }
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    seed: u64,
+    objects: u32,
+    metric: &'static str,
+    wall_seconds: f64,
+    events: u64,
+    events_per_sec: f64,
+    updates: u64,
+    refreshes_sent: u64,
+    refreshes_delivered: u64,
+    feedback: u64,
+    mean_divergence: f64,
+}
+
+impl ScenarioResult {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"seed\": {},\n",
+                "      \"objects\": {},\n",
+                "      \"metric\": \"{}\",\n",
+                "      \"wall_seconds\": {:.6},\n",
+                "      \"events\": {},\n",
+                "      \"events_per_sec\": {:.1},\n",
+                "      \"updates\": {},\n",
+                "      \"refreshes_sent\": {},\n",
+                "      \"refreshes_delivered\": {},\n",
+                "      \"feedback\": {},\n",
+                "      \"mean_divergence\": {:.9}\n",
+                "    }}"
+            ),
+            self.name,
+            self.seed,
+            self.objects,
+            self.metric,
+            self.wall_seconds,
+            self.events,
+            self.events_per_sec,
+            self.updates,
+            self.refreshes_sent,
+            self.refreshes_delivered,
+            self.feedback,
+            self.mean_divergence,
+        )
+    }
+}
+
+/// The fixed scenario set. `medium` is the headline comparison scenario
+/// for PR-over-PR speedup claims; the others cover the size × metric
+/// grid so a regression in any regime is visible.
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "small",
+            seed: 101,
+            sources: 8,
+            objects_per_source: 32,
+            rate_range: (0.05, 0.5),
+            metric: Metric::Staleness,
+            cache_bw: 12.0,
+            source_bw: 4.0,
+            warmup: 50.0,
+            measure: 600.0,
+        },
+        Scenario {
+            name: "medium",
+            seed: 202,
+            sources: 32,
+            objects_per_source: 64,
+            rate_range: (0.05, 0.5),
+            metric: Metric::Staleness,
+            cache_bw: 90.0,
+            source_bw: 5.0,
+            warmup: 50.0,
+            measure: 1500.0,
+        },
+        Scenario {
+            name: "medium_value",
+            seed: 303,
+            sources: 32,
+            objects_per_source: 64,
+            rate_range: (0.05, 0.5),
+            metric: Metric::abs_deviation(),
+            cache_bw: 90.0,
+            source_bw: 5.0,
+            warmup: 50.0,
+            measure: 1500.0,
+        },
+        Scenario {
+            name: "large",
+            seed: 404,
+            sources: 64,
+            objects_per_source: 256,
+            rate_range: (0.05, 0.5),
+            metric: Metric::Staleness,
+            cache_bw: 700.0,
+            source_bw: 16.0,
+            warmup: 25.0,
+            measure: 400.0,
+        },
+        Scenario {
+            name: "large_value",
+            seed: 505,
+            sources: 64,
+            objects_per_source: 256,
+            rate_range: (0.05, 0.5),
+            metric: Metric::abs_deviation(),
+            cache_bw: 700.0,
+            source_bw: 16.0,
+            warmup: 25.0,
+            measure: 400.0,
+        },
+    ]
+}
+
+const HELP: &str = "\
+besync-bench — seeded end-to-end throughput scenarios for the CoopSystem
+
+usage: besync-bench [--out PATH] [--only NAME] [--repeat N] [--quick] [--list]
+
+  --out PATH   also write results as JSON (e.g. BENCH_pr1.json)
+  --only NAME  run a single scenario by name
+  --repeat N   repeats per scenario, median wall clock reported (default 3)
+  --quick      CI smoke mode: shrunken scenarios, one repeat, seconds not minutes
+  --list       print scenario names and exit";
+
+fn main() -> std::process::ExitCode {
+    let mut out: Option<String> = None;
+    let mut only: Option<String> = None;
+    let mut quick = false;
+    let mut repeats: usize = 3;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next(),
+            "--only" => only = args.next(),
+            "--repeat" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => repeats = n,
+                None => {
+                    eprintln!("--repeat needs a positive integer");
+                    return std::process::ExitCode::FAILURE;
+                }
+            },
+            "--quick" => quick = true,
+            "--list" => {
+                for s in scenarios() {
+                    println!("{}", s.name);
+                }
+                return std::process::ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return std::process::ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unexpected argument `{other}`\n{HELP}");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let selected: Vec<Scenario> = scenarios()
+        .into_iter()
+        .filter(|s| only.as_deref().is_none_or(|o| o == s.name))
+        .map(|s| if quick { s.quick() } else { s })
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no scenario named `{}`", only.unwrap_or_default());
+        return std::process::ExitCode::FAILURE;
+    }
+
+    println!(
+        "{:<14} {:>8} {:>10} {:>11} {:>12} {:>11} {:>10}",
+        "scenario", "objects", "events", "wall (s)", "events/sec", "refreshes", "mean div"
+    );
+    if quick {
+        repeats = 1;
+    }
+    let mut results = Vec::new();
+    for s in &selected {
+        let r = s.run(repeats);
+        println!(
+            "{:<14} {:>8} {:>10} {:>11.3} {:>12.0} {:>11} {:>10.6}",
+            r.name, r.objects, r.events, r.wall_seconds, r.events_per_sec, r.refreshes_sent,
+            r.mean_divergence
+        );
+        results.push(r);
+    }
+
+    if let Some(path) = out {
+        let body: Vec<String> = results.iter().map(ScenarioResult::to_json).collect();
+        let json = format!(
+            "{{\n  \"schema\": \"besync-bench/v1\",\n  \"quick\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+            quick,
+            body.join(",\n")
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: could not write {path}: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    std::process::ExitCode::SUCCESS
+}

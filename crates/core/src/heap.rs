@@ -9,9 +9,14 @@
 //! deliberately kept — the threshold itself moves (feedback can slash it
 //! 10×), so yesterday's ineligible object may be tomorrow's refresh.
 //!
-//! To bound memory on long runs the heap self-compacts when stale entries
-//! dominate (see [`LazyMaxHeap::pop_valid`] callers and
-//! [`LazyMaxHeap::needs_compaction`]).
+//! To bound memory on long runs the heap **self-compacts**: whenever stale
+//! entries dominate (see [`LazyMaxHeap::needs_compaction`]), [`push`]
+//! garbage-collects them in place via [`LazyMaxHeap::compact`]. Compaction
+//! keeps every live entry's original quote — priority, version, *and* FIFO
+//! sequence number — so it is invisible to pop order; it never recomputes
+//! priorities (per §8.2 they change only when an object is updated).
+//!
+//! [`push`]: LazyMaxHeap::push
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -111,6 +116,9 @@ impl LazyMaxHeap {
             item,
             seq,
         });
+        if self.needs_compaction() {
+            self.compact();
+        }
     }
 
     /// Removes `item`'s current quote, if any (e.g. after sending it).
@@ -145,10 +153,25 @@ impl LazyMaxHeap {
         Some((p, item))
     }
 
-    /// Whether stale entries dominate enough that the caller should
-    /// rebuild the heap with [`LazyMaxHeap::rebuild`].
+    /// Whether stale entries dominate enough to be worth garbage
+    /// collecting. [`LazyMaxHeap::push`] checks this automatically; with
+    /// that trigger, `raw_len() <= max(65, 4 * live() + 1)` always holds.
     pub fn needs_compaction(&self) -> bool {
         self.heap.len() > 64 && self.heap.len() > 4 * self.live.max(1)
+    }
+
+    /// Garbage-collects stale entries in place.
+    ///
+    /// Every live entry keeps its original quote — priority, version, and
+    /// FIFO sequence number — so compaction never changes what
+    /// [`LazyMaxHeap::peek_valid`] / [`LazyMaxHeap::pop_valid`] return.
+    /// O(`raw_len`), no priority recomputation.
+    pub fn compact(&mut self) {
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|e| {
+            self.versions[e.item as usize] == e.version && self.entry_is_live(e.item as usize)
+        });
+        self.heap = BinaryHeap::from(entries);
     }
 
     /// Rebuilds the heap from an iterator of live (item, priority) quotes.
@@ -261,19 +284,61 @@ mod tests {
     #[test]
     fn compaction_rebuild() {
         let mut h = LazyMaxHeap::new(8);
-        // Blow up the stale count.
+        // Churn revisions; automatic GC must keep raw_len bounded.
         for round in 0..200 {
             for i in 0..8 {
                 h.push(i, round as f64 + i as f64);
             }
+            assert!(h.raw_len() <= 65.max(4 * h.live() + 1), "raw {}", h.raw_len());
         }
-        assert!(h.needs_compaction());
         let live: Vec<(u32, f64)> = (0..8).map(|i| (i, i as f64)).collect();
         h.rebuild(live);
         assert_eq!(h.raw_len(), 8);
         assert_eq!(h.live(), 8);
         assert_eq!(h.pop_valid(), Some((7.0, 7)));
         assert_eq!(h.peek_valid(), Some((6.0, 6)));
+    }
+
+    #[test]
+    fn auto_compaction_bounds_raw_len() {
+        let mut h = LazyMaxHeap::new(4);
+        for round in 0..10_000 {
+            let item = (round % 4) as u32;
+            h.push(item, (round as f64 * 0.7) % 13.0);
+            if round % 3 == 0 {
+                h.invalidate(item);
+            }
+            assert!(
+                h.raw_len() <= 65.max(4 * h.live() + 1),
+                "round {round}: raw {} live {}",
+                h.raw_len(),
+                h.live()
+            );
+        }
+    }
+
+    #[test]
+    fn manual_compact_preserves_pop_order() {
+        let mut a = LazyMaxHeap::new(16);
+        for round in 0..50 {
+            for i in 0..16 {
+                // Deliberate ties (mod 5) exercise the FIFO tie-break.
+                a.push(i, ((round + i as i32 * 3) % 5) as f64);
+            }
+        }
+        for i in (0..16).step_by(3) {
+            a.invalidate(i);
+        }
+        let mut b = a.clone();
+        b.compact();
+        assert!(b.raw_len() <= a.raw_len());
+        loop {
+            let (x, y) = (a.pop_valid(), b.pop_valid());
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -212,10 +212,9 @@ impl IdealSystem {
             st.area.on_update(now, d);
         }
         let p = self.priority_of(now, obj.0);
+        // The heap self-compacts (order-preserving GC) when stale quotes
+        // dominate; no requote pass is needed here.
         self.heap.push(obj.0, p);
-        if self.heap.needs_compaction() {
-            self.requote_all(now);
-        }
         self.drain(now);
         if let Some(t) = next {
             self.queue.schedule(t, Ev::Update(obj));

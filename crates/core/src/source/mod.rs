@@ -216,10 +216,9 @@ impl SourceRuntime {
             st.area.on_update(now, d);
         }
         let p = self.priority_of(now, local);
+        // The heap self-compacts (order-preserving GC) when stale quotes
+        // dominate; no requote pass is needed here.
         self.heap.push(local, p);
-        if self.heap.needs_compaction() {
-            self.compact(now);
-        }
         p
     }
 

@@ -155,8 +155,15 @@ impl CoopSystem {
     /// Runs to the configured horizon and reports.
     pub fn run(mut self) -> RunReport {
         let horizon = SimTime::new(self.cfg.horizon());
-        while let Some(t) = self.queue.peek_time() {
-            if t > horizon {
+        self.run_until(horizon);
+        self.report(horizon)
+    }
+
+    /// Processes every event at or before `t` (the simulation can then be
+    /// inspected mid-run and resumed — used by tests and benchmarks).
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(et) = self.queue.peek_time() {
+            if et > t {
                 break;
             }
             let (now, ev) = self.queue.pop().expect("peeked event vanished");
@@ -166,7 +173,23 @@ impl CoopSystem {
                 Ev::EndWarmup => self.truth.begin_measurement(now),
             }
         }
+    }
+
+    /// Finishes a stepped run: accounts divergence up to the configured
+    /// horizon and reports, exactly as [`CoopSystem::run`] would.
+    pub fn into_report(self) -> RunReport {
+        let horizon = SimTime::new(self.cfg.horizon());
         self.report(horizon)
+    }
+
+    /// The configured end of simulated time.
+    pub fn horizon(&self) -> SimTime {
+        SimTime::new(self.cfg.horizon())
+    }
+
+    /// Read access to the per-source runtimes (tests, diagnostics).
+    pub fn sources(&self) -> &[SourceRuntime] {
+        &self.sources
     }
 
     /// The ground truth (for inspection mid-construction or in tests).

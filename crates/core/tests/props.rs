@@ -88,6 +88,33 @@ proptest! {
         }
     }
 
+    /// In-place GC compaction is invisible: a compacted heap pops the
+    /// exact same (priority, item) sequence as its uncompacted clone,
+    /// for any operation sequence.
+    #[test]
+    fn compaction_never_changes_pop_order(ops in prop::collection::vec(arb_op(16), 1..300)) {
+        let mut heap = LazyMaxHeap::new(16);
+        for op in ops {
+            match op {
+                Op::Push(i, p) => heap.push(i, p),
+                Op::Invalidate(i) => heap.invalidate(i),
+                Op::Pop => { let _ = heap.pop_valid(); }
+                Op::Peek => { let _ = heap.peek_valid(); }
+            }
+        }
+        let mut compacted = heap.clone();
+        compacted.compact();
+        prop_assert!(compacted.raw_len() <= heap.raw_len());
+        prop_assert_eq!(compacted.live(), heap.live());
+        loop {
+            let (a, b) = (heap.pop_valid(), compacted.pop_valid());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
     /// Compaction (rebuild) preserves exactly the live quotes.
     #[test]
     fn heap_rebuild_preserves_live(ops in prop::collection::vec(arb_op(12), 1..100)) {

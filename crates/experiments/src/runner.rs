@@ -5,11 +5,21 @@
 //! Results come back in input order regardless of completion order, so
 //! tables and CSVs are deterministic.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::sync::Mutex;
 
 /// Runs `f` over every item on up to `threads` worker threads, returning
 /// results in input order.
+///
+/// Workers pull `(index, item)` pairs from a shared queue (one short lock
+/// per item — the closure runs outside the lock) and push results through
+/// a channel; the caller reassembles them by index. If a worker panics,
+/// the panic propagates to the caller when the thread scope joins, instead
+/// of surfacing as a confusing poisoned-mutex error.
+///
+/// # Panics
+///
+/// Re-raises the first panic raised inside `f` on any worker.
 pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -25,35 +35,51 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
+    let work = Mutex::new(items.into_iter().enumerate());
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
 
     std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+            let tx = tx.clone();
+            let work = &work;
+            let f = &f;
+            handles.push(scope.spawn(move || loop {
+                // A poisoned queue means a sibling panicked while holding
+                // the lock; just stop — the join below re-raises it.
+                let next = match work.lock() {
+                    Ok(mut it) => it.next(),
+                    Err(_) => None,
+                };
+                let Some((i, item)) = next else { break };
+                if tx.send((i, f(item))).is_err() {
                     break;
                 }
-                let item = work[i]
-                    .lock()
-                    .expect("work mutex poisoned")
-                    .take()
-                    .expect("work item taken twice");
-                let r = f(item);
-                *results[i].lock().expect("result mutex poisoned") = Some(r);
-            });
+            }));
+        }
+        drop(tx);
+        // Collect while workers run; ends when every sender is dropped.
+        for (i, r) in rx {
+            results[i] = Some(r);
+        }
+        // Join everyone, then re-raise the first worker panic with its
+        // original payload (the scope's implicit join would replace it
+        // with a generic "a scoped thread panicked").
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
         }
     });
 
     results
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result mutex poisoned")
-                .expect("worker skipped an item")
-        })
+        .map(|r| r.expect("worker dropped an item without panicking"))
         .collect()
 }
 
@@ -92,6 +118,17 @@ mod tests {
     fn more_threads_than_items() {
         let out = parallel_map(vec![5], 32, |x| x * x);
         assert_eq!(out, vec![25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom 3")]
+    fn worker_panics_propagate_with_payload() {
+        let _ = parallel_map((0..16).collect::<Vec<u32>>(), 4, |x| {
+            if x == 3 {
+                panic!("boom {x}");
+            }
+            x
+        });
     }
 
     #[test]

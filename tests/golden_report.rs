@@ -1,0 +1,136 @@
+//! Golden `RunReport` snapshots for two fixed configurations.
+//!
+//! The hot path is periodically refactored for speed; these tests pin the
+//! *exact* counters and (to 1e-9) the mean divergence of two seeded runs,
+//! so any optimization that silently perturbs event ordering — a changed
+//! heap tie-break, a reordered tick phase, a different RNG stream — fails
+//! loudly here instead of drifting the paper's figures.
+//!
+//! If a change is *supposed* to alter trajectories (a protocol fix, a new
+//! policy default), regenerate the constants with:
+//! `cargo test --test golden_report -- --nocapture` after setting
+//! `GOLDEN_PRINT=1`, and say so in the commit message.
+
+use besync::config::SystemConfig;
+use besync::priority::PolicyKind;
+use besync::system::CoopSystem;
+use besync::RunReport;
+use besync_data::Metric;
+use besync_workloads::generators::{random_walk_poisson, PoissonWorkloadOptions};
+
+struct Golden {
+    updates_processed: u64,
+    refreshes_sent: u64,
+    refreshes_delivered: u64,
+    feedback_messages: u64,
+    max_cache_queue: usize,
+    mean_divergence: f64,
+}
+
+fn check(name: &str, report: &RunReport, want: &Golden) {
+    if std::env::var_os("GOLDEN_PRINT").is_some() {
+        println!(
+            "{name}: updates_processed: {}, refreshes_sent: {}, refreshes_delivered: {}, \
+             feedback_messages: {}, max_cache_queue: {}, mean_divergence: {:.12e}",
+            report.updates_processed,
+            report.refreshes_sent,
+            report.refreshes_delivered,
+            report.feedback_messages,
+            report.max_cache_queue,
+            report.mean_divergence(),
+        );
+        return;
+    }
+    assert_eq!(report.updates_processed, want.updates_processed, "{name}: updates_processed");
+    assert_eq!(report.refreshes_sent, want.refreshes_sent, "{name}: refreshes_sent");
+    assert_eq!(
+        report.refreshes_delivered, want.refreshes_delivered,
+        "{name}: refreshes_delivered"
+    );
+    assert_eq!(
+        report.feedback_messages, want.feedback_messages,
+        "{name}: feedback_messages"
+    );
+    assert_eq!(report.max_cache_queue, want.max_cache_queue, "{name}: max_cache_queue");
+    assert!(
+        (report.mean_divergence() - want.mean_divergence).abs() < 1e-9,
+        "{name}: mean_divergence {:.12e} != {:.12e}",
+        report.mean_divergence(),
+        want.mean_divergence
+    );
+}
+
+/// Staleness metric, Area policy, moderate contention.
+#[test]
+fn golden_staleness_area() {
+    let spec = random_walk_poisson(
+        PoissonWorkloadOptions {
+            sources: 4,
+            objects_per_source: 25,
+            rate_range: (0.05, 0.6),
+            weight_range: (1.0, 3.0),
+            fluctuating_weights: false,
+        },
+        7777,
+    );
+    let cfg = SystemConfig {
+        metric: Metric::Staleness,
+        policy: PolicyKind::Area,
+        cache_bandwidth_mean: 15.0,
+        source_bandwidth_mean: 4.0,
+        warmup: 25.0,
+        measure: 200.0,
+        ..SystemConfig::default()
+    };
+    let report = CoopSystem::new(cfg, spec).run();
+    check(
+        "staleness_area",
+        &report,
+        &Golden {
+            updates_processed: 6928,
+            refreshes_sent: 3201,
+            refreshes_delivered: 3201,
+            feedback_messages: 169,
+            max_cache_queue: 23,
+            mean_divergence: 0.405039571852,
+        },
+    );
+}
+
+/// Value-deviation metric, Poisson closed-form policy, fluctuating
+/// weights, tighter bandwidth.
+#[test]
+fn golden_deviation_poisson() {
+    let spec = random_walk_poisson(
+        PoissonWorkloadOptions {
+            sources: 6,
+            objects_per_source: 10,
+            rate_range: (0.1, 1.0),
+            weight_range: (1.0, 5.0),
+            fluctuating_weights: true,
+        },
+        4242,
+    );
+    let cfg = SystemConfig {
+        metric: Metric::abs_deviation(),
+        policy: PolicyKind::PoissonClosedForm,
+        cache_bandwidth_mean: 8.0,
+        source_bandwidth_mean: 3.0,
+        warmup: 20.0,
+        measure: 150.0,
+        ..SystemConfig::default()
+    };
+    let report = CoopSystem::new(cfg, spec).run();
+    check(
+        "deviation_poisson",
+        &report,
+        &Golden {
+            updates_processed: 5947,
+            refreshes_sent: 1277,
+            refreshes_delivered: 1277,
+            feedback_messages: 83,
+            max_cache_queue: 20,
+            mean_divergence: 0.8506841756691,
+        },
+    );
+}
