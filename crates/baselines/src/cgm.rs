@@ -22,13 +22,13 @@
 
 use std::collections::VecDeque;
 
+use besync::report::RunReport;
 use besync_data::{Metric, ObjectId, TruthTable};
 use besync_net::Link;
 use besync_sim::rng::{self, streams};
 use besync_sim::stats::RunningStats;
 use besync_sim::{EventQueue, SimTime, Wave};
 use besync_workloads::{Updater, WorkloadSpec};
-use besync::report::RunReport;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -388,7 +388,8 @@ impl CgmSystem {
             if self.freqs[i] > 0.0 && !self.poll_scheduled[i] && !self.pending.contains(&(i as u32))
             {
                 let phase = self.sched_rng.gen_range(0.0..1.0) / self.freqs[i];
-                self.queue.schedule(now + phase, Ev::Poll(ObjectId(i as u32)));
+                self.queue
+                    .schedule(now + phase, Ev::Poll(ObjectId(i as u32)));
                 self.poll_scheduled[i] = true;
             }
         }

@@ -135,7 +135,10 @@ impl RateEstimate for BinaryChangeEstimator {
     fn observe(&mut self, interval: f64, obs: ChangeObservation) {
         debug_assert!(interval > 0.0);
         self.polls += 1;
-        let entry = self.buckets.entry(Self::quantize(interval)).or_insert((0, 0));
+        let entry = self
+            .buckets
+            .entry(Self::quantize(interval))
+            .or_insert((0, 0));
         match obs {
             ChangeObservation::Changed { .. } => {
                 self.changes += 1;
@@ -157,8 +160,7 @@ impl RateEstimate for BinaryChangeEstimator {
                 .iter()
                 .map(|(&q, &(_, no))| q as f64 / 1e3 * no as f64)
                 .sum();
-            return (0.5 / (self.polls as f64 + 0.5) / (total_time / self.polls as f64))
-                .max(1e-9);
+            return (0.5 / (self.polls as f64 + 0.5) / (total_time / self.polls as f64)).max(1e-9);
         }
         if self.changes == self.polls {
             // Every poll saw a change: the raw MLE diverges. Use the

@@ -129,7 +129,12 @@ pub fn allocate(rates: &[f64], budget: f64) -> Vec<f64> {
 
     // Σf(µ) is decreasing in µ. Bracket the root: grow µ until the total
     // is under budget, shrink until over.
-    let mut hi = 1.0 / rates.iter().copied().filter(|&r| r > 0.0).fold(f64::INFINITY, f64::min);
+    let mut hi = 1.0
+        / rates
+            .iter()
+            .copied()
+            .filter(|&r| r > 0.0)
+            .fold(f64::INFINITY, f64::min);
     while total_for(hi) > budget {
         hi *= 2.0;
         if hi > 1e300 {
@@ -321,7 +326,10 @@ mod tests {
         let f_uni = total_freshness(&rates, &uniform);
         let f_pro = total_freshness(&rates, &proportional);
         assert!(f_opt >= f_uni - 1e-9, "optimal {f_opt} < uniform {f_uni}");
-        assert!(f_opt >= f_pro - 1e-9, "optimal {f_opt} < proportional {f_pro}");
+        assert!(
+            f_opt >= f_pro - 1e-9,
+            "optimal {f_opt} < proportional {f_pro}"
+        );
         // And (CGM's famous result) uniform beats proportional here.
         assert!(f_uni > f_pro);
     }

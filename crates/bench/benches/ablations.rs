@@ -48,10 +48,16 @@ fn bench_feedback_targeting(c: &mut Criterion) {
             measure: 100.0,
             ..SystemConfig::default()
         };
-        let divergence = CoopSystem::new(cfg.clone(), spec(3)).run().mean_divergence();
+        let divergence = CoopSystem::new(cfg.clone(), spec(3))
+            .run()
+            .mean_divergence();
         eprintln!("targeting={name}: divergence {divergence:.4}");
         g.bench_with_input(BenchmarkId::new("run", name), &cfg, |b, cfg| {
-            b.iter(|| CoopSystem::new(cfg.clone(), spec(3)).run().mean_divergence());
+            b.iter(|| {
+                CoopSystem::new(cfg.clone(), spec(3))
+                    .run()
+                    .mean_divergence()
+            });
         });
     }
     g.finish();

@@ -47,7 +47,7 @@ impl Scenario {
     fn quick(mut self) -> Self {
         self.sources = (self.sources / 4).max(1);
         self.warmup = 5.0;
-        self.measure = self.measure / 10.0;
+        self.measure /= 10.0;
         self.cache_bw = (self.cache_bw / 4.0).max(1.0);
         self
     }
@@ -104,8 +104,7 @@ impl Scenario {
         let report = last.expect("at least one repeat");
         walls.sort_by(f64::total_cmp);
         let wall = walls[walls.len() / 2];
-        let events =
-            report.updates_processed + report.refreshes_sent + report.feedback_messages;
+        let events = report.updates_processed + report.refreshes_sent + report.feedback_messages;
         ScenarioResult {
             name: self.name,
             seed: self.seed,
@@ -317,7 +316,12 @@ fn main() -> std::process::ExitCode {
         let r = s.run(repeats);
         println!(
             "{:<14} {:>8} {:>10} {:>11.3} {:>12.0} {:>11} {:>10.6}",
-            r.name, r.objects, r.events, r.wall_seconds, r.events_per_sec, r.refreshes_sent,
+            r.name,
+            r.objects,
+            r.events,
+            r.wall_seconds,
+            r.events_per_sec,
+            r.refreshes_sent,
             r.mean_divergence
         );
         results.push(r);

@@ -38,6 +38,9 @@ pub struct CacheRuntime {
     /// Feedback messages sent over the run.
     pub feedback_sent: u64,
     scratch: Vec<u32>,
+    /// Reusable index pool for the Random targeting's partial
+    /// Fisher–Yates (zero steady-state allocation).
+    fy_scratch: Vec<u32>,
 }
 
 impl CacheRuntime {
@@ -56,6 +59,7 @@ impl CacheRuntime {
             rng: rng::stream_rng(seed, streams::SCHEDULER),
             feedback_sent: 0,
             scratch: Vec::new(),
+            fy_scratch: Vec::new(),
         }
     }
 
@@ -75,30 +79,32 @@ impl CacheRuntime {
     }
 
     /// Picks up to `k` distinct sources to receive positive feedback,
-    /// according to the targeting policy. The returned slice is valid
-    /// until the next call.
-    pub fn select_targets(&mut self, k: usize) -> &[u32] {
+    /// according to the targeting policy, appending them to `out` (which
+    /// is cleared first). Taking a caller-owned buffer keeps the hot path
+    /// allocation-free *and* lets the caller iterate targets while
+    /// mutating other cache state.
+    pub fn select_targets_into(&mut self, k: usize, out: &mut Vec<u32>) {
         let m = self.thresholds.len();
         let k = k.min(m);
-        self.scratch.clear();
+        out.clear();
         if k == 0 {
-            return &self.scratch;
+            return;
         }
         match self.targeting {
             FeedbackTargeting::HighestThreshold => {
-                self.scratch.extend(0..m as u32);
+                out.extend(0..m as u32);
                 if k < m {
                     let thresholds = &self.thresholds;
-                    self.scratch.select_nth_unstable_by(k - 1, |&a, &b| {
+                    out.select_nth_unstable_by(k - 1, |&a, &b| {
                         thresholds[b as usize]
                             .total_cmp(&thresholds[a as usize])
                             .then(a.cmp(&b))
                     });
-                    self.scratch.truncate(k);
+                    out.truncate(k);
                 }
                 // Deterministic order within the chosen set.
                 let thresholds = &self.thresholds;
-                self.scratch.sort_unstable_by(|&a, &b| {
+                out.sort_unstable_by(|&a, &b| {
                     thresholds[b as usize]
                         .total_cmp(&thresholds[a as usize])
                         .then(a.cmp(&b))
@@ -106,20 +112,30 @@ impl CacheRuntime {
             }
             FeedbackTargeting::RoundRobin => {
                 for i in 0..k {
-                    self.scratch.push(((self.rr_cursor + i) % m) as u32);
+                    out.push(((self.rr_cursor + i) % m) as u32);
                 }
                 self.rr_cursor = (self.rr_cursor + k) % m;
             }
             FeedbackTargeting::Random => {
-                // Partial Fisher–Yates over a fresh index vec.
-                let mut all: Vec<u32> = (0..m as u32).collect();
+                // Partial Fisher–Yates over a reused index pool.
+                let all = &mut self.fy_scratch;
+                all.clear();
+                all.extend(0..m as u32);
                 for i in 0..k {
                     let j = self.rng.gen_range(i..m);
                     all.swap(i, j);
-                    self.scratch.push(all[i]);
+                    out.push(all[i]);
                 }
             }
         }
+    }
+
+    /// Like [`CacheRuntime::select_targets_into`], returning a slice into
+    /// an internal buffer (valid until the next call).
+    pub fn select_targets(&mut self, k: usize) -> &[u32] {
+        let mut out = std::mem::take(&mut self.scratch);
+        self.select_targets_into(k, &mut out);
+        self.scratch = out;
         &self.scratch
     }
 }

@@ -217,6 +217,192 @@ impl LazyMaxHeap {
 /// High bit of the version word doubles as the "has a live quote" flag.
 const LIVE_BIT: u64 = 1 << 63;
 
+/// Position sentinel: item not currently quoted.
+const ABSENT: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct IEntry {
+    priority: f64,
+    seq: u64,
+    item: u32,
+}
+
+impl IEntry {
+    /// Max-heap dominance: higher priority wins; priority ties are served
+    /// FIFO (the older quote — smaller seq — wins), exactly like
+    /// [`LazyMaxHeap`]'s ordering.
+    #[inline]
+    fn beats(&self, other: &IEntry) -> bool {
+        match self.priority.total_cmp(&other.priority) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => self.seq < other.seq,
+        }
+    }
+}
+
+/// An indexed max-heap over `n` items: at most one entry per item, revised
+/// **in place** (a sift instead of a stale push), removed in place on
+/// [`IndexedMaxHeap::invalidate`].
+///
+/// Same ordering contract as [`LazyMaxHeap`] — max priority first, FIFO by
+/// quote seq within a priority tie — and a drop-in method surface, so the
+/// two are interchangeable wherever pop order is all that matters. The
+/// trade-off: `push` here pays a sift immediately (lazy `push` is an O(log
+/// n) heap append and defers the cost), but no stale entry ever exists, so
+/// the steady state never pays the lazy structure's amortized
+/// root-discard sift, its memory is exactly one entry per live item, and
+/// compaction is structurally unnecessary. For the hot source runtime —
+/// where every update revises a quote and most quotes move only a few
+/// levels — in-place revision is measurably faster end-to-end.
+#[derive(Debug, Clone)]
+pub struct IndexedMaxHeap {
+    heap: Vec<IEntry>,
+    /// `pos[item]` = index in `heap`, or [`ABSENT`].
+    pos: Vec<u32>,
+    /// Monotone quote counter for FIFO tie-breaking.
+    next_seq: u64,
+}
+
+impl IndexedMaxHeap {
+    /// Creates a heap for items `0..n`.
+    pub fn new(n: usize) -> Self {
+        IndexedMaxHeap {
+            heap: Vec::with_capacity(n),
+            pos: vec![ABSENT; n],
+            next_seq: 0,
+        }
+    }
+
+    /// Number of items the heap covers.
+    pub fn items(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Number of live entries (items with a current quote).
+    pub fn live(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Total entries — identical to [`IndexedMaxHeap::live`]; the indexed
+    /// representation stores no stale entries, so `raw_len == live` is an
+    /// invariant rather than a compaction goal.
+    pub fn raw_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Quotes a new priority for `item`, superseding any previous quote.
+    pub fn push(&mut self, item: u32, priority: f64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = IEntry {
+            priority,
+            seq,
+            item,
+        };
+        let i = self.pos[item as usize];
+        if i == ABSENT {
+            self.heap.push(entry);
+            self.sift_up(self.heap.len() - 1, entry);
+        } else {
+            // In-place revision; the entry moves whichever way the new
+            // priority sends it (a fresh seq loses ties, hence downward on
+            // equal priority).
+            let i = i as usize;
+            if entry.beats(&self.heap[i]) {
+                self.sift_up(i, entry);
+            } else {
+                self.sift_down(i, entry);
+            }
+        }
+    }
+
+    /// Removes `item`'s current quote, if any (e.g. after sending it).
+    pub fn invalidate(&mut self, item: u32) {
+        let i = self.pos[item as usize];
+        if i == ABSENT {
+            return;
+        }
+        self.pos[item as usize] = ABSENT;
+        self.remove_at(i as usize);
+    }
+
+    /// The current top (priority, item) without removing it.
+    pub fn peek_valid(&self) -> Option<(f64, u32)> {
+        self.heap.first().map(|e| (e.priority, e.item))
+    }
+
+    /// Removes and returns the top (priority, item).
+    pub fn pop_valid(&mut self) -> Option<(f64, u32)> {
+        let &IEntry { priority, item, .. } = self.heap.first()?;
+        self.pos[item as usize] = ABSENT;
+        self.remove_at(0);
+        Some((priority, item))
+    }
+
+    /// Rebuilds from an iterator of live (item, priority) quotes, dropping
+    /// all previous quotes. Fresh seqs are assigned in iteration order,
+    /// matching [`LazyMaxHeap::rebuild`].
+    pub fn rebuild(&mut self, live: impl IntoIterator<Item = (u32, f64)>) {
+        for e in &self.heap {
+            self.pos[e.item as usize] = ABSENT;
+        }
+        self.heap.clear();
+        for (item, priority) in live {
+            self.push(item, priority);
+        }
+    }
+
+    fn remove_at(&mut self, i: usize) {
+        let last = self.heap.pop().expect("heap non-empty");
+        if i < self.heap.len() {
+            if i > 0 && last.beats(&self.heap[(i - 1) / 2]) {
+                self.sift_up(i, last);
+            } else {
+                self.sift_down(i, last);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, entry: IEntry) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let p = self.heap[parent];
+            if !entry.beats(&p) {
+                break;
+            }
+            self.heap[i] = p;
+            self.pos[p.item as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = entry;
+        self.pos[entry.item as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize, entry: IEntry) {
+        let n = self.heap.len();
+        loop {
+            let mut child = 2 * i + 1;
+            if child >= n {
+                break;
+            }
+            let right = child + 1;
+            if right < n && self.heap[right].beats(&self.heap[child]) {
+                child = right;
+            }
+            let c = self.heap[child];
+            if !c.beats(&entry) {
+                break;
+            }
+            self.heap[i] = c;
+            self.pos[c.item as usize] = i as u32;
+            i = child;
+        }
+        self.heap[i] = entry;
+        self.pos[entry.item as usize] = i as u32;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,7 +475,11 @@ mod tests {
             for i in 0..8 {
                 h.push(i, round as f64 + i as f64);
             }
-            assert!(h.raw_len() <= 65.max(4 * h.live() + 1), "raw {}", h.raw_len());
+            assert!(
+                h.raw_len() <= 65.max(4 * h.live() + 1),
+                "raw {}",
+                h.raw_len()
+            );
         }
         let live: Vec<(u32, f64)> = (0..8).map(|i| (i, i as f64)).collect();
         h.rebuild(live);
@@ -363,5 +553,73 @@ mod tests {
         h.push(1, -1.0);
         assert_eq!(h.pop_valid(), Some((-1.0, 1)));
         assert_eq!(h.pop_valid(), Some((-5.0, 0)));
+    }
+
+    #[test]
+    fn indexed_basic_order_and_revision() {
+        let mut h = IndexedMaxHeap::new(4);
+        h.push(0, 1.0);
+        h.push(1, 5.0);
+        h.push(2, 3.0);
+        h.push(1, 0.5); // revised downward, in place
+        assert_eq!(h.live(), 3);
+        assert_eq!(h.pop_valid(), Some((3.0, 2)));
+        assert_eq!(h.pop_valid(), Some((1.0, 0)));
+        assert_eq!(h.pop_valid(), Some((0.5, 1)));
+        assert_eq!(h.pop_valid(), None);
+    }
+
+    #[test]
+    fn indexed_invalidate_and_rebuild() {
+        let mut h = IndexedMaxHeap::new(4);
+        for i in 0..4 {
+            h.push(i, i as f64);
+        }
+        h.invalidate(3);
+        assert_eq!(h.peek_valid(), Some((2.0, 2)));
+        h.rebuild([(1, 9.0), (0, 9.0)]);
+        assert_eq!(h.live(), 2);
+        // Equal priorities: FIFO by rebuild order.
+        assert_eq!(h.pop_valid(), Some((9.0, 1)));
+        assert_eq!(h.pop_valid(), Some((9.0, 0)));
+    }
+
+    /// The indexed heap and the lazy heap implement the same ordering
+    /// contract: drive both with an identical operation stream (including
+    /// deliberate priority ties) and demand identical observations.
+    #[test]
+    fn indexed_matches_lazy_heap() {
+        let mut lazy = LazyMaxHeap::new(16);
+        let mut indexed = IndexedMaxHeap::new(16);
+        let mut state = 0xD1B54A32D192ED03u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..20_000 {
+            match rnd() % 8 {
+                0..=4 => {
+                    let item = (rnd() % 16) as u32;
+                    let p = (rnd() % 7) as f64 - 3.0; // few levels → many ties
+                    lazy.push(item, p);
+                    indexed.push(item, p);
+                }
+                5 => {
+                    let item = (rnd() % 16) as u32;
+                    lazy.invalidate(item);
+                    indexed.invalidate(item);
+                }
+                6 => {
+                    assert_eq!(lazy.pop_valid(), indexed.pop_valid());
+                }
+                _ => {
+                    assert_eq!(lazy.peek_valid(), indexed.peek_valid());
+                }
+            }
+            assert_eq!(lazy.live(), indexed.live());
+            assert_eq!(indexed.raw_len(), indexed.live());
+        }
     }
 }

@@ -24,9 +24,7 @@ use rand::rngs::SmallRng;
 
 use crate::config::SystemConfig;
 use crate::heap::LazyMaxHeap;
-use crate::priority::{
-    compute_priority, AreaTracker, BoundTracker, PolicyKind, PriorityInputs,
-};
+use crate::priority::{compute_priority, AreaTracker, BoundTracker, PolicyKind, PriorityInputs};
 use crate::report::RunReport;
 
 #[derive(Debug, Clone, Copy)]
@@ -205,10 +203,10 @@ impl IdealSystem {
             let st = &mut self.states[idx];
             st.value = value;
             st.updates += 1;
-            let d = self
-                .cfg
-                .metric
-                .divergence(st.value, st.updates, st.snap_value, st.snap_updates);
+            let d =
+                self.cfg
+                    .metric
+                    .divergence(st.value, st.updates, st.snap_value, st.snap_updates);
             st.area.on_update(now, d);
         }
         let p = self.priority_of(now, obj.0);
@@ -356,7 +354,11 @@ mod tests {
         .run();
         assert!(ample.mean_divergence() <= tight.mean_divergence() + 1e-9);
         // With bandwidth ≫ update rate, near-zero staleness.
-        assert!(ample.mean_divergence() < 0.05, "{}", ample.mean_divergence());
+        assert!(
+            ample.mean_divergence() < 0.05,
+            "{}",
+            ample.mean_divergence()
+        );
     }
 
     #[test]

@@ -98,7 +98,7 @@ mod tests {
         // Object O1: unchanged until recently, then a significant change.
         let mut o1 = AreaTracker::new(t(0.0));
         o1.on_update(t(9.0), 5.0); // diverged late
-        // Object O2: significant change immediately after refresh, flat since.
+                                   // Object O2: significant change immediately after refresh, flat since.
         let mut o2 = AreaTracker::new(t(0.0));
         o2.on_update(t(1.0), 5.0); // diverged early
         let now = t(10.0);
@@ -125,7 +125,7 @@ mod tests {
         let mut a = AreaTracker::new(t(0.0));
         a.on_update(t(1.0), 4.0);
         a.on_update(t(3.0), 0.0); // walk returned to cached value
-        // (now − t_last)·0 − ∫ = −8
+                                  // (now − t_last)·0 − ∫ = −8
         assert!((a.raw_priority(t(5.0)) + 8.0).abs() < 1e-12);
     }
 

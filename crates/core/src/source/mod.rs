@@ -14,13 +14,21 @@ use besync_data::{Metric, ObjectId, SourceId, WeightProfile};
 use besync_net::Link;
 use besync_sim::SimTime;
 
-use crate::heap::LazyMaxHeap;
+use crate::heap::IndexedMaxHeap;
 use crate::priority::{
     compute_priority, AreaTracker, BoundTracker, PolicyKind, PriorityInputs, RateEstimator,
 };
 use crate::threshold::{ThresholdParams, ThresholdState};
 
 /// Per-object synchronization state from the source's viewpoint.
+///
+/// Layout note: this struct is exactly one cache line (64 bytes), and
+/// [`SourceRuntime`] stores one per object in a flat `Vec`. The hot path
+/// (`record_update` → quote → heap) is *random* access by object index, so
+/// packing the fields an update touches into a single line measurably
+/// beats a struct-of-arrays split, which spreads every update over five
+/// lines. (The per-tick `requote_all` sweep still walks this array
+/// sequentially.)
 #[derive(Debug, Clone, Copy)]
 pub struct ObjectState {
     /// Current value at the source.
@@ -75,17 +83,21 @@ pub struct SourceRuntime {
     pub uplink: Link<()>,
     /// The §5 adaptive threshold.
     pub threshold: ThresholdState,
-    /// Priority heap over local object indices.
-    pub heap: LazyMaxHeap,
+    /// Priority heap over local object indices (indexed: one entry per
+    /// modified object, revised in place — see [`IndexedMaxHeap`]).
+    pub heap: IndexedMaxHeap,
     /// Whether the last send attempt was blocked by source-side bandwidth
     /// while over-threshold work remained (feeds footnote 3's rule).
     pub saturated: bool,
     /// Refresh messages sent.
     pub sends: u64,
+    /// Per-object hot state, one cache line each (see [`ObjectState`]).
     states: Vec<ObjectState>,
     bounds: Option<Vec<BoundTracker>>,
     weights: Vec<WeightProfile>,
     rates: Vec<f64>,
+    /// Reusable buffer for requote sweeps (zero steady-state allocation).
+    quote_scratch: Vec<(u32, f64)>,
     metric: Metric,
     policy: PolicyKind,
     estimator: RateEstimator,
@@ -127,7 +139,7 @@ impl SourceRuntime {
             base,
             uplink,
             threshold: ThresholdState::new(threshold_params, t0),
-            heap: LazyMaxHeap::new(n),
+            heap: IndexedMaxHeap::new(n),
             saturated: false,
             sends: 0,
             states: initial_values
@@ -137,6 +149,7 @@ impl SourceRuntime {
             bounds,
             weights,
             rates,
+            quote_scratch: Vec::new(),
             metric,
             policy,
             estimator,
@@ -162,9 +175,15 @@ impl SourceRuntime {
         ObjectId(self.base + local)
     }
 
-    /// Read access to one object's state.
-    pub fn state(&self, local: u32) -> &ObjectState {
-        &self.states[local as usize]
+    /// One object's state.
+    pub fn state(&self, local: u32) -> ObjectState {
+        self.states[local as usize]
+    }
+
+    /// Updates not yet reflected in the source's last refresh message.
+    #[inline]
+    pub fn updates_since_refresh(&self, local: u32) -> u64 {
+        self.states[local as usize].updates_since_refresh()
     }
 
     /// Current priority of one object (recomputed from scratch; the heap
@@ -172,72 +191,144 @@ impl SourceRuntime {
     pub fn priority_of(&self, now: SimTime, local: u32) -> f64 {
         let idx = local as usize;
         let st = &self.states[idx];
-        let divergence = self.metric.divergence(
-            st.value,
-            st.updates,
-            st.snap_value,
-            st.snap_updates,
-        );
-        let lambda_hat = self.estimator.estimate(
-            self.rates[idx],
-            st.updates,
-            now - self.start,
-            st.updates_since_refresh(),
-            now - st.area.last_refresh(),
-        );
-        let inputs = PriorityInputs {
-            now,
-            divergence,
-            updates_since_refresh: st.updates_since_refresh(),
-            lambda_hat,
-            weight: self.weights[idx].weight_at(now),
-            max_rate: self.bounds.as_ref().map_or(0.0, |b| b[idx].max_rate),
+        let divergence =
+            self.metric
+                .divergence(st.value, st.updates, st.snap_value, st.snap_updates);
+        self.priority_with_divergence(now, idx, divergence)
+    }
+
+    /// Priority from an already-computed divergence (the hot path computes
+    /// divergence once and shares it between the area tracker and the
+    /// quote).
+    #[inline]
+    fn priority_with_divergence(&self, now: SimTime, idx: usize, divergence: f64) -> f64 {
+        self.priority_inner(now, idx, divergence, self.weights[idx].weight_at(now))
+    }
+
+    /// Priority from precomputed divergence *and* weight (the system's
+    /// truth accounting evaluates the same weight profile at the same
+    /// instant; threading it through avoids a second profile lookup per
+    /// update).
+    ///
+    /// Inputs are computed *lazily per policy*: the Area policy — the
+    /// paper's default, and the hot one — needs neither a rate estimate
+    /// nor the bound table, so this skips them. Each arm mirrors
+    /// [`compute_priority`] exactly; a debug assertion checks the two
+    /// stay in lock-step.
+    #[inline]
+    fn priority_inner(&self, now: SimTime, idx: usize, divergence: f64, weight: f64) -> f64 {
+        debug_assert_eq!(weight.to_bits(), self.weights[idx].weight_at(now).to_bits());
+        let st = &self.states[idx];
+        let p = match self.policy {
+            PolicyKind::Area => st.area.raw_priority(now) * weight,
+            PolicyKind::PoissonClosedForm if matches!(self.metric, Metric::Deviation(_)) => {
+                st.area.raw_priority(now) * weight
+            }
+            PolicyKind::PoissonClosedForm => {
+                let updates_since_refresh = st.updates_since_refresh();
+                if updates_since_refresh == 0 {
+                    0.0
+                } else {
+                    let lambda_hat = self.estimator.estimate(
+                        self.rates[idx],
+                        st.updates,
+                        now - self.start,
+                        updates_since_refresh,
+                        now - st.area.last_refresh(),
+                    );
+                    if divergence <= 1.0 {
+                        crate::priority::poisson::staleness_priority(divergence, lambda_hat, weight)
+                    } else {
+                        crate::priority::poisson::lag_priority(divergence, lambda_hat, weight)
+                    }
+                }
+            }
+            PolicyKind::SimpleWeighted => {
+                crate::priority::simple::simple_priority(divergence, weight)
+            }
+            PolicyKind::Bound => crate::priority::bounds::bound_priority(
+                self.bounds.as_ref().map_or(0.0, |b| b[idx].max_rate),
+                now - st.area.last_refresh(),
+                weight,
+            ),
         };
-        compute_priority(
-            self.policy,
-            matches!(self.metric, Metric::Deviation(_)),
-            &st.area,
-            &inputs,
-        )
+        debug_assert_eq!(
+            p.to_bits(),
+            {
+                let inputs = PriorityInputs {
+                    now,
+                    divergence,
+                    updates_since_refresh: st.updates_since_refresh(),
+                    lambda_hat: self.estimator.estimate(
+                        self.rates[idx],
+                        st.updates,
+                        now - self.start,
+                        st.updates_since_refresh(),
+                        now - st.area.last_refresh(),
+                    ),
+                    weight: self.weights[idx].weight_at(now),
+                    max_rate: self.bounds.as_ref().map_or(0.0, |b| b[idx].max_rate),
+                };
+                compute_priority(
+                    self.policy,
+                    matches!(self.metric, Metric::Deviation(_)),
+                    &st.area,
+                    &inputs,
+                )
+                .to_bits()
+            },
+            "lazy priority diverged from compute_priority"
+        );
+        p
     }
 
     /// Records a local update: the object's value becomes `new_value` at
     /// `now`; its priority is recomputed and quoted to the heap. Returns
     /// the new priority.
     pub fn record_update(&mut self, now: SimTime, local: u32, new_value: f64) -> f64 {
+        let weight = self.weights[local as usize].weight_at(now);
+        self.record_update_weighted(now, local, new_value, weight)
+    }
+
+    /// Like [`SourceRuntime::record_update`], with the object's weight
+    /// `W(O, now)` already in hand (callers that just paid for it in the
+    /// truth accounting pass it through).
+    pub fn record_update_weighted(
+        &mut self,
+        now: SimTime,
+        local: u32,
+        new_value: f64,
+        weight: f64,
+    ) -> f64 {
         let idx = local as usize;
-        {
-            let st = &mut self.states[idx];
-            st.value = new_value;
-            st.updates += 1;
-            let d = self
-                .metric
-                .divergence(st.value, st.updates, st.snap_value, st.snap_updates);
-            st.area.on_update(now, d);
-        }
-        let p = self.priority_of(now, local);
-        // The heap self-compacts (order-preserving GC) when stale quotes
-        // dominate; no requote pass is needed here.
+        let st = &mut self.states[idx];
+        st.value = new_value;
+        st.updates += 1;
+        let d = self
+            .metric
+            .divergence(st.value, st.updates, st.snap_value, st.snap_updates);
+        st.area.on_update(now, d);
+        let p = self.priority_inner(now, idx, d, weight);
+        // The indexed heap revises this object's quote in place.
         self.heap.push(local, p);
         p
     }
 
     /// Re-quotes every modified object's priority (used per tick by the
-    /// time-dependent Bound policy, and by heap compaction).
+    /// time-dependent Bound policy).
     pub fn requote_all(&mut self, now: SimTime) {
-        self.compact(now);
-    }
-
-    fn compact(&mut self, now: SimTime) {
-        let quotes: Vec<(u32, f64)> = (0..self.states.len() as u32)
-            .filter(|&l| {
-                // Only objects with something to ship need a quote.
-                let st = &self.states[l as usize];
-                st.updates_since_refresh() > 0
-            })
-            .map(|l| (l, self.priority_of(now, l)))
-            .collect();
-        self.heap.rebuild(quotes);
+        // Only objects with something to ship need a quote. The sweep is
+        // sequential over the state array; the scratch buffer makes it
+        // allocation-free in steady state.
+        let mut quotes = std::mem::take(&mut self.quote_scratch);
+        quotes.clear();
+        for l in 0..self.states.len() as u32 {
+            if self.states[l as usize].updates_since_refresh() > 0 {
+                quotes.push((l, self.priority_of(now, l)));
+            }
+        }
+        self.heap.rebuild(quotes.drain(..));
+        self.quote_scratch = quotes;
     }
 
     /// Marks one object as sent at `now`: the snapshot becomes the current
@@ -266,8 +357,8 @@ impl SourceRuntime {
         self.heap.invalidate(local);
         self.sends += 1;
         Snapshot {
-            value: st.snap_value,
-            updates: st.snap_updates,
+            value: self.states[idx].snap_value,
+            updates: self.states[idx].snap_updates,
         }
     }
 
@@ -338,10 +429,13 @@ mod tests {
         let mut s = make_source(1, PolicyKind::Area);
         s.record_update(t(1.0), 0, 5.0);
         let snap = s.mark_sent(t(2.0), 0);
-        assert_eq!(snap, Snapshot {
-            value: 5.0,
-            updates: 1
-        });
+        assert_eq!(
+            snap,
+            Snapshot {
+                value: 5.0,
+                updates: 1
+            }
+        );
         assert!(s.candidate().is_none());
         assert_eq!(s.state(0).updates_since_refresh(), 0);
         assert_eq!(s.sends, 1);

@@ -22,7 +22,7 @@ use besync_data::ids::ObjectLayout;
 use besync_data::{ObjectId, SourceId, TruthTable};
 use besync_net::Link;
 use besync_sim::stats::RunningStats;
-use besync_sim::{EventQueue, SimTime};
+use besync_sim::{CalendarQueue, SimTime};
 use besync_workloads::{Updater, WorkloadSpec};
 use rand::rngs::SmallRng;
 
@@ -44,17 +44,17 @@ pub struct RefreshMsg {
     pub threshold: f64,
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    /// A source object updates.
-    Update(ObjectId),
-    /// Once-per-second bandwidth accounting boundary.
-    Tick,
-    /// End of warm-up: measurement begins.
-    EndWarmup,
-}
-
 /// The full cooperative system of the paper, ready to run.
+///
+/// Events live in a [`CalendarQueue`]: object `i`'s (single) pending
+/// update occupies slot `i`, and two extra slots carry the per-second tick
+/// and the end-of-warm-up marker. The bucket width is sized from the
+/// workload's aggregate update rate, so the dominant update→next-update
+/// pattern costs an O(1) bucket push plus a short scan of one hot bucket —
+/// no O(log n) heap sift, no pointer-chasing through cold cache lines. The
+/// queue orders by `(time, schedule seq)` exactly like the generic
+/// [`besync_sim::EventQueue`], so trajectories are bit-identical to the
+/// heap-based representation.
 pub struct CoopSystem {
     cfg: SystemConfig,
     layout: ObjectLayout,
@@ -62,10 +62,20 @@ pub struct CoopSystem {
     sources: Vec<SourceRuntime>,
     cache_link: Link<RefreshMsg>,
     cache: CacheRuntime,
-    queue: EventQueue<Ev>,
-    updaters: Vec<Updater>,
-    rngs: Vec<SmallRng>,
+    queue: CalendarQueue,
+    /// Slot id of the per-second tick event (`total_objects`).
+    tick_slot: u32,
+    /// Slot id of the end-of-warm-up event (`total_objects + 1`).
+    warmup_slot: u32,
+    /// Source owning each object (precomputed: the per-event division in
+    /// `ObjectLayout::source_of` is measurable at millions of events/sec).
+    obj_source: Vec<u32>,
+    /// Each object's updater and its RNG stream, kept adjacent: `fire`
+    /// touches both on every event, so one cache line beats two.
+    updaters: Vec<(Updater, SmallRng)>,
     scratch: Vec<RefreshMsg>,
+    /// Reusable feedback target buffer (zero steady-state allocation).
+    feedback_targets: Vec<u32>,
     refreshes_delivered: u64,
     updates_processed: u64,
     /// Refreshes delivered since the last tick (feeds the utilization
@@ -100,10 +110,7 @@ impl CoopSystem {
             let base = sid.0 * layout.objects_per_source();
             let lo = base as usize;
             let hi = lo + layout.objects_per_source() as usize;
-            let bound_rates = cfg
-                .bound_rates
-                .as_ref()
-                .map(|all| all[lo..hi].to_vec());
+            let bound_rates = cfg.bound_rates.as_ref().map(|all| all[lo..hi].to_vec());
             sources.push(SourceRuntime::new(
                 sid,
                 base,
@@ -121,18 +128,39 @@ impl CoopSystem {
         }
 
         let cache_link = Link::new(cfg.cache_wave());
-        let cache = CacheRuntime::new(m, cfg.initial_threshold, cfg.feedback_targeting, cfg.sim_seed);
+        let cache = CacheRuntime::new(
+            m,
+            cfg.initial_threshold,
+            cfg.feedback_targeting,
+            cfg.sim_seed,
+        );
 
-        let mut rngs = spec.object_rngs();
-        let mut queue = EventQueue::with_capacity(spec.total_objects() + 2);
-        queue.schedule(SimTime::new(cfg.warmup), Ev::EndWarmup);
-        queue.schedule(SimTime::new(cfg.tick), Ev::Tick);
+        let rngs = spec.object_rngs();
+        let total = spec.total_objects();
+        let tick_slot = total as u32;
+        let warmup_slot = total as u32 + 1;
+        // Bucket width ≈ the mean gap between consecutive events
+        // (aggregate update rate plus the once-per-second tick), the
+        // occupancy-one sweet spot for a calendar queue.
+        let event_rate = spec.rates.iter().sum::<f64>() + 1.0 / cfg.tick.max(1e-6);
+        let mut queue = CalendarQueue::new(total + 2, 1.0 / event_rate);
+        // Scheduling order matters: the queue breaks same-instant ties by
+        // schedule order, and this order (warm-up, tick, objects) is the
+        // one the golden trajectories were recorded under.
+        queue.schedule(warmup_slot, SimTime::new(cfg.warmup));
+        queue.schedule(tick_slot, SimTime::new(cfg.tick));
+        let mut updaters: Vec<(Updater, SmallRng)> = spec.updaters.into_iter().zip(rngs).collect();
         for obj in layout.all_objects() {
             let idx = obj.index();
-            if let Some(t0) = spec.updaters[idx].first_time(SimTime::ZERO, &mut rngs[idx]) {
-                queue.schedule(t0, Ev::Update(obj));
+            let (updater, rng) = &mut updaters[idx];
+            if let Some(t0) = updater.first_time(SimTime::ZERO, rng) {
+                queue.schedule(obj.0, t0);
             }
         }
+        let obj_source = layout
+            .all_objects()
+            .map(|o| layout.source_of(o).0)
+            .collect();
 
         CoopSystem {
             cfg,
@@ -142,9 +170,12 @@ impl CoopSystem {
             cache_link,
             cache,
             queue,
-            updaters: spec.updaters,
-            rngs,
+            tick_slot,
+            warmup_slot,
+            obj_source,
+            updaters,
             scratch: Vec::new(),
+            feedback_targets: Vec::new(),
             refreshes_delivered: 0,
             updates_processed: 0,
             deliveries_this_tick: 0,
@@ -162,15 +193,17 @@ impl CoopSystem {
     /// Processes every event at or before `t` (the simulation can then be
     /// inspected mid-run and resumed — used by tests and benchmarks).
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(et) = self.queue.peek_time() {
-            if et > t {
-                break;
-            }
-            let (now, ev) = self.queue.pop().expect("peeked event vanished");
-            match ev {
-                Ev::Update(obj) => self.on_update(now, obj),
-                Ev::Tick => self.on_tick(now),
-                Ev::EndWarmup => self.truth.begin_measurement(now),
+        while let Some((now, slot)) = self.queue.pop_at_or_before(t) {
+            if slot < self.tick_slot {
+                // An object update — by far the dominant event.
+                if let Some(next) = self.on_update(now, ObjectId(slot)) {
+                    self.queue.schedule(slot, next);
+                }
+            } else if slot == self.tick_slot {
+                self.on_tick(now);
+            } else {
+                debug_assert_eq!(slot, self.warmup_slot);
+                self.truth.begin_measurement(now);
             }
         }
     }
@@ -192,26 +225,34 @@ impl CoopSystem {
         &self.sources
     }
 
+    /// How objects are laid out over sources.
+    pub fn layout(&self) -> ObjectLayout {
+        self.layout
+    }
+
     /// The ground truth (for inspection mid-construction or in tests).
     pub fn truth(&self) -> &TruthTable {
         &self.truth
     }
 
-    fn on_update(&mut self, now: SimTime, obj: ObjectId) {
+    /// Handles one object update and returns the time of that object's
+    /// next update, if any. Does NOT touch the event queue — the caller
+    /// reschedules the slot in place.
+    fn on_update(&mut self, now: SimTime, obj: ObjectId) -> Option<SimTime> {
         self.updates_processed += 1;
         let idx = obj.index();
-        let sid = self.layout.source_of(obj);
-        let local = self.sources[sid.index()].local(obj);
-        let current = self.sources[sid.index()].state(local).value;
-        let (value, next) = self.updaters[idx].fire(now, current, &mut self.rngs[idx]);
-        self.truth.source_update(now, obj, value);
-        self.sources[sid.index()].record_update(now, local, value);
+        let sid = self.obj_source[idx] as usize;
+        let source = &mut self.sources[sid];
+        let local = source.local(obj);
+        let current = source.state(local).value;
+        let (updater, rng) = &mut self.updaters[idx];
+        let (value, next) = updater.fire(now, current, rng);
+        let weight = self.truth.source_update(now, obj, value);
+        source.record_update_weighted(now, local, value, weight);
         // §3.4: "sources have direct knowledge of update times and decide
         // whether to refresh immediately after each update".
-        self.attempt_sends(now, sid.index());
-        if let Some(t) = next {
-            self.queue.schedule(t, Ev::Update(obj));
-        }
+        self.attempt_sends(now, sid);
+        next
     }
 
     fn on_tick(&mut self, now: SimTime) {
@@ -243,7 +284,7 @@ impl CoopSystem {
         self.deliveries_this_tick = 0;
         self.send_feedback(now);
 
-        self.queue.schedule(now + self.cfg.tick, Ev::Tick);
+        self.queue.schedule(self.tick_slot, now + self.cfg.tick);
     }
 
     /// Sends from source `sid` while (a) an over-threshold candidate
@@ -295,8 +336,12 @@ impl CoopSystem {
         if k == 0 {
             return;
         }
-        let targets: Vec<u32> = self.cache.select_targets(k).to_vec();
-        for sid in targets {
+        // The target list is built into a buffer owned by this struct (not
+        // the cache), so we can iterate it while mutating cache state; it
+        // is reused across ticks, keeping the steady state allocation-free.
+        let mut targets = std::mem::take(&mut self.feedback_targets);
+        self.cache.select_targets_into(k, &mut targets);
+        for &sid in &targets {
             // Refreshes triggered by earlier feedback may have refilled
             // the queue; surplus is gone then.
             if !self.cache_link.try_consume(now, 1.0) {
@@ -309,6 +354,7 @@ impl CoopSystem {
             // The lowered threshold may make objects eligible right away.
             self.attempt_sends(now, sid);
         }
+        self.feedback_targets = targets;
     }
 
     fn deliver(&mut self, now: SimTime, msg: RefreshMsg) {

@@ -121,7 +121,8 @@ impl ThresholdState {
     /// The feedback period the source currently expects: the configured
     /// rough estimate, raised to the cadence actually observed.
     pub fn effective_feedback_period(&self) -> f64 {
-        self.observed_period.max(self.params.expected_feedback_period)
+        self.observed_period
+            .max(self.params.expected_feedback_period)
     }
 
     /// The flood-acceleration factor β at `now` (§5): 1 while feedback is

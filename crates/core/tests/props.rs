@@ -47,9 +47,7 @@ impl Model {
         self.quotes
             .iter()
             .max_by(|a, b| {
-                a.1 .0
-                    .total_cmp(&b.1 .0)
-                    .then(b.1 .1.cmp(&a.1 .1)) // FIFO: older seq wins ties
+                a.1 .0.total_cmp(&b.1 .0).then(b.1 .1.cmp(&a.1 .1)) // FIFO: older seq wins ties
             })
             .map(|(&item, &(p, _))| (p, item))
     }

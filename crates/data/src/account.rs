@@ -13,7 +13,6 @@
 //! standing assumption that weights change slowly relative to refresh
 //! activity (§3.3).
 
-use besync_sim::stats::TimeAverage;
 use besync_sim::SimTime;
 
 use crate::ids::ObjectId;
@@ -57,12 +56,80 @@ impl ObjectTruth {
     }
 }
 
+/// Fused unweighted + weighted time-average pair sharing one clock.
+///
+/// Arithmetic is operation-for-operation identical to two independent
+/// [`besync_sim::stats::TimeAverage`]s updated at the same instants (the trackers were only
+/// ever set together), but one struct with one `last_change` halves the
+/// cache traffic of the per-update accounting — which runs on every
+/// simulation event.
+#[derive(Debug, Clone, Copy)]
+struct DualAverage {
+    last_change: SimTime,
+    value: f64,
+    wvalue: f64,
+    integral: f64,
+    wintegral: f64,
+    begin: Option<SimTime>,
+    begin_integral: f64,
+    begin_wintegral: f64,
+}
+
+impl DualAverage {
+    fn new(t0: SimTime) -> Self {
+        DualAverage {
+            last_change: t0,
+            value: 0.0,
+            wvalue: 0.0,
+            integral: 0.0,
+            wintegral: 0.0,
+            begin: None,
+            begin_integral: 0.0,
+            begin_wintegral: 0.0,
+        }
+    }
+
+    /// Updates both tracked values at `t`.
+    #[inline]
+    fn set(&mut self, t: SimTime, value: f64, wvalue: f64) {
+        debug_assert!(t >= self.last_change, "time must be monotonic");
+        let gap = t - self.last_change;
+        self.integral += self.value * gap;
+        self.wintegral += self.wvalue * gap;
+        self.value = value;
+        self.wvalue = wvalue;
+        self.last_change = t;
+    }
+
+    fn begin_measurement(&mut self, t: SimTime) {
+        self.begin = Some(t);
+        let gap = t - self.last_change;
+        self.begin_integral = self.integral + self.value * gap;
+        self.begin_wintegral = self.wintegral + self.wvalue * gap;
+    }
+
+    /// Time-averages `(unweighted, weighted)` over `[begin, t]`;
+    /// zero-length windows yield 0, like `TimeAverage::average`.
+    fn averages(&self, t: SimTime) -> (f64, f64) {
+        let begin = self.begin.expect("begin_measurement was never called");
+        let span = t - begin;
+        if span <= 0.0 {
+            (0.0, 0.0)
+        } else {
+            let gap = t - self.last_change;
+            (
+                (self.integral + self.value * gap - self.begin_integral) / span,
+                (self.wintegral + self.wvalue * gap - self.begin_wintegral) / span,
+            )
+        }
+    }
+}
+
 /// Per-object divergence accounting (truth + integrals).
 #[derive(Debug, Clone, Copy)]
 pub struct DivergenceAccount {
     truth: ObjectTruth,
-    unweighted: TimeAverage,
-    weighted: TimeAverage,
+    averages: DualAverage,
 }
 
 /// Ground truth and exact divergence accounting for a whole simulation.
@@ -91,8 +158,7 @@ impl TruthTable {
             .iter()
             .map(|&v| DivergenceAccount {
                 truth: ObjectTruth::synced(v),
-                unweighted: TimeAverage::new(SimTime::ZERO, 0.0),
-                weighted: TimeAverage::new(SimTime::ZERO, 0.0),
+                averages: DualAverage::new(SimTime::ZERO),
             })
             .collect();
         TruthTable {
@@ -151,14 +217,18 @@ impl TruthTable {
 
     /// Records an update of `obj` at the source: the source value becomes
     /// `new_value` at time `t`.
-    pub fn source_update(&mut self, t: SimTime, obj: ObjectId, new_value: f64) {
+    ///
+    /// Returns the object's weight `W(O, t)` — the accounting had to
+    /// evaluate it anyway, and schedulers that price the same object at
+    /// the same instant can reuse it instead of re-evaluating the profile.
+    pub fn source_update(&mut self, t: SimTime, obj: ObjectId, new_value: f64) -> f64 {
         let weight = self.weights[obj.index()].weight_at(t);
         let acct = &mut self.accounts[obj.index()];
         acct.truth.source_value = new_value;
         acct.truth.source_updates += 1;
         let d = acct.truth.divergence(self.metric);
-        acct.unweighted.set(t, d);
-        acct.weighted.set(t, d * weight);
+        acct.averages.set(t, d, d * weight);
+        weight
     }
 
     /// Records delivery of a refresh at the cache at time `t`: the cached
@@ -180,8 +250,7 @@ impl TruthTable {
         acct.truth.cached_value = snapshot_value;
         acct.truth.cached_updates = snapshot_updates;
         let d = acct.truth.divergence(self.metric);
-        acct.unweighted.set(t, d);
-        acct.weighted.set(t, d * weight);
+        acct.averages.set(t, d, d * weight);
         self.refreshes_applied += 1;
     }
 
@@ -195,8 +264,7 @@ impl TruthTable {
     /// Marks the end of warm-up: averages are measured from `t` onward.
     pub fn begin_measurement(&mut self, t: SimTime) {
         for acct in &mut self.accounts {
-            acct.unweighted.begin_measurement(t);
-            acct.weighted.begin_measurement(t);
+            acct.averages.begin_measurement(t);
         }
     }
 
@@ -206,9 +274,9 @@ impl TruthTable {
         let mut total_weighted = 0.0;
         let mut max_unweighted: f64 = 0.0;
         for acct in &self.accounts {
-            let u = acct.unweighted.average(t);
+            let (u, w) = acct.averages.averages(t);
             total_unweighted += u;
-            total_weighted += acct.weighted.average(t);
+            total_weighted += w;
             max_unweighted = max_unweighted.max(u);
         }
         let n = self.accounts.len().max(1) as f64;

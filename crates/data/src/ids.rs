@@ -58,7 +58,10 @@ impl ObjectLayout {
     /// Panics if either dimension is zero or the total overflows `u32`.
     pub fn new(sources: u32, objects_per_source: u32) -> Self {
         assert!(sources > 0, "need at least one source");
-        assert!(objects_per_source > 0, "need at least one object per source");
+        assert!(
+            objects_per_source > 0,
+            "need at least one object per source"
+        );
         sources
             .checked_mul(objects_per_source)
             .expect("object count overflows u32");

@@ -19,6 +19,11 @@ use besync_sim::{SimTime, Wave};
 pub struct WeightProfile {
     importance: Wave,
     popularity: Wave,
+    /// Precomputed `I · P` when both factors are constant — the common
+    /// case, and `weight_at` is called on every simulation event, so the
+    /// fast path is one branch and one load instead of two `Wave`
+    /// evaluations spanning a second cache line.
+    constant: Option<f64>,
 }
 
 impl WeightProfile {
@@ -31,24 +36,31 @@ impl WeightProfile {
     /// A constant weight `w` (importance `w`, popularity 1).
     pub fn constant(w: f64) -> Self {
         assert!(w >= 0.0, "weights must be non-negative");
-        WeightProfile {
-            importance: Wave::Constant(w),
-            popularity: Wave::Constant(1.0),
-        }
+        Self::new(Wave::Constant(w), Wave::Constant(1.0))
     }
 
     /// A profile with explicit importance and popularity waves.
     pub fn new(importance: Wave, popularity: Wave) -> Self {
+        let constant = match (importance, popularity) {
+            // Same product expression as the varying path, precomputed
+            // once, so both paths return bit-identical weights.
+            (Wave::Constant(i), Wave::Constant(p)) => Some(i * p),
+            _ => None,
+        };
         WeightProfile {
             importance,
             popularity,
+            constant,
         }
     }
 
     /// The weight at time `t`: `I(t) · P(t)`.
     #[inline]
     pub fn weight_at(&self, t: SimTime) -> f64 {
-        self.importance.value(t) * self.popularity.value(t)
+        match self.constant {
+            Some(w) => w,
+            None => self.importance.value(t) * self.popularity.value(t),
+        }
     }
 
     /// The long-run mean weight (product of means; exact when at most one

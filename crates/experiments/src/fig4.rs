@@ -47,7 +47,15 @@ pub struct Fig4Row {
 impl Row for Fig4Row {
     fn headers() -> Vec<&'static str> {
         vec![
-            "metric", "m", "n", "Bs", "Bc", "mB", "ideal_divergence", "our_divergence", "ratio",
+            "metric",
+            "m",
+            "n",
+            "Bs",
+            "Bc",
+            "mB",
+            "ideal_divergence",
+            "our_divergence",
+            "ratio",
         ]
     }
     fn fields(&self) -> Vec<String> {
@@ -141,9 +149,11 @@ pub fn run(mode: Mode, seed: u64) -> Vec<Fig4Row> {
         }
     }
     let measure = g.measure;
-    parallel_map(jobs, default_threads(), move |(metric, m, n, bs, bc, mb)| {
-        run_cell(metric, m, n, bs, bc, mb, measure, seed)
-    })
+    parallel_map(
+        jobs,
+        default_threads(),
+        move |(metric, m, n, bs, bc, mb)| run_cell(metric, m, n, bs, bc, mb, measure, seed),
+    )
 }
 
 /// Runs a single grid cell — exposed for benches.

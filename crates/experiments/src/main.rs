@@ -71,7 +71,11 @@ struct Opts {
 }
 
 fn emit<R: Row>(name: &str, opts: &Opts, rows: &[R]) {
-    println!("\n== {name} (mode={}, seed={}) ==", opts.mode.name(), opts.seed);
+    println!(
+        "\n== {name} (mode={}, seed={}) ==",
+        opts.mode.name(),
+        opts.seed
+    );
     print!("{}", render_table(rows));
     match write_csv(&opts.out, &format!("{name}_{}", opts.mode.name()), rows) {
         Ok(path) => {

@@ -59,7 +59,10 @@ impl<M> Link<M> {
     ///
     /// Panics if `burst_cap < 1` (the link could never send anything).
     pub fn with_burst_cap(capacity: Wave, burst_cap: f64) -> Self {
-        assert!(burst_cap >= 1.0, "burst cap must allow at least one message");
+        assert!(
+            burst_cap >= 1.0,
+            "burst cap must allow at least one message"
+        );
         Link {
             capacity,
             credit: 0.0,
@@ -231,8 +234,8 @@ mod tests {
         let mut l = constant_link(1.0);
         let _ = l.offer(t(1.0), 1);
         assert!(l.offer(t(1.0), 2).is_none()); // backlog begins
-        // Later there is credit, but the queue must drain first: no
-        // cut-through past queued messages.
+                                               // Later there is credit, but the queue must drain first: no
+                                               // cut-through past queued messages.
         assert!(l.offer(t(5.0), 3).is_none());
         let mut out = Vec::new();
         l.service(t(5.0), &mut out);

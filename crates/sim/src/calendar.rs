@@ -1,0 +1,663 @@
+//! Indexed slot queue: the hot-path event scheduler.
+//!
+//! A discrete-event simulation of the paper's system has a very regular
+//! event population: each object has **exactly one** pending update, plus
+//! a couple of singleton bookkeeping events (the per-second tick, the end
+//! of warm-up). A general [`EventQueue`](crate::EventQueue) pays for that
+//! generality twice: every event carries an enum payload through a
+//! `BinaryHeap`, and the dominant update→next-update pattern costs a full
+//! pop + push. The [`SlotQueue`] here assigns every event source a fixed
+//! *slot* and keeps a binary min-heap of `(time, seq, slot)` entries
+//! **plus a slot→position index**, so:
+//!
+//! * a self-rescheduling event is rewritten at the heap root and sifted
+//!   once ([`SlotQueue::replace_top`]) instead of popped and re-pushed,
+//! * entries are inline 24-byte records — comparisons touch contiguous
+//!   heap memory, no indirection,
+//! * no allocation ever happens after construction.
+//!
+//! Ordering is identical to `EventQueue`: ascending time, FIFO within an
+//! instant (a global sequence number stamps each `schedule`, and the heap
+//! orders by `(time, seq)`). Determinism-sensitive callers can therefore
+//! swap one for the other without perturbing event order — the golden
+//! report tests in the workspace root pin exactly that.
+
+use crate::time::SimTime;
+
+/// Position sentinel: slot not currently queued.
+const ABSENT: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl Entry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
+/// A binary min-heap of at most one pending event per slot, ordered by
+/// `(time, seq)` with `seq` assigned per schedule call (FIFO within an
+/// instant).
+#[derive(Debug, Clone)]
+pub struct SlotQueue {
+    heap: Vec<Entry>,
+    /// `pos[slot]` = index in `heap`, or [`ABSENT`].
+    pos: Vec<u32>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl SlotQueue {
+    /// Creates an empty queue for slots `0..slots`, positioned at time
+    /// zero.
+    pub fn new(slots: usize) -> Self {
+        SlotQueue {
+            heap: Vec::with_capacity(slots),
+            pos: vec![ABSENT; slots],
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Number of slots this queue covers.
+    pub fn slots(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules (or reschedules) `slot` to fire at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current simulation time — scheduling
+    /// in the past would silently reorder causality — or if `slot` is out
+    /// of range.
+    pub fn schedule(&mut self, slot: u32, at: SimTime) {
+        assert!(
+            at >= self.now,
+            "cannot schedule slot {slot} at {at:?} before now {:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        let entry = Entry { at, seq, slot };
+        let i = self.pos[slot as usize];
+        if i == ABSENT {
+            self.heap.push(entry);
+            self.sift_up(self.heap.len() - 1, entry);
+        } else {
+            let i = i as usize;
+            let was = self.heap[i].key();
+            if entry.key() < was {
+                self.sift_up(i, entry);
+            } else {
+                self.sift_down(i, entry);
+            }
+        }
+    }
+
+    /// Cancels `slot`'s pending event, if any. Returns whether one was
+    /// pending.
+    pub fn cancel(&mut self, slot: u32) -> bool {
+        let i = self.pos[slot as usize];
+        if i == ABSENT {
+            return false;
+        }
+        self.remove_at(i as usize);
+        self.pos[slot as usize] = ABSENT;
+        true
+    }
+
+    /// The next `(time, slot)` without removing it.
+    #[inline]
+    pub fn peek(&self) -> Option<(SimTime, u32)> {
+        self.heap.first().map(|e| (e.at, e.slot))
+    }
+
+    /// Removes and returns the next `(time, slot)`, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, u32)> {
+        let &Entry { at, slot, .. } = self.heap.first()?;
+        self.now = at;
+        self.pos[slot as usize] = ABSENT;
+        self.remove_at(0);
+        Some((at, slot))
+    }
+
+    /// Fast path for self-rescheduling events: advances the clock to the
+    /// top event's time and moves that same slot to fire at `at`, with a
+    /// single sift — equivalent to `pop()` followed by
+    /// `schedule(slot, at)`, including the seq stamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty or `at` precedes the top event.
+    pub fn replace_top(&mut self, at: SimTime) {
+        let top = *self.heap.first().expect("replace_top on empty queue");
+        self.now = top.at;
+        assert!(
+            at >= self.now,
+            "cannot schedule slot {} at {at:?} before now {:?}",
+            top.slot,
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        // The key only ever grows here (later time, or same time with a
+        // fresh — larger — seq), so order restores downward.
+        self.sift_down(
+            0,
+            Entry {
+                at,
+                seq,
+                slot: top.slot,
+            },
+        );
+    }
+
+    /// Removes the entry at heap index `i` (caller clears `pos` for its
+    /// slot first if needed).
+    fn remove_at(&mut self, i: usize) {
+        let last = self.heap.pop().expect("heap non-empty");
+        if i < self.heap.len() {
+            // Re-insert the displaced tail entry at the hole. It came from
+            // the bottom, so it usually sinks; but when removing mid-heap
+            // it may instead need to rise toward the root.
+            if i > 0 && last.key() < self.heap[(i - 1) / 2].key() {
+                self.sift_up(i, last);
+            } else {
+                self.sift_down(i, last);
+            }
+        }
+    }
+
+    /// Places `entry` at hole `i`, moving it up while its key is smaller
+    /// than its parent's.
+    fn sift_up(&mut self, mut i: usize, entry: Entry) {
+        let k = entry.key();
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let p = self.heap[parent];
+            if p.key() <= k {
+                break;
+            }
+            self.heap[i] = p;
+            self.pos[p.slot as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = entry;
+        self.pos[entry.slot as usize] = i as u32;
+    }
+
+    /// Places `entry` at hole `i`, moving it down while a child's key is
+    /// smaller.
+    fn sift_down(&mut self, mut i: usize, entry: Entry) {
+        let n = self.heap.len();
+        let k = entry.key();
+        loop {
+            let mut child = 2 * i + 1;
+            if child >= n {
+                break;
+            }
+            let right = child + 1;
+            if right < n && self.heap[right].key() < self.heap[child].key() {
+                child = right;
+            }
+            let c = self.heap[child];
+            if k <= c.key() {
+                break;
+            }
+            self.heap[i] = c;
+            self.pos[c.slot as usize] = i as u32;
+            i = child;
+        }
+        self.heap[i] = entry;
+        self.pos[entry.slot as usize] = i as u32;
+    }
+}
+
+/// A calendar (bucket) queue keyed by [`SimTime`]: amortized O(1)
+/// schedule and pop for the dense, self-rescheduling event populations of
+/// the paper's simulations.
+///
+/// Time is divided into buckets of fixed width `delta`; bucket `⌊t/δ⌋`
+/// (mod a power-of-two bucket count) holds the events of that window, as a
+/// small unordered `Vec`. Popping scans the current bucket for the minimum
+/// `(time, seq)` entry — buckets hold ~1 entry when `delta` matches the
+/// mean event spacing — and walks forward through empty buckets one
+/// comparison each. Unlike a binary heap, no operation chases pointers
+/// through log n cache lines: the hot bucket is one contiguous line.
+///
+/// Same ordering contract as [`EventQueue`](crate::EventQueue) and
+/// [`SlotQueue`]: ascending time, FIFO within an instant via a global
+/// schedule seq (equal times always land in the same bucket, where the
+/// min-scan breaks ties by seq). The golden report tests pin that the
+/// three are interchangeable.
+///
+/// This queue intentionally supports only the operations the hot loop
+/// needs: `schedule` and `pop_at_or_before`. No cancel, no in-place
+/// reschedule — a slot simply must not be scheduled twice (callers keep at
+/// most one pending event per slot; this is debug-asserted via a pending
+/// counter, not a per-slot index, to stay allocation- and bookkeeping-
+/// free).
+#[derive(Debug, Clone)]
+pub struct CalendarQueue {
+    buckets: Vec<Vec<Entry>>,
+    /// Bucket count minus one (count is a power of two).
+    mask: u64,
+    /// Bucket width in seconds.
+    delta: f64,
+    /// `1 / delta`, so bucket lookup is a multiply (consistently used by
+    /// both `schedule` and the pop scan, which is what correctness needs).
+    inv_delta: f64,
+    /// Absolute index (`⌊t/δ⌋`, not wrapped) of the bucket the scan is on.
+    cur_abs: u64,
+    len: usize,
+    seq: u64,
+    now: SimTime,
+}
+
+impl CalendarQueue {
+    /// Creates a queue sized for about `slots` concurrently pending
+    /// events whose typical spacing is `mean_gap` seconds (the bucket
+    /// width). The bucket count is `slots` rounded up to a power of two,
+    /// so average occupancy stays near one entry per bucket.
+    pub fn new(slots: usize, mean_gap: f64) -> Self {
+        let delta = if mean_gap.is_finite() && mean_gap > 0.0 {
+            mean_gap.clamp(1e-6, 3600.0)
+        } else {
+            1.0
+        };
+        let count = slots.max(2).next_power_of_two();
+        CalendarQueue {
+            buckets: vec![Vec::new(); count],
+            mask: count as u64 - 1,
+            delta,
+            inv_delta: 1.0 / delta,
+            cur_abs: 0,
+            len: 0,
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured bucket width in seconds.
+    pub fn bucket_width(&self) -> f64 {
+        self.delta
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    #[inline]
+    fn abs_bucket(&self, at: SimTime) -> u64 {
+        (at.seconds() * self.inv_delta) as u64
+    }
+
+    /// Schedules `slot` to fire at `at`. The slot must not already be
+    /// queued (one pending event per slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current simulation time.
+    pub fn schedule(&mut self, slot: u32, at: SimTime) {
+        assert!(
+            at >= self.now,
+            "cannot schedule slot {slot} at {at:?} before now {:?}",
+            self.now
+        );
+        let abs = self.abs_bucket(at);
+        // The pop scan never revisits windows behind `cur_abs`; an entry
+        // there would be lost. This cannot happen when scheduling from an
+        // event handler (the scan sits on the handled event's window), only
+        // by scheduling right after an exhausted pop — forbid it loudly.
+        assert!(
+            abs >= self.cur_abs,
+            "cannot schedule slot {slot} at {at:?} behind the scan window"
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        let b = (abs & self.mask) as usize;
+        self.buckets[b].push(Entry { at, seq, slot });
+        self.len += 1;
+    }
+
+    /// Removes and returns the next event if it fires at or before
+    /// `limit`; otherwise leaves the queue untouched and returns `None`.
+    /// Advances the clock on success.
+    pub fn pop_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        let limit_abs = self.abs_bucket(limit);
+        loop {
+            let b = (self.cur_abs & self.mask) as usize;
+            let bucket = &self.buckets[b];
+            // Min (time, seq) among entries belonging to this absolute
+            // bucket (aliases from other "years" are skipped).
+            let mut best: Option<(usize, SimTime, u64)> = None;
+            for (i, e) in bucket.iter().enumerate() {
+                if self.abs_bucket(e.at) != self.cur_abs {
+                    continue;
+                }
+                match best {
+                    Some((_, bat, bseq)) if (bat, bseq) <= (e.at, e.seq) => {}
+                    _ => best = Some((i, e.at, e.seq)),
+                }
+            }
+            match best {
+                Some((i, at, _)) => {
+                    if at > limit {
+                        return None;
+                    }
+                    let e = self.buckets[b].swap_remove(i);
+                    self.len -= 1;
+                    self.now = e.at;
+                    return Some((e.at, e.slot));
+                }
+                None => {
+                    // This bucket window is drained; move on — but never
+                    // past `limit`'s window, so a later call (and
+                    // `schedule`, see its assert) resumes correctly.
+                    if self.cur_abs >= limit_abs {
+                        return None;
+                    }
+                    self.cur_abs += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = SlotQueue::new(3);
+        q.schedule(2, t(3.0));
+        q.schedule(0, t(1.0));
+        q.schedule(1, t(2.0));
+        assert_eq!(q.pop(), Some((t(1.0), 0)));
+        assert_eq!(q.pop(), Some((t(2.0), 1)));
+        assert_eq!(q.pop(), Some((t(3.0), 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut q = SlotQueue::new(100);
+        for slot in 0..100 {
+            q.schedule(slot, t(5.0));
+        }
+        for slot in 0..100 {
+            assert_eq!(q.pop(), Some((t(5.0), slot)));
+        }
+    }
+
+    #[test]
+    fn reschedule_moves_slot() {
+        let mut q = SlotQueue::new(2);
+        q.schedule(0, t(5.0));
+        q.schedule(1, t(2.0));
+        q.schedule(0, t(1.0)); // move earlier
+        assert_eq!(q.pop(), Some((t(1.0), 0)));
+        assert_eq!(q.pop(), Some((t(2.0), 1)));
+    }
+
+    #[test]
+    fn reschedule_same_time_goes_last() {
+        let mut q = SlotQueue::new(3);
+        q.schedule(0, t(1.0));
+        q.schedule(1, t(1.0));
+        q.schedule(0, t(1.0)); // re-stamp: now younger than slot 1
+        assert_eq!(q.pop(), Some((t(1.0), 1)));
+        assert_eq!(q.pop(), Some((t(1.0), 0)));
+    }
+
+    #[test]
+    fn replace_top_equals_pop_then_schedule() {
+        let mut a = SlotQueue::new(8);
+        let mut b = SlotQueue::new(8);
+        for slot in 0..8 {
+            a.schedule(slot, t(slot as f64 * 0.5));
+            b.schedule(slot, t(slot as f64 * 0.5));
+        }
+        for step in 0..200 {
+            let (at, slot) = a.peek().unwrap();
+            let next = at + 0.1 + (step % 7) as f64 * 0.3;
+            a.replace_top(next);
+            let (bt, bslot) = b.pop().unwrap();
+            assert_eq!((at, slot), (bt, bslot));
+            b.schedule(bslot, next);
+            assert_eq!(a.peek(), b.peek());
+            assert_eq!(a.now(), b.now());
+        }
+    }
+
+    #[test]
+    fn cancel_removes() {
+        let mut q = SlotQueue::new(4);
+        for slot in 0..4 {
+            q.schedule(slot, t(slot as f64 + 1.0));
+        }
+        assert!(q.cancel(1));
+        assert!(!q.cancel(1));
+        assert_eq!(q.pop(), Some((t(1.0), 0)));
+        assert_eq!(q.pop(), Some((t(3.0), 2)));
+        assert_eq!(q.pop(), Some((t(4.0), 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = SlotQueue::new(2);
+        q.schedule(0, t(2.0));
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), t(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn rejects_past_events() {
+        let mut q = SlotQueue::new(2);
+        q.schedule(0, t(2.0));
+        q.pop();
+        q.schedule(1, t(1.0));
+    }
+
+    /// Positions stay consistent under mixed churn.
+    #[test]
+    fn position_index_stays_consistent() {
+        let mut q = SlotQueue::new(32);
+        let mut state = 1u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for slot in 0..32u32 {
+            q.schedule(slot, t((rnd() % 64) as f64 * 0.25));
+        }
+        for _ in 0..5000 {
+            match rnd() % 4 {
+                0 => {
+                    if let Some((at, slot)) = q.pop() {
+                        q.schedule(slot, at + (rnd() % 8) as f64 * 0.5);
+                    }
+                }
+                1 => {
+                    let slot = (rnd() % 32) as u32;
+                    q.cancel(slot);
+                }
+                2 => {
+                    let slot = (rnd() % 32) as u32;
+                    q.schedule(slot, q.now() + (rnd() % 8) as f64 * 0.5);
+                }
+                _ => {
+                    if !q.is_empty() {
+                        let next = q.peek().unwrap().0 + (rnd() % 4) as f64 * 0.25;
+                        q.replace_top(next);
+                    }
+                }
+            }
+            // Invariant: every queued slot's recorded position is correct.
+            for (i, e) in q.heap.iter().enumerate() {
+                assert_eq!(q.pos[e.slot as usize], i as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn calendar_pops_in_time_order_with_fifo_ties() {
+        let mut q = CalendarQueue::new(8, 0.5);
+        q.schedule(0, t(3.0));
+        q.schedule(1, t(1.0));
+        q.schedule(2, t(1.0)); // tie: FIFO by schedule order
+        q.schedule(3, t(2.0));
+        let horizon = t(10.0);
+        assert_eq!(q.pop_at_or_before(horizon), Some((t(1.0), 1)));
+        assert_eq!(q.pop_at_or_before(horizon), Some((t(1.0), 2)));
+        assert_eq!(q.pop_at_or_before(horizon), Some((t(2.0), 3)));
+        assert_eq!(q.pop_at_or_before(horizon), Some((t(3.0), 0)));
+        assert_eq!(q.pop_at_or_before(horizon), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn calendar_respects_limit() {
+        let mut q = CalendarQueue::new(4, 0.25);
+        q.schedule(0, t(5.0));
+        assert_eq!(q.pop_at_or_before(t(4.9)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_at_or_before(t(5.0)), Some((t(5.0), 0)));
+        // Rescheduling from the popped event's time is fine.
+        q.schedule(0, t(5.0));
+        assert_eq!(q.pop_at_or_before(t(9.0)), Some((t(5.0), 0)));
+    }
+
+    #[test]
+    fn calendar_handles_far_future_and_year_aliasing() {
+        // 4 buckets × 0.5s = 2s year; events many "years" apart alias
+        // into the same buckets and must still pop in global time order.
+        let mut q = CalendarQueue::new(4, 0.5);
+        q.schedule(0, t(0.1));
+        q.schedule(1, t(2.1)); // same bucket slot as 0.1
+        q.schedule(2, t(40.1)); // 20 years out, same slot again
+        q.schedule(3, t(1.0));
+        let horizon = t(100.0);
+        assert_eq!(q.pop_at_or_before(horizon), Some((t(0.1), 0)));
+        assert_eq!(q.pop_at_or_before(horizon), Some((t(1.0), 3)));
+        assert_eq!(q.pop_at_or_before(horizon), Some((t(2.1), 1)));
+        assert_eq!(q.pop_at_or_before(horizon), Some((t(40.1), 2)));
+    }
+
+    /// The calendar queue pops the identical (time, slot) sequence as the
+    /// generic EventQueue under a self-rescheduling workload with
+    /// deliberate integer-time ties (the Bernoulli pattern).
+    #[test]
+    fn calendar_matches_event_queue_order() {
+        let mut cq = CalendarQueue::new(32, 0.3);
+        let mut eq = crate::EventQueue::new();
+        let mut state = 0xA076_1D64_78BD_642Fu64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for slot in 0..32u32 {
+            // Half the slots on integer ticks (tie-heavy), half spread.
+            let at = if slot % 2 == 0 {
+                t((rnd() % 4) as f64 + 1.0)
+            } else {
+                t((rnd() % 1600) as f64 * 0.01)
+            };
+            cq.schedule(slot, at);
+            eq.schedule(at, slot);
+        }
+        let horizon = t(1e9);
+        for _ in 0..20_000 {
+            let (at, slot) = cq.pop_at_or_before(horizon).unwrap();
+            assert_eq!(eq.pop(), Some((at, slot)));
+            let next = if slot % 2 == 0 {
+                t(at.seconds().floor() + 1.0 + (rnd() % 3) as f64)
+            } else {
+                at + (rnd() % 800) as f64 * 0.01
+            };
+            cq.schedule(slot, next);
+            eq.schedule(next, slot);
+            assert_eq!(cq.now(), eq.now());
+        }
+    }
+
+    /// Exhaustive cross-check against the generic EventQueue on a long
+    /// random-ish schedule: identical (time, slot) pop sequences.
+    #[test]
+    fn matches_event_queue_order() {
+        let mut sq = SlotQueue::new(16);
+        let mut eq = crate::EventQueue::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for slot in 0..16u32 {
+            let at = t((rnd() % 8) as f64 * 0.5);
+            sq.schedule(slot, at);
+            eq.schedule(at, slot);
+        }
+        for _ in 0..10_000 {
+            let (at, slot) = sq.pop().unwrap();
+            assert_eq!(eq.pop(), Some((at, slot)));
+            // Reschedule the same slot a pseudo-random gap later —
+            // sometimes zero, exercising the FIFO tie-break.
+            let gap = (rnd() % 4) as f64 * 0.25;
+            let next = at + gap;
+            sq.schedule(slot, next);
+            eq.schedule(next, slot);
+        }
+    }
+}

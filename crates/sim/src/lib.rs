@@ -12,12 +12,14 @@
 //! this kernel replays identically, which is what lets the experiment
 //! harness regenerate the paper's figures reproducibly.
 
+pub mod calendar;
 pub mod events;
 pub mod rng;
 pub mod signal;
 pub mod stats;
 pub mod time;
 
+pub use calendar::{CalendarQueue, SlotQueue};
 pub use events::EventQueue;
 pub use signal::Wave;
 pub use stats::{PiecewiseConstant, RunningStats, TimeAverage};

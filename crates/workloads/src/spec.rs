@@ -129,7 +129,12 @@ impl WorkloadSpec {
     /// Builds a scripted workload from a trace. Initial values default to
     /// each object's first scripted value (so runs start synchronized at a
     /// sensible point); rates are the trace's empirical rates.
-    pub fn from_trace(layout: ObjectLayout, trace: &Trace, weights: Vec<WeightProfile>, seed: u64) -> Self {
+    pub fn from_trace(
+        layout: ObjectLayout,
+        trace: &Trace,
+        weights: Vec<WeightProfile>,
+        seed: u64,
+    ) -> Self {
         let total = layout.total_objects() as usize;
         assert_eq!(weights.len(), total, "one weight per object");
         let queues = trace.per_object(total);
@@ -277,7 +282,9 @@ mod tests {
         assert_eq!(spec.scripted_end(), Some(SimTime::new(3.0)));
 
         let mut rng = stream_rng(0, 0);
-        let first = spec.updaters[0].first_time(SimTime::ZERO, &mut rng).unwrap();
+        let first = spec.updaters[0]
+            .first_time(SimTime::ZERO, &mut rng)
+            .unwrap();
         assert_eq!(first, SimTime::new(1.0));
         let (v, next) = spec.updaters[0].fire(first, 5.0, &mut rng);
         assert_eq!(v, 5.0);

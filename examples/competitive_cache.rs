@@ -46,9 +46,7 @@ fn conflicted(seed: u64) -> (WorkloadSpec, Vec<WeightProfile>) {
 }
 
 fn main() {
-    println!(
-        "{SITES} sites × {PAGES} pages; cache and sites disagree on which half matters\n"
-    );
+    println!("{SITES} sites × {PAGES} pages; cache and sites disagree on which half matters\n");
     println!("  psi   option        cache objective   source objective   source sends");
 
     for &psi in &[0.0, 0.2, 0.4, 0.6] {

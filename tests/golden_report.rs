@@ -41,8 +41,14 @@ fn check(name: &str, report: &RunReport, want: &Golden) {
         );
         return;
     }
-    assert_eq!(report.updates_processed, want.updates_processed, "{name}: updates_processed");
-    assert_eq!(report.refreshes_sent, want.refreshes_sent, "{name}: refreshes_sent");
+    assert_eq!(
+        report.updates_processed, want.updates_processed,
+        "{name}: updates_processed"
+    );
+    assert_eq!(
+        report.refreshes_sent, want.refreshes_sent,
+        "{name}: refreshes_sent"
+    );
     assert_eq!(
         report.refreshes_delivered, want.refreshes_delivered,
         "{name}: refreshes_delivered"
@@ -51,7 +57,10 @@ fn check(name: &str, report: &RunReport, want: &Golden) {
         report.feedback_messages, want.feedback_messages,
         "{name}: feedback_messages"
     );
-    assert_eq!(report.max_cache_queue, want.max_cache_queue, "{name}: max_cache_queue");
+    assert_eq!(
+        report.max_cache_queue, want.max_cache_queue,
+        "{name}: max_cache_queue"
+    );
     assert!(
         (report.mean_divergence() - want.mean_divergence).abs() < 1e-9,
         "{name}: mean_divergence {:.12e} != {:.12e}",

@@ -43,14 +43,24 @@ fn cooperation_beats_cache_driven_scheduling() {
         let n = 10u32;
         let bandwidth = fraction * (m * n) as f64;
         let ours = CoopSystem::new(
-            coop_cfg(bandwidth, PolicyKind::PoissonClosedForm, RateEstimator::LongRun),
+            coop_cfg(
+                bandwidth,
+                PolicyKind::PoissonClosedForm,
+                RateEstimator::LongRun,
+            ),
             fig6_workload(m, n, 21),
         )
         .run();
-        let cgm1 = CgmSystem::new(cgm_cfg(bandwidth, CgmVariant::Cgm1), fig6_workload(m, n, 21))
-            .run();
-        let cgm2 = CgmSystem::new(cgm_cfg(bandwidth, CgmVariant::Cgm2), fig6_workload(m, n, 21))
-            .run();
+        let cgm1 = CgmSystem::new(
+            cgm_cfg(bandwidth, CgmVariant::Cgm1),
+            fig6_workload(m, n, 21),
+        )
+        .run();
+        let cgm2 = CgmSystem::new(
+            cgm_cfg(bandwidth, CgmVariant::Cgm2),
+            fig6_workload(m, n, 21),
+        )
+        .run();
         assert!(
             ours.mean_divergence() < cgm1.mean_divergence(),
             "f={fraction}: ours {} vs CGM1 {}",
@@ -76,7 +86,11 @@ fn ideal_cooperative_beats_ideal_cache_based() {
         let n = 10u32;
         let bandwidth = fraction * (m * n) as f64;
         let coop = IdealSystem::new(
-            coop_cfg(bandwidth, PolicyKind::PoissonClosedForm, RateEstimator::Known),
+            coop_cfg(
+                bandwidth,
+                PolicyKind::PoissonClosedForm,
+                RateEstimator::Known,
+            ),
             fig6_workload(m, n, 22),
         )
         .run();
@@ -100,7 +114,11 @@ fn cgm_budget_is_respected() {
     let n = 10u32;
     let bandwidth = 30.0;
     let horizon = 360.0;
-    for variant in [CgmVariant::IdealCacheBased, CgmVariant::Cgm1, CgmVariant::Cgm2] {
+    for variant in [
+        CgmVariant::IdealCacheBased,
+        CgmVariant::Cgm1,
+        CgmVariant::Cgm2,
+    ] {
         let r = CgmSystem::new(cgm_cfg(bandwidth, variant), fig6_workload(m, n, 23)).run();
         let cost = variant.cost_per_refresh();
         let used = r.refreshes_sent as f64 * cost;
@@ -121,8 +139,8 @@ fn freshness_allocation_agrees_with_simulation() {
     let spec = fig6_workload(m, n, 24);
     let bandwidth = 50.0;
     let freqs = freshness::allocate(&spec.rates, bandwidth);
-    let predicted_staleness = 1.0
-        - freshness::total_freshness(&spec.rates, &freqs) / (m * n) as f64;
+    let predicted_staleness =
+        1.0 - freshness::total_freshness(&spec.rates, &freqs) / (m * n) as f64;
     let mut c = cgm_cfg(bandwidth, CgmVariant::IdealCacheBased);
     c.measure = 600.0;
     let r = CgmSystem::new(c, spec).run();
@@ -143,7 +161,11 @@ fn competitive_psi_sweep_is_monotone_for_sources() {
         let mut source_weights = Vec::new();
         for obj in spec.layout.all_objects() {
             let local = obj.0 % n;
-            let (cw, sw) = if local < n / 2 { (10.0, 1.0) } else { (1.0, 10.0) };
+            let (cw, sw) = if local < n / 2 {
+                (10.0, 1.0)
+            } else {
+                (1.0, 10.0)
+            };
             spec.weights[obj.index()] = WeightProfile::constant(cw);
             source_weights.push(WeightProfile::constant(sw));
         }

@@ -124,7 +124,9 @@ proptest! {
             ref_integral += table.divergence(obj) * (t - last_t);
             last_t = t;
             match kind {
-                0 | 1 => table.source_update(SimTime::new(t), obj, value),
+                0 | 1 => {
+                    table.source_update(SimTime::new(t), obj, value);
+                }
                 _ => {
                     table.apply_fresh_refresh(SimTime::new(t), obj);
                 }
