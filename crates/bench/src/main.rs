@@ -263,14 +263,14 @@ fn main() -> std::process::ExitCode {
     let mut out: Option<String> = None;
     let mut only: Option<String> = None;
     let mut quick = false;
-    let mut repeats: usize = 3;
+    let mut repeats: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out = args.next(),
             "--only" => only = args.next(),
-            "--repeat" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => repeats = n,
+            "--repeat" => match args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                Some(n) => repeats = Some(n),
                 None => {
                     eprintln!("--repeat needs a positive integer");
                     return std::process::ExitCode::FAILURE;
@@ -308,9 +308,9 @@ fn main() -> std::process::ExitCode {
         "{:<14} {:>8} {:>10} {:>11} {:>12} {:>11} {:>10}",
         "scenario", "objects", "events", "wall (s)", "events/sec", "refreshes", "mean div"
     );
-    if quick {
-        repeats = 1;
-    }
+    // Quick mode defaults to a single repeat, but an explicit --repeat
+    // wins (CI uses that to cross-check determinism cheaply).
+    let repeats = repeats.unwrap_or(if quick { 1 } else { 3 });
     let mut results = Vec::new();
     for s in &selected {
         let r = s.run(repeats);

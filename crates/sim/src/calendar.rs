@@ -1,4 +1,5 @@
-//! Indexed slot queue: the hot-path event scheduler.
+//! Slot-addressed event schedulers for dense, self-rescheduling event
+//! populations.
 //!
 //! A discrete-event simulation of the paper's system has a very regular
 //! event population: each object has **exactly one** pending update, plus
@@ -6,20 +7,21 @@
 //! of warm-up). A general [`EventQueue`](crate::EventQueue) pays for that
 //! generality twice: every event carries an enum payload through a
 //! `BinaryHeap`, and the dominant update→next-update pattern costs a full
-//! pop + push. The [`SlotQueue`] here assigns every event source a fixed
-//! *slot* and keeps a binary min-heap of `(time, seq, slot)` entries
-//! **plus a slot→position index**, so:
+//! pop + push. This module offers two slot-addressed alternatives:
 //!
-//! * a self-rescheduling event is rewritten at the heap root and sifted
-//!   once ([`SlotQueue::replace_top`]) instead of popped and re-pushed,
-//! * entries are inline 24-byte records — comparisons touch contiguous
-//!   heap memory, no indirection,
-//! * no allocation ever happens after construction.
+//! * [`CalendarQueue`] — a bucket queue with amortized O(1) schedule and
+//!   pop; **this is what the `CoopSystem` hot loop uses**. Minimal API
+//!   (no cancel, no in-place reschedule).
+//! * [`SlotQueue`] — an indexed binary min-heap of `(time, seq, slot)`
+//!   entries with a slot→position index, supporting `cancel` and
+//!   in-place `replace_top`/reschedule. Not currently on the hot path;
+//!   it exists for schedulers that need those operations (porting
+//!   `IdealSystem` and the CGM baselines here is a ROADMAP item).
 //!
-//! Ordering is identical to `EventQueue`: ascending time, FIFO within an
-//! instant (a global sequence number stamps each `schedule`, and the heap
-//! orders by `(time, seq)`). Determinism-sensitive callers can therefore
-//! swap one for the other without perturbing event order — the golden
+//! Both order identically to `EventQueue`: ascending time, FIFO within an
+//! instant (a global sequence number stamps each `schedule`, and keys
+//! compare as `(time, seq)`). Determinism-sensitive callers can therefore
+//! swap any of the three without perturbing event order — the golden
 //! report tests in the workspace root pin exactly that.
 
 use crate::time::SimTime;
@@ -256,13 +258,15 @@ impl SlotQueue {
 ///
 /// This queue intentionally supports only the operations the hot loop
 /// needs: `schedule` and `pop_at_or_before`. No cancel, no in-place
-/// reschedule — a slot simply must not be scheduled twice (callers keep at
-/// most one pending event per slot; this is debug-asserted via a pending
-/// counter, not a per-slot index, to stay allocation- and bookkeeping-
-/// free).
+/// reschedule — a slot must not be scheduled twice (callers keep at most
+/// one pending event per slot; debug builds track a per-slot pending flag
+/// and panic on violation, release builds carry no such bookkeeping).
 #[derive(Debug, Clone)]
 pub struct CalendarQueue {
     buckets: Vec<Vec<Entry>>,
+    /// Debug-only guard for the one-pending-event-per-slot contract.
+    #[cfg(debug_assertions)]
+    pending: Vec<bool>,
     /// Bucket count minus one (count is a power of two).
     mask: u64,
     /// Bucket width in seconds.
@@ -291,6 +295,8 @@ impl CalendarQueue {
         let count = slots.max(2).next_power_of_two();
         CalendarQueue {
             buckets: vec![Vec::new(); count],
+            #[cfg(debug_assertions)]
+            pending: vec![false; slots.max(2)],
             mask: count as u64 - 1,
             delta,
             inv_delta: 1.0 / delta,
@@ -348,6 +354,13 @@ impl CalendarQueue {
             abs >= self.cur_abs,
             "cannot schedule slot {slot} at {at:?} behind the scan window"
         );
+        #[cfg(debug_assertions)]
+        {
+            assert!(
+                !std::mem::replace(&mut self.pending[slot as usize], true),
+                "slot {slot} scheduled while already pending"
+            );
+        }
         let seq = self.seq;
         self.seq += 1;
         let b = (abs & self.mask) as usize;
@@ -386,6 +399,10 @@ impl CalendarQueue {
                     let e = self.buckets[b].swap_remove(i);
                     self.len -= 1;
                     self.now = e.at;
+                    #[cfg(debug_assertions)]
+                    {
+                        self.pending[e.slot as usize] = false;
+                    }
                     return Some((e.at, e.slot));
                 }
                 None => {
