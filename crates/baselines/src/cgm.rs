@@ -27,7 +27,7 @@ use besync_data::{Metric, ObjectId, TruthTable};
 use besync_net::Link;
 use besync_sim::rng::{self, streams};
 use besync_sim::stats::RunningStats;
-use besync_sim::{EventQueue, SimTime, Wave};
+use besync_sim::{CalendarQueue, SimTime, Wave};
 use besync_workloads::{Updater, WorkloadSpec};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -126,15 +126,6 @@ impl CgmConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    Update(ObjectId),
-    Poll(ObjectId),
-    Realloc,
-    Tick,
-    EndWarmup,
-}
-
 enum Estimator {
     Oracle,
     LastModified(LastModifiedEstimator),
@@ -142,6 +133,16 @@ enum Estimator {
 }
 
 /// A running CGM scheduler over a workload.
+///
+/// Events live in a [`CalendarQueue`] on the same slot scheme the
+/// cooperative systems use, doubled because CGM has **two** independent
+/// pending events per object: slot `i` is object `i`'s next update, slot
+/// `total + i` its next poll (guarded by `poll_scheduled`, so each slot
+/// holds at most one pending event), and three singleton slots carry the
+/// re-allocation timer, the per-second tick, and the end of warm-up. The
+/// queue orders by `(time, schedule seq)` exactly like the `EventQueue`
+/// this system originally ran on, so trajectories are bit-identical —
+/// `tests/scheduler_equivalence.rs` pins the pre-port counters.
 pub struct CgmSystem {
     cfg: CgmConfig,
     truth: TruthTable,
@@ -157,7 +158,15 @@ pub struct CgmSystem {
     poll_scheduled: Vec<bool>,
     link: Link<()>,
     pending: VecDeque<u32>,
-    queue: EventQueue<Ev>,
+    queue: CalendarQueue,
+    /// First poll slot (`total`); slots below it are update slots.
+    poll_base: u32,
+    /// Slot id of the re-allocation event (`2 * total`).
+    realloc_slot: u32,
+    /// Slot id of the per-second tick event (`2 * total + 1`).
+    tick_slot: u32,
+    /// Slot id of the end-of-warm-up event (`2 * total + 2`).
+    warmup_slot: u32,
     polls: u64,
     updates_processed: u64,
 }
@@ -192,22 +201,35 @@ impl CgmSystem {
 
         let mut rngs = spec.object_rngs();
         let mut sched_rng = rng::stream_rng(cfg.sim_seed, streams::SCHEDULER);
-        let mut queue = EventQueue::with_capacity(2 * total + 3);
-        queue.schedule(SimTime::new(cfg.warmup), Ev::EndWarmup);
-        queue.schedule(SimTime::new(cfg.tick), Ev::Tick);
+        let poll_base = total as u32;
+        let realloc_slot = 2 * total as u32;
+        let tick_slot = realloc_slot + 1;
+        let warmup_slot = realloc_slot + 2;
+        // Bucket width ≈ the mean gap between consecutive events: updates
+        // plus polls (the whole refresh budget in steady state) plus the
+        // once-per-second tick.
+        let event_rate =
+            spec.rates.iter().sum::<f64>() + cfg.refresh_budget() + 1.0 / cfg.tick.max(1e-6);
+        let mut queue = CalendarQueue::new(2 * total + 3, 1.0 / event_rate);
+        // Scheduling order matters: the queue breaks same-instant ties by
+        // schedule order, and this order (warm-up, tick, realloc, then
+        // update/poll per object) is the one the pre-port trajectories
+        // were recorded under.
+        queue.schedule(warmup_slot, SimTime::new(cfg.warmup));
+        queue.schedule(tick_slot, SimTime::new(cfg.tick));
         if !matches!(cfg.variant, CgmVariant::IdealCacheBased) {
-            queue.schedule(SimTime::new(cfg.realloc_period), Ev::Realloc);
+            queue.schedule(realloc_slot, SimTime::new(cfg.realloc_period));
         }
         let mut poll_scheduled = vec![false; total];
         for obj in spec.layout.all_objects() {
             let idx = obj.index();
             if let Some(t0) = spec.updaters[idx].first_time(SimTime::ZERO, &mut rngs[idx]) {
-                queue.schedule(t0, Ev::Update(obj));
+                queue.schedule(obj.0, t0);
             }
             if freqs[idx] > 0.0 {
                 // Random phase so periodic refreshes don't all collide.
                 let phase = sched_rng.gen_range(0.0..1.0) / freqs[idx];
-                queue.schedule(SimTime::new(phase.min(cfg.horizon())), Ev::Poll(obj));
+                queue.schedule(poll_base + obj.0, SimTime::new(phase.min(cfg.horizon())));
                 poll_scheduled[idx] = true;
             }
         }
@@ -231,6 +253,10 @@ impl CgmSystem {
             )),
             pending: VecDeque::new(),
             queue,
+            poll_base,
+            realloc_slot,
+            tick_slot,
+            warmup_slot,
             polls: 0,
             updates_processed: 0,
             cfg,
@@ -240,17 +266,18 @@ impl CgmSystem {
     /// Runs to the horizon and reports.
     pub fn run(mut self) -> RunReport {
         let horizon = SimTime::new(self.cfg.horizon());
-        while let Some(t) = self.queue.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let (now, ev) = self.queue.pop().expect("peeked event vanished");
-            match ev {
-                Ev::Update(obj) => self.on_update(now, obj),
-                Ev::Poll(obj) => self.on_poll_due(now, obj),
-                Ev::Realloc => self.on_realloc(now),
-                Ev::Tick => self.on_tick(now),
-                Ev::EndWarmup => self.truth.begin_measurement(now),
+        while let Some((now, slot)) = self.queue.pop_at_or_before(horizon) {
+            if slot < self.poll_base {
+                self.on_update(now, ObjectId(slot));
+            } else if slot < self.realloc_slot {
+                self.on_poll_due(now, ObjectId(slot - self.poll_base));
+            } else if slot == self.realloc_slot {
+                self.on_realloc(now);
+            } else if slot == self.tick_slot {
+                self.on_tick(now);
+            } else {
+                debug_assert_eq!(slot, self.warmup_slot);
+                self.truth.begin_measurement(now);
             }
         }
         RunReport {
@@ -278,7 +305,7 @@ impl CgmSystem {
         self.truth.source_update(now, obj, value);
         self.last_update_time[idx] = now;
         if let Some(t) = next {
-            self.queue.schedule(t, Ev::Update(obj));
+            self.queue.schedule(obj.0, t);
         }
     }
 
@@ -303,7 +330,7 @@ impl CgmSystem {
             self.do_poll(now, obj);
             self.schedule_next_poll(now, obj);
         }
-        self.queue.schedule(now + self.cfg.tick, Ev::Tick);
+        self.queue.schedule(self.tick_slot, now + self.cfg.tick);
     }
 
     fn do_poll(&mut self, now: SimTime, obj: ObjectId) {
@@ -345,7 +372,7 @@ impl CgmSystem {
         let idx = obj.index();
         let f = self.freqs[idx];
         if f > 0.0 && !self.poll_scheduled[idx] {
-            self.queue.schedule(now + 1.0 / f, Ev::Poll(obj));
+            self.queue.schedule(self.poll_base + obj.0, now + 1.0 / f);
             self.poll_scheduled[idx] = true;
         }
     }
@@ -388,13 +415,12 @@ impl CgmSystem {
             if self.freqs[i] > 0.0 && !self.poll_scheduled[i] && !self.pending.contains(&(i as u32))
             {
                 let phase = self.sched_rng.gen_range(0.0..1.0) / self.freqs[i];
-                self.queue
-                    .schedule(now + phase, Ev::Poll(ObjectId(i as u32)));
+                self.queue.schedule(self.poll_base + i as u32, now + phase);
                 self.poll_scheduled[i] = true;
             }
         }
         self.queue
-            .schedule(now + self.cfg.realloc_period, Ev::Realloc);
+            .schedule(self.realloc_slot, now + self.cfg.realloc_period);
     }
 }
 

@@ -120,11 +120,23 @@ pub fn allocate(rates: &[f64], budget: f64) -> Vec<f64> {
         return vec![0.0; n];
     }
 
+    // Only the *comparison* against the budget steers the search, and the
+    // summands are non-negative, so the f64 partial sum is monotone
+    // non-decreasing: once it exceeds the budget the full sum would too,
+    // and the remaining (expensive, `invert_g`-backed) terms can be
+    // skipped. Returning ∞ then keeps both comparisons below
+    // (`> budget`, `< budget`) bit-identical to the full sum's. This is
+    // the hot path of the CGM re-allocation step — with ~2k objects it is
+    // what bounds figure-regeneration throughput, not the event loop.
     let total_for = |mu: f64| -> f64 {
-        active
-            .iter()
-            .map(|&i| frequency_for_multiplier(rates[i], mu))
-            .sum()
+        let mut sum = 0.0;
+        for &i in &active {
+            sum += frequency_for_multiplier(rates[i], mu);
+            if sum > budget {
+                return f64::INFINITY;
+            }
+        }
+        sum
     };
 
     // Σf(µ) is decreasing in µ. Bracket the root: grow µ until the total
@@ -150,10 +162,19 @@ pub fn allocate(rates: &[f64], budget: f64) -> Vec<f64> {
     }
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
+        // Once the midpoint collides with an endpoint the bracket is one
+        // ulp wide: this iteration's assignment is the last that can
+        // change anything, and every later iteration would recompute the
+        // same midpoint and repeat the same no-op. Performing it and
+        // breaking is bit-identical to running out the original 200.
+        let converged = mid == lo || mid == hi;
         if total_for(mid) > budget {
             lo = mid;
         } else {
             hi = mid;
+        }
+        if converged {
+            break;
         }
     }
     // Evaluate on the under-budget side. Σf(µ) has representational jump

@@ -1,36 +1,71 @@
 //! `besync-bench` — the repo's throughput baseline harness.
 //!
-//! Runs a fixed set of seeded [`CoopSystem`] scenarios end-to-end, reports
-//! wall-clock time and simulation events per second for each, and
-//! optionally writes a machine-readable JSON trajectory point (e.g.
-//! `BENCH_pr1.json` at the repo root) so successive PRs can be compared
-//! with the *same* binary run on both trees.
+//! Runs a fixed set of seeded scenarios end-to-end — the [`CoopSystem`]
+//! hot path plus the figure-regeneration schedulers ([`IdealSystem`] and
+//! the CGM baselines) — reports wall-clock time and simulation events per
+//! second for each, and optionally writes a machine-readable JSON
+//! trajectory point (e.g. `BENCH_pr2.json` at the repo root) so
+//! successive PRs can be compared with the *same* binary run on both
+//! trees.
 //!
 //! ```text
-//! besync-bench [--out PATH] [--only NAME] [--quick] [--list]
+//! besync-bench [--out PATH] [--compare PATH] [--tolerance F]
+//!              [--only NAME] [--repeat N] [--quick] [--list]
 //! ```
 //!
 //! An *event* is one unit of simulation work: a source-side update, a
-//! refresh message sent, or a feedback message sent (per-second bandwidth
-//! ticks are excluded — they are a fixed, negligible fraction). Counters
-//! are deterministic per seed, so two trees disagreeing on any counter
-//! column are not running the same simulation — that check comes free
-//! with every measurement.
+//! refresh message sent (a poll, for the CGM baselines), or a feedback
+//! message sent (per-second bandwidth ticks are excluded — they are a
+//! fixed, negligible fraction). Counters are deterministic per seed, so
+//! two trees disagreeing on any counter column are not running the same
+//! simulation — that check comes free with every measurement, and
+//! `--compare` turns it into a CI gate: events/sec regressions against
+//! the baseline file are *report-only* (timing noise must not fail PRs),
+//! but counter disagreement means lost determinism and hard-fails.
 
 use std::time::Instant;
 
 use besync::config::SystemConfig;
 use besync::system::CoopSystem;
+use besync::IdealSystem;
+use besync_baselines::{CgmConfig, CgmSystem, CgmVariant};
 use besync_data::Metric;
 use besync_workloads::generators::{random_walk_poisson, PoissonWorkloadOptions};
+
+/// Which scheduler a scenario drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SystemKind {
+    /// The §5 pragmatic cooperative system (the hot path).
+    Coop,
+    /// The §3.3 omniscient scheduler (Figure 4–6 yardstick).
+    Ideal,
+    /// A cache-driven CGM baseline (Figure 6).
+    Cgm(CgmVariant),
+}
+
+impl SystemKind {
+    fn name(self) -> &'static str {
+        match self {
+            SystemKind::Coop => "coop",
+            SystemKind::Ideal => "ideal",
+            SystemKind::Cgm(CgmVariant::IdealCacheBased) => "cgm_ideal",
+            SystemKind::Cgm(CgmVariant::Cgm1) => "cgm1",
+            SystemKind::Cgm(CgmVariant::Cgm2) => "cgm2",
+        }
+    }
+}
 
 /// One fixed benchmark scenario.
 struct Scenario {
     name: &'static str,
     seed: u64,
+    kind: SystemKind,
     sources: u32,
     objects_per_source: u32,
     rate_range: (f64, f64),
+    /// CGM comparisons are unweighted (§6.3); cooperative scenarios use
+    /// the weighted range the PR 1 suite pinned.
+    weight_range: (f64, f64),
     metric: Metric,
     cache_bw: f64,
     source_bw: f64,
@@ -43,7 +78,7 @@ impl Scenario {
         self.sources * self.objects_per_source
     }
 
-    /// CI-scale variant: same shape, ~1/40 the work.
+    /// CI-scale variant: same shape, a fraction of the work.
     fn quick(mut self) -> Self {
         self.sources = (self.sources / 4).max(1);
         self.warmup = 5.0;
@@ -52,39 +87,61 @@ impl Scenario {
         self
     }
 
+    fn spec(&self) -> besync_workloads::WorkloadSpec {
+        random_walk_poisson(
+            PoissonWorkloadOptions {
+                sources: self.sources,
+                objects_per_source: self.objects_per_source,
+                rate_range: self.rate_range,
+                weight_range: self.weight_range,
+                fluctuating_weights: false,
+            },
+            self.seed,
+        )
+    }
+
     /// Runs the scenario `repeats` times and reports the median wall
     /// clock. Counters must agree bit-for-bit across repeats (same seed ⇒
     /// same simulation); a mismatch aborts, because it means the tree has
     /// lost determinism and its timings compare nothing.
     fn run(&self, repeats: usize) -> ScenarioResult {
-        let cfg = SystemConfig {
-            metric: self.metric,
-            cache_bandwidth_mean: self.cache_bw,
-            source_bandwidth_mean: self.source_bw,
-            warmup: self.warmup,
-            measure: self.measure,
-            ..SystemConfig::default()
-        };
         let mut walls = Vec::with_capacity(repeats);
         let mut reference: Option<(u64, u64, u64, f64)> = None;
         let mut last = None;
         for _ in 0..repeats.max(1) {
-            let spec = random_walk_poisson(
-                PoissonWorkloadOptions {
-                    sources: self.sources,
-                    objects_per_source: self.objects_per_source,
-                    rate_range: self.rate_range,
-                    weight_range: (1.0, 4.0),
-                    fluctuating_weights: false,
-                },
-                self.seed,
-            );
+            let spec = self.spec();
             // Construction (workload generation) is deliberately untimed;
             // the measured region is exactly the event loop + reporting.
-            let system = CoopSystem::new(cfg.clone(), spec);
-            let start = Instant::now();
-            let report = system.run();
-            walls.push(start.elapsed().as_secs_f64());
+            let (wall, report) = match self.kind {
+                SystemKind::Coop => {
+                    let system = CoopSystem::new(self.system_config(), spec);
+                    let start = Instant::now();
+                    let report = system.run();
+                    (start.elapsed().as_secs_f64(), report)
+                }
+                SystemKind::Ideal => {
+                    let system = IdealSystem::new(self.system_config(), spec);
+                    let start = Instant::now();
+                    let report = system.run();
+                    (start.elapsed().as_secs_f64(), report)
+                }
+                SystemKind::Cgm(variant) => {
+                    let cfg = CgmConfig {
+                        variant,
+                        metric: self.metric,
+                        cache_bandwidth_mean: self.cache_bw,
+                        warmup: self.warmup,
+                        measure: self.measure,
+                        sim_seed: self.seed,
+                        ..CgmConfig::default()
+                    };
+                    let system = CgmSystem::new(cfg, spec);
+                    let start = Instant::now();
+                    let report = system.run();
+                    (start.elapsed().as_secs_f64(), report)
+                }
+            };
+            walls.push(wall);
             let fingerprint = (
                 report.updates_processed,
                 report.refreshes_sent,
@@ -108,6 +165,7 @@ impl Scenario {
         ScenarioResult {
             name: self.name,
             seed: self.seed,
+            system: self.kind.name(),
             objects: self.objects(),
             metric: metric_name(self.metric),
             wall_seconds: wall,
@@ -118,6 +176,18 @@ impl Scenario {
             refreshes_delivered: report.refreshes_delivered,
             feedback: report.feedback_messages,
             mean_divergence: report.mean_divergence(),
+            baseline_events_per_sec: None,
+        }
+    }
+
+    fn system_config(&self) -> SystemConfig {
+        SystemConfig {
+            metric: self.metric,
+            cache_bandwidth_mean: self.cache_bw,
+            source_bandwidth_mean: self.source_bw,
+            warmup: self.warmup,
+            measure: self.measure,
+            ..SystemConfig::default()
         }
     }
 }
@@ -133,6 +203,7 @@ fn metric_name(m: Metric) -> &'static str {
 struct ScenarioResult {
     name: &'static str,
     seed: u64,
+    system: &'static str,
     objects: u32,
     metric: &'static str,
     wall_seconds: f64,
@@ -143,15 +214,19 @@ struct ScenarioResult {
     refreshes_delivered: u64,
     feedback: u64,
     mean_divergence: f64,
+    /// Filled by `--compare`: the baseline file's events/sec for this
+    /// scenario, so the written JSON records the measured speedup.
+    baseline_events_per_sec: Option<f64>,
 }
 
 impl ScenarioResult {
     fn to_json(&self) -> String {
-        format!(
+        let mut s = format!(
             concat!(
                 "    {{\n",
                 "      \"name\": \"{}\",\n",
                 "      \"seed\": {},\n",
+                "      \"system\": \"{}\",\n",
                 "      \"objects\": {},\n",
                 "      \"metric\": \"{}\",\n",
                 "      \"wall_seconds\": {:.6},\n",
@@ -161,11 +236,11 @@ impl ScenarioResult {
                 "      \"refreshes_sent\": {},\n",
                 "      \"refreshes_delivered\": {},\n",
                 "      \"feedback\": {},\n",
-                "      \"mean_divergence\": {:.9}\n",
-                "    }}"
+                "      \"mean_divergence\": {:.9}"
             ),
             self.name,
             self.seed,
+            self.system,
             self.objects,
             self.metric,
             self.wall_seconds,
@@ -176,33 +251,106 @@ impl ScenarioResult {
             self.refreshes_delivered,
             self.feedback,
             self.mean_divergence,
-        )
+        );
+        if let Some(base) = self.baseline_events_per_sec {
+            s.push_str(&format!(
+                ",\n      \"baseline_events_per_sec\": {:.1},\n      \"speedup\": {:.3}",
+                base,
+                self.events_per_sec / base.max(1e-12)
+            ));
+        }
+        s.push_str("\n    }");
+        s
     }
 }
 
 /// The fixed scenario set. `medium` is the headline comparison scenario
-/// for PR-over-PR speedup claims; the others cover the size × metric
-/// grid so a regression in any regime is visible.
+/// for PR-over-PR speedup claims; the small/large pairs cover the size ×
+/// metric grid, and the `ideal_*`/`cgm*_*` scenarios cover the
+/// figure-regeneration schedulers so regressions in any regime are
+/// visible.
 fn scenarios() -> Vec<Scenario> {
+    let coop =
+        |name, seed, sources, objects_per_source, metric, cache_bw, source_bw, warmup, measure| {
+            Scenario {
+                name,
+                seed,
+                kind: SystemKind::Coop,
+                sources,
+                objects_per_source,
+                rate_range: (0.05, 0.5),
+                weight_range: (1.0, 4.0),
+                metric,
+                cache_bw,
+                source_bw,
+                warmup,
+                measure,
+            }
+        };
     vec![
+        coop(
+            "small",
+            101,
+            8,
+            32,
+            Metric::Staleness,
+            12.0,
+            4.0,
+            50.0,
+            600.0,
+        ),
+        coop(
+            "medium",
+            202,
+            32,
+            64,
+            Metric::Staleness,
+            90.0,
+            5.0,
+            50.0,
+            1500.0,
+        ),
+        coop(
+            "medium_value",
+            303,
+            32,
+            64,
+            Metric::abs_deviation(),
+            90.0,
+            5.0,
+            50.0,
+            1500.0,
+        ),
+        coop(
+            "large",
+            404,
+            64,
+            256,
+            Metric::Staleness,
+            700.0,
+            16.0,
+            25.0,
+            400.0,
+        ),
+        coop(
+            "large_value",
+            505,
+            64,
+            256,
+            Metric::abs_deviation(),
+            700.0,
+            16.0,
+            25.0,
+            400.0,
+        ),
         Scenario {
-            name: "small",
-            seed: 101,
-            sources: 8,
-            objects_per_source: 32,
-            rate_range: (0.05, 0.5),
-            metric: Metric::Staleness,
-            cache_bw: 12.0,
-            source_bw: 4.0,
-            warmup: 50.0,
-            measure: 600.0,
-        },
-        Scenario {
-            name: "medium",
-            seed: 202,
+            name: "ideal_medium",
+            seed: 606,
+            kind: SystemKind::Ideal,
             sources: 32,
             objects_per_source: 64,
             rate_range: (0.05, 0.5),
+            weight_range: (1.0, 4.0),
             metric: Metric::Staleness,
             cache_bw: 90.0,
             source_bw: 5.0,
@@ -210,57 +358,206 @@ fn scenarios() -> Vec<Scenario> {
             measure: 1500.0,
         },
         Scenario {
-            name: "medium_value",
-            seed: 303,
+            name: "cgm1_medium",
+            seed: 707,
+            kind: SystemKind::Cgm(CgmVariant::Cgm1),
             sources: 32,
             objects_per_source: 64,
-            rate_range: (0.05, 0.5),
-            metric: Metric::abs_deviation(),
-            cache_bw: 90.0,
-            source_bw: 5.0,
-            warmup: 50.0,
-            measure: 1500.0,
-        },
-        Scenario {
-            name: "large",
-            seed: 404,
-            sources: 64,
-            objects_per_source: 256,
-            rate_range: (0.05, 0.5),
+            rate_range: (0.02, 1.0),
+            weight_range: (1.0, 1.0),
             metric: Metric::Staleness,
-            cache_bw: 700.0,
-            source_bw: 16.0,
-            warmup: 25.0,
-            measure: 400.0,
+            cache_bw: 614.0,
+            // Unused for CGM: polling has no source-side limit (§6.3).
+            source_bw: 0.0,
+            warmup: 100.0,
+            measure: 500.0,
         },
         Scenario {
-            name: "large_value",
-            seed: 505,
-            sources: 64,
-            objects_per_source: 256,
-            rate_range: (0.05, 0.5),
-            metric: Metric::abs_deviation(),
-            cache_bw: 700.0,
-            source_bw: 16.0,
-            warmup: 25.0,
-            measure: 400.0,
+            name: "cgm2_medium",
+            seed: 808,
+            kind: SystemKind::Cgm(CgmVariant::Cgm2),
+            sources: 32,
+            objects_per_source: 64,
+            rate_range: (0.02, 1.0),
+            weight_range: (1.0, 1.0),
+            metric: Metric::Staleness,
+            cache_bw: 614.0,
+            // Unused for CGM: polling has no source-side limit (§6.3).
+            source_bw: 0.0,
+            warmup: 100.0,
+            measure: 500.0,
         },
     ]
 }
 
+/// Minimal field extractor for the bench JSON schema (our own files
+/// only): finds `"key": value` inside one scenario block and returns the
+/// raw value text. Not a general JSON parser — the schema is flat,
+/// one-line-per-field, which is exactly what `to_json` above emits.
+fn field<'a>(block: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = block.find(&pat)? + pat.len();
+    let rest = block[start..].trim_start();
+    let end = rest.find(['\n', ','])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+struct BaselineScenario {
+    name: String,
+    seed: u64,
+    updates: u64,
+    refreshes_sent: u64,
+    refreshes_delivered: u64,
+    feedback: u64,
+    mean_divergence: f64,
+    events_per_sec: f64,
+}
+
+/// Parses a `besync-bench` JSON file into per-scenario baselines.
+/// Returns `(quick, scenarios)`.
+fn parse_baseline(text: &str) -> Option<(bool, Vec<BaselineScenario>)> {
+    let quick = field(text, "quick")? == "true";
+    let mut out = Vec::new();
+    let body = &text[text.find("\"scenarios\"")?..];
+    for block in body.split("{\n").skip(1) {
+        let parse = |key: &str| -> Option<f64> { field(block, key)?.parse().ok() };
+        out.push(BaselineScenario {
+            name: field(block, "name")?.to_string(),
+            seed: parse("seed")? as u64,
+            updates: parse("updates")? as u64,
+            refreshes_sent: parse("refreshes_sent")? as u64,
+            refreshes_delivered: parse("refreshes_delivered")? as u64,
+            feedback: parse("feedback")? as u64,
+            mean_divergence: parse("mean_divergence")?,
+            events_per_sec: parse("events_per_sec")?,
+        });
+    }
+    Some((quick, out))
+}
+
+/// Compares current results against a baseline file. Counter mismatches
+/// (lost determinism) are fatal; events/sec regressions beyond
+/// `tolerance` are report-only. Fills each result's baseline speedup
+/// field. Returns `Err(reasons)` only on determinism mismatches.
+fn compare_against_baseline(
+    results: &mut [ScenarioResult],
+    baseline_text: &str,
+    baseline_path: &str,
+    quick: bool,
+    tolerance: f64,
+) -> Result<(), Vec<String>> {
+    let Some((base_quick, baselines)) = parse_baseline(baseline_text) else {
+        return Err(vec![format!("could not parse baseline {baseline_path}")]);
+    };
+    if base_quick != quick {
+        eprintln!(
+            "compare: baseline {baseline_path} was recorded with quick={base_quick}, this run \
+             uses quick={quick}; counters are incomparable, skipping"
+        );
+        return Ok(());
+    }
+    // Baseline rows with no current counterpart mean coverage shrank
+    // (a renamed/removed scenario) — say so instead of silently gating
+    // less than the checked-in file records.
+    for b in &baselines {
+        if !results.iter().any(|r| r.name == b.name) {
+            eprintln!(
+                "compare: baseline scenario `{}` not in this run (renamed or filtered?); \
+                 its counters were not checked",
+                b.name
+            );
+        }
+    }
+    let mut mismatches = Vec::new();
+    for r in results.iter_mut() {
+        let Some(b) = baselines.iter().find(|b| b.name == r.name) else {
+            eprintln!("compare: `{}` absent from baseline, skipping", r.name);
+            continue;
+        };
+        if b.seed != r.seed {
+            eprintln!(
+                "compare: `{}` seed changed ({} -> {}), skipping",
+                r.name, b.seed, r.seed
+            );
+            continue;
+        }
+        let counters_match = b.updates == r.updates
+            && b.refreshes_sent == r.refreshes_sent
+            && b.refreshes_delivered == r.refreshes_delivered
+            && b.feedback == r.feedback
+            && (b.mean_divergence - r.mean_divergence).abs() < 1e-8;
+        if !counters_match {
+            mismatches.push(format!(
+                "`{}`: counters diverge from {baseline_path} — baseline \
+                 (updates {}, sent {}, delivered {}, feedback {}, div {:.9}) vs current \
+                 (updates {}, sent {}, delivered {}, feedback {}, div {:.9})",
+                r.name,
+                b.updates,
+                b.refreshes_sent,
+                b.refreshes_delivered,
+                b.feedback,
+                b.mean_divergence,
+                r.updates,
+                r.refreshes_sent,
+                r.refreshes_delivered,
+                r.feedback,
+                r.mean_divergence,
+            ));
+            continue;
+        }
+        r.baseline_events_per_sec = Some(b.events_per_sec);
+        let ratio = r.events_per_sec / b.events_per_sec.max(1e-12);
+        if ratio < 1.0 - tolerance {
+            // Report-only: CI runner timing noise must not fail PRs, but
+            // the trajectory is visible in the log and the artifact.
+            eprintln!(
+                "compare: PERF REGRESSION (report-only) `{}`: {:.0} events/sec vs baseline \
+                 {:.0} ({:.2}x, tolerance {:.0}%)",
+                r.name,
+                r.events_per_sec,
+                b.events_per_sec,
+                ratio,
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!(
+                "compare: `{}` {:.2}x baseline events/sec (ok)",
+                r.name, ratio
+            );
+        }
+    }
+    if mismatches.is_empty() {
+        Ok(())
+    } else {
+        Err(mismatches)
+    }
+}
+
 const HELP: &str = "\
-besync-bench — seeded end-to-end throughput scenarios for the CoopSystem
+besync-bench — seeded end-to-end throughput scenarios for the paper's schedulers
 
-usage: besync-bench [--out PATH] [--only NAME] [--repeat N] [--quick] [--list]
+usage: besync-bench [--out PATH] [--compare PATH] [--tolerance F]
+                    [--only NAME] [--repeat N] [--quick] [--list]
 
-  --out PATH   also write results as JSON (e.g. BENCH_pr1.json)
-  --only NAME  run a single scenario by name
-  --repeat N   repeats per scenario, median wall clock reported (default 3)
-  --quick      CI smoke mode: shrunken scenarios, one repeat, seconds not minutes
-  --list       print scenario names and exit";
+  --out PATH       write results as JSON (e.g. BENCH_pr2.json); never run this
+                   against a checked-in baseline path in CI — write elsewhere
+                   and upload as an artifact
+  --compare PATH   compare against a previous --out file: events/sec deltas
+                   beyond the tolerance are reported (exit 0), counter
+                   mismatches hard-fail (exit 1, lost determinism); may be
+                   given multiple times — one measurement run is compared
+                   against every baseline, and the written speedup fields
+                   refer to the last matching one
+  --tolerance F    allowed fractional events/sec regression (default 0.25)
+  --only NAME      run a single scenario by name
+  --repeat N       repeats per scenario, median wall clock reported (default 3)
+  --quick          CI smoke mode: shrunken scenarios, one repeat
+  --list           print scenario names and exit";
 
 fn main() -> std::process::ExitCode {
     let mut out: Option<String> = None;
+    let mut compare: Vec<String> = Vec::new();
+    let mut tolerance = 0.25;
     let mut only: Option<String> = None;
     let mut quick = false;
     let mut repeats: Option<usize> = None;
@@ -268,6 +565,20 @@ fn main() -> std::process::ExitCode {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out = args.next(),
+            "--compare" => match args.next() {
+                Some(path) => compare.push(path),
+                None => {
+                    eprintln!("--compare needs a baseline path");
+                    return std::process::ExitCode::FAILURE;
+                }
+            },
+            "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance needs a fraction in [0, 1)");
+                    return std::process::ExitCode::FAILURE;
+                }
+            },
             "--only" => only = args.next(),
             "--repeat" => match args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
                 Some(n) => repeats = Some(n),
@@ -305,8 +616,15 @@ fn main() -> std::process::ExitCode {
     }
 
     println!(
-        "{:<14} {:>8} {:>10} {:>11} {:>12} {:>11} {:>10}",
-        "scenario", "objects", "events", "wall (s)", "events/sec", "refreshes", "mean div"
+        "{:<14} {:>9} {:>8} {:>10} {:>11} {:>12} {:>11} {:>10}",
+        "scenario",
+        "system",
+        "objects",
+        "events",
+        "wall (s)",
+        "events/sec",
+        "refreshes",
+        "mean div"
     );
     // Quick mode defaults to a single repeat, but an explicit --repeat
     // wins (CI uses that to cross-check determinism cheaply).
@@ -315,8 +633,9 @@ fn main() -> std::process::ExitCode {
     for s in &selected {
         let r = s.run(repeats);
         println!(
-            "{:<14} {:>8} {:>10} {:>11.3} {:>12.0} {:>11} {:>10.6}",
+            "{:<14} {:>9} {:>8} {:>10} {:>11.3} {:>12.0} {:>11} {:>10.6}",
             r.name,
+            r.system,
             r.objects,
             r.events,
             r.wall_seconds,
@@ -327,10 +646,30 @@ fn main() -> std::process::ExitCode {
         results.push(r);
     }
 
+    let mut failed = false;
+    for path in compare {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                if let Err(mismatches) =
+                    compare_against_baseline(&mut results, &text, &path, quick, tolerance)
+                {
+                    for m in &mismatches {
+                        eprintln!("compare: DETERMINISM MISMATCH {m}");
+                    }
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: could not read baseline {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
     if let Some(path) = out {
         let body: Vec<String> = results.iter().map(ScenarioResult::to_json).collect();
         let json = format!(
-            "{{\n  \"schema\": \"besync-bench/v1\",\n  \"quick\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema\": \"besync-bench/v2\",\n  \"quick\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
             quick,
             body.join(",\n")
         );
@@ -340,5 +679,9 @@ fn main() -> std::process::ExitCode {
         }
         eprintln!("wrote {path}");
     }
-    std::process::ExitCode::SUCCESS
+    if failed {
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
+    }
 }

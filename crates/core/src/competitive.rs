@@ -22,14 +22,14 @@
 use besync_data::ids::ObjectLayout;
 use besync_data::{ObjectId, SourceId, TruthTable, WeightProfile};
 use besync_net::Link;
-use besync_sim::{EventQueue, SimTime};
+use besync_sim::{CalendarQueue, SimTime};
 use besync_workloads::{Updater, WorkloadSpec};
 use rand::rngs::SmallRng;
 
 use crate::cache::partition::{BandwidthPartition, PiggybackCredit, SharePolicy};
 use crate::cache::CacheRuntime;
 use crate::config::SystemConfig;
-use crate::heap::LazyMaxHeap;
+use crate::heap::IndexedMaxHeap;
 use crate::priority::PolicyKind;
 use crate::source::SourceRuntime;
 use crate::system::RefreshMsg;
@@ -64,14 +64,16 @@ pub struct CompetitiveReport {
     pub feedback_messages: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    Update(ObjectId),
-    Tick,
-    EndWarmup,
-}
-
 /// The §7 competitive synchronization system.
+///
+/// Runs on the same fast scheduler stack as every other system since the
+/// PR 2 unification: events live in a [`CalendarQueue`] (object `i`'s
+/// single pending update in slot `i`, plus the tick and end-of-warm-up
+/// singletons), and each source's own-priority view in an
+/// [`IndexedMaxHeap`]. Both order exactly like the `EventQueue` +
+/// `LazyMaxHeap` pair this system originally ran on, so trajectories are
+/// bit-identical — `tests/scheduler_equivalence.rs` pins the pre-port
+/// counters.
 pub struct CompetitiveSystem {
     cfg: SystemConfig,
     partition: BandwidthPartition,
@@ -82,7 +84,7 @@ pub struct CompetitiveSystem {
     source_truth: TruthTable,
     sources: Vec<SourceRuntime>,
     /// Per-source own-priority heap (source weights).
-    own_heaps: Vec<LazyMaxHeap>,
+    own_heaps: Vec<IndexedMaxHeap>,
     source_weights: Vec<WeightProfile>,
     /// Options (1)/(2): per-source allocated refresh rate and accrued
     /// credit.
@@ -92,7 +94,11 @@ pub struct CompetitiveSystem {
     piggyback: Vec<PiggybackCredit>,
     cache_link: Link<RefreshMsg>,
     cache: CacheRuntime,
-    queue: EventQueue<Ev>,
+    queue: CalendarQueue,
+    /// Slot id of the per-second tick event (`total_objects`).
+    tick_slot: u32,
+    /// Slot id of the end-of-warm-up event (`total_objects + 1`).
+    warmup_slot: u32,
     updaters: Vec<Updater>,
     rngs: Vec<SmallRng>,
     scratch: Vec<RefreshMsg>,
@@ -151,7 +157,7 @@ impl CompetitiveSystem {
                 None,
                 SimTime::ZERO,
             ));
-            own_heaps.push(LazyMaxHeap::new(hi - lo));
+            own_heaps.push(IndexedMaxHeap::new(hi - lo));
         }
 
         let objects_per_source = vec![layout.objects_per_source(); m as usize];
@@ -163,13 +169,21 @@ impl CompetitiveSystem {
         };
 
         let mut rngs = spec.object_rngs();
-        let mut queue = EventQueue::with_capacity(spec.total_objects() + 2);
-        queue.schedule(SimTime::new(base.warmup), Ev::EndWarmup);
-        queue.schedule(SimTime::new(base.tick), Ev::Tick);
+        let total = spec.total_objects();
+        let tick_slot = total as u32;
+        let warmup_slot = total as u32 + 1;
+        // Bucket width ≈ the mean gap between consecutive events, as in
+        // the other systems; scheduling order (warm-up, tick, objects)
+        // fixes the same-instant tie order the trajectories were
+        // recorded under.
+        let event_rate = spec.rates.iter().sum::<f64>() + 1.0 / base.tick.max(1e-6);
+        let mut queue = CalendarQueue::new(total + 2, 1.0 / event_rate);
+        queue.schedule(warmup_slot, SimTime::new(base.warmup));
+        queue.schedule(tick_slot, SimTime::new(base.tick));
         for obj in layout.all_objects() {
             let idx = obj.index();
             if let Some(t0) = spec.updaters[idx].first_time(SimTime::ZERO, &mut rngs[idx]) {
-                queue.schedule(t0, Ev::Update(obj));
+                queue.schedule(obj.0, t0);
             }
         }
 
@@ -196,6 +210,8 @@ impl CompetitiveSystem {
             cache_link,
             cache,
             queue,
+            tick_slot,
+            warmup_slot,
             updaters: spec.updaters,
             rngs,
             scratch: Vec::new(),
@@ -209,18 +225,15 @@ impl CompetitiveSystem {
     /// Runs to the horizon and reports both objectives.
     pub fn run(mut self) -> CompetitiveReport {
         let horizon = SimTime::new(self.cfg.horizon());
-        while let Some(t) = self.queue.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let (now, ev) = self.queue.pop().expect("peeked event vanished");
-            match ev {
-                Ev::Update(obj) => self.on_update(now, obj),
-                Ev::Tick => self.on_tick(now),
-                Ev::EndWarmup => {
-                    self.cache_truth.begin_measurement(now);
-                    self.source_truth.begin_measurement(now);
-                }
+        while let Some((now, slot)) = self.queue.pop_at_or_before(horizon) {
+            if slot < self.tick_slot {
+                self.on_update(now, ObjectId(slot));
+            } else if slot == self.tick_slot {
+                self.on_tick(now);
+            } else {
+                debug_assert_eq!(slot, self.warmup_slot);
+                self.cache_truth.begin_measurement(now);
+                self.source_truth.begin_measurement(now);
             }
         }
         CompetitiveReport {
@@ -251,7 +264,7 @@ impl CompetitiveSystem {
         self.own_heaps[sid].push(local, own_p);
         self.attempt_threshold_sends(now, sid);
         if let Some(t) = next {
-            self.queue.schedule(t, Ev::Update(obj));
+            self.queue.schedule(obj.0, t);
         }
     }
 
@@ -290,7 +303,7 @@ impl CompetitiveSystem {
         self.deliveries_this_tick = 0;
         self.send_feedback(now);
 
-        self.queue.schedule(now + self.cfg.tick, Ev::Tick);
+        self.queue.schedule(self.tick_slot, now + self.cfg.tick);
     }
 
     /// Sends the source's own-priority top object, if it has one with

@@ -1,25 +1,30 @@
-//! Lazy-invalidation priority heap.
+//! Priority heaps over per-source object quotes.
 //!
 //! Sources keep their modified objects "in priority order" (paper Figure
 //! 2) so the highest-priority object is found quickly whenever bandwidth
 //! frees up (§8). Priorities change only when an object is updated (§8.2),
-//! so a classic lazy heap works: every recomputation pushes a fresh entry
-//! stamped with a per-object version, and stale entries are discarded when
-//! they surface at the top. Entries *below* the refresh threshold are
-//! deliberately kept — the threshold itself moves (feedback can slash it
-//! 10×), so yesterday's ineligible object may be tomorrow's refresh.
+//! so at most one quote per object is ever current — which is exactly the
+//! shape of the workspace-wide [`besync_sim::IndexedHeap`];
+//! [`IndexedMaxHeap`] is its priority-ordered wrapper and **the
+//! production scheduler** used by every source runtime and by
+//! [`crate::IdealSystem`].
 //!
-//! To bound memory on long runs the heap **self-compacts**: whenever stale
-//! entries dominate (see [`LazyMaxHeap::needs_compaction`]), [`push`]
-//! garbage-collects them in place via [`LazyMaxHeap::compact`]. Compaction
-//! keeps every live entry's original quote — priority, version, *and* FIFO
-//! sequence number — so it is invisible to pop order; it never recomputes
-//! priorities (per §8.2 they change only when an object is updated).
+//! [`LazyMaxHeap`] is the classic lazy-invalidation alternative: every
+//! recomputation pushes a fresh entry stamped with a per-object version,
+//! stale entries are discarded when they surface at the top, and the heap
+//! self-compacts when stale entries dominate (order-preserving GC — see
+//! [`LazyMaxHeap::compact`]). Since the PR 2 scheduler unification it is
+//! **not** on any production path; it survives as the independent oracle
+//! the property tests drive the indexed heap against (two structurally
+//! different implementations of the same ordering contract make silent
+//! sift bugs loud).
 //!
 //! [`push`]: LazyMaxHeap::push
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+use besync_sim::{HeapKey, IndexedHeap};
 
 /// One heap entry: a priority quote for a local object index.
 #[derive(Debug, Clone, Copy)]
@@ -217,22 +222,18 @@ impl LazyMaxHeap {
 /// High bit of the version word doubles as the "has a live quote" flag.
 const LIVE_BIT: u64 = 1 << 63;
 
-/// Position sentinel: item not currently quoted.
-const ABSENT: u32 = u32::MAX;
-
-#[derive(Debug, Clone, Copy)]
-struct IEntry {
+/// Max-priority quote key: higher priority wins; priority ties are served
+/// FIFO (the older quote — smaller seq — wins), exactly like
+/// [`LazyMaxHeap`]'s ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PriorityKey {
     priority: f64,
     seq: u64,
-    item: u32,
 }
 
-impl IEntry {
-    /// Max-heap dominance: higher priority wins; priority ties are served
-    /// FIFO (the older quote — smaller seq — wins), exactly like
-    /// [`LazyMaxHeap`]'s ordering.
+impl HeapKey for PriorityKey {
     #[inline]
-    fn beats(&self, other: &IEntry) -> bool {
+    fn beats(&self, other: &Self) -> bool {
         match self.priority.total_cmp(&other.priority) {
             std::cmp::Ordering::Greater => true,
             std::cmp::Ordering::Less => false,
@@ -243,7 +244,10 @@ impl IEntry {
 
 /// An indexed max-heap over `n` items: at most one entry per item, revised
 /// **in place** (a sift instead of a stale push), removed in place on
-/// [`IndexedMaxHeap::invalidate`].
+/// [`IndexedMaxHeap::invalidate`]. The priority-flavoured wrapper over the
+/// workspace-wide [`besync_sim::IndexedHeap`]; the time-flavoured sibling
+/// is [`besync_sim::SlotQueue`] — one sift implementation serves every
+/// scheduler in the tree.
 ///
 /// Same ordering contract as [`LazyMaxHeap`] — max priority first, FIFO by
 /// quote seq within a priority tie — and a drop-in method surface, so the
@@ -257,9 +261,7 @@ impl IEntry {
 /// levels — in-place revision is measurably faster end-to-end.
 #[derive(Debug, Clone)]
 pub struct IndexedMaxHeap {
-    heap: Vec<IEntry>,
-    /// `pos[item]` = index in `heap`, or [`ABSENT`].
-    pos: Vec<u32>,
+    heap: IndexedHeap<PriorityKey>,
     /// Monotone quote counter for FIFO tie-breaking.
     next_seq: u64,
 }
@@ -268,15 +270,14 @@ impl IndexedMaxHeap {
     /// Creates a heap for items `0..n`.
     pub fn new(n: usize) -> Self {
         IndexedMaxHeap {
-            heap: Vec::with_capacity(n),
-            pos: vec![ABSENT; n],
+            heap: IndexedHeap::new(n),
             next_seq: 0,
         }
     }
 
     /// Number of items the heap covers.
     pub fn items(&self) -> usize {
-        self.pos.len()
+        self.heap.items()
     }
 
     /// Number of live entries (items with a current quote).
@@ -292,114 +293,38 @@ impl IndexedMaxHeap {
     }
 
     /// Quotes a new priority for `item`, superseding any previous quote.
+    /// In-place revision: the entry moves whichever way the new priority
+    /// sends it (a fresh seq loses ties, hence downward on equal
+    /// priority).
     pub fn push(&mut self, item: u32, priority: f64) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let entry = IEntry {
-            priority,
-            seq,
-            item,
-        };
-        let i = self.pos[item as usize];
-        if i == ABSENT {
-            self.heap.push(entry);
-            self.sift_up(self.heap.len() - 1, entry);
-        } else {
-            // In-place revision; the entry moves whichever way the new
-            // priority sends it (a fresh seq loses ties, hence downward on
-            // equal priority).
-            let i = i as usize;
-            if entry.beats(&self.heap[i]) {
-                self.sift_up(i, entry);
-            } else {
-                self.sift_down(i, entry);
-            }
-        }
+        self.heap.push(item, PriorityKey { priority, seq });
     }
 
     /// Removes `item`'s current quote, if any (e.g. after sending it).
     pub fn invalidate(&mut self, item: u32) {
-        let i = self.pos[item as usize];
-        if i == ABSENT {
-            return;
-        }
-        self.pos[item as usize] = ABSENT;
-        self.remove_at(i as usize);
+        self.heap.remove(item);
     }
 
     /// The current top (priority, item) without removing it.
     pub fn peek_valid(&self) -> Option<(f64, u32)> {
-        self.heap.first().map(|e| (e.priority, e.item))
+        self.heap.peek().map(|(k, item)| (k.priority, item))
     }
 
     /// Removes and returns the top (priority, item).
     pub fn pop_valid(&mut self) -> Option<(f64, u32)> {
-        let &IEntry { priority, item, .. } = self.heap.first()?;
-        self.pos[item as usize] = ABSENT;
-        self.remove_at(0);
-        Some((priority, item))
+        self.heap.pop().map(|(k, item)| (k.priority, item))
     }
 
     /// Rebuilds from an iterator of live (item, priority) quotes, dropping
     /// all previous quotes. Fresh seqs are assigned in iteration order,
     /// matching [`LazyMaxHeap::rebuild`].
     pub fn rebuild(&mut self, live: impl IntoIterator<Item = (u32, f64)>) {
-        for e in &self.heap {
-            self.pos[e.item as usize] = ABSENT;
-        }
         self.heap.clear();
         for (item, priority) in live {
             self.push(item, priority);
         }
-    }
-
-    fn remove_at(&mut self, i: usize) {
-        let last = self.heap.pop().expect("heap non-empty");
-        if i < self.heap.len() {
-            if i > 0 && last.beats(&self.heap[(i - 1) / 2]) {
-                self.sift_up(i, last);
-            } else {
-                self.sift_down(i, last);
-            }
-        }
-    }
-
-    fn sift_up(&mut self, mut i: usize, entry: IEntry) {
-        while i > 0 {
-            let parent = (i - 1) / 2;
-            let p = self.heap[parent];
-            if !entry.beats(&p) {
-                break;
-            }
-            self.heap[i] = p;
-            self.pos[p.item as usize] = i as u32;
-            i = parent;
-        }
-        self.heap[i] = entry;
-        self.pos[entry.item as usize] = i as u32;
-    }
-
-    fn sift_down(&mut self, mut i: usize, entry: IEntry) {
-        let n = self.heap.len();
-        loop {
-            let mut child = 2 * i + 1;
-            if child >= n {
-                break;
-            }
-            let right = child + 1;
-            if right < n && self.heap[right].beats(&self.heap[child]) {
-                child = right;
-            }
-            let c = self.heap[child];
-            if !c.beats(&entry) {
-                break;
-            }
-            self.heap[i] = c;
-            self.pos[c.item as usize] = i as u32;
-            i = child;
-        }
-        self.heap[i] = entry;
-        self.pos[entry.item as usize] = i as u32;
     }
 }
 

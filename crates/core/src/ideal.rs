@@ -18,21 +18,14 @@ use besync_data::ids::ObjectLayout;
 use besync_data::{Metric, ObjectId, TruthTable, WeightProfile};
 use besync_net::Link;
 use besync_sim::stats::RunningStats;
-use besync_sim::{EventQueue, SimTime};
+use besync_sim::{CalendarQueue, SimTime};
 use besync_workloads::{Updater, WorkloadSpec};
 use rand::rngs::SmallRng;
 
 use crate::config::SystemConfig;
-use crate::heap::LazyMaxHeap;
+use crate::heap::IndexedMaxHeap;
 use crate::priority::{compute_priority, AreaTracker, BoundTracker, PolicyKind, PriorityInputs};
 use crate::report::RunReport;
-
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    Update(ObjectId),
-    Tick,
-    EndWarmup,
-}
 
 /// Per-object scheduler state (the ideal scheduler sees every object
 /// directly, so there is no per-source bookkeeping beyond the uplinks).
@@ -47,6 +40,14 @@ struct ObjState {
 
 /// The omniscient scheduler defining "theoretically achievable"
 /// divergence.
+///
+/// Runs on the same fast scheduler stack as [`crate::CoopSystem`]: events
+/// live in a [`CalendarQueue`] (object `i`'s single pending update in
+/// slot `i`, plus the tick and end-of-warm-up singletons), and the global
+/// priority order lives in an [`IndexedMaxHeap`]. Both order exactly like
+/// the `EventQueue` + `LazyMaxHeap` pair this system originally ran on,
+/// so trajectories are bit-identical — `tests/scheduler_equivalence.rs`
+/// pins the pre-port counters.
 pub struct IdealSystem {
     cfg: SystemConfig,
     layout: ObjectLayout,
@@ -57,13 +58,19 @@ pub struct IdealSystem {
     rates: Vec<f64>,
     uplinks: Vec<Link<()>>,
     cache_link: Link<()>,
-    heap: LazyMaxHeap,
-    queue: EventQueue<Ev>,
+    heap: IndexedMaxHeap,
+    queue: CalendarQueue,
+    /// Slot id of the per-second tick event (`total_objects`).
+    tick_slot: u32,
+    /// Slot id of the end-of-warm-up event (`total_objects + 1`).
+    warmup_slot: u32,
     updaters: Vec<Updater>,
     rngs: Vec<SmallRng>,
     refreshes: u64,
     updates_processed: u64,
     stash: Vec<(f64, u32)>,
+    /// Reusable buffer for requote sweeps (zero steady-state allocation).
+    quote_scratch: Vec<(u32, f64)>,
     start: SimTime,
 }
 
@@ -104,13 +111,22 @@ impl IdealSystem {
         let cache_link = Link::new(cfg.cache_wave());
 
         let mut rngs = spec.object_rngs();
-        let mut queue = EventQueue::with_capacity(total + 2);
-        queue.schedule(SimTime::new(cfg.warmup), Ev::EndWarmup);
-        queue.schedule(SimTime::new(cfg.tick), Ev::Tick);
+        let tick_slot = total as u32;
+        let warmup_slot = total as u32 + 1;
+        // Bucket width ≈ the mean gap between consecutive events
+        // (aggregate update rate plus the once-per-second tick), the
+        // occupancy-one sweet spot for a calendar queue.
+        let event_rate = spec.rates.iter().sum::<f64>() + 1.0 / cfg.tick.max(1e-6);
+        let mut queue = CalendarQueue::new(total + 2, 1.0 / event_rate);
+        // Scheduling order matters: the queue breaks same-instant ties by
+        // schedule order, and this order (warm-up, tick, objects) is the
+        // one the pre-port trajectories were recorded under.
+        queue.schedule(warmup_slot, SimTime::new(cfg.warmup));
+        queue.schedule(tick_slot, SimTime::new(cfg.tick));
         for obj in layout.all_objects() {
             let idx = obj.index();
             if let Some(t0) = spec.updaters[idx].first_time(SimTime::ZERO, &mut rngs[idx]) {
-                queue.schedule(t0, Ev::Update(obj));
+                queue.schedule(obj.0, t0);
             }
         }
 
@@ -124,13 +140,16 @@ impl IdealSystem {
             rates: spec.rates,
             uplinks,
             cache_link,
-            heap: LazyMaxHeap::new(total),
+            heap: IndexedMaxHeap::new(total),
             queue,
+            tick_slot,
+            warmup_slot,
             updaters: spec.updaters,
             rngs,
             refreshes: 0,
             updates_processed: 0,
             stash: Vec::new(),
+            quote_scratch: Vec::new(),
             start: SimTime::ZERO,
         }
     }
@@ -138,15 +157,14 @@ impl IdealSystem {
     /// Runs to the horizon and reports.
     pub fn run(mut self) -> RunReport {
         let horizon = SimTime::new(self.cfg.horizon());
-        while let Some(t) = self.queue.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let (now, ev) = self.queue.pop().expect("peeked event vanished");
-            match ev {
-                Ev::Update(obj) => self.on_update(now, obj),
-                Ev::Tick => self.on_tick(now),
-                Ev::EndWarmup => self.truth.begin_measurement(now),
+        while let Some((now, slot)) = self.queue.pop_at_or_before(horizon) {
+            if slot < self.tick_slot {
+                self.on_update(now, ObjectId(slot));
+            } else if slot == self.tick_slot {
+                self.on_tick(now);
+            } else {
+                debug_assert_eq!(slot, self.warmup_slot);
+                self.truth.begin_measurement(now);
             }
         }
         RunReport {
@@ -210,12 +228,11 @@ impl IdealSystem {
             st.area.on_update(now, d);
         }
         let p = self.priority_of(now, obj.0);
-        // The heap self-compacts (order-preserving GC) when stale quotes
-        // dominate; no requote pass is needed here.
+        // The indexed heap revises this object's quote in place.
         self.heap.push(obj.0, p);
         self.drain(now);
         if let Some(t) = next {
-            self.queue.schedule(t, Ev::Update(obj));
+            self.queue.schedule(obj.0, t);
         }
     }
 
@@ -224,15 +241,21 @@ impl IdealSystem {
             self.requote_all(now);
         }
         self.drain(now);
-        self.queue.schedule(now + self.cfg.tick, Ev::Tick);
+        self.queue.schedule(self.tick_slot, now + self.cfg.tick);
     }
 
     fn requote_all(&mut self, now: SimTime) {
-        let quotes: Vec<(u32, f64)> = (0..self.states.len() as u32)
-            .filter(|&o| self.states[o as usize].updates > self.states[o as usize].snap_updates)
-            .map(|o| (o, self.priority_of(now, o)))
-            .collect();
-        self.heap.rebuild(quotes);
+        // Only objects with something to ship need a quote; the scratch
+        // buffer makes the sweep allocation-free in steady state.
+        let mut quotes = std::mem::take(&mut self.quote_scratch);
+        quotes.clear();
+        for o in 0..self.states.len() as u32 {
+            if self.states[o as usize].updates > self.states[o as usize].snap_updates {
+                quotes.push((o, self.priority_of(now, o)));
+            }
+        }
+        self.heap.rebuild(quotes.drain(..));
+        self.quote_scratch = quotes;
     }
 
     /// Refresh the globally highest-priority feasible object while

@@ -12,16 +12,20 @@
 //!   last refresh, §3.3–§4), its Poisson closed forms (§3.4), the naive
 //!   weighted-divergence baseline it is validated against (§4.3), and the
 //!   divergence-bound variant (§9).
-//! * **Runtimes** — per-source state ([`source`]): a lazy priority heap,
-//!   the adaptive local refresh threshold (§5, [`threshold`]), saturation
-//!   tracking, and sampling-based priority monitors (§8); and the
-//!   cache side ([`cache`]): positive-feedback targeting and the
-//!   competitive bandwidth partitioning of §7.
+//! * **Runtimes** — per-source state ([`source`]): an in-place indexed
+//!   priority heap ([`heap::IndexedMaxHeap`], the priority face of the
+//!   workspace-wide `besync_sim::IndexedHeap`), the adaptive local
+//!   refresh threshold (§5, [`threshold`]), saturation tracking, and
+//!   sampling-based priority monitors (§8); and the cache side
+//!   ([`cache`]): positive-feedback targeting and the competitive
+//!   bandwidth partitioning of §7.
 //! * **Simulations** — [`system::CoopSystem`] wires sources, the shared
 //!   cache-side link, and a workload into the full pragmatic algorithm of
 //!   §5, and [`ideal::IdealSystem`] implements the omniscient scheduler of
 //!   §3.3 that defines "theoretically achievable" divergence in Figures
-//!   4–6.
+//!   4–6. Both — plus the §7 [`competitive::CompetitiveSystem`] and the
+//!   CGM baselines in `besync_baselines` — run on the same
+//!   `CalendarQueue` + indexed-heap scheduler stack.
 //!
 //! # Quick example
 //!

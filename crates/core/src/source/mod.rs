@@ -3,10 +3,11 @@
 //! Each participating source keeps, per object: its current value and
 //! update count, the snapshot carried by its most recent refresh message
 //! (its optimistic view of the cache), and the incremental area tracker
-//! behind the priority function. Modified objects live in a lazy priority
-//! heap so the highest-priority one is found in O(log n) "whenever spare
-//! bandwidth becomes available" (§8); the adaptive local threshold governs
-//! which of them may actually be sent.
+//! behind the priority function. Modified objects live in an indexed
+//! priority heap (at most one in-place-revised quote per object) so the
+//! highest-priority one is found in O(log n) "whenever spare bandwidth
+//! becomes available" (§8); the adaptive local threshold governs which of
+//! them may actually be sent.
 
 pub mod sampling;
 

@@ -10,13 +10,13 @@
 //! pop + push. This module offers two slot-addressed alternatives:
 //!
 //! * [`CalendarQueue`] — a bucket queue with amortized O(1) schedule and
-//!   pop; **this is what the `CoopSystem` hot loop uses**. Minimal API
-//!   (no cancel, no in-place reschedule).
-//! * [`SlotQueue`] — an indexed binary min-heap of `(time, seq, slot)`
-//!   entries with a slot→position index, supporting `cancel` and
-//!   in-place `replace_top`/reschedule. Not currently on the hot path;
-//!   it exists for schedulers that need those operations (porting
-//!   `IdealSystem` and the CGM baselines here is a ROADMAP item).
+//!   pop; **this is what every simulation hot loop uses** (`CoopSystem`,
+//!   `IdealSystem`, and the CGM baselines). Minimal API (no cancel, no
+//!   in-place reschedule).
+//! * [`SlotQueue`] — the same `(time, seq, slot)` ordering on the shared
+//!   [`IndexedHeap`](crate::IndexedHeap), supporting `cancel` and
+//!   in-place `replace_top`/reschedule for schedulers that need those
+//!   operations.
 //!
 //! Both order identically to `EventQueue`: ascending time, FIFO within an
 //! instant (a global sequence number stamps each `schedule`, and keys
@@ -24,10 +24,8 @@
 //! swap any of the three without perturbing event order — the golden
 //! report tests in the workspace root pin exactly that.
 
+use crate::indexed_heap::{HeapKey, IndexedHeap};
 use crate::time::SimTime;
-
-/// Position sentinel: slot not currently queued.
-const ABSENT: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
@@ -36,21 +34,29 @@ struct Entry {
     slot: u32,
 }
 
-impl Entry {
+/// `(time, seq)` scheduling key: earlier fires first, FIFO within an
+/// instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimeKey {
+    at: SimTime,
+    seq: u64,
+}
+
+impl HeapKey for TimeKey {
     #[inline]
-    fn key(&self) -> (SimTime, u64) {
-        (self.at, self.seq)
+    fn beats(&self, other: &Self) -> bool {
+        (self.at, self.seq) < (other.at, other.seq)
     }
 }
 
 /// A binary min-heap of at most one pending event per slot, ordered by
 /// `(time, seq)` with `seq` assigned per schedule call (FIFO within an
-/// instant).
+/// instant). A thin time-flavoured wrapper over the workspace-wide
+/// [`IndexedHeap`]; the priority-flavoured sibling is
+/// `besync::heap::IndexedMaxHeap`.
 #[derive(Debug, Clone)]
 pub struct SlotQueue {
-    heap: Vec<Entry>,
-    /// `pos[slot]` = index in `heap`, or [`ABSENT`].
-    pos: Vec<u32>,
+    heap: IndexedHeap<TimeKey>,
     seq: u64,
     now: SimTime,
 }
@@ -60,8 +66,7 @@ impl SlotQueue {
     /// zero.
     pub fn new(slots: usize) -> Self {
         SlotQueue {
-            heap: Vec::with_capacity(slots),
-            pos: vec![ABSENT; slots],
+            heap: IndexedHeap::new(slots),
             seq: 0,
             now: SimTime::ZERO,
         }
@@ -69,7 +74,7 @@ impl SlotQueue {
 
     /// Number of slots this queue covers.
     pub fn slots(&self) -> usize {
-        self.pos.len()
+        self.heap.items()
     }
 
     /// Number of pending events.
@@ -103,47 +108,26 @@ impl SlotQueue {
         );
         let seq = self.seq;
         self.seq += 1;
-        let entry = Entry { at, seq, slot };
-        let i = self.pos[slot as usize];
-        if i == ABSENT {
-            self.heap.push(entry);
-            self.sift_up(self.heap.len() - 1, entry);
-        } else {
-            let i = i as usize;
-            let was = self.heap[i].key();
-            if entry.key() < was {
-                self.sift_up(i, entry);
-            } else {
-                self.sift_down(i, entry);
-            }
-        }
+        self.heap.push(slot, TimeKey { at, seq });
     }
 
     /// Cancels `slot`'s pending event, if any. Returns whether one was
     /// pending.
     pub fn cancel(&mut self, slot: u32) -> bool {
-        let i = self.pos[slot as usize];
-        if i == ABSENT {
-            return false;
-        }
-        self.remove_at(i as usize);
-        self.pos[slot as usize] = ABSENT;
-        true
+        self.heap.remove(slot)
     }
 
     /// The next `(time, slot)` without removing it.
     #[inline]
     pub fn peek(&self) -> Option<(SimTime, u32)> {
-        self.heap.first().map(|e| (e.at, e.slot))
+        self.heap.peek().map(|(k, slot)| (k.at, slot))
     }
 
     /// Removes and returns the next `(time, slot)`, advancing the clock.
     pub fn pop(&mut self) -> Option<(SimTime, u32)> {
-        let &Entry { at, slot, .. } = self.heap.first()?;
-        self.now = at;
-        self.pos[slot as usize] = ABSENT;
-        self.remove_at(0);
-        Some((at, slot))
+        let (k, slot) = self.heap.pop()?;
+        self.now = k.at;
+        Some((k.at, slot))
     }
 
     /// Fast path for self-rescheduling events: advances the clock to the
@@ -155,86 +139,22 @@ impl SlotQueue {
     ///
     /// Panics if the queue is empty or `at` precedes the top event.
     pub fn replace_top(&mut self, at: SimTime) {
-        let top = *self.heap.first().expect("replace_top on empty queue");
-        self.now = top.at;
+        let (k, slot) = self.heap.peek().expect("replace_top on empty queue");
+        self.now = k.at;
         assert!(
             at >= self.now,
-            "cannot schedule slot {} at {at:?} before now {:?}",
-            top.slot,
+            "cannot schedule slot {slot} at {at:?} before now {:?}",
             self.now
         );
         let seq = self.seq;
         self.seq += 1;
-        // The key only ever grows here (later time, or same time with a
-        // fresh — larger — seq), so order restores downward.
-        self.sift_down(
-            0,
-            Entry {
-                at,
-                seq,
-                slot: top.slot,
-            },
-        );
+        self.heap.replace_top(TimeKey { at, seq });
     }
 
-    /// Removes the entry at heap index `i` (caller clears `pos` for its
-    /// slot first if needed).
-    fn remove_at(&mut self, i: usize) {
-        let last = self.heap.pop().expect("heap non-empty");
-        if i < self.heap.len() {
-            // Re-insert the displaced tail entry at the hole. It came from
-            // the bottom, so it usually sinks; but when removing mid-heap
-            // it may instead need to rise toward the root.
-            if i > 0 && last.key() < self.heap[(i - 1) / 2].key() {
-                self.sift_up(i, last);
-            } else {
-                self.sift_down(i, last);
-            }
-        }
-    }
-
-    /// Places `entry` at hole `i`, moving it up while its key is smaller
-    /// than its parent's.
-    fn sift_up(&mut self, mut i: usize, entry: Entry) {
-        let k = entry.key();
-        while i > 0 {
-            let parent = (i - 1) / 2;
-            let p = self.heap[parent];
-            if p.key() <= k {
-                break;
-            }
-            self.heap[i] = p;
-            self.pos[p.slot as usize] = i as u32;
-            i = parent;
-        }
-        self.heap[i] = entry;
-        self.pos[entry.slot as usize] = i as u32;
-    }
-
-    /// Places `entry` at hole `i`, moving it down while a child's key is
-    /// smaller.
-    fn sift_down(&mut self, mut i: usize, entry: Entry) {
-        let n = self.heap.len();
-        let k = entry.key();
-        loop {
-            let mut child = 2 * i + 1;
-            if child >= n {
-                break;
-            }
-            let right = child + 1;
-            if right < n && self.heap[right].key() < self.heap[child].key() {
-                child = right;
-            }
-            let c = self.heap[child];
-            if k <= c.key() {
-                break;
-            }
-            self.heap[i] = c;
-            self.pos[c.slot as usize] = i as u32;
-            i = child;
-        }
-        self.heap[i] = entry;
-        self.pos[entry.slot as usize] = i as u32;
+    /// Checks heap/position-index consistency (test support).
+    #[doc(hidden)]
+    pub fn validate(&self) {
+        self.heap.validate();
     }
 }
 
@@ -559,9 +479,7 @@ mod tests {
                 }
             }
             // Invariant: every queued slot's recorded position is correct.
-            for (i, e) in q.heap.iter().enumerate() {
-                assert_eq!(q.pos[e.slot as usize], i as u32);
-            }
+            q.validate();
         }
     }
 

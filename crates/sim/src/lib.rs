@@ -2,11 +2,14 @@
 //! reproduction.
 //!
 //! This crate is deliberately independent of the caching domain: it provides
-//! a simulated clock ([`SimTime`]), a deterministic event queue
-//! ([`EventQueue`]), time-varying signals ([`Wave`]) used to model
-//! fluctuating bandwidth and weights, seeded RNG streams ([`rng`]), and
-//! time-weighted statistics ([`stats`]) used to measure divergence exactly
-//! between events.
+//! a simulated clock ([`SimTime`]), deterministic event schedulers (the
+//! generic [`EventQueue`], the bucket-based [`CalendarQueue`] every hot
+//! loop uses, and [`SlotQueue`]), the position-indexed heap those — and
+//! the domain crates' priority schedulers — share ([`IndexedHeap`]),
+//! time-varying signals ([`Wave`]) used to model fluctuating bandwidth
+//! and weights, seeded RNG streams ([`rng`]), and time-weighted
+//! statistics ([`stats`]) used to measure divergence exactly between
+//! events.
 //!
 //! Everything is deterministic: given the same seed, a simulation built on
 //! this kernel replays identically, which is what lets the experiment
@@ -14,6 +17,7 @@
 
 pub mod calendar;
 pub mod events;
+pub mod indexed_heap;
 pub mod rng;
 pub mod signal;
 pub mod stats;
@@ -21,6 +25,7 @@ pub mod time;
 
 pub use calendar::{CalendarQueue, SlotQueue};
 pub use events::EventQueue;
+pub use indexed_heap::{HeapKey, IndexedHeap};
 pub use signal::Wave;
 pub use stats::{PiecewiseConstant, RunningStats, TimeAverage};
 pub use time::SimTime;

@@ -1,0 +1,351 @@
+//! Scheduler-port equivalence goldens for `IdealSystem` and the CGM
+//! baselines.
+//!
+//! PR 2 moved both off the generic `EventQueue<Ev>` + `LazyMaxHeap` onto
+//! the `CalendarQueue` + unified indexed heap that `CoopSystem` already
+//! uses. The constants below are the exact `RunReport` counters of the
+//! **old `EventQueue`-backed implementations**, recorded immediately
+//! before the port (same seeds, same configs). The port is required to be
+//! bit-identical: any divergence here means the new schedulers do not
+//! replay the old trajectories and the paper's figures moved.
+//!
+//! To regenerate after an *intentional* trajectory change, run with
+//! `GOLDEN_PRINT=1 cargo test --test scheduler_equivalence -- --nocapture`
+//! and say so in the commit message.
+
+use besync::config::SystemConfig;
+use besync::priority::{PolicyKind, RateEstimator};
+use besync::{IdealSystem, RunReport};
+use besync_baselines::{CgmConfig, CgmSystem, CgmVariant};
+use besync_data::Metric;
+use besync_workloads::generators::{fig6_workload, random_walk_poisson, PoissonWorkloadOptions};
+
+struct Golden {
+    updates_processed: u64,
+    refreshes_sent: u64,
+    polls_sent: u64,
+    mean_divergence: f64,
+}
+
+fn check(name: &str, report: &RunReport, want: &Golden) {
+    if std::env::var_os("GOLDEN_PRINT").is_some() {
+        println!(
+            "{name}: updates_processed: {}, refreshes_sent: {}, polls_sent: {}, \
+             mean_divergence: {:.12e}",
+            report.updates_processed,
+            report.refreshes_sent,
+            report.polls_sent,
+            report.mean_divergence(),
+        );
+        return;
+    }
+    assert_eq!(
+        report.updates_processed, want.updates_processed,
+        "{name}: updates_processed"
+    );
+    assert_eq!(
+        report.refreshes_sent, want.refreshes_sent,
+        "{name}: refreshes_sent"
+    );
+    assert_eq!(report.polls_sent, want.polls_sent, "{name}: polls_sent");
+    assert!(
+        (report.mean_divergence() - want.mean_divergence).abs() < 1e-9,
+        "{name}: mean_divergence {:.12e} != {:.12e}",
+        report.mean_divergence(),
+        want.mean_divergence
+    );
+}
+
+fn ideal_spec(seed: u64) -> besync_workloads::WorkloadSpec {
+    random_walk_poisson(
+        PoissonWorkloadOptions {
+            sources: 8,
+            objects_per_source: 16,
+            rate_range: (0.05, 0.6),
+            weight_range: (1.0, 3.0),
+            fluctuating_weights: false,
+        },
+        seed,
+    )
+}
+
+fn ideal_cfg(metric: Metric, policy: PolicyKind) -> SystemConfig {
+    SystemConfig {
+        metric,
+        policy,
+        cache_bandwidth_mean: 20.0,
+        source_bandwidth_mean: 6.0,
+        warmup: 20.0,
+        measure: 150.0,
+        ..SystemConfig::default()
+    }
+}
+
+#[test]
+fn ideal_staleness_area() {
+    let report = IdealSystem::new(
+        ideal_cfg(Metric::Staleness, PolicyKind::Area),
+        ideal_spec(11),
+    )
+    .run();
+    check(
+        "ideal_staleness_area",
+        &report,
+        &Golden {
+            updates_processed: 7316,
+            refreshes_sent: 3400,
+            polls_sent: 0,
+            mean_divergence: 0.3920094437500,
+        },
+    );
+}
+
+#[test]
+fn ideal_deviation_poisson() {
+    let report = IdealSystem::new(
+        SystemConfig {
+            estimator: RateEstimator::Known,
+            ..ideal_cfg(Metric::abs_deviation(), PolicyKind::PoissonClosedForm)
+        },
+        ideal_spec(23),
+    )
+    .run();
+    check(
+        "ideal_deviation_poisson",
+        &report,
+        &Golden {
+            updates_processed: 7490,
+            refreshes_sent: 3400,
+            polls_sent: 0,
+            mean_divergence: 0.3722443513479,
+        },
+    );
+}
+
+#[test]
+fn ideal_lag_simple() {
+    let report = IdealSystem::new(
+        ideal_cfg(Metric::Lag, PolicyKind::SimpleWeighted),
+        ideal_spec(37),
+    )
+    .run();
+    check(
+        "ideal_lag_simple",
+        &report,
+        &Golden {
+            updates_processed: 7271,
+            refreshes_sent: 3400,
+            polls_sent: 0,
+            mean_divergence: 0.6479422910061,
+        },
+    );
+}
+
+fn cgm_cfg(variant: CgmVariant) -> CgmConfig {
+    CgmConfig {
+        variant,
+        cache_bandwidth_mean: 25.0,
+        warmup: 50.0,
+        measure: 200.0,
+        sim_seed: 5,
+        ..CgmConfig::default()
+    }
+}
+
+#[test]
+fn cgm_ideal_cache_based() {
+    let report = CgmSystem::new(
+        cgm_cfg(CgmVariant::IdealCacheBased),
+        fig6_workload(5, 10, 61),
+    )
+    .run();
+    check(
+        "cgm_ideal_cache_based",
+        &report,
+        &Golden {
+            updates_processed: 6403,
+            refreshes_sent: 6243,
+            polls_sent: 0,
+            mean_divergence: 0.2952671642701,
+        },
+    );
+}
+
+#[test]
+fn cgm1() {
+    let report = CgmSystem::new(cgm_cfg(CgmVariant::Cgm1), fig6_workload(5, 10, 62)).run();
+    check(
+        "cgm1",
+        &report,
+        &Golden {
+            updates_processed: 6575,
+            refreshes_sent: 3087,
+            polls_sent: 3087,
+            mean_divergence: 0.4587837517566,
+        },
+    );
+}
+
+#[test]
+fn cgm2() {
+    let report = CgmSystem::new(cgm_cfg(CgmVariant::Cgm2), fig6_workload(5, 10, 63)).run();
+    check(
+        "cgm2",
+        &report,
+        &Golden {
+            updates_processed: 6079,
+            refreshes_sent: 3117,
+            polls_sent: 3117,
+            mean_divergence: 0.4169706788513,
+        },
+    );
+}
+
+mod competitive_goldens {
+    use besync::cache::partition::{BandwidthPartition, SharePolicy};
+    use besync::competitive::{CompetitiveConfig, CompetitiveReport, CompetitiveSystem};
+    use besync::config::SystemConfig;
+    use besync_data::{Metric, WeightProfile};
+    use besync_workloads::generators::{random_walk_poisson, PoissonWorkloadOptions};
+    use besync_workloads::WorkloadSpec;
+
+    struct CompetitiveGolden {
+        threshold_refreshes: u64,
+        source_refreshes: u64,
+        feedback_messages: u64,
+        cache_objective: f64,
+        source_objective: f64,
+    }
+
+    fn check(name: &str, report: &CompetitiveReport, want: &CompetitiveGolden) {
+        if std::env::var_os("GOLDEN_PRINT").is_some() {
+            println!(
+                "{name}: threshold_refreshes: {}, source_refreshes: {}, \
+                 feedback_messages: {}, cache_objective: {:.12e}, source_objective: {:.12e}",
+                report.threshold_refreshes,
+                report.source_refreshes,
+                report.feedback_messages,
+                report.cache_objective,
+                report.source_objective,
+            );
+            return;
+        }
+        assert_eq!(
+            report.threshold_refreshes, want.threshold_refreshes,
+            "{name}: threshold_refreshes"
+        );
+        assert_eq!(
+            report.source_refreshes, want.source_refreshes,
+            "{name}: source_refreshes"
+        );
+        assert_eq!(
+            report.feedback_messages, want.feedback_messages,
+            "{name}: feedback_messages"
+        );
+        assert!(
+            (report.cache_objective - want.cache_objective).abs() < 1e-9,
+            "{name}: cache_objective {:.12e} != {:.12e}",
+            report.cache_objective,
+            want.cache_objective
+        );
+        assert!(
+            (report.source_objective - want.source_objective).abs() < 1e-9,
+            "{name}: source_objective {:.12e} != {:.12e}",
+            report.source_objective,
+            want.source_objective
+        );
+    }
+
+    /// Cache wants the first half of each source's objects; sources want
+    /// the second half (the conflicted §7 setup).
+    fn conflicted(seed: u64) -> (WorkloadSpec, Vec<WeightProfile>) {
+        let mut spec = random_walk_poisson(
+            PoissonWorkloadOptions {
+                sources: 6,
+                objects_per_source: 12,
+                rate_range: (0.1, 0.8),
+                weight_range: (1.0, 1.0),
+                fluctuating_weights: false,
+            },
+            seed,
+        );
+        let n = spec.layout.objects_per_source();
+        let mut source_weights = Vec::new();
+        for obj in spec.layout.all_objects() {
+            let local = obj.0 % n;
+            let cache_w = if local < n / 2 { 10.0 } else { 1.0 };
+            let source_w = if local < n / 2 { 1.0 } else { 10.0 };
+            spec.weights[obj.index()] = WeightProfile::constant(cache_w);
+            source_weights.push(WeightProfile::constant(source_w));
+        }
+        (spec, source_weights)
+    }
+
+    fn run_with(seed: u64, psi: f64, policy: SharePolicy) -> CompetitiveReport {
+        let (spec, source_weights) = conflicted(seed);
+        CompetitiveSystem::new(
+            CompetitiveConfig {
+                base: SystemConfig {
+                    metric: Metric::Staleness,
+                    cache_bandwidth_mean: 12.0,
+                    source_bandwidth_mean: 5.0,
+                    warmup: 30.0,
+                    measure: 150.0,
+                    ..SystemConfig::default()
+                },
+                source_weights,
+                partition: BandwidthPartition::new(psi, policy),
+            },
+            spec,
+        )
+        .run()
+    }
+
+    #[test]
+    fn competitive_equal_share() {
+        let report = run_with(71, 0.5, SharePolicy::EqualShare);
+        check(
+            "competitive_equal_share",
+            &report,
+            &CompetitiveGolden {
+                threshold_refreshes: 1008,
+                source_refreshes: 1079,
+                feedback_messages: 69,
+                cache_objective: 3.108455753424,
+                source_objective: 2.341686307937,
+            },
+        );
+    }
+
+    #[test]
+    fn competitive_piggyback() {
+        let report = run_with(72, 0.5, SharePolicy::ProportionalToValue);
+        check(
+            "competitive_piggyback",
+            &report,
+            &CompetitiveGolden {
+                threshold_refreshes: 1090,
+                source_refreshes: 987,
+                feedback_messages: 77,
+                cache_objective: 3.132521235407,
+                source_objective: 2.782879991784,
+            },
+        );
+    }
+
+    #[test]
+    fn competitive_psi_zero() {
+        let report = run_with(73, 0.0, SharePolicy::EqualShare);
+        check(
+            "competitive_psi_zero",
+            &report,
+            &CompetitiveGolden {
+                threshold_refreshes: 2021,
+                source_refreshes: 0,
+                feedback_messages: 134,
+                cache_objective: 2.201490041555,
+                source_objective: 3.635854008214,
+            },
+        );
+    }
+}
