@@ -26,6 +26,7 @@
 use std::time::Instant;
 
 use besync::config::SystemConfig;
+use besync::priority::PolicyKind;
 use besync::system::CoopSystem;
 use besync::IdealSystem;
 use besync_baselines::{CgmConfig, CgmSystem, CgmVariant};
@@ -66,6 +67,15 @@ struct Scenario {
     /// CGM comparisons are unweighted (§6.3); cooperative scenarios use
     /// the weighted range the PR 1 suite pinned.
     weight_range: (f64, f64),
+    /// Sine-wave weights (§6): exercises the truth accounting's
+    /// non-constant-weight slow path, which the constant-weight fast path
+    /// must not regress.
+    fluctuating_weights: bool,
+    /// Source-side priority policy (cooperative scenarios only). The
+    /// `Bound` policy is not piecewise-constant, so it pays a full
+    /// requote sweep every tick — a regime the Area scenarios never
+    /// enter.
+    policy: PolicyKind,
     metric: Metric,
     cache_bw: f64,
     source_bw: f64,
@@ -94,7 +104,7 @@ impl Scenario {
                 objects_per_source: self.objects_per_source,
                 rate_range: self.rate_range,
                 weight_range: self.weight_range,
-                fluctuating_weights: false,
+                fluctuating_weights: self.fluctuating_weights,
             },
             self.seed,
         )
@@ -114,7 +124,14 @@ impl Scenario {
             // the measured region is exactly the event loop + reporting.
             let (wall, report) = match self.kind {
                 SystemKind::Coop => {
-                    let system = CoopSystem::new(self.system_config(), spec);
+                    let mut cfg = self.system_config();
+                    if matches!(self.policy, PolicyKind::Bound) {
+                        // Bound pricing needs per-object refresh-rate
+                        // bounds; the workload's true rates are the
+                        // natural seeded choice.
+                        cfg.bound_rates = Some(spec.rates.clone());
+                    }
+                    let system = CoopSystem::new(cfg, spec);
                     let start = Instant::now();
                     let report = system.run();
                     (start.elapsed().as_secs_f64(), report)
@@ -183,6 +200,7 @@ impl Scenario {
     fn system_config(&self) -> SystemConfig {
         SystemConfig {
             metric: self.metric,
+            policy: self.policy,
             cache_bandwidth_mean: self.cache_bw,
             source_bandwidth_mean: self.source_bw,
             warmup: self.warmup,
@@ -266,9 +284,10 @@ impl ScenarioResult {
 
 /// The fixed scenario set. `medium` is the headline comparison scenario
 /// for PR-over-PR speedup claims; the small/large pairs cover the size ×
-/// metric grid, and the `ideal_*`/`cgm*_*` scenarios cover the
-/// figure-regeneration schedulers so regressions in any regime are
-/// visible.
+/// metric grid, `bound_medium`/`fluct_medium` cover the Bound-policy and
+/// fluctuating-weight regimes (the non-constant-weight slow path), and
+/// the `ideal_*`/`cgm*_*` scenarios cover the figure-regeneration
+/// schedulers so regressions in any regime are visible.
 fn scenarios() -> Vec<Scenario> {
     let coop =
         |name, seed, sources, objects_per_source, metric, cache_bw, source_bw, warmup, measure| {
@@ -280,6 +299,8 @@ fn scenarios() -> Vec<Scenario> {
                 objects_per_source,
                 rate_range: (0.05, 0.5),
                 weight_range: (1.0, 4.0),
+                fluctuating_weights: false,
+                policy: PolicyKind::Area,
                 metric,
                 cache_bw,
                 source_bw,
@@ -344,6 +365,38 @@ fn scenarios() -> Vec<Scenario> {
             400.0,
         ),
         Scenario {
+            name: "bound_medium",
+            seed: 909,
+            kind: SystemKind::Coop,
+            sources: 32,
+            objects_per_source: 64,
+            rate_range: (0.05, 0.5),
+            weight_range: (1.0, 4.0),
+            fluctuating_weights: false,
+            policy: PolicyKind::Bound,
+            metric: Metric::Staleness,
+            cache_bw: 90.0,
+            source_bw: 5.0,
+            warmup: 50.0,
+            measure: 1500.0,
+        },
+        Scenario {
+            name: "fluct_medium",
+            seed: 1010,
+            kind: SystemKind::Coop,
+            sources: 32,
+            objects_per_source: 64,
+            rate_range: (0.05, 0.5),
+            weight_range: (1.0, 4.0),
+            fluctuating_weights: true,
+            policy: PolicyKind::Area,
+            metric: Metric::Staleness,
+            cache_bw: 90.0,
+            source_bw: 5.0,
+            warmup: 50.0,
+            measure: 1500.0,
+        },
+        Scenario {
             name: "ideal_medium",
             seed: 606,
             kind: SystemKind::Ideal,
@@ -351,6 +404,8 @@ fn scenarios() -> Vec<Scenario> {
             objects_per_source: 64,
             rate_range: (0.05, 0.5),
             weight_range: (1.0, 4.0),
+            fluctuating_weights: false,
+            policy: PolicyKind::Area,
             metric: Metric::Staleness,
             cache_bw: 90.0,
             source_bw: 5.0,
@@ -365,6 +420,8 @@ fn scenarios() -> Vec<Scenario> {
             objects_per_source: 64,
             rate_range: (0.02, 1.0),
             weight_range: (1.0, 1.0),
+            fluctuating_weights: false,
+            policy: PolicyKind::Area,
             metric: Metric::Staleness,
             cache_bw: 614.0,
             // Unused for CGM: polling has no source-side limit (§6.3).
@@ -380,6 +437,8 @@ fn scenarios() -> Vec<Scenario> {
             objects_per_source: 64,
             rate_range: (0.02, 1.0),
             weight_range: (1.0, 1.0),
+            fluctuating_weights: false,
+            policy: PolicyKind::Area,
             metric: Metric::Staleness,
             cache_bw: 614.0,
             // Unused for CGM: polling has no source-side limit (§6.3).
@@ -533,6 +592,43 @@ fn compare_against_baseline(
     }
 }
 
+/// Levenshtein edit distance, small-string flavour (scenario names are
+/// short, so the O(len²) two-row DP is plenty).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Near-matches for a misspelled `--only` name: substring hits first
+/// (`larg` → `large`, `large_value`), then names within a third of the
+/// requested length in edit distance, closest first.
+fn suggest(wanted: &str, names: &[&'static str]) -> Vec<&'static str> {
+    let lower = wanted.to_lowercase();
+    let mut near: Vec<(usize, &'static str)> = names
+        .iter()
+        .filter_map(|&n| {
+            if !lower.is_empty() && (n.contains(&lower) || lower.contains(n)) {
+                Some((0, n))
+            } else {
+                let d = edit_distance(&lower, n);
+                (d <= (wanted.len() / 3).max(2)).then_some((d, n))
+            }
+        })
+        .collect();
+    near.sort_by_key(|&(d, n)| (d, n));
+    near.into_iter().map(|(_, n)| n).take(3).collect()
+}
+
 const HELP: &str = "\
 besync-bench — seeded end-to-end throughput scenarios for the paper's schedulers
 
@@ -611,7 +707,17 @@ fn main() -> std::process::ExitCode {
         .map(|s| if quick { s.quick() } else { s })
         .collect();
     if selected.is_empty() {
-        eprintln!("no scenario named `{}`", only.unwrap_or_default());
+        let wanted = only.unwrap_or_default();
+        let names: Vec<&'static str> = scenarios().iter().map(|s| s.name).collect();
+        let near = suggest(&wanted, &names);
+        if near.is_empty() {
+            eprintln!("no scenario named `{wanted}` (see --list)");
+        } else {
+            eprintln!(
+                "no scenario named `{wanted}`; did you mean {}? (see --list)",
+                near.join(" or ")
+            );
+        }
         return std::process::ExitCode::FAILURE;
     }
 

@@ -20,7 +20,7 @@
 //! directly measurable.
 
 use besync_data::ids::ObjectLayout;
-use besync_data::{ObjectId, SourceId, TruthTable, WeightProfile};
+use besync_data::{ObjectId, SourceId, TruthTable, WeightProfile, WeightSet};
 use besync_net::Link;
 use besync_sim::{CalendarQueue, SimTime};
 use besync_workloads::{Updater, WorkloadSpec};
@@ -85,7 +85,9 @@ pub struct CompetitiveSystem {
     sources: Vec<SourceRuntime>,
     /// Per-source own-priority heap (source weights).
     own_heaps: Vec<IndexedMaxHeap>,
-    source_weights: Vec<WeightProfile>,
+    /// The sources' own priorities' weights, dense-constant fast path
+    /// (see [`WeightSet`]); `own_priority` re-derives quotes per send.
+    source_weights: WeightSet,
     /// Options (1)/(2): per-source allocated refresh rate and accrued
     /// credit.
     allocations: Vec<f64>,
@@ -203,7 +205,7 @@ impl CompetitiveSystem {
             source_truth,
             sources,
             own_heaps,
-            source_weights: cfg.source_weights,
+            source_weights: WeightSet::new(cfg.source_weights),
             allocations,
             own_credit: vec![0.0; m as usize],
             piggyback: vec![PiggybackCredit::default(); m as usize],
@@ -248,7 +250,7 @@ impl CompetitiveSystem {
     fn own_priority(&self, now: SimTime, sid: usize, local: u32) -> f64 {
         let raw = self.sources[sid].raw_area_priority(now, local);
         let obj = self.sources[sid].global(local);
-        raw * self.source_weights[obj.index()].weight_at(now)
+        raw * self.source_weights.weight_at(obj.index(), now)
     }
 
     fn on_update(&mut self, now: SimTime, obj: ObjectId) {

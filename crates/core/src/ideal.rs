@@ -15,7 +15,7 @@
 //! of Figure 4 and the "ideal cooperative" curves of Figures 5–6.
 
 use besync_data::ids::ObjectLayout;
-use besync_data::{Metric, ObjectId, TruthTable, WeightProfile};
+use besync_data::{Metric, ObjectId, TruthTable, WeightSet};
 use besync_net::Link;
 use besync_sim::stats::RunningStats;
 use besync_sim::{CalendarQueue, SimTime};
@@ -29,7 +29,10 @@ use crate::report::RunReport;
 
 /// Per-object scheduler state (the ideal scheduler sees every object
 /// directly, so there is no per-source bookkeeping beyond the uplinks).
+/// One full cache line per object, aligned like
+/// [`crate::source::ObjectState`], for the same random-access reason.
 #[derive(Debug, Clone, Copy)]
+#[repr(C, align(64))]
 struct ObjState {
     value: f64,
     updates: u64,
@@ -37,6 +40,8 @@ struct ObjState {
     snap_value: f64,
     area: AreaTracker,
 }
+
+const _: () = assert!(std::mem::size_of::<ObjState>() == 64);
 
 /// The omniscient scheduler defining "theoretically achievable"
 /// divergence.
@@ -54,7 +59,9 @@ pub struct IdealSystem {
     truth: TruthTable,
     states: Vec<ObjState>,
     bounds: Option<Vec<BoundTracker>>,
-    weights: Vec<WeightProfile>,
+    /// Per-object weights behind the dense constant fast path (see
+    /// [`WeightSet`]); `priority_of` runs on every update.
+    weights: WeightSet,
     rates: Vec<f64>,
     uplinks: Vec<Link<()>>,
     cache_link: Link<()>,
@@ -136,7 +143,7 @@ impl IdealSystem {
             truth,
             states,
             bounds,
-            weights: spec.weights,
+            weights: WeightSet::new(spec.weights),
             rates: spec.rates,
             uplinks,
             cache_link,
@@ -200,7 +207,7 @@ impl IdealSystem {
             divergence,
             updates_since_refresh: since_refresh,
             lambda_hat,
-            weight: self.weights[idx].weight_at(now),
+            weight: self.weights.weight_at(idx, now),
             max_rate: self.bounds.as_ref().map_or(0.0, |b| b[idx].max_rate),
         };
         compute_priority(

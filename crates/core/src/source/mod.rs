@@ -11,7 +11,7 @@
 
 pub mod sampling;
 
-use besync_data::{Metric, ObjectId, SourceId, WeightProfile};
+use besync_data::{Metric, ObjectId, SourceId, WeightProfile, WeightSet};
 use besync_net::Link;
 use besync_sim::SimTime;
 
@@ -23,7 +23,9 @@ use crate::threshold::{ThresholdParams, ThresholdState};
 
 /// Per-object synchronization state from the source's viewpoint.
 ///
-/// Layout note: this struct is exactly one cache line (64 bytes), and
+/// Layout note: this struct is exactly one cache line (64 bytes) and
+/// aligned to one — without the explicit alignment a `Vec`'s 8/16-byte
+/// buffer alignment leaves most entries straddling two lines.
 /// [`SourceRuntime`] stores one per object in a flat `Vec`. The hot path
 /// (`record_update` → quote → heap) is *random* access by object index, so
 /// packing the fields an update touches into a single line measurably
@@ -31,6 +33,7 @@ use crate::threshold::{ThresholdParams, ThresholdState};
 /// lines. (The per-tick `requote_all` sweep still walks this array
 /// sequentially.)
 #[derive(Debug, Clone, Copy)]
+#[repr(C, align(64))]
 pub struct ObjectState {
     /// Current value at the source.
     pub value: f64,
@@ -43,6 +46,9 @@ pub struct ObjectState {
     /// Incremental area-above-divergence-curve tracker.
     pub area: AreaTracker,
 }
+
+// One object, one line — the layout contract the hot path relies on.
+const _: () = assert!(std::mem::size_of::<ObjectState>() == 64);
 
 impl ObjectState {
     fn new(t0: SimTime, value: f64) -> Self {
@@ -95,7 +101,10 @@ pub struct SourceRuntime {
     /// Per-object hot state, one cache line each (see [`ObjectState`]).
     states: Vec<ObjectState>,
     bounds: Option<Vec<BoundTracker>>,
-    weights: Vec<WeightProfile>,
+    /// Per-object weights behind the dense constant fast path (see
+    /// [`WeightSet`]): quoting a priority no longer drags the full
+    /// profile through the cache when the weight is constant.
+    weights: WeightSet,
     rates: Vec<f64>,
     /// Reusable buffer for requote sweeps (zero steady-state allocation).
     quote_scratch: Vec<(u32, f64)>,
@@ -148,7 +157,7 @@ impl SourceRuntime {
                 .map(|&v| ObjectState::new(t0, v))
                 .collect(),
             bounds,
-            weights,
+            weights: WeightSet::new(weights),
             rates,
             quote_scratch: Vec::new(),
             metric,
@@ -203,7 +212,7 @@ impl SourceRuntime {
     /// quote).
     #[inline]
     fn priority_with_divergence(&self, now: SimTime, idx: usize, divergence: f64) -> f64 {
-        self.priority_inner(now, idx, divergence, self.weights[idx].weight_at(now))
+        self.priority_inner(now, idx, divergence, self.weights.weight_at(idx, now))
     }
 
     /// Priority from precomputed divergence *and* weight (the system's
@@ -218,7 +227,7 @@ impl SourceRuntime {
     /// stay in lock-step.
     #[inline]
     fn priority_inner(&self, now: SimTime, idx: usize, divergence: f64, weight: f64) -> f64 {
-        debug_assert_eq!(weight.to_bits(), self.weights[idx].weight_at(now).to_bits());
+        debug_assert_eq!(weight.to_bits(), self.weights.weight_at(idx, now).to_bits());
         let st = &self.states[idx];
         let p = match self.policy {
             PolicyKind::Area => st.area.raw_priority(now) * weight,
@@ -267,7 +276,7 @@ impl SourceRuntime {
                         st.updates_since_refresh(),
                         now - st.area.last_refresh(),
                     ),
-                    weight: self.weights[idx].weight_at(now),
+                    weight: self.weights.weight_at(idx, now),
                     max_rate: self.bounds.as_ref().map_or(0.0, |b| b[idx].max_rate),
                 };
                 compute_priority(
@@ -287,7 +296,7 @@ impl SourceRuntime {
     /// `now`; its priority is recomputed and quoted to the heap. Returns
     /// the new priority.
     pub fn record_update(&mut self, now: SimTime, local: u32, new_value: f64) -> f64 {
-        let weight = self.weights[local as usize].weight_at(now);
+        let weight = self.weights.weight_at(local as usize, now);
         self.record_update_weighted(now, local, new_value, weight)
     }
 

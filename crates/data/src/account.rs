@@ -12,12 +12,45 @@
 //! the weight at each divergence transition, which matches the paper's
 //! standing assumption that weights change slowly relative to refresh
 //! activity (§3.3).
+//!
+//! # Layout: struct of arrays
+//!
+//! The table is the single piece of state *every* simulation event drags
+//! through the cache hierarchy, and at 16k+ objects the old
+//! array-of-structs layout (one ~104-byte account plus a ~1-cache-line
+//! weight profile per object, randomly indexed) was L3-resident and
+//! memory-bound. The state is therefore split by touch frequency:
+//!
+//! * **hot** — one 64-byte, cache-line-aligned [`HotAccount`] per object:
+//!   the truth (values + update counters), the current divergence and
+//!   weighted divergence, and the time of the last transition. Exactly one
+//!   line per `source_update`/`apply_refresh`.
+//! * **warm** — the running divergence integrals, 16 bytes per object in a
+//!   dense parallel array (four objects per line). They *must* be bumped
+//!   on every transition — divergence is integrated segment by segment,
+//!   and deferring or batching the additions would change the f64
+//!   summation order and break bit-identical trajectories — but packing
+//!   them densely quarters their line footprint.
+//! * **cold** — the `begin_measurement` snapshots and the full
+//!   [`WeightProfile`]s, touched only at end-of-warm-up, at reporting,
+//!   and on the fluctuating-weight slow path.
+//!
+//! Constant weights (the common case) additionally skip the profile
+//! entirely: `W(O)` is precomputed once per object into a dense f64 array,
+//! so the hot loop does one load and one branch instead of dispatching
+//! through two [`besync_sim::Wave`]s on a far cache line. The per-step
+//! `d * weight` multiply is kept in both paths, so `wintegral` stays
+//! bit-identical to the retired layout.
+//!
+//! The retired array-of-structs implementation survives as
+//! [`crate::aos::AosTruthTable`], the property-test oracle that pins this
+//! layout op-for-op (see `crates/data/tests/oracle.rs`).
 
 use besync_sim::SimTime;
 
 use crate::ids::ObjectId;
 use crate::metric::Metric;
-use crate::weight::WeightProfile;
+use crate::weight::{WeightProfile, WeightSet};
 
 /// The authoritative synchronization state of one object: the live source
 /// value and the possibly stale cached copy.
@@ -35,7 +68,7 @@ pub struct ObjectTruth {
 }
 
 impl ObjectTruth {
-    fn synced(value: f64) -> Self {
+    pub(crate) fn synced(value: f64) -> Self {
         ObjectTruth {
             source_value: value,
             source_updates: 0,
@@ -56,88 +89,78 @@ impl ObjectTruth {
     }
 }
 
-/// Fused unweighted + weighted time-average pair sharing one clock.
+/// Everything one `source_update`/`apply_refresh` touches, packed into
+/// exactly one cache line.
 ///
-/// Arithmetic is operation-for-operation identical to two independent
-/// [`besync_sim::stats::TimeAverage`]s updated at the same instants (the trackers were only
-/// ever set together), but one struct with one `last_change` halves the
-/// cache traffic of the per-update accounting — which runs on every
-/// simulation event.
+/// `divergence`/`wdivergence` mirror the fused dual time-average the AoS
+/// layout kept (the trackers were only ever set together): the current
+/// piecewise-constant divergence level and its weighted counterpart, both
+/// pending integration over `[last_change, next transition)`.
 #[derive(Debug, Clone, Copy)]
-struct DualAverage {
+#[repr(C, align(64))]
+struct HotAccount {
+    source_value: f64,
+    cached_value: f64,
+    source_updates: u64,
+    cached_updates: u64,
+    /// Current divergence (0 initially: every cache starts synchronized).
+    divergence: f64,
+    /// Current weighted divergence `d · W(O, t_last)`.
+    wdivergence: f64,
     last_change: SimTime,
-    value: f64,
-    wvalue: f64,
+}
+
+// The whole point of the hot split: one object, one line.
+const _: () = assert!(std::mem::size_of::<HotAccount>() == 64);
+const _: () = assert!(std::mem::align_of::<HotAccount>() == 64);
+
+impl HotAccount {
+    fn synced(value: f64, t0: SimTime) -> Self {
+        HotAccount {
+            source_value: value,
+            cached_value: value,
+            source_updates: 0,
+            cached_updates: 0,
+            divergence: 0.0,
+            wdivergence: 0.0,
+            last_change: t0,
+        }
+    }
+
+    #[inline]
+    fn truth(&self) -> ObjectTruth {
+        ObjectTruth {
+            source_value: self.source_value,
+            source_updates: self.source_updates,
+            cached_value: self.cached_value,
+            cached_updates: self.cached_updates,
+        }
+    }
+}
+
+/// A divergence integral and its weighted counterpart, advanced in
+/// lock-step (they share every transition instant).
+#[derive(Debug, Clone, Copy, Default)]
+struct IntegralPair {
     integral: f64,
     wintegral: f64,
-    begin: Option<SimTime>,
-    begin_integral: f64,
-    begin_wintegral: f64,
-}
-
-impl DualAverage {
-    fn new(t0: SimTime) -> Self {
-        DualAverage {
-            last_change: t0,
-            value: 0.0,
-            wvalue: 0.0,
-            integral: 0.0,
-            wintegral: 0.0,
-            begin: None,
-            begin_integral: 0.0,
-            begin_wintegral: 0.0,
-        }
-    }
-
-    /// Updates both tracked values at `t`.
-    #[inline]
-    fn set(&mut self, t: SimTime, value: f64, wvalue: f64) {
-        debug_assert!(t >= self.last_change, "time must be monotonic");
-        let gap = t - self.last_change;
-        self.integral += self.value * gap;
-        self.wintegral += self.wvalue * gap;
-        self.value = value;
-        self.wvalue = wvalue;
-        self.last_change = t;
-    }
-
-    fn begin_measurement(&mut self, t: SimTime) {
-        self.begin = Some(t);
-        let gap = t - self.last_change;
-        self.begin_integral = self.integral + self.value * gap;
-        self.begin_wintegral = self.wintegral + self.wvalue * gap;
-    }
-
-    /// Time-averages `(unweighted, weighted)` over `[begin, t]`;
-    /// zero-length windows yield 0, like `TimeAverage::average`.
-    fn averages(&self, t: SimTime) -> (f64, f64) {
-        let begin = self.begin.expect("begin_measurement was never called");
-        let span = t - begin;
-        if span <= 0.0 {
-            (0.0, 0.0)
-        } else {
-            let gap = t - self.last_change;
-            (
-                (self.integral + self.value * gap - self.begin_integral) / span,
-                (self.wintegral + self.wvalue * gap - self.begin_wintegral) / span,
-            )
-        }
-    }
-}
-
-/// Per-object divergence accounting (truth + integrals).
-#[derive(Debug, Clone, Copy)]
-pub struct DivergenceAccount {
-    truth: ObjectTruth,
-    averages: DualAverage,
 }
 
 /// Ground truth and exact divergence accounting for a whole simulation.
 #[derive(Debug, Clone)]
 pub struct TruthTable {
     metric: Metric,
-    weights: Vec<WeightProfile>,
-    accounts: Vec<DivergenceAccount>,
+    /// Hot: one aligned cache line per object.
+    hot: Vec<HotAccount>,
+    /// Warm: running integrals, dense (four objects per line).
+    integrals: Vec<IntegralPair>,
+    /// Weights behind the constant-weight fast path: one dense load per
+    /// event in the common case, full profile dispatch when fluctuating.
+    weights: WeightSet,
+    /// Cold: integral values at `begin_measurement`.
+    begin_integrals: Vec<IntegralPair>,
+    /// Start of the measurement window (one instant for the whole table).
+    begin: Option<SimTime>,
     refreshes_applied: u64,
 }
 
@@ -154,17 +177,17 @@ impl TruthTable {
             weights.len(),
             "one weight profile per object required"
         );
-        let accounts = initial_values
+        let hot = initial_values
             .iter()
-            .map(|&v| DivergenceAccount {
-                truth: ObjectTruth::synced(v),
-                averages: DualAverage::new(SimTime::ZERO),
-            })
+            .map(|&v| HotAccount::synced(v, SimTime::ZERO))
             .collect();
         TruthTable {
             metric,
-            weights,
-            accounts,
+            hot,
+            integrals: vec![IntegralPair::default(); initial_values.len()],
+            weights: WeightSet::new(weights),
+            begin_integrals: vec![IntegralPair::default(); initial_values.len()],
+            begin: None,
             refreshes_applied: 0,
         }
     }
@@ -177,12 +200,12 @@ impl TruthTable {
 
     /// Number of objects tracked.
     pub fn len(&self) -> usize {
-        self.accounts.len()
+        self.hot.len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.accounts.is_empty()
+        self.hot.is_empty()
     }
 
     /// The metric under which divergence is accounted.
@@ -191,28 +214,47 @@ impl TruthTable {
     }
 
     /// The current truth of one object.
-    pub fn truth(&self, obj: ObjectId) -> &ObjectTruth {
-        &self.accounts[obj.index()].truth
+    pub fn truth(&self, obj: ObjectId) -> ObjectTruth {
+        self.hot[obj.index()].truth()
     }
 
     /// The weight of `obj` at time `t`.
     pub fn weight_at(&self, obj: ObjectId, t: SimTime) -> f64 {
-        self.weights[obj.index()].weight_at(t)
+        self.weights.weight_at(obj.index(), t)
     }
 
     /// The weight profile of `obj`.
     pub fn weight_profile(&self, obj: ObjectId) -> &WeightProfile {
-        &self.weights[obj.index()]
+        self.weights.profile(obj.index())
     }
 
     /// Current divergence of `obj`.
+    ///
+    /// Recomputed from the truth rather than read from the hot record:
+    /// the stored level starts at 0 by definition (caches start
+    /// synchronized), while an exotic deviation function may assign a
+    /// nonzero Δ(V, V) — this accessor reports the metric's answer.
     pub fn divergence(&self, obj: ObjectId) -> f64 {
-        self.truth(obj).divergence(self.metric)
+        self.hot[obj.index()].truth().divergence(self.metric)
     }
 
     /// Total number of refreshes applied at the cache so far.
     pub fn refreshes_applied(&self) -> u64 {
         self.refreshes_applied
+    }
+
+    /// Closes the divergence segment `[hot.last_change, t)` at the old
+    /// level and opens a new one at `(d, wd)`. Operation-for-operation the
+    /// retired `DualAverage::set`, so integrals stay bit-identical.
+    #[inline]
+    fn advance(hot: &mut HotAccount, integ: &mut IntegralPair, t: SimTime, d: f64, wd: f64) {
+        debug_assert!(t >= hot.last_change, "time must be monotonic");
+        let gap = t - hot.last_change;
+        integ.integral += hot.divergence * gap;
+        integ.wintegral += hot.wdivergence * gap;
+        hot.divergence = d;
+        hot.wdivergence = wd;
+        hot.last_change = t;
     }
 
     /// Records an update of `obj` at the source: the source value becomes
@@ -222,12 +264,18 @@ impl TruthTable {
     /// evaluate it anyway, and schedulers that price the same object at
     /// the same instant can reuse it instead of re-evaluating the profile.
     pub fn source_update(&mut self, t: SimTime, obj: ObjectId, new_value: f64) -> f64 {
-        let weight = self.weights[obj.index()].weight_at(t);
-        let acct = &mut self.accounts[obj.index()];
-        acct.truth.source_value = new_value;
-        acct.truth.source_updates += 1;
-        let d = acct.truth.divergence(self.metric);
-        acct.averages.set(t, d, d * weight);
+        let idx = obj.index();
+        let weight = self.weights.weight_at(idx, t);
+        let hot = &mut self.hot[idx];
+        hot.source_value = new_value;
+        hot.source_updates += 1;
+        let d = self.metric.divergence(
+            hot.source_value,
+            hot.source_updates,
+            hot.cached_value,
+            hot.cached_updates,
+        );
+        Self::advance(hot, &mut self.integrals[idx], t, d, d * weight);
         weight
     }
 
@@ -245,26 +293,39 @@ impl TruthTable {
         snapshot_value: f64,
         snapshot_updates: u64,
     ) {
-        let weight = self.weights[obj.index()].weight_at(t);
-        let acct = &mut self.accounts[obj.index()];
-        acct.truth.cached_value = snapshot_value;
-        acct.truth.cached_updates = snapshot_updates;
-        let d = acct.truth.divergence(self.metric);
-        acct.averages.set(t, d, d * weight);
+        let idx = obj.index();
+        let weight = self.weights.weight_at(idx, t);
+        let hot = &mut self.hot[idx];
+        hot.cached_value = snapshot_value;
+        hot.cached_updates = snapshot_updates;
+        let d = self.metric.divergence(
+            hot.source_value,
+            hot.source_updates,
+            hot.cached_value,
+            hot.cached_updates,
+        );
+        Self::advance(hot, &mut self.integrals[idx], t, d, d * weight);
         self.refreshes_applied += 1;
     }
 
     /// Applies a refresh with the *current* source state (an instantaneous,
     /// perfectly fresh refresh). Divergence drops to zero.
     pub fn apply_fresh_refresh(&mut self, t: SimTime, obj: ObjectId) {
-        let truth = self.accounts[obj.index()].truth;
-        self.apply_refresh(t, obj, truth.source_value, truth.source_updates);
+        let hot = &self.hot[obj.index()];
+        let (value, updates) = (hot.source_value, hot.source_updates);
+        self.apply_refresh(t, obj, value, updates);
     }
 
     /// Marks the end of warm-up: averages are measured from `t` onward.
     pub fn begin_measurement(&mut self, t: SimTime) {
-        for acct in &mut self.accounts {
-            acct.averages.begin_measurement(t);
+        self.begin = Some(t);
+        for (idx, hot) in self.hot.iter().enumerate() {
+            let gap = t - hot.last_change;
+            let integ = self.integrals[idx];
+            self.begin_integrals[idx] = IntegralPair {
+                integral: integ.integral + hot.divergence * gap,
+                wintegral: integ.wintegral + hot.wdivergence * gap,
+            };
         }
     }
 
@@ -273,15 +334,31 @@ impl TruthTable {
         let mut total_unweighted = 0.0;
         let mut total_weighted = 0.0;
         let mut max_unweighted: f64 = 0.0;
-        for acct in &self.accounts {
-            let (u, w) = acct.averages.averages(t);
-            total_unweighted += u;
-            total_weighted += w;
-            max_unweighted = max_unweighted.max(u);
+        if !self.hot.is_empty() {
+            let begin = self.begin.expect("begin_measurement was never called");
+            let span = t - begin;
+            for (idx, hot) in self.hot.iter().enumerate() {
+                // Zero-length windows yield 0, like the retired layout
+                // (and `TimeAverage::average`).
+                let (u, w) = if span <= 0.0 {
+                    (0.0, 0.0)
+                } else {
+                    let gap = t - hot.last_change;
+                    let integ = self.integrals[idx];
+                    let beg = self.begin_integrals[idx];
+                    (
+                        (integ.integral + hot.divergence * gap - beg.integral) / span,
+                        (integ.wintegral + hot.wdivergence * gap - beg.wintegral) / span,
+                    )
+                };
+                total_unweighted += u;
+                total_weighted += w;
+                max_unweighted = max_unweighted.max(u);
+            }
         }
-        let n = self.accounts.len().max(1) as f64;
+        let n = self.hot.len().max(1) as f64;
         DivergenceReport {
-            objects: self.accounts.len(),
+            objects: self.hot.len(),
             total_unweighted,
             total_weighted,
             mean_unweighted: total_unweighted / n,
@@ -359,7 +436,7 @@ mod tests {
         table.begin_measurement(t(0.0));
         table.source_update(t(1.0), ObjectId(0), 1.0);
         // Snapshot taken after the first update...
-        let snap = *table.truth(ObjectId(0));
+        let snap = table.truth(ObjectId(0));
         table.source_update(t(2.0), ObjectId(0), 2.0);
         // ...delivered after the second: cache is still 1 behind.
         table.apply_refresh(t(3.0), ObjectId(0), snap.source_value, snap.source_updates);
@@ -385,6 +462,24 @@ mod tests {
         let r = table.report(t(4.0));
         assert!((r.mean_unweighted - 1.0).abs() < 1e-12);
         assert!((r.mean_weighted - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fluctuating_weight_takes_the_profile_path() {
+        use besync_sim::Wave;
+        // A sine-wave importance: the precomputed constant is NaN and the
+        // slow path evaluates the profile at each transition.
+        let profile =
+            WeightProfile::new(Wave::with_period(2.0, 0.5, 100.0, 0.0), Wave::Constant(1.0));
+        let mut table = TruthTable::new(Metric::Staleness, &[0.0], vec![profile]);
+        table.begin_measurement(t(0.0));
+        // Divergence 1 from t=0; weight sampled at the transition is
+        // profile.weight_at(0).
+        let w = table.source_update(t(0.0), ObjectId(0), 1.0);
+        assert_eq!(w.to_bits(), profile.weight_at(t(0.0)).to_bits());
+        let r = table.report(t(10.0));
+        assert!((r.mean_unweighted - 1.0).abs() < 1e-12);
+        assert!((r.mean_weighted - w).abs() < 1e-12);
     }
 
     #[test]

@@ -63,6 +63,15 @@ impl WeightProfile {
         }
     }
 
+    /// The precomputed constant weight, when both factors are constant —
+    /// `None` for fluctuating profiles. Hot loops (the truth accounting's
+    /// SoA fast path) copy this into a dense array once so the per-event
+    /// lookup never touches the profile itself.
+    #[inline]
+    pub fn constant_value(&self) -> Option<f64> {
+        self.constant
+    }
+
     /// The long-run mean weight (product of means; exact when at most one
     /// factor fluctuates, which is how the experiments configure it).
     pub fn mean(&self) -> f64 {
@@ -83,6 +92,74 @@ impl WeightProfile {
 impl Default for WeightProfile {
     fn default() -> Self {
         Self::unit()
+    }
+}
+
+/// A dense per-object weight table with a precomputed constant fast path.
+///
+/// Every scheduler evaluates `W(O, t)` on its hot path — the truth
+/// accounting at each transition, the sources at each priority quote. A
+/// [`WeightProfile`] spans most of a cache line, so indexing a
+/// `Vec<WeightProfile>` per event drags cold wave parameters through the
+/// hierarchy even when (as in the common case) both factors are constant.
+/// `WeightSet` keeps the profiles for the fluctuating slow path and
+/// accessors, but copies each constant product once into a dense `f64`
+/// array: the per-event lookup is one 8-byte load (eight objects per
+/// line) and one branch. Fluctuating profiles are marked NaN — weights
+/// are non-negative, so the sentinel cannot collide — and fall through to
+/// full profile dispatch, returning bit-identical values either way.
+#[derive(Debug, Clone)]
+pub struct WeightSet {
+    profiles: Vec<WeightProfile>,
+    /// `W(O)` when the profile is constant, NaN when it fluctuates.
+    constant: Vec<f64>,
+}
+
+impl WeightSet {
+    /// Builds the set, precomputing the constant fast-path array.
+    pub fn new(profiles: Vec<WeightProfile>) -> Self {
+        let constant = profiles
+            .iter()
+            .map(|w| w.constant_value().unwrap_or(f64::NAN))
+            .collect();
+        WeightSet { profiles, constant }
+    }
+
+    /// Number of objects covered.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// `W(O, t)` for object `idx` — the hot-path lookup.
+    #[inline]
+    pub fn weight_at(&self, idx: usize, t: SimTime) -> f64 {
+        let w = self.constant[idx];
+        if w.is_nan() {
+            self.profiles[idx].weight_at(t)
+        } else {
+            w
+        }
+    }
+
+    /// The full profile of object `idx`.
+    pub fn profile(&self, idx: usize) -> &WeightProfile {
+        &self.profiles[idx]
+    }
+
+    /// All profiles, in object order.
+    pub fn profiles(&self) -> &[WeightProfile] {
+        &self.profiles
+    }
+}
+
+impl From<Vec<WeightProfile>> for WeightSet {
+    fn from(profiles: Vec<WeightProfile>) -> Self {
+        Self::new(profiles)
     }
 }
 
@@ -134,5 +211,26 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn rejects_negative_weight() {
         let _ = WeightProfile::constant(-1.0);
+    }
+
+    #[test]
+    fn weight_set_matches_profiles_bit_for_bit() {
+        let profiles = vec![
+            WeightProfile::unit(),
+            WeightProfile::constant(3.25),
+            WeightProfile::new(Wave::with_period(2.0, 0.5, 100.0, 0.3), Wave::Constant(1.5)),
+        ];
+        let set = WeightSet::new(profiles.clone());
+        assert_eq!(set.len(), 3);
+        for (i, p) in profiles.iter().enumerate() {
+            for s in [0.0, 1.0, 25.0, 137.5] {
+                let t = t(s);
+                assert_eq!(set.weight_at(i, t).to_bits(), p.weight_at(t).to_bits());
+            }
+        }
+        // Constant profiles take the dense path; fluctuating ones keep the
+        // full profile.
+        assert_eq!(set.profile(2).constant_value(), None);
+        assert_eq!(set.profile(1).constant_value(), Some(3.25));
     }
 }

@@ -1,0 +1,168 @@
+//! AoS-vs-SoA truth-accounting oracle.
+//!
+//! The SoA [`TruthTable`] replaced the array-of-structs layout that now
+//! lives on as [`AosTruthTable`] (the same pattern as `LazyMaxHeap` for
+//! the schedulers). This randomized equivalence test drives both layouts
+//! through the same 20k-operation trajectory — source updates, stale and
+//! fresh refreshes, a mid-run `begin_measurement`, and periodic reports —
+//! and asserts **bit-identical** truths, divergences, and report fields.
+//! Any divergence means the SoA hot path reordered a floating-point
+//! operation and the golden trajectories are no longer trustworthy.
+
+use besync_data::{AosTruthTable, Metric, ObjectId, TruthTable, WeightProfile};
+use besync_sim::{SimTime, Wave};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const OPS: usize = 20_000;
+const OBJECTS: u32 = 37;
+
+fn assert_bits(name: &str, a: f64, b: f64, op: usize) {
+    assert_eq!(
+        a.to_bits(),
+        b.to_bits(),
+        "{name} diverged at op {op}: soa {a:.17e} vs aos {b:.17e}"
+    );
+}
+
+fn assert_reports_identical(
+    soa: &besync_data::account::DivergenceReport,
+    aos: &besync_data::account::DivergenceReport,
+    op: usize,
+) {
+    assert_eq!(soa.objects, aos.objects, "objects at op {op}");
+    assert_eq!(
+        soa.refreshes_applied, aos.refreshes_applied,
+        "refreshes_applied at op {op}"
+    );
+    assert_bits(
+        "total_unweighted",
+        soa.total_unweighted,
+        aos.total_unweighted,
+        op,
+    );
+    assert_bits("total_weighted", soa.total_weighted, aos.total_weighted, op);
+    assert_bits(
+        "mean_unweighted",
+        soa.mean_unweighted,
+        aos.mean_unweighted,
+        op,
+    );
+    assert_bits("mean_weighted", soa.mean_weighted, aos.mean_weighted, op);
+    assert_bits("max_unweighted", soa.max_unweighted, aos.max_unweighted, op);
+}
+
+/// Random weight profiles: a mix of unit, constant, and sine-fluctuating
+/// (the latter forces the non-constant slow path through `weight_at`).
+fn random_weights(rng: &mut SmallRng, n: u32) -> Vec<WeightProfile> {
+    (0..n)
+        .map(|_| match rng.gen_range(0u32..4) {
+            0 => WeightProfile::unit(),
+            1 => WeightProfile::constant(rng.gen_range(0.1..10.0)),
+            2 => WeightProfile::new(
+                Wave::with_period(
+                    rng.gen_range(0.5..5.0),
+                    rng.gen_range(0.0..0.9),
+                    rng.gen_range(50.0..2000.0),
+                    rng.gen_range(0.0..6.2),
+                ),
+                Wave::Constant(rng.gen_range(0.5..2.0)),
+            ),
+            _ => WeightProfile::new(
+                Wave::Constant(rng.gen_range(0.5..4.0)),
+                Wave::with_period(
+                    rng.gen_range(0.5..3.0),
+                    rng.gen_range(0.0..0.9),
+                    rng.gen_range(50.0..500.0),
+                    rng.gen_range(0.0..6.2),
+                ),
+            ),
+        })
+        .collect()
+}
+
+fn drive(metric: Metric, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let initial: Vec<f64> = (0..OBJECTS).map(|_| rng.gen_range(-5.0..5.0)).collect();
+    let weights = random_weights(&mut rng, OBJECTS);
+
+    let mut soa = TruthTable::new(metric, &initial, weights.clone());
+    let mut aos = AosTruthTable::new(metric, &initial, weights);
+
+    // Per-object remembered snapshots, so stale refreshes replay
+    // realistic delayed-delivery patterns.
+    let mut snapshots: Vec<(f64, u64)> = initial.iter().map(|&v| (v, 0)).collect();
+
+    let mut t = SimTime::ZERO;
+    let begin_at = OPS / 3;
+    for op in 0..OPS {
+        t += rng.gen_range(0.0..0.7);
+        let obj = ObjectId(rng.gen_range(0..OBJECTS));
+        let idx = obj.index();
+        match rng.gen_range(0u32..10) {
+            // Source update: the dominant event.
+            0..=5 => {
+                let v = rng.gen_range(-10.0f64..10.0);
+                let ws = soa.source_update(t, obj, v);
+                let wa = aos.source_update(t, obj, v);
+                assert_bits("returned weight", ws, wa, op);
+                // Sometimes snapshot right after the update (a send).
+                if rng.gen_bool(0.5) {
+                    let tr = soa.truth(obj);
+                    snapshots[idx] = (tr.source_value, tr.source_updates);
+                }
+            }
+            // Delayed delivery of the remembered (possibly stale) snapshot.
+            6..=7 => {
+                let (v, u) = snapshots[idx];
+                soa.apply_refresh(t, obj, v, u);
+                aos.apply_refresh(t, obj, v, u);
+            }
+            // Instantaneous fresh refresh.
+            8 => {
+                soa.apply_fresh_refresh(t, obj);
+                aos.apply_fresh_refresh(t, obj);
+            }
+            // Read-side checks.
+            _ => {
+                assert_eq!(soa.truth(obj), aos.truth(obj), "truth at op {op}");
+                assert_bits("divergence", soa.divergence(obj), aos.divergence(obj), op);
+            }
+        }
+        if op == begin_at {
+            soa.begin_measurement(t);
+            aos.begin_measurement(t);
+        }
+        if op > begin_at && op % 2_500 == 0 {
+            assert_reports_identical(&soa.report(t), &aos.report(t), op);
+        }
+    }
+    assert_eq!(soa.refreshes_applied(), aos.refreshes_applied());
+    let end = t + 10.0;
+    assert_reports_identical(&soa.report(end), &aos.report(end), OPS);
+    for o in 0..OBJECTS {
+        let obj = ObjectId(o);
+        assert_eq!(soa.truth(obj), aos.truth(obj), "final truth of {o}");
+        assert_bits(
+            "final divergence",
+            soa.divergence(obj),
+            aos.divergence(obj),
+            OPS,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// 20k random ops against the retired AoS layout, bit-identical under
+    /// every metric (staleness, lag, value deviation) and a mix of
+    /// constant and fluctuating weight profiles.
+    #[test]
+    fn soa_matches_aos_oracle(seed in 0u64..u64::MAX) {
+        for metric in Metric::all_three() {
+            drive(metric, seed);
+        }
+    }
+}
