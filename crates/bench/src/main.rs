@@ -1,12 +1,11 @@
 //! `besync-bench` — the repo's throughput baseline harness.
 //!
-//! Runs a fixed set of seeded scenarios end-to-end — the [`CoopSystem`]
-//! hot path plus the figure-regeneration schedulers ([`IdealSystem`] and
-//! the CGM baselines) — reports wall-clock time and simulation events per
-//! second for each, and optionally writes a machine-readable JSON
-//! trajectory point (e.g. `BENCH_pr2.json` at the repo root) so
-//! successive PRs can be compared with the *same* binary run on both
-//! trees.
+//! Runs the shared scenario suite (`besync_scenarios::suite()`) end to
+//! end — the [`CoopSystem`] hot path plus the figure-regeneration
+//! schedulers — reports wall-clock time and simulation events per second
+//! for each, and optionally writes a machine-readable JSON trajectory
+//! point (e.g. `BENCH_pr2.json` at the repo root) so successive PRs can
+//! be compared with the *same* binary run on both trees.
 //!
 //! ```text
 //! besync-bench [--out PATH] [--compare PATH] [--tolerance F]
@@ -22,208 +21,87 @@
 //! `--compare` turns it into a CI gate: events/sec regressions against
 //! the baseline file are *report-only* (timing noise must not fail PRs),
 //! but counter disagreement means lost determinism and hard-fails.
+//!
+//! Construction (workload generation + system setup) is timed
+//! separately and reported as `build_seconds`; at the `huge` scenario's
+//! ≥100k objects it is material, and keeping it out of `events_per_sec`
+//! keeps the throughput trajectory about the event loop.
+//!
+//! [`CoopSystem`]: besync::system::CoopSystem
 
 use std::time::Instant;
 
-use besync::config::SystemConfig;
-use besync::priority::PolicyKind;
-use besync::system::CoopSystem;
-use besync::IdealSystem;
-use besync_baselines::{CgmConfig, CgmSystem, CgmVariant};
-use besync_data::Metric;
-use besync_workloads::generators::{random_walk_poisson, PoissonWorkloadOptions};
+use besync_scenarios::{suite, ScenarioSpec};
 
-/// Which scheduler a scenario drives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SystemKind {
-    /// The §5 pragmatic cooperative system (the hot path).
-    Coop,
-    /// The §3.3 omniscient scheduler (Figure 4–6 yardstick).
-    Ideal,
-    /// A cache-driven CGM baseline (Figure 6).
-    Cgm(CgmVariant),
-}
-
-impl SystemKind {
-    fn name(self) -> &'static str {
-        match self {
-            SystemKind::Coop => "coop",
-            SystemKind::Ideal => "ideal",
-            SystemKind::Cgm(CgmVariant::IdealCacheBased) => "cgm_ideal",
-            SystemKind::Cgm(CgmVariant::Cgm1) => "cgm1",
-            SystemKind::Cgm(CgmVariant::Cgm2) => "cgm2",
+/// Runs the scenario `repeats` times and reports the median wall clock
+/// (event loop and construction separately). Counters must agree
+/// bit-for-bit across repeats (same seed ⇒ same simulation); a mismatch
+/// aborts, because it means the tree has lost determinism and its
+/// timings compare nothing.
+fn run_scenario(scenario: &ScenarioSpec, repeats: usize) -> ScenarioResult {
+    let mut walls = Vec::with_capacity(repeats);
+    let mut builds = Vec::with_capacity(repeats);
+    let mut reference: Option<(u64, u64, u64, f64)> = None;
+    let mut last = None;
+    for _ in 0..repeats.max(1) {
+        let build_start = Instant::now();
+        let system = scenario.build();
+        let build = build_start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let report = system.run();
+        let wall = start.elapsed().as_secs_f64();
+        builds.push(build);
+        walls.push(wall);
+        let fingerprint = (
+            report.updates_processed,
+            report.refreshes_sent,
+            report.feedback_messages,
+            report.mean_divergence(),
+        );
+        match &reference {
+            None => reference = Some(fingerprint),
+            Some(r) => assert_eq!(
+                *r, fingerprint,
+                "scenario `{}` is non-deterministic across repeats",
+                scenario.name
+            ),
         }
+        last = Some(report);
     }
-}
-
-/// One fixed benchmark scenario.
-struct Scenario {
-    name: &'static str,
-    seed: u64,
-    kind: SystemKind,
-    sources: u32,
-    objects_per_source: u32,
-    rate_range: (f64, f64),
-    /// CGM comparisons are unweighted (§6.3); cooperative scenarios use
-    /// the weighted range the PR 1 suite pinned.
-    weight_range: (f64, f64),
-    /// Sine-wave weights (§6): exercises the truth accounting's
-    /// non-constant-weight slow path, which the constant-weight fast path
-    /// must not regress.
-    fluctuating_weights: bool,
-    /// Source-side priority policy (cooperative scenarios only). The
-    /// `Bound` policy is not piecewise-constant, so it pays a full
-    /// requote sweep every tick — a regime the Area scenarios never
-    /// enter.
-    policy: PolicyKind,
-    metric: Metric,
-    cache_bw: f64,
-    source_bw: f64,
-    warmup: f64,
-    measure: f64,
-}
-
-impl Scenario {
-    fn objects(&self) -> u32 {
-        self.sources * self.objects_per_source
-    }
-
-    /// CI-scale variant: same shape, a fraction of the work.
-    fn quick(mut self) -> Self {
-        self.sources = (self.sources / 4).max(1);
-        self.warmup = 5.0;
-        self.measure /= 10.0;
-        self.cache_bw = (self.cache_bw / 4.0).max(1.0);
-        self
-    }
-
-    fn spec(&self) -> besync_workloads::WorkloadSpec {
-        random_walk_poisson(
-            PoissonWorkloadOptions {
-                sources: self.sources,
-                objects_per_source: self.objects_per_source,
-                rate_range: self.rate_range,
-                weight_range: self.weight_range,
-                fluctuating_weights: self.fluctuating_weights,
-            },
-            self.seed,
-        )
-    }
-
-    /// Runs the scenario `repeats` times and reports the median wall
-    /// clock. Counters must agree bit-for-bit across repeats (same seed ⇒
-    /// same simulation); a mismatch aborts, because it means the tree has
-    /// lost determinism and its timings compare nothing.
-    fn run(&self, repeats: usize) -> ScenarioResult {
-        let mut walls = Vec::with_capacity(repeats);
-        let mut reference: Option<(u64, u64, u64, f64)> = None;
-        let mut last = None;
-        for _ in 0..repeats.max(1) {
-            let spec = self.spec();
-            // Construction (workload generation) is deliberately untimed;
-            // the measured region is exactly the event loop + reporting.
-            let (wall, report) = match self.kind {
-                SystemKind::Coop => {
-                    let mut cfg = self.system_config();
-                    if matches!(self.policy, PolicyKind::Bound) {
-                        // Bound pricing needs per-object refresh-rate
-                        // bounds; the workload's true rates are the
-                        // natural seeded choice.
-                        cfg.bound_rates = Some(spec.rates.clone());
-                    }
-                    let system = CoopSystem::new(cfg, spec);
-                    let start = Instant::now();
-                    let report = system.run();
-                    (start.elapsed().as_secs_f64(), report)
-                }
-                SystemKind::Ideal => {
-                    let system = IdealSystem::new(self.system_config(), spec);
-                    let start = Instant::now();
-                    let report = system.run();
-                    (start.elapsed().as_secs_f64(), report)
-                }
-                SystemKind::Cgm(variant) => {
-                    let cfg = CgmConfig {
-                        variant,
-                        metric: self.metric,
-                        cache_bandwidth_mean: self.cache_bw,
-                        warmup: self.warmup,
-                        measure: self.measure,
-                        sim_seed: self.seed,
-                        ..CgmConfig::default()
-                    };
-                    let system = CgmSystem::new(cfg, spec);
-                    let start = Instant::now();
-                    let report = system.run();
-                    (start.elapsed().as_secs_f64(), report)
-                }
-            };
-            walls.push(wall);
-            let fingerprint = (
-                report.updates_processed,
-                report.refreshes_sent,
-                report.feedback_messages,
-                report.mean_divergence(),
-            );
-            match &reference {
-                None => reference = Some(fingerprint),
-                Some(r) => assert_eq!(
-                    *r, fingerprint,
-                    "scenario `{}` is non-deterministic across repeats",
-                    self.name
-                ),
-            }
-            last = Some(report);
-        }
-        let report = last.expect("at least one repeat");
-        walls.sort_by(f64::total_cmp);
-        let wall = walls[walls.len() / 2];
-        let events = report.updates_processed + report.refreshes_sent + report.feedback_messages;
-        ScenarioResult {
-            name: self.name,
-            seed: self.seed,
-            system: self.kind.name(),
-            objects: self.objects(),
-            metric: metric_name(self.metric),
-            wall_seconds: wall,
-            events,
-            events_per_sec: events as f64 / wall.max(1e-12),
-            updates: report.updates_processed,
-            refreshes_sent: report.refreshes_sent,
-            refreshes_delivered: report.refreshes_delivered,
-            feedback: report.feedback_messages,
-            mean_divergence: report.mean_divergence(),
-            baseline_events_per_sec: None,
-        }
-    }
-
-    fn system_config(&self) -> SystemConfig {
-        SystemConfig {
-            metric: self.metric,
-            policy: self.policy,
-            cache_bandwidth_mean: self.cache_bw,
-            source_bandwidth_mean: self.source_bw,
-            warmup: self.warmup,
-            measure: self.measure,
-            ..SystemConfig::default()
-        }
-    }
-}
-
-fn metric_name(m: Metric) -> &'static str {
-    match m {
-        Metric::Staleness => "staleness",
-        Metric::Lag => "lag",
-        Metric::Deviation(_) => "deviation",
+    let report = last.expect("at least one repeat");
+    walls.sort_by(f64::total_cmp);
+    builds.sort_by(f64::total_cmp);
+    let wall = walls[walls.len() / 2];
+    let build = builds[builds.len() / 2];
+    let events = report.updates_processed + report.refreshes_sent + report.feedback_messages;
+    ScenarioResult {
+        name: scenario.name.clone(),
+        seed: scenario.seed,
+        system: scenario.system.name(),
+        objects: scenario.total_objects(),
+        metric: scenario.metric.name(),
+        build_seconds: build,
+        wall_seconds: wall,
+        events,
+        events_per_sec: events as f64 / wall.max(1e-12),
+        updates: report.updates_processed,
+        refreshes_sent: report.refreshes_sent,
+        refreshes_delivered: report.refreshes_delivered,
+        feedback: report.feedback_messages,
+        mean_divergence: report.mean_divergence(),
+        baseline_events_per_sec: None,
     }
 }
 
 struct ScenarioResult {
-    name: &'static str,
+    name: String,
     seed: u64,
     system: &'static str,
     objects: u32,
     metric: &'static str,
+    /// Median workload + system construction time (untimed region of the
+    /// throughput figure, reported so 100k-scale construction can't rot).
+    build_seconds: f64,
     wall_seconds: f64,
     events: u64,
     events_per_sec: f64,
@@ -247,6 +125,7 @@ impl ScenarioResult {
                 "      \"system\": \"{}\",\n",
                 "      \"objects\": {},\n",
                 "      \"metric\": \"{}\",\n",
+                "      \"build_seconds\": {:.6},\n",
                 "      \"wall_seconds\": {:.6},\n",
                 "      \"events\": {},\n",
                 "      \"events_per_sec\": {:.1},\n",
@@ -261,6 +140,7 @@ impl ScenarioResult {
             self.system,
             self.objects,
             self.metric,
+            self.build_seconds,
             self.wall_seconds,
             self.events,
             self.events_per_sec,
@@ -280,173 +160,6 @@ impl ScenarioResult {
         s.push_str("\n    }");
         s
     }
-}
-
-/// The fixed scenario set. `medium` is the headline comparison scenario
-/// for PR-over-PR speedup claims; the small/large pairs cover the size ×
-/// metric grid, `bound_medium`/`fluct_medium` cover the Bound-policy and
-/// fluctuating-weight regimes (the non-constant-weight slow path), and
-/// the `ideal_*`/`cgm*_*` scenarios cover the figure-regeneration
-/// schedulers so regressions in any regime are visible.
-fn scenarios() -> Vec<Scenario> {
-    let coop =
-        |name, seed, sources, objects_per_source, metric, cache_bw, source_bw, warmup, measure| {
-            Scenario {
-                name,
-                seed,
-                kind: SystemKind::Coop,
-                sources,
-                objects_per_source,
-                rate_range: (0.05, 0.5),
-                weight_range: (1.0, 4.0),
-                fluctuating_weights: false,
-                policy: PolicyKind::Area,
-                metric,
-                cache_bw,
-                source_bw,
-                warmup,
-                measure,
-            }
-        };
-    vec![
-        coop(
-            "small",
-            101,
-            8,
-            32,
-            Metric::Staleness,
-            12.0,
-            4.0,
-            50.0,
-            600.0,
-        ),
-        coop(
-            "medium",
-            202,
-            32,
-            64,
-            Metric::Staleness,
-            90.0,
-            5.0,
-            50.0,
-            1500.0,
-        ),
-        coop(
-            "medium_value",
-            303,
-            32,
-            64,
-            Metric::abs_deviation(),
-            90.0,
-            5.0,
-            50.0,
-            1500.0,
-        ),
-        coop(
-            "large",
-            404,
-            64,
-            256,
-            Metric::Staleness,
-            700.0,
-            16.0,
-            25.0,
-            400.0,
-        ),
-        coop(
-            "large_value",
-            505,
-            64,
-            256,
-            Metric::abs_deviation(),
-            700.0,
-            16.0,
-            25.0,
-            400.0,
-        ),
-        Scenario {
-            name: "bound_medium",
-            seed: 909,
-            kind: SystemKind::Coop,
-            sources: 32,
-            objects_per_source: 64,
-            rate_range: (0.05, 0.5),
-            weight_range: (1.0, 4.0),
-            fluctuating_weights: false,
-            policy: PolicyKind::Bound,
-            metric: Metric::Staleness,
-            cache_bw: 90.0,
-            source_bw: 5.0,
-            warmup: 50.0,
-            measure: 1500.0,
-        },
-        Scenario {
-            name: "fluct_medium",
-            seed: 1010,
-            kind: SystemKind::Coop,
-            sources: 32,
-            objects_per_source: 64,
-            rate_range: (0.05, 0.5),
-            weight_range: (1.0, 4.0),
-            fluctuating_weights: true,
-            policy: PolicyKind::Area,
-            metric: Metric::Staleness,
-            cache_bw: 90.0,
-            source_bw: 5.0,
-            warmup: 50.0,
-            measure: 1500.0,
-        },
-        Scenario {
-            name: "ideal_medium",
-            seed: 606,
-            kind: SystemKind::Ideal,
-            sources: 32,
-            objects_per_source: 64,
-            rate_range: (0.05, 0.5),
-            weight_range: (1.0, 4.0),
-            fluctuating_weights: false,
-            policy: PolicyKind::Area,
-            metric: Metric::Staleness,
-            cache_bw: 90.0,
-            source_bw: 5.0,
-            warmup: 50.0,
-            measure: 1500.0,
-        },
-        Scenario {
-            name: "cgm1_medium",
-            seed: 707,
-            kind: SystemKind::Cgm(CgmVariant::Cgm1),
-            sources: 32,
-            objects_per_source: 64,
-            rate_range: (0.02, 1.0),
-            weight_range: (1.0, 1.0),
-            fluctuating_weights: false,
-            policy: PolicyKind::Area,
-            metric: Metric::Staleness,
-            cache_bw: 614.0,
-            // Unused for CGM: polling has no source-side limit (§6.3).
-            source_bw: 0.0,
-            warmup: 100.0,
-            measure: 500.0,
-        },
-        Scenario {
-            name: "cgm2_medium",
-            seed: 808,
-            kind: SystemKind::Cgm(CgmVariant::Cgm2),
-            sources: 32,
-            objects_per_source: 64,
-            rate_range: (0.02, 1.0),
-            weight_range: (1.0, 1.0),
-            fluctuating_weights: false,
-            policy: PolicyKind::Area,
-            metric: Metric::Staleness,
-            cache_bw: 614.0,
-            // Unused for CGM: polling has no source-side limit (§6.3).
-            source_bw: 0.0,
-            warmup: 100.0,
-            measure: 500.0,
-        },
-    ]
 }
 
 /// Minimal field extractor for the bench JSON schema (our own files
@@ -612,11 +325,12 @@ fn edit_distance(a: &str, b: &str) -> usize {
 /// Near-matches for a misspelled `--only` name: substring hits first
 /// (`larg` → `large`, `large_value`), then names within a third of the
 /// requested length in edit distance, closest first.
-fn suggest(wanted: &str, names: &[&'static str]) -> Vec<&'static str> {
+fn suggest<'a>(wanted: &str, names: &'a [String]) -> Vec<&'a str> {
     let lower = wanted.to_lowercase();
-    let mut near: Vec<(usize, &'static str)> = names
+    let mut near: Vec<(usize, &'a str)> = names
         .iter()
-        .filter_map(|&n| {
+        .map(String::as_str)
+        .filter_map(|n| {
             if !lower.is_empty() && (n.contains(&lower) || lower.contains(n)) {
                 Some((0, n))
             } else {
@@ -648,7 +362,7 @@ usage: besync-bench [--out PATH] [--compare PATH] [--tolerance F]
   --only NAME      run a single scenario by name
   --repeat N       repeats per scenario, median wall clock reported (default 3)
   --quick          CI smoke mode: shrunken scenarios, one repeat
-  --list           print scenario names and exit";
+  --list           print scenario names with descriptions and exit";
 
 fn main() -> std::process::ExitCode {
     let mut out: Option<String> = None;
@@ -685,8 +399,10 @@ fn main() -> std::process::ExitCode {
             },
             "--quick" => quick = true,
             "--list" => {
-                for s in scenarios() {
-                    println!("{}", s.name);
+                let scenarios = suite();
+                let width = scenarios.iter().map(|s| s.name.len()).max().unwrap_or(0);
+                for s in &scenarios {
+                    println!("{:<width$}  {}", s.name, s.description);
                 }
                 return std::process::ExitCode::SUCCESS;
             }
@@ -701,14 +417,14 @@ fn main() -> std::process::ExitCode {
         }
     }
 
-    let selected: Vec<Scenario> = scenarios()
+    let selected: Vec<ScenarioSpec> = suite()
         .into_iter()
         .filter(|s| only.as_deref().is_none_or(|o| o == s.name))
         .map(|s| if quick { s.quick() } else { s })
         .collect();
     if selected.is_empty() {
         let wanted = only.unwrap_or_default();
-        let names: Vec<&'static str> = scenarios().iter().map(|s| s.name).collect();
+        let names: Vec<String> = suite().into_iter().map(|s| s.name).collect();
         let near = suggest(&wanted, &names);
         if near.is_empty() {
             eprintln!("no scenario named `{wanted}` (see --list)");
@@ -722,11 +438,12 @@ fn main() -> std::process::ExitCode {
     }
 
     println!(
-        "{:<14} {:>9} {:>8} {:>10} {:>11} {:>12} {:>11} {:>10}",
+        "{:<15} {:>9} {:>8} {:>10} {:>10} {:>11} {:>12} {:>11} {:>10}",
         "scenario",
         "system",
         "objects",
         "events",
+        "build (s)",
         "wall (s)",
         "events/sec",
         "refreshes",
@@ -737,13 +454,14 @@ fn main() -> std::process::ExitCode {
     let repeats = repeats.unwrap_or(if quick { 1 } else { 3 });
     let mut results = Vec::new();
     for s in &selected {
-        let r = s.run(repeats);
+        let r = run_scenario(s, repeats);
         println!(
-            "{:<14} {:>9} {:>8} {:>10} {:>11.3} {:>12.0} {:>11} {:>10.6}",
+            "{:<15} {:>9} {:>8} {:>10} {:>10.3} {:>11.3} {:>12.0} {:>11} {:>10.6}",
             r.name,
             r.system,
             r.objects,
             r.events,
+            r.build_seconds,
             r.wall_seconds,
             r.events_per_sec,
             r.refreshes_sent,
@@ -775,7 +493,7 @@ fn main() -> std::process::ExitCode {
     if let Some(path) = out {
         let body: Vec<String> = results.iter().map(ScenarioResult::to_json).collect();
         let json = format!(
-            "{{\n  \"schema\": \"besync-bench/v2\",\n  \"quick\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema\": \"besync-bench/v3\",\n  \"quick\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
             quick,
             body.join(",\n")
         );

@@ -10,11 +10,9 @@
 //! achievable divergence is small, the ratio may be larger but the
 //! absolute gap is small.
 
-use besync::config::SystemConfig;
 use besync::priority::PolicyKind;
-use besync::{CoopSystem, IdealSystem};
 use besync_data::Metric;
-use besync_workloads::generators::{random_walk_poisson, PoissonWorkloadOptions};
+use besync_scenarios::{ScenarioSpec, SystemKind, WorkloadKind};
 
 use crate::output::{fnum, Row};
 use crate::runner::{default_threads, parallel_map};
@@ -168,36 +166,28 @@ pub fn run_cell(
     measure: f64,
     seed: u64,
 ) -> Fig4Row {
-    let mk_spec = || {
-        random_walk_poisson(
-            PoissonWorkloadOptions {
-                sources: m,
-                objects_per_source: n,
-                rate_range: (0.02, 1.0),
-                weight_range: (1.0, 10.0),
-                fluctuating_weights: true,
-            },
-            seed ^ ((m as u64) << 32 | (n as u64) << 16),
-        )
-    };
-    let cfg = SystemConfig {
-        metric,
+    let scenario = |system: SystemKind| ScenarioSpec {
+        name: format!("fig4/{}/m{m}/n{n}/bs{bs}/bc{bc}/mb{mb}", metric.name()),
+        seed: seed ^ ((m as u64) << 32 | (n as u64) << 16),
+        system,
+        workload: WorkloadKind::Poisson {
+            sources: m,
+            objects_per_source: n,
+            rate_range: (0.02, 1.0),
+            weight_range: (1.0, 10.0),
+            fluctuating_weights: true,
+        },
         policy: PolicyKind::Area,
+        metric,
         cache_bandwidth_mean: bc,
         source_bandwidth_mean: bs,
         bandwidth_change_rate: mb,
         warmup: measure * 0.2,
         measure,
-        ..SystemConfig::default()
+        ..ScenarioSpec::default()
     };
-    let ideal = IdealSystem::new(cfg.clone(), mk_spec())
-        .run()
-        .divergence
-        .total_weighted;
-    let ours = CoopSystem::new(cfg, mk_spec())
-        .run()
-        .divergence
-        .total_weighted;
+    let ideal = scenario(SystemKind::Ideal).run().divergence.total_weighted;
+    let ours = scenario(SystemKind::Coop).run().divergence.total_weighted;
     let ratio = if ideal > 1e-9 { ours / ideal } else { f64::NAN };
     Fig4Row {
         metric: metric.name(),

@@ -9,11 +9,10 @@
 //! with deviation around 0.5 (≈10% of typical wind values) at the
 //! low-bandwidth end.
 
-use besync::config::SystemConfig;
 use besync::priority::PolicyKind;
-use besync::{CoopSystem, IdealSystem};
 use besync_data::Metric;
-use besync_workloads::buoy::{self, BuoyConfig};
+use besync_scenarios::{ScenarioSpec, SystemKind, WorkloadKind};
+use besync_workloads::buoy::BuoyConfig;
 
 use crate::output::{fnum, Row};
 use crate::runner::{default_threads, parallel_map};
@@ -85,26 +84,25 @@ pub fn run(mode: Mode, seed: u64) -> Vec<Fig5Row> {
         }
     }
     parallel_map(jobs, default_threads(), move |(regime, mb, bw)| {
-        let spec = buoy::workload(&buoy_cfg, seed);
-        let spec2 = buoy::workload(&buoy_cfg, seed);
-        let cfg = SystemConfig {
-            metric: Metric::abs_deviation(),
+        let scenario = |system: SystemKind| ScenarioSpec {
+            name: format!("fig5/{regime}/bw{bw}"),
+            seed,
+            system,
+            workload: WorkloadKind::Buoy { config: buoy_cfg },
             policy: PolicyKind::Area,
-            // Messages per minute → per second.
+            metric: Metric::abs_deviation(),
+            // Messages per minute → per second. Buoys transmit at most
+            // one measurement per sample anyway; the satellite link is
+            // the binding constraint (§6.2.1).
             cache_bandwidth_mean: bw / 60.0,
-            // Buoys transmit at most one measurement per sample anyway;
-            // the satellite link is the binding constraint (§6.2.1).
             source_bandwidth_mean: 1.0,
             bandwidth_change_rate: mb,
             warmup,
             measure: duration - warmup,
-            ..SystemConfig::default()
+            ..ScenarioSpec::default()
         };
-        let ideal = IdealSystem::new(cfg.clone(), spec)
-            .run()
-            .divergence
-            .mean_unweighted;
-        let ours = CoopSystem::new(cfg, spec2).run().divergence.mean_unweighted;
+        let ideal = scenario(SystemKind::Ideal).run().divergence.mean_unweighted;
+        let ours = scenario(SystemKind::Coop).run().divergence.mean_unweighted;
         Fig5Row {
             regime,
             bandwidth_per_min: bw,

@@ -15,12 +15,10 @@
 //! practical CGM variants trail the ideal cache-based curve (round-trip
 //! cost + estimation error).
 
-use besync::config::SystemConfig;
 use besync::priority::{PolicyKind, RateEstimator};
-use besync::{CoopSystem, IdealSystem};
-use besync_baselines::{CgmConfig, CgmSystem, CgmVariant};
+use besync_baselines::CgmVariant;
 use besync_data::Metric;
-use besync_workloads::generators::fig6_workload;
+use besync_scenarios::{ScenarioSpec, SystemKind, WorkloadKind};
 
 use crate::output::{fnum, Row};
 use crate::runner::{default_threads, parallel_map};
@@ -126,58 +124,52 @@ pub fn run_point(m: u32, n: u32, fraction: f64, measure: f64, seed: u64) -> Fig6
     let bandwidth = fraction * (m as f64) * (n as f64);
     let warmup = (measure * 0.3).max(50.0);
     let wl_seed = seed ^ ((m as u64) << 24);
-    let mk_spec = || fig6_workload(m, n, wl_seed);
+    // §6.3 workload: Poisson rates in (0.02, 1.0), unit weights (the CGM
+    // comparison is unweighted staleness) — `fig6_workload`'s regime.
+    let workload = WorkloadKind::Poisson {
+        sources: m,
+        objects_per_source: n,
+        rate_range: (0.02, 1.0),
+        weight_range: (1.0, 1.0),
+        fluctuating_weights: false,
+    };
 
     // The CGM polling model assumes unconstrained source-side bandwidth,
     // so the cooperative systems get the same for a fair comparison
     // (§6.3: "we only placed a limitation on cache-side bandwidth").
-    let coop_cfg = |policy, estimator| SystemConfig {
-        metric: Metric::Staleness,
-        policy,
+    let coop = |system: SystemKind, estimator: RateEstimator| ScenarioSpec {
+        name: format!("fig6/{}/m{m}/f{fraction}", system.name()),
+        seed: wl_seed,
+        system,
+        workload,
+        policy: PolicyKind::PoissonClosedForm,
         estimator,
+        metric: Metric::Staleness,
         cache_bandwidth_mean: bandwidth,
         source_bandwidth_mean: 1e9,
-        bandwidth_change_rate: 0.0,
         warmup,
         measure,
-        ..SystemConfig::default()
+        ..ScenarioSpec::default()
     };
-    let ideal_coop = IdealSystem::new(
-        coop_cfg(PolicyKind::PoissonClosedForm, RateEstimator::Known),
-        mk_spec(),
-    )
-    .run()
-    .divergence
-    .mean_unweighted;
-    let ours = CoopSystem::new(
-        coop_cfg(PolicyKind::PoissonClosedForm, RateEstimator::LongRun),
-        mk_spec(),
-    )
-    .run()
-    .divergence
-    .mean_unweighted;
+    let ideal_coop = coop(SystemKind::Ideal, RateEstimator::Known)
+        .run()
+        .divergence
+        .mean_unweighted;
+    let ours = coop(SystemKind::Coop, RateEstimator::LongRun)
+        .run()
+        .divergence
+        .mean_unweighted;
 
-    let cgm_cfg = |variant| CgmConfig {
-        variant,
-        metric: Metric::Staleness,
-        cache_bandwidth_mean: bandwidth,
-        warmup,
-        measure,
+    let cgm = |variant: CgmVariant| ScenarioSpec {
         sim_seed: seed,
-        ..CgmConfig::default()
+        ..coop(SystemKind::Cgm(variant), RateEstimator::LongRun)
     };
-    let ideal_cache = CgmSystem::new(cgm_cfg(CgmVariant::IdealCacheBased), mk_spec())
+    let ideal_cache = cgm(CgmVariant::IdealCacheBased)
         .run()
         .divergence
         .mean_unweighted;
-    let cgm1 = CgmSystem::new(cgm_cfg(CgmVariant::Cgm1), mk_spec())
-        .run()
-        .divergence
-        .mean_unweighted;
-    let cgm2 = CgmSystem::new(cgm_cfg(CgmVariant::Cgm2), mk_spec())
-        .run()
-        .divergence
-        .mean_unweighted;
+    let cgm1 = cgm(CgmVariant::Cgm1).run().divergence.mean_unweighted;
+    let cgm2 = cgm(CgmVariant::Cgm2).run().divergence.mean_unweighted;
 
     Fig6Row {
         m,

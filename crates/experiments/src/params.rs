@@ -7,10 +7,8 @@
 //! an order of magnitude apart because increases (per refresh) are far
 //! more frequent than decreases (per feedback).
 
-use besync::config::SystemConfig;
-use besync::CoopSystem;
 use besync_data::Metric;
-use besync_workloads::generators::{random_walk_poisson, PoissonWorkloadOptions};
+use besync_scenarios::{ScenarioSpec, SystemKind, WorkloadKind};
 
 use crate::output::{fnum, Row};
 use crate::runner::{default_threads, parallel_map};
@@ -99,20 +97,20 @@ pub fn run(mode: Mode, seed: u64) -> Vec<ParamRow> {
         .collect();
     let (sources, objects, measure) = (g.sources, g.objects, g.measure);
     parallel_map(jobs, default_threads(), move |(alpha, omega, metric)| {
-        let spec = random_walk_poisson(
-            PoissonWorkloadOptions {
+        // Bandwidth below the aggregate update rate, fluctuating: the
+        // regime where threshold adaptation matters.
+        let total_objects = (sources * objects) as f64;
+        let report = ScenarioSpec {
+            name: format!("params/a{alpha}/w{omega}/{}", metric.name()),
+            seed,
+            system: SystemKind::Coop,
+            workload: WorkloadKind::Poisson {
                 sources,
                 objects_per_source: objects,
                 rate_range: (0.02, 1.0),
                 weight_range: (1.0, 10.0),
                 fluctuating_weights: true,
             },
-            seed,
-        );
-        // Bandwidth below the aggregate update rate, fluctuating: the
-        // regime where threshold adaptation matters.
-        let total_objects = (sources * objects) as f64;
-        let cfg = SystemConfig {
             metric,
             alpha,
             omega,
@@ -121,9 +119,9 @@ pub fn run(mode: Mode, seed: u64) -> Vec<ParamRow> {
             bandwidth_change_rate: 0.05,
             warmup: measure * 0.2,
             measure,
-            ..SystemConfig::default()
-        };
-        let report = CoopSystem::new(cfg, spec).run();
+            ..ScenarioSpec::default()
+        }
+        .run();
         ParamRow {
             alpha,
             omega,

@@ -103,6 +103,41 @@ proptest! {
         }
     }
 
+    /// Credit accrual under a sine-wave capacity matches the closed-form
+    /// integral regardless of where the accrual boundaries fall: accruing
+    /// piecewise over arbitrary `credit()` call times must telescope to
+    /// `∫₀ᵗ B(τ) dτ` exactly (up to float round-off), because each piece
+    /// uses the analytic antiderivative. This is the path the
+    /// fluctuating-bandwidth scenarios (`m_B > 0`) exercise on every
+    /// link; a drifting piecewise sum would silently skew their budgets.
+    #[test]
+    fn sine_accrual_matches_closed_form(
+        gaps in prop::collection::vec(0.0f64..7.0, 1..40),
+        mean in 0.5f64..20.0,
+        m_b in 1e-3f64..0.4,
+        amplitude in 0.05f64..1.0,
+        phase in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let cap = Wave::from_peak_rate(mean, m_b, amplitude, phase);
+        // Huge burst cap: the min() clamp must never engage, so credit
+        // is exactly the accrued integral.
+        let mut link: Link<u8> = Link::with_burst_cap(cap, 1e15);
+        let mut now = 0.0;
+        for &gap in &gaps {
+            now += gap;
+            let t = SimTime::new(now);
+            let credit = link.credit(t);
+            let want = cap.integral(SimTime::ZERO, t);
+            // Relative tolerance scaled by segment count: each piecewise
+            // accrual contributes one rounding step.
+            let tol = 1e-12 * want.abs().max(1.0) * gaps.len() as f64;
+            prop_assert!(
+                (credit - want).abs() <= tol,
+                "piecewise credit {credit} vs closed form {want} at t={now}"
+            );
+        }
+    }
+
     /// Cut-through happens exactly when the queue is empty and credit
     /// suffices — mirrored by `can_send`.
     #[test]

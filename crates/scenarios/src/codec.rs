@@ -1,0 +1,348 @@
+//! Plain-text scenario serialization.
+//!
+//! A [`ScenarioSpec`] is the unit a future process-sharded sweep runner
+//! will ship to workers, so it must survive a trip through a pipe with
+//! no external dependencies (the workspace vendors no serde). The format
+//! is one `key value` pair per line, values running to end-of-line;
+//! floats are printed with Rust's shortest round-trip formatting, so
+//! decoding reproduces *bit-identical* parameters — and therefore, by
+//! the determinism the whole repo is built on, bit-identical
+//! trajectories on the far side of the pipe.
+//!
+//! Limitations, by design: [`Metric::Deviation`] carries a function
+//! pointer and encodes as `deviation`, which decodes to the standard
+//! absolute-difference deviation — the only deviation function any
+//! registered scenario uses. Encoding a scenario with a custom deviation
+//! function is an error.
+
+use besync::priority::{PolicyKind, RateEstimator};
+use besync_data::metric::abs_deviation;
+use besync_data::Metric;
+use besync_workloads::buoy::BuoyConfig;
+
+use crate::spec::{ScenarioSpec, SystemKind, WorkloadKind};
+
+/// Format tag, first line of every encoded scenario.
+const HEADER: &str = "besync-scenario v1";
+
+fn policy_name(p: PolicyKind) -> &'static str {
+    match p {
+        PolicyKind::Area => "area",
+        PolicyKind::PoissonClosedForm => "poisson_closed_form",
+        PolicyKind::SimpleWeighted => "simple_weighted",
+        PolicyKind::Bound => "bound",
+    }
+}
+
+fn parse_policy(s: &str) -> Option<PolicyKind> {
+    Some(match s {
+        "area" => PolicyKind::Area,
+        "poisson_closed_form" => PolicyKind::PoissonClosedForm,
+        "simple_weighted" => PolicyKind::SimpleWeighted,
+        "bound" => PolicyKind::Bound,
+        _ => return None,
+    })
+}
+
+fn estimator_name(e: RateEstimator) -> &'static str {
+    match e {
+        RateEstimator::Known => "known",
+        RateEstimator::LongRun => "long_run",
+        RateEstimator::SinceRefresh => "since_refresh",
+    }
+}
+
+fn parse_estimator(s: &str) -> Option<RateEstimator> {
+    Some(match s {
+        "known" => RateEstimator::Known,
+        "long_run" => RateEstimator::LongRun,
+        "since_refresh" => RateEstimator::SinceRefresh,
+        _ => return None,
+    })
+}
+
+fn parse_metric(s: &str) -> Option<Metric> {
+    Some(match s {
+        "staleness" => Metric::Staleness,
+        "lag" => Metric::Lag,
+        "deviation" => Metric::abs_deviation(),
+        _ => return None,
+    })
+}
+
+/// Encodes a scenario as the line-based text form.
+///
+/// # Errors
+///
+/// Returns an error if the scenario uses a deviation function other than
+/// the standard absolute difference (function pointers don't serialize).
+pub fn encode(spec: &ScenarioSpec) -> Result<String, String> {
+    if let Metric::Deviation(f) = spec.metric {
+        // Function pointers don't serialize and can't be compared
+        // reliably (codegen may merge or duplicate them), so probe the
+        // function's behaviour against the standard absolute difference
+        // on a few points before claiming `deviation` means abs.
+        let probes = [(0.0, 0.0), (5.0, 3.0), (-2.5, 4.0), (1e6, -1e6)];
+        if probes.iter().any(|&(a, b)| f(a, b) != abs_deviation(a, b)) {
+            return Err(format!(
+                "scenario `{}` uses a custom deviation function, which cannot be serialized",
+                spec.name
+            ));
+        }
+    }
+    for (field, value) in [("name", &spec.name), ("description", &spec.description)] {
+        if value.contains('\n') || value.contains('\r') {
+            return Err(format!(
+                "scenario {field} contains a line break, which the line-based format \
+                 cannot carry faithfully"
+            ));
+        }
+    }
+    let mut out = String::with_capacity(512);
+    out.push_str(HEADER);
+    out.push('\n');
+    let mut kv = |k: &str, v: &str| {
+        out.push_str(k);
+        out.push(' ');
+        out.push_str(v);
+        out.push('\n');
+    };
+    kv("name", &spec.name);
+    kv("description", &spec.description);
+    kv("seed", &spec.seed.to_string());
+    kv("sim_seed", &spec.sim_seed.to_string());
+    kv("system", spec.system.name());
+    match spec.workload {
+        WorkloadKind::Poisson {
+            sources,
+            objects_per_source,
+            rate_range,
+            weight_range,
+            fluctuating_weights,
+        } => {
+            kv("workload", "poisson");
+            kv("sources", &sources.to_string());
+            kv("objects_per_source", &objects_per_source.to_string());
+            kv("rate_lo", &rate_range.0.to_string());
+            kv("rate_hi", &rate_range.1.to_string());
+            kv("weight_lo", &weight_range.0.to_string());
+            kv("weight_hi", &weight_range.1.to_string());
+            kv("fluctuating_weights", &fluctuating_weights.to_string());
+        }
+        WorkloadKind::Buoy { config } => {
+            kv("workload", "buoy");
+            kv("buoys", &config.buoys.to_string());
+            kv("components", &config.components.to_string());
+            kv("sample_interval", &config.sample_interval.to_string());
+            kv("duration", &config.duration.to_string());
+            kv("reversion", &config.reversion.to_string());
+            kv("noise", &config.noise.to_string());
+        }
+    }
+    kv("policy", policy_name(spec.policy));
+    kv("estimator", estimator_name(spec.estimator));
+    kv("metric", spec.metric.name());
+    kv(
+        "cache_bandwidth_mean",
+        &spec.cache_bandwidth_mean.to_string(),
+    );
+    kv(
+        "source_bandwidth_mean",
+        &spec.source_bandwidth_mean.to_string(),
+    );
+    kv(
+        "bandwidth_change_rate",
+        &spec.bandwidth_change_rate.to_string(),
+    );
+    kv("alpha", &spec.alpha.to_string());
+    kv("omega", &spec.omega.to_string());
+    kv("warmup", &spec.warmup.to_string());
+    kv("measure", &spec.measure.to_string());
+    Ok(out)
+}
+
+/// Decodes the line-based text form back into a scenario.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed or missing field.
+pub fn decode(text: &str) -> Result<ScenarioSpec, String> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(HEADER) {
+        return Err(format!("missing `{HEADER}` header"));
+    }
+    let mut pairs = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (key, value) = line.split_once(' ').unwrap_or((line, ""));
+        pairs.push((key.trim().to_string(), value.trim().to_string()));
+    }
+    let get = |key: &str| -> Result<&str, String> {
+        pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| format!("missing field `{key}`"))
+    };
+    let num = |key: &str| -> Result<f64, String> {
+        get(key)?
+            .parse()
+            .map_err(|_| format!("bad number in `{key}`"))
+    };
+    let int = |key: &str| -> Result<u64, String> {
+        get(key)?
+            .parse()
+            .map_err(|_| format!("bad integer in `{key}`"))
+    };
+
+    let workload = match get("workload")? {
+        "poisson" => WorkloadKind::Poisson {
+            sources: int("sources")? as u32,
+            objects_per_source: int("objects_per_source")? as u32,
+            rate_range: (num("rate_lo")?, num("rate_hi")?),
+            weight_range: (num("weight_lo")?, num("weight_hi")?),
+            fluctuating_weights: match get("fluctuating_weights")? {
+                "true" => true,
+                "false" => false,
+                other => return Err(format!("bad boolean `{other}` in `fluctuating_weights`")),
+            },
+        },
+        "buoy" => WorkloadKind::Buoy {
+            config: BuoyConfig {
+                buoys: int("buoys")? as u32,
+                components: int("components")? as u32,
+                sample_interval: num("sample_interval")?,
+                duration: num("duration")?,
+                reversion: num("reversion")?,
+                noise: num("noise")?,
+            },
+        },
+        other => return Err(format!("unknown workload kind `{other}`")),
+    };
+
+    let system_name = get("system")?;
+    let policy_str = get("policy")?;
+    let estimator_str = get("estimator")?;
+    let metric_str = get("metric")?;
+    Ok(ScenarioSpec {
+        name: get("name")?.to_string(),
+        description: get("description")?.to_string(),
+        seed: int("seed")?,
+        sim_seed: int("sim_seed")?,
+        system: SystemKind::parse(system_name)
+            .ok_or_else(|| format!("unknown system `{system_name}`"))?,
+        workload,
+        policy: parse_policy(policy_str).ok_or_else(|| format!("unknown policy `{policy_str}`"))?,
+        estimator: parse_estimator(estimator_str)
+            .ok_or_else(|| format!("unknown estimator `{estimator_str}`"))?,
+        metric: parse_metric(metric_str).ok_or_else(|| format!("unknown metric `{metric_str}`"))?,
+        cache_bandwidth_mean: num("cache_bandwidth_mean")?,
+        source_bandwidth_mean: num("source_bandwidth_mean")?,
+        bandwidth_change_rate: num("bandwidth_change_rate")?,
+        alpha: num("alpha")?,
+        omega: num("omega")?,
+        warmup: num("warmup")?,
+        measure: num("measure")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{all, by_name};
+
+    #[test]
+    fn every_registered_scenario_round_trips() {
+        for spec in all() {
+            let text = encode(&spec).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let back = decode(&text).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            // Re-encoding the decoded spec must reproduce the exact text:
+            // field-by-field bit-identity without needing PartialEq on
+            // function pointers.
+            assert_eq!(text, encode(&back).unwrap(), "{} round trip", spec.name);
+        }
+    }
+
+    #[test]
+    fn decoded_scenario_replays_the_same_trajectory() {
+        // The sharding contract: a spec shipped through the codec runs
+        // the identical simulation on the far side.
+        let spec = by_name("small").unwrap().quick();
+        let shipped = decode(&encode(&spec).unwrap()).unwrap();
+        let here = spec.run();
+        let there = shipped.run();
+        assert_eq!(here.updates_processed, there.updates_processed);
+        assert_eq!(here.refreshes_sent, there.refreshes_sent);
+        assert_eq!(here.feedback_messages, there.feedback_messages);
+        assert_eq!(here.mean_divergence(), there.mean_divergence());
+    }
+
+    #[test]
+    fn buoy_workloads_round_trip() {
+        use crate::spec::ScenarioSpec;
+        let spec = ScenarioSpec {
+            name: "buoy_test".into(),
+            description: "fig5-style scenario".into(),
+            workload: WorkloadKind::Buoy {
+                config: BuoyConfig::quick(),
+            },
+            metric: Metric::abs_deviation(),
+            ..ScenarioSpec::default()
+        };
+        let text = encode(&spec).unwrap();
+        let back = decode(&text).unwrap();
+        assert_eq!(text, encode(&back).unwrap());
+        match back.workload {
+            WorkloadKind::Buoy { config } => assert_eq!(config.buoys, 8),
+            _ => panic!("lost the buoy workload"),
+        }
+    }
+
+    #[test]
+    fn custom_deviation_functions_refuse_to_encode() {
+        use besync_data::metric::squared_deviation;
+        let spec = ScenarioSpec {
+            metric: Metric::Deviation(squared_deviation),
+            ..by_name("small").unwrap()
+        };
+        assert!(encode(&spec).is_err());
+    }
+
+    #[test]
+    fn decode_reports_missing_and_malformed_fields() {
+        assert!(decode("not a scenario").is_err());
+        let text = encode(&by_name("small").unwrap()).unwrap();
+        let truncated: String = text
+            .lines()
+            .filter(|l| !l.starts_with("measure"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = decode(&truncated).unwrap_err();
+        assert!(err.contains("measure"), "{err}");
+        let mangled = text.replace("cache_bandwidth_mean ", "cache_bandwidth_mean x");
+        assert!(decode(&mangled).is_err());
+        // Booleans are as strict as numbers: a corrupted flag must fail,
+        // not silently decode to false.
+        let bad_bool = text.replace("fluctuating_weights false", "fluctuating_weights fals");
+        let err = decode(&bad_bool).unwrap_err();
+        assert!(err.contains("fluctuating_weights"), "{err}");
+    }
+
+    #[test]
+    fn line_breaks_in_string_fields_refuse_to_encode() {
+        // A newline in a free-text field would inject spurious key-value
+        // lines (e.g. a second `seed`) into the line-based format.
+        let spec = ScenarioSpec {
+            name: "evil\nseed 999".into(),
+            ..by_name("small").unwrap()
+        };
+        assert!(encode(&spec).is_err());
+        let spec = ScenarioSpec {
+            description: "two\nlines".into(),
+            ..by_name("small").unwrap()
+        };
+        assert!(encode(&spec).is_err());
+    }
+}

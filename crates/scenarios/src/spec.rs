@@ -1,0 +1,413 @@
+//! The declarative scenario spec and its lowering.
+
+use besync::config::SystemConfig;
+use besync::priority::{PolicyKind, RateEstimator};
+use besync::system::CoopSystem;
+use besync::{IdealSystem, RunReport};
+use besync_baselines::{CgmConfig, CgmSystem, CgmVariant};
+use besync_data::Metric;
+use besync_workloads::buoy::{self, BuoyConfig};
+use besync_workloads::generators::{random_walk_poisson, PoissonWorkloadOptions};
+use besync_workloads::WorkloadSpec;
+
+/// Which scheduler a scenario drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// The §5 pragmatic cooperative system (the hot path).
+    Coop,
+    /// The §3.3 omniscient scheduler (Figure 4–6 yardstick).
+    Ideal,
+    /// A cache-driven CGM baseline (Figure 6).
+    Cgm(CgmVariant),
+}
+
+impl SystemKind {
+    /// Short stable name (used in bench JSON and the codec).
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Coop => "coop",
+            SystemKind::Ideal => "ideal",
+            SystemKind::Cgm(CgmVariant::IdealCacheBased) => "cgm_ideal",
+            SystemKind::Cgm(CgmVariant::Cgm1) => "cgm1",
+            SystemKind::Cgm(CgmVariant::Cgm2) => "cgm2",
+        }
+    }
+
+    /// Inverse of [`SystemKind::name`].
+    pub fn parse(s: &str) -> Option<SystemKind> {
+        Some(match s {
+            "coop" => SystemKind::Coop,
+            "ideal" => SystemKind::Ideal,
+            "cgm_ideal" => SystemKind::Cgm(CgmVariant::IdealCacheBased),
+            "cgm1" => SystemKind::Cgm(CgmVariant::Cgm1),
+            "cgm2" => SystemKind::Cgm(CgmVariant::Cgm2),
+            _ => return None,
+        })
+    }
+}
+
+/// The data side of a scenario: which workload family and its regime
+/// parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// §6 random-walk/Poisson family (`random_walk_poisson`): `sources ×
+    /// objects_per_source` objects, rates and base weights drawn
+    /// uniformly, weights optionally fluctuating as sine waves.
+    Poisson {
+        /// Number of sources `m`.
+        sources: u32,
+        /// Objects per source `n`.
+        objects_per_source: u32,
+        /// Poisson rates drawn uniformly from this range.
+        rate_range: (f64, f64),
+        /// Base weights drawn uniformly from this range.
+        weight_range: (f64, f64),
+        /// Sine-wave weights with random amplitudes/periods (§6).
+        fluctuating_weights: bool,
+    },
+    /// §6.2.1 synthetic wind-buoy trace.
+    Buoy {
+        /// Fleet shape and trace statistics.
+        config: BuoyConfig,
+    },
+}
+
+/// One fully-described simulation scenario.
+///
+/// A plain-data value; lowering it (see [`ScenarioSpec::build`]) goes
+/// through exactly the same construction calls every consumer used
+/// before this layer existed, so specs are trajectory-preserving by
+/// construction.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Registry name (`besync-bench --only`, golden-test lookup).
+    pub name: String,
+    /// One-line description for `besync-bench --list`.
+    pub description: String,
+    /// Workload seed: drives parameter draws and per-object update RNG.
+    pub seed: u64,
+    /// Simulation-side seed (bandwidth-wave phases, tie-breaking).
+    pub sim_seed: u64,
+    /// Which scheduler runs the scenario.
+    pub system: SystemKind,
+    /// The workload family and its regime.
+    pub workload: WorkloadKind,
+    /// Source-side refresh priority policy (cooperative systems).
+    pub policy: PolicyKind,
+    /// How sources estimate Poisson rates for closed-form policies.
+    pub estimator: RateEstimator,
+    /// Divergence metric being minimized.
+    pub metric: Metric,
+    /// Average cache-side bandwidth `B_C` (messages/second).
+    pub cache_bandwidth_mean: f64,
+    /// Average per-source bandwidth `B_S` (messages/second; unused by
+    /// CGM, whose polling model has no source-side limit).
+    pub source_bandwidth_mean: f64,
+    /// The paper's `m_B`: peak relative bandwidth change rate. `0` keeps
+    /// both links constant; `> 0` makes cache and source links fluctuate
+    /// as independently-phased sine waves.
+    pub bandwidth_change_rate: f64,
+    /// Threshold increase factor α.
+    pub alpha: f64,
+    /// Threshold decrease factor ω.
+    pub omega: f64,
+    /// Warm-up duration excluded from measurement (seconds).
+    pub warmup: f64,
+    /// Measured duration after warm-up (seconds).
+    pub measure: f64,
+}
+
+impl Default for ScenarioSpec {
+    /// Mirrors `SystemConfig::default()` where the fields overlap, so a
+    /// struct-update spec lowers to the same config a bare
+    /// `..SystemConfig::default()` produced.
+    fn default() -> Self {
+        ScenarioSpec {
+            name: String::new(),
+            description: String::new(),
+            seed: 0,
+            sim_seed: 0,
+            system: SystemKind::Coop,
+            workload: WorkloadKind::Poisson {
+                sources: 10,
+                objects_per_source: 10,
+                rate_range: (0.01, 1.0),
+                weight_range: (1.0, 10.0),
+                fluctuating_weights: true,
+            },
+            policy: PolicyKind::Area,
+            estimator: RateEstimator::LongRun,
+            metric: Metric::Staleness,
+            cache_bandwidth_mean: 100.0,
+            source_bandwidth_mean: 10.0,
+            bandwidth_change_rate: 0.0,
+            alpha: 1.1,
+            omega: 10.0,
+            warmup: 100.0,
+            measure: 500.0,
+        }
+    }
+}
+
+/// A constructed, ready-to-run system (workload and config already
+/// lowered). Exists so harnesses can time exactly the event loop:
+/// everything before [`ReadySystem::run`] is construction.
+pub enum ReadySystem {
+    /// The pragmatic cooperative system.
+    Coop(Box<CoopSystem>),
+    /// The omniscient scheduler.
+    Ideal(Box<IdealSystem>),
+    /// A CGM baseline.
+    Cgm(Box<CgmSystem>),
+}
+
+impl ReadySystem {
+    /// Runs the event loop to the horizon and reports.
+    pub fn run(self) -> RunReport {
+        match self {
+            ReadySystem::Coop(s) => s.run(),
+            ReadySystem::Ideal(s) => s.run(),
+            ReadySystem::Cgm(s) => s.run(),
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Total number of objects in the scenario.
+    pub fn total_objects(&self) -> u32 {
+        match self.workload {
+            WorkloadKind::Poisson {
+                sources,
+                objects_per_source,
+                ..
+            } => sources * objects_per_source,
+            WorkloadKind::Buoy { config } => config.total_objects(),
+        }
+    }
+
+    /// Lowers the workload side to a [`WorkloadSpec`].
+    pub fn workload(&self) -> WorkloadSpec {
+        match self.workload {
+            WorkloadKind::Poisson {
+                sources,
+                objects_per_source,
+                rate_range,
+                weight_range,
+                fluctuating_weights,
+            } => random_walk_poisson(
+                PoissonWorkloadOptions {
+                    sources,
+                    objects_per_source,
+                    rate_range,
+                    weight_range,
+                    fluctuating_weights,
+                },
+                self.seed,
+            ),
+            WorkloadKind::Buoy { ref config } => buoy::workload(config, self.seed),
+        }
+    }
+
+    /// Lowers the system side to a [`SystemConfig`] (cooperative and
+    /// ideal schedulers).
+    pub fn system_config(&self) -> SystemConfig {
+        SystemConfig {
+            metric: self.metric,
+            policy: self.policy,
+            estimator: self.estimator,
+            cache_bandwidth_mean: self.cache_bandwidth_mean,
+            source_bandwidth_mean: self.source_bandwidth_mean,
+            bandwidth_change_rate: self.bandwidth_change_rate,
+            alpha: self.alpha,
+            omega: self.omega,
+            warmup: self.warmup,
+            measure: self.measure,
+            sim_seed: self.sim_seed,
+            ..SystemConfig::default()
+        }
+    }
+
+    /// Lowers the system side to a [`CgmConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's system is not a CGM variant.
+    pub fn cgm_config(&self) -> CgmConfig {
+        let SystemKind::Cgm(variant) = self.system else {
+            panic!("scenario `{}` is not a CGM scenario", self.name);
+        };
+        CgmConfig {
+            variant,
+            metric: self.metric,
+            cache_bandwidth_mean: self.cache_bandwidth_mean,
+            bandwidth_change_rate: self.bandwidth_change_rate,
+            warmup: self.warmup,
+            measure: self.measure,
+            sim_seed: self.sim_seed,
+            ..CgmConfig::default()
+        }
+    }
+
+    /// Builds the ready-to-run system over a workload already lowered
+    /// (lets harnesses time workload construction separately).
+    pub fn build_from(&self, spec: WorkloadSpec) -> ReadySystem {
+        match self.system {
+            SystemKind::Coop => {
+                let mut cfg = self.system_config();
+                if matches!(self.policy, PolicyKind::Bound) {
+                    // Bound pricing needs per-object refresh-rate bounds;
+                    // the workload's true rates are the natural seeded
+                    // choice.
+                    cfg.bound_rates = Some(spec.rates.clone());
+                }
+                ReadySystem::Coop(Box::new(CoopSystem::new(cfg, spec)))
+            }
+            SystemKind::Ideal => {
+                ReadySystem::Ideal(Box::new(IdealSystem::new(self.system_config(), spec)))
+            }
+            SystemKind::Cgm(_) => {
+                ReadySystem::Cgm(Box::new(CgmSystem::new(self.cgm_config(), spec)))
+            }
+        }
+    }
+
+    /// Lowers the whole scenario: workload + config + system.
+    pub fn build(&self) -> ReadySystem {
+        self.build_from(self.workload())
+    }
+
+    /// Builds and runs the scenario.
+    pub fn run(&self) -> RunReport {
+        self.build().run()
+    }
+
+    /// CI-scale variant: same shape, a fraction of the work (the scaling
+    /// `besync-bench --quick` has always applied).
+    pub fn quick(mut self) -> Self {
+        if let WorkloadKind::Poisson {
+            ref mut sources, ..
+        } = self.workload
+        {
+            *sources = (*sources / 4).max(1);
+        }
+        self.warmup = 5.0;
+        self.measure /= 10.0;
+        self.cache_bandwidth_mean = (self.cache_bandwidth_mean / 4.0).max(1.0);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(system: SystemKind) -> ScenarioSpec {
+        ScenarioSpec {
+            name: "tiny".into(),
+            seed: 99,
+            system,
+            workload: WorkloadKind::Poisson {
+                sources: 2,
+                objects_per_source: 8,
+                rate_range: (0.05, 0.5),
+                weight_range: (1.0, 4.0),
+                fluctuating_weights: false,
+            },
+            cache_bandwidth_mean: 6.0,
+            source_bandwidth_mean: 3.0,
+            warmup: 5.0,
+            measure: 40.0,
+            ..ScenarioSpec::default()
+        }
+    }
+
+    #[test]
+    fn lowering_matches_hand_rolled_construction() {
+        // The spec path must replay exactly what a consumer constructing
+        // by hand gets: same workload draws, same config, same counters.
+        let spec = tiny(SystemKind::Coop);
+        let by_spec = spec.run();
+        let by_hand = CoopSystem::new(
+            SystemConfig {
+                metric: Metric::Staleness,
+                policy: PolicyKind::Area,
+                cache_bandwidth_mean: 6.0,
+                source_bandwidth_mean: 3.0,
+                warmup: 5.0,
+                measure: 40.0,
+                ..SystemConfig::default()
+            },
+            random_walk_poisson(
+                PoissonWorkloadOptions {
+                    sources: 2,
+                    objects_per_source: 8,
+                    rate_range: (0.05, 0.5),
+                    weight_range: (1.0, 4.0),
+                    fluctuating_weights: false,
+                },
+                99,
+            ),
+        )
+        .run();
+        assert_eq!(by_spec.updates_processed, by_hand.updates_processed);
+        assert_eq!(by_spec.refreshes_sent, by_hand.refreshes_sent);
+        assert_eq!(by_spec.feedback_messages, by_hand.feedback_messages);
+        assert_eq!(by_spec.mean_divergence(), by_hand.mean_divergence());
+    }
+
+    #[test]
+    fn every_system_kind_builds_and_runs() {
+        for system in [
+            SystemKind::Coop,
+            SystemKind::Ideal,
+            SystemKind::Cgm(CgmVariant::IdealCacheBased),
+            SystemKind::Cgm(CgmVariant::Cgm1),
+            SystemKind::Cgm(CgmVariant::Cgm2),
+        ] {
+            let report = tiny(system).run();
+            assert!(
+                report.updates_processed > 0,
+                "{}: no updates",
+                system.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bound_policy_gets_workload_rates() {
+        let spec = ScenarioSpec {
+            policy: PolicyKind::Bound,
+            ..tiny(SystemKind::Coop)
+        };
+        // Builds without panicking (CoopSystem requires bound_rates for
+        // the Bound policy) and produces a run.
+        let report = spec.run();
+        assert!(report.updates_processed > 0);
+    }
+
+    #[test]
+    fn quick_scales_like_the_bench_always_did() {
+        let q = tiny(SystemKind::Coop).quick();
+        match q.workload {
+            WorkloadKind::Poisson { sources, .. } => assert_eq!(sources, 1),
+            _ => unreachable!(),
+        }
+        assert_eq!(q.warmup, 5.0);
+        assert_eq!(q.measure, 4.0);
+        assert_eq!(q.cache_bandwidth_mean, 1.5);
+    }
+
+    #[test]
+    fn system_kind_names_round_trip() {
+        for k in [
+            SystemKind::Coop,
+            SystemKind::Ideal,
+            SystemKind::Cgm(CgmVariant::IdealCacheBased),
+            SystemKind::Cgm(CgmVariant::Cgm1),
+            SystemKind::Cgm(CgmVariant::Cgm2),
+        ] {
+            assert_eq!(SystemKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(SystemKind::parse("bogus"), None);
+    }
+}

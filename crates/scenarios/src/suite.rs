@@ -1,0 +1,379 @@
+//! The named scenario registry.
+//!
+//! [`suite`] is the `besync-bench` scenario set; [`goldens`] holds the
+//! fixed configurations whose exact trajectories the golden tests pin
+//! (`tests/golden_report.rs`, `tests/scheduler_equivalence.rs`). Each
+//! definition exists exactly once, here, and is referenced by name
+//! everywhere else.
+
+use besync::priority::{PolicyKind, RateEstimator};
+use besync_baselines::CgmVariant;
+use besync_data::Metric;
+
+use crate::spec::{ScenarioSpec, SystemKind, WorkloadKind};
+
+fn poisson(
+    sources: u32,
+    objects_per_source: u32,
+    rate_range: (f64, f64),
+    weight_range: (f64, f64),
+    fluctuating_weights: bool,
+) -> WorkloadKind {
+    WorkloadKind::Poisson {
+        sources,
+        objects_per_source,
+        rate_range,
+        weight_range,
+        fluctuating_weights,
+    }
+}
+
+/// A cooperative bench scenario over the standard bench regime
+/// (`rate ∈ (0.05, 0.5)`, constant weights in `(1, 4)`, Area policy).
+#[allow(clippy::too_many_arguments)]
+fn coop(
+    name: &str,
+    description: &str,
+    seed: u64,
+    sources: u32,
+    objects_per_source: u32,
+    metric: Metric,
+    cache_bw: f64,
+    source_bw: f64,
+    warmup: f64,
+    measure: f64,
+) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.into(),
+        description: description.into(),
+        seed,
+        system: SystemKind::Coop,
+        workload: poisson(sources, objects_per_source, (0.05, 0.5), (1.0, 4.0), false),
+        metric,
+        cache_bandwidth_mean: cache_bw,
+        source_bandwidth_mean: source_bw,
+        warmup,
+        measure,
+        ..ScenarioSpec::default()
+    }
+}
+
+/// The fixed bench scenario set. `medium` is the headline comparison
+/// scenario for PR-over-PR speedup claims; the small/large pairs cover
+/// the size × metric grid; `bound_medium`/`fluct_medium` cover the
+/// Bound-policy and fluctuating-weight regimes; `fluct_bw_medium` covers
+/// fluctuating *bandwidth* (`m_B > 0`, the `Wave::Sine` credit-accrual
+/// path on every link); `huge` covers the ≥100k-object scale; and the
+/// `ideal_*`/`cgm*_*` scenarios cover the figure-regeneration schedulers.
+pub fn suite() -> Vec<ScenarioSpec> {
+    vec![
+        coop(
+            "small",
+            "coop, 256 objects, staleness — the smallest end of the size grid",
+            101,
+            8,
+            32,
+            Metric::Staleness,
+            12.0,
+            4.0,
+            50.0,
+            600.0,
+        ),
+        coop(
+            "medium",
+            "coop, 2048 objects, staleness — the headline PR-over-PR scenario",
+            202,
+            32,
+            64,
+            Metric::Staleness,
+            90.0,
+            5.0,
+            50.0,
+            1500.0,
+        ),
+        coop(
+            "medium_value",
+            "coop, 2048 objects, value deviation — medium with the deviation metric",
+            303,
+            32,
+            64,
+            Metric::abs_deviation(),
+            90.0,
+            5.0,
+            50.0,
+            1500.0,
+        ),
+        coop(
+            "large",
+            "coop, 16384 objects, staleness — the large end of the size grid",
+            404,
+            64,
+            256,
+            Metric::Staleness,
+            700.0,
+            16.0,
+            25.0,
+            400.0,
+        ),
+        coop(
+            "large_value",
+            "coop, 16384 objects, value deviation — large with the deviation metric",
+            505,
+            64,
+            256,
+            Metric::abs_deviation(),
+            700.0,
+            16.0,
+            25.0,
+            400.0,
+        ),
+        ScenarioSpec {
+            policy: PolicyKind::Bound,
+            ..coop(
+                "bound_medium",
+                "coop, Bound policy — non-piecewise-constant priorities, per-tick requote sweeps",
+                909,
+                32,
+                64,
+                Metric::Staleness,
+                90.0,
+                5.0,
+                50.0,
+                1500.0,
+            )
+        },
+        ScenarioSpec {
+            workload: poisson(32, 64, (0.05, 0.5), (1.0, 4.0), true),
+            ..coop(
+                "fluct_medium",
+                "coop, sine-wave weights — the non-constant-weight accounting slow path",
+                1010,
+                32,
+                64,
+                Metric::Staleness,
+                90.0,
+                5.0,
+                50.0,
+                1500.0,
+            )
+        },
+        ScenarioSpec {
+            bandwidth_change_rate: 0.25,
+            ..coop(
+                "fluct_bw_medium",
+                "coop, fluctuating bandwidth (m_B = 0.25) — Wave::Sine accrual on every link",
+                1111,
+                32,
+                64,
+                Metric::Staleness,
+                90.0,
+                5.0,
+                50.0,
+                1500.0,
+            )
+        },
+        coop(
+            "huge",
+            "coop, 131072 objects, staleness — the >=100k-object scale regime",
+            1212,
+            128,
+            1024,
+            Metric::Staleness,
+            7000.0,
+            55.0,
+            10.0,
+            120.0,
+        ),
+        ScenarioSpec {
+            name: "ideal_medium".into(),
+            description: "ideal omniscient scheduler, 2048 objects — figure-regeneration yardstick"
+                .into(),
+            seed: 606,
+            system: SystemKind::Ideal,
+            workload: poisson(32, 64, (0.05, 0.5), (1.0, 4.0), false),
+            metric: Metric::Staleness,
+            cache_bandwidth_mean: 90.0,
+            source_bandwidth_mean: 5.0,
+            warmup: 50.0,
+            measure: 1500.0,
+            ..ScenarioSpec::default()
+        },
+        cgm_bench("cgm1_medium", CgmVariant::Cgm1, 707),
+        cgm_bench("cgm2_medium", CgmVariant::Cgm2, 808),
+    ]
+}
+
+fn cgm_bench(name: &str, variant: CgmVariant, seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.into(),
+        description: format!(
+            "{} cache-driven baseline, 2048 objects — polling + rate estimation",
+            variant.name()
+        ),
+        seed,
+        // The bench CGM scenarios have always phased their link off the
+        // workload seed.
+        sim_seed: seed,
+        system: SystemKind::Cgm(variant),
+        workload: poisson(32, 64, (0.02, 1.0), (1.0, 1.0), false),
+        metric: Metric::Staleness,
+        cache_bandwidth_mean: 614.0,
+        // Unused for CGM: polling has no source-side limit (§6.3).
+        source_bandwidth_mean: 0.0,
+        warmup: 100.0,
+        measure: 500.0,
+        ..ScenarioSpec::default()
+    }
+}
+
+/// The fixed configurations pinned by the golden trajectory tests. Their
+/// trajectories must never move without an intentional, commit-annotated
+/// golden regeneration.
+pub fn goldens() -> Vec<ScenarioSpec> {
+    let ideal = |name: &str, seed: u64, metric, policy, estimator| ScenarioSpec {
+        name: name.into(),
+        description: "scheduler-equivalence golden (ideal)".into(),
+        seed,
+        system: SystemKind::Ideal,
+        workload: poisson(8, 16, (0.05, 0.6), (1.0, 3.0), false),
+        policy,
+        estimator,
+        metric,
+        cache_bandwidth_mean: 20.0,
+        source_bandwidth_mean: 6.0,
+        warmup: 20.0,
+        measure: 150.0,
+        ..ScenarioSpec::default()
+    };
+    let cgm = |name: &str, variant, seed: u64| ScenarioSpec {
+        name: name.into(),
+        description: "scheduler-equivalence golden (CGM)".into(),
+        seed,
+        sim_seed: 5,
+        system: SystemKind::Cgm(variant),
+        workload: poisson(5, 10, (0.02, 1.0), (1.0, 1.0), false),
+        metric: Metric::Staleness,
+        cache_bandwidth_mean: 25.0,
+        source_bandwidth_mean: 0.0,
+        warmup: 50.0,
+        measure: 200.0,
+        ..ScenarioSpec::default()
+    };
+    vec![
+        ScenarioSpec {
+            name: "golden_staleness_area".into(),
+            description: "golden run: staleness metric, Area policy, moderate contention".into(),
+            seed: 7777,
+            system: SystemKind::Coop,
+            workload: poisson(4, 25, (0.05, 0.6), (1.0, 3.0), false),
+            metric: Metric::Staleness,
+            cache_bandwidth_mean: 15.0,
+            source_bandwidth_mean: 4.0,
+            warmup: 25.0,
+            measure: 200.0,
+            ..ScenarioSpec::default()
+        },
+        ScenarioSpec {
+            name: "golden_deviation_poisson".into(),
+            description: "golden run: value deviation, Poisson closed form, fluctuating weights"
+                .into(),
+            seed: 4242,
+            system: SystemKind::Coop,
+            workload: poisson(6, 10, (0.1, 1.0), (1.0, 5.0), true),
+            policy: PolicyKind::PoissonClosedForm,
+            metric: Metric::abs_deviation(),
+            cache_bandwidth_mean: 8.0,
+            source_bandwidth_mean: 3.0,
+            warmup: 20.0,
+            measure: 150.0,
+            ..ScenarioSpec::default()
+        },
+        ideal(
+            "equiv_ideal_staleness_area",
+            11,
+            Metric::Staleness,
+            PolicyKind::Area,
+            RateEstimator::LongRun,
+        ),
+        ideal(
+            "equiv_ideal_deviation_poisson",
+            23,
+            Metric::abs_deviation(),
+            PolicyKind::PoissonClosedForm,
+            RateEstimator::Known,
+        ),
+        ideal(
+            "equiv_ideal_lag_simple",
+            37,
+            Metric::Lag,
+            PolicyKind::SimpleWeighted,
+            RateEstimator::LongRun,
+        ),
+        cgm("equiv_cgm_ideal", CgmVariant::IdealCacheBased, 61),
+        cgm("equiv_cgm1", CgmVariant::Cgm1, 62),
+        cgm("equiv_cgm2", CgmVariant::Cgm2, 63),
+    ]
+}
+
+/// Every registered scenario: the bench suite followed by the goldens.
+pub fn all() -> Vec<ScenarioSpec> {
+    let mut v = suite();
+    v.extend(goldens());
+    v
+}
+
+/// Looks a scenario up by registry name.
+pub fn by_name(name: &str) -> Option<ScenarioSpec> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_described() {
+        let scenarios = all();
+        for (i, a) in scenarios.iter().enumerate() {
+            assert!(!a.name.is_empty());
+            assert!(!a.description.is_empty(), "`{}` has no description", a.name);
+            for b in &scenarios[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate scenario name");
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_finds_suite_and_goldens() {
+        assert!(by_name("medium").is_some());
+        assert!(by_name("golden_staleness_area").is_some());
+        assert!(by_name("no_such_scenario").is_none());
+    }
+
+    #[test]
+    fn huge_is_at_least_100k_objects() {
+        let huge = by_name("huge").unwrap();
+        assert!(huge.total_objects() >= 100_000, "{}", huge.total_objects());
+    }
+
+    #[test]
+    fn fluct_bw_medium_fluctuates_both_links() {
+        use besync_sim::Wave;
+        let s = by_name("fluct_bw_medium").unwrap();
+        assert!(s.bandwidth_change_rate > 0.0);
+        let cfg = s.system_config();
+        assert!(matches!(cfg.cache_wave(), Wave::Sine { .. }));
+        assert!(matches!(cfg.source_wave(0), Wave::Sine { .. }));
+    }
+
+    #[test]
+    fn suite_system_kinds_cover_all_schedulers() {
+        let suite = suite();
+        for kind in ["coop", "ideal", "cgm1", "cgm2"] {
+            assert!(
+                suite.iter().any(|s| s.system.name() == kind),
+                "no {kind} scenario in the suite"
+            );
+        }
+    }
+}

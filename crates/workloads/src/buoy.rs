@@ -25,7 +25,7 @@ use crate::spec::WorkloadSpec;
 use crate::trace::{Trace, TraceEvent};
 
 /// Configuration of the synthetic buoy fleet.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BuoyConfig {
     /// Number of buoys (the paper uses 40).
     pub buoys: u32,

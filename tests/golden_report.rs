@@ -10,13 +10,15 @@
 //! policy default), regenerate the constants with:
 //! `cargo test --test golden_report -- --nocapture` after setting
 //! `GOLDEN_PRINT=1`, and say so in the commit message.
+//!
+//! The configurations themselves live in the shared scenario registry
+//! (`besync_scenarios::goldens()`) and are referenced here by name; the
+//! constants below were recorded from the pre-scenario-layer hand-rolled
+//! constructions, so these tests also pin that the declarative lowering
+//! is bit-identical to what the consumers used to build by hand.
 
-use besync::config::SystemConfig;
-use besync::priority::PolicyKind;
-use besync::system::CoopSystem;
 use besync::RunReport;
-use besync_data::Metric;
-use besync_workloads::generators::{random_walk_poisson, PoissonWorkloadOptions};
+use besync_scenarios::by_name;
 
 struct Golden {
     updates_processed: u64,
@@ -72,26 +74,9 @@ fn check(name: &str, report: &RunReport, want: &Golden) {
 /// Staleness metric, Area policy, moderate contention.
 #[test]
 fn golden_staleness_area() {
-    let spec = random_walk_poisson(
-        PoissonWorkloadOptions {
-            sources: 4,
-            objects_per_source: 25,
-            rate_range: (0.05, 0.6),
-            weight_range: (1.0, 3.0),
-            fluctuating_weights: false,
-        },
-        7777,
-    );
-    let cfg = SystemConfig {
-        metric: Metric::Staleness,
-        policy: PolicyKind::Area,
-        cache_bandwidth_mean: 15.0,
-        source_bandwidth_mean: 4.0,
-        warmup: 25.0,
-        measure: 200.0,
-        ..SystemConfig::default()
-    };
-    let report = CoopSystem::new(cfg, spec).run();
+    let report = by_name("golden_staleness_area")
+        .expect("registered golden scenario")
+        .run();
     check(
         "staleness_area",
         &report,
@@ -110,26 +95,9 @@ fn golden_staleness_area() {
 /// weights, tighter bandwidth.
 #[test]
 fn golden_deviation_poisson() {
-    let spec = random_walk_poisson(
-        PoissonWorkloadOptions {
-            sources: 6,
-            objects_per_source: 10,
-            rate_range: (0.1, 1.0),
-            weight_range: (1.0, 5.0),
-            fluctuating_weights: true,
-        },
-        4242,
-    );
-    let cfg = SystemConfig {
-        metric: Metric::abs_deviation(),
-        policy: PolicyKind::PoissonClosedForm,
-        cache_bandwidth_mean: 8.0,
-        source_bandwidth_mean: 3.0,
-        warmup: 20.0,
-        measure: 150.0,
-        ..SystemConfig::default()
-    };
-    let report = CoopSystem::new(cfg, spec).run();
+    let report = by_name("golden_deviation_poisson")
+        .expect("registered golden scenario")
+        .run();
     check(
         "deviation_poisson",
         &report,

@@ -12,13 +12,17 @@
 //! To regenerate after an *intentional* trajectory change, run with
 //! `GOLDEN_PRINT=1 cargo test --test scheduler_equivalence -- --nocapture`
 //! and say so in the commit message.
+//!
+//! The ideal/CGM configurations live once in the shared scenario
+//! registry (`besync_scenarios::goldens()`, the `equiv_*` names) and are
+//! referenced here by name, so these tests double as a pin that the
+//! declarative scenario lowering reproduces the hand-rolled
+//! constructions bit for bit. (The §7 competitive goldens below keep
+//! their bespoke construction: their conflicted cache-vs-source weight
+//! setup is deliberately outside the declarative spec.)
 
-use besync::config::SystemConfig;
-use besync::priority::{PolicyKind, RateEstimator};
-use besync::{IdealSystem, RunReport};
-use besync_baselines::{CgmConfig, CgmSystem, CgmVariant};
-use besync_data::Metric;
-use besync_workloads::generators::{fig6_workload, random_walk_poisson, PoissonWorkloadOptions};
+use besync::RunReport;
+use besync_scenarios::by_name;
 
 struct Golden {
     updates_processed: u64,
@@ -56,38 +60,13 @@ fn check(name: &str, report: &RunReport, want: &Golden) {
     );
 }
 
-fn ideal_spec(seed: u64) -> besync_workloads::WorkloadSpec {
-    random_walk_poisson(
-        PoissonWorkloadOptions {
-            sources: 8,
-            objects_per_source: 16,
-            rate_range: (0.05, 0.6),
-            weight_range: (1.0, 3.0),
-            fluctuating_weights: false,
-        },
-        seed,
-    )
-}
-
-fn ideal_cfg(metric: Metric, policy: PolicyKind) -> SystemConfig {
-    SystemConfig {
-        metric,
-        policy,
-        cache_bandwidth_mean: 20.0,
-        source_bandwidth_mean: 6.0,
-        warmup: 20.0,
-        measure: 150.0,
-        ..SystemConfig::default()
-    }
+fn run_named(name: &str) -> RunReport {
+    by_name(name).expect("registered golden scenario").run()
 }
 
 #[test]
 fn ideal_staleness_area() {
-    let report = IdealSystem::new(
-        ideal_cfg(Metric::Staleness, PolicyKind::Area),
-        ideal_spec(11),
-    )
-    .run();
+    let report = run_named("equiv_ideal_staleness_area");
     check(
         "ideal_staleness_area",
         &report,
@@ -102,14 +81,7 @@ fn ideal_staleness_area() {
 
 #[test]
 fn ideal_deviation_poisson() {
-    let report = IdealSystem::new(
-        SystemConfig {
-            estimator: RateEstimator::Known,
-            ..ideal_cfg(Metric::abs_deviation(), PolicyKind::PoissonClosedForm)
-        },
-        ideal_spec(23),
-    )
-    .run();
+    let report = run_named("equiv_ideal_deviation_poisson");
     check(
         "ideal_deviation_poisson",
         &report,
@@ -124,11 +96,7 @@ fn ideal_deviation_poisson() {
 
 #[test]
 fn ideal_lag_simple() {
-    let report = IdealSystem::new(
-        ideal_cfg(Metric::Lag, PolicyKind::SimpleWeighted),
-        ideal_spec(37),
-    )
-    .run();
+    let report = run_named("equiv_ideal_lag_simple");
     check(
         "ideal_lag_simple",
         &report,
@@ -141,24 +109,9 @@ fn ideal_lag_simple() {
     );
 }
 
-fn cgm_cfg(variant: CgmVariant) -> CgmConfig {
-    CgmConfig {
-        variant,
-        cache_bandwidth_mean: 25.0,
-        warmup: 50.0,
-        measure: 200.0,
-        sim_seed: 5,
-        ..CgmConfig::default()
-    }
-}
-
 #[test]
 fn cgm_ideal_cache_based() {
-    let report = CgmSystem::new(
-        cgm_cfg(CgmVariant::IdealCacheBased),
-        fig6_workload(5, 10, 61),
-    )
-    .run();
+    let report = run_named("equiv_cgm_ideal");
     check(
         "cgm_ideal_cache_based",
         &report,
@@ -173,7 +126,7 @@ fn cgm_ideal_cache_based() {
 
 #[test]
 fn cgm1() {
-    let report = CgmSystem::new(cgm_cfg(CgmVariant::Cgm1), fig6_workload(5, 10, 62)).run();
+    let report = run_named("equiv_cgm1");
     check(
         "cgm1",
         &report,
@@ -188,7 +141,7 @@ fn cgm1() {
 
 #[test]
 fn cgm2() {
-    let report = CgmSystem::new(cgm_cfg(CgmVariant::Cgm2), fig6_workload(5, 10, 63)).run();
+    let report = run_named("equiv_cgm2");
     check(
         "cgm2",
         &report,
