@@ -32,6 +32,7 @@
 use std::time::Instant;
 
 use besync_scenarios::{suite, ScenarioSpec};
+use besync_sweep::{run_sweep, Shards, SweepOptions, SweepOutcome};
 
 /// Runs the scenario `repeats` times and reports the median wall clock
 /// (event loop and construction separately). Counters must agree
@@ -305,6 +306,37 @@ fn compare_against_baseline(
     }
 }
 
+/// Verifies a sharded sweep outcome replays the in-process measurement
+/// exactly: every counter equal, mean divergence bit-identical. Any
+/// difference means the worker pipeline (codec, protocol, merge order)
+/// changed the simulation — lost determinism.
+fn check_sharded_counters(classic: &ScenarioResult, sharded: &SweepOutcome) -> Result<(), String> {
+    let r = &sharded.report;
+    let pairs = [
+        ("updates", classic.updates, r.updates_processed),
+        ("refreshes_sent", classic.refreshes_sent, r.refreshes_sent),
+        (
+            "refreshes_delivered",
+            classic.refreshes_delivered,
+            r.refreshes_delivered,
+        ),
+        ("feedback", classic.feedback, r.feedback_messages),
+    ];
+    for (name, a, b) in pairs {
+        if a != b {
+            return Err(format!("{name} {a} in-process vs {b} sharded"));
+        }
+    }
+    if classic.mean_divergence.to_bits() != r.mean_divergence().to_bits() {
+        return Err(format!(
+            "mean divergence {:.12} in-process vs {:.12} sharded (bit mismatch)",
+            classic.mean_divergence,
+            r.mean_divergence()
+        ));
+    }
+    Ok(())
+}
+
 /// Levenshtein edit distance, small-string flavour (scenario names are
 /// short, so the O(len²) two-row DP is plenty).
 fn edit_distance(a: &str, b: &str) -> usize {
@@ -347,7 +379,8 @@ const HELP: &str = "\
 besync-bench — seeded end-to-end throughput scenarios for the paper's schedulers
 
 usage: besync-bench [--out PATH] [--compare PATH] [--tolerance F]
-                    [--only NAME] [--repeat N] [--quick] [--list]
+                    [--only NAME] [--repeat N] [--quick] [--shards LIST]
+                    [--list]
 
   --out PATH       write results as JSON (e.g. BENCH_pr2.json); never run this
                    against a checked-in baseline path in CI — write elsewhere
@@ -362,15 +395,27 @@ usage: besync-bench [--out PATH] [--compare PATH] [--tolerance F]
   --only NAME      run a single scenario by name
   --repeat N       repeats per scenario, median wall clock reported (default 3)
   --quick          CI smoke mode: shrunken scenarios, one repeat
+  --shards LIST    after the per-scenario table, run the whole selected
+                   scenario set once per comma-separated shard count (0 =
+                   in-process threads, N = N worker processes), report grid
+                   wall-clock, and hard-fail if any merged counter differs
+                   from the in-process table (the sharded runner's
+                   byte-identity contract); recorded as shards_grid in --out
   --list           print scenario names with descriptions and exit";
 
 fn main() -> std::process::ExitCode {
+    // Hidden worker mode: when the sweep supervisor re-execs this binary
+    // it must become a protocol worker before any argument parsing.
+    if std::env::args().nth(1).as_deref() == Some(besync_sweep::WORKER_FLAG) {
+        return besync_sweep::worker_main();
+    }
     let mut out: Option<String> = None;
     let mut compare: Vec<String> = Vec::new();
     let mut tolerance = 0.25;
     let mut only: Option<String> = None;
     let mut quick = false;
     let mut repeats: Option<usize> = None;
+    let mut shards_grid: Vec<Shards> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -398,6 +443,20 @@ fn main() -> std::process::ExitCode {
                 }
             },
             "--quick" => quick = true,
+            "--shards" => {
+                let list = args.next().unwrap_or_default();
+                let parsed: Option<Vec<Shards>> = list.split(',').map(Shards::parse).collect();
+                match parsed {
+                    Some(v) if !v.is_empty() => shards_grid = v,
+                    _ => {
+                        eprintln!(
+                            "--shards needs a comma-separated list of counts (0 = in-process), \
+                             e.g. 0,2,4"
+                        );
+                        return std::process::ExitCode::FAILURE;
+                    }
+                }
+            }
             "--list" => {
                 let scenarios = suite();
                 let width = scenarios.iter().map(|s| s.name.len()).max().unwrap_or(0);
@@ -471,6 +530,45 @@ fn main() -> std::process::ExitCode {
     }
 
     let mut failed = false;
+
+    // Sharded grid wall-clock: the whole selected set, once per shard
+    // count. Every merged counter must match the in-process table above
+    // bit for bit — the sweep runner's byte-identity contract, checked
+    // here across real worker processes on every invocation that asks.
+    let mut shard_points: Vec<(u32, f64)> = Vec::new();
+    for &shards in &shards_grid {
+        let opts = SweepOptions::with_shards(shards);
+        let start = Instant::now();
+        let outcomes = match run_sweep(&selected, &opts) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!(
+                    "error: sharded sweep (shards={}) failed: {e}",
+                    shards.count()
+                );
+                return std::process::ExitCode::FAILURE;
+            }
+        };
+        let wall = start.elapsed().as_secs_f64();
+        for (r, o) in results.iter().zip(&outcomes) {
+            if let Err(reason) = check_sharded_counters(r, o) {
+                eprintln!(
+                    "shards={}: DETERMINISM MISMATCH `{}`: {reason}",
+                    shards.count(),
+                    r.name
+                );
+                failed = true;
+            }
+        }
+        println!(
+            "shards={:<2} grid wall-clock {:>8.3}s over {} scenarios",
+            shards.count(),
+            wall,
+            selected.len()
+        );
+        shard_points.push((shards.count(), wall));
+    }
+
     for path in compare {
         match std::fs::read_to_string(&path) {
             Ok(text) => {
@@ -492,9 +590,21 @@ fn main() -> std::process::ExitCode {
 
     if let Some(path) = out {
         let body: Vec<String> = results.iter().map(ScenarioResult::to_json).collect();
+        // shards_grid precedes "scenarios" on purpose: the baseline
+        // parser scans scenario blocks from the "scenarios" key onward.
+        let shards_json = if shard_points.is_empty() {
+            String::new()
+        } else {
+            let entries: Vec<String> = shard_points
+                .iter()
+                .map(|(n, w)| format!("    {{ \"shards\": {n}, \"wall_seconds\": {w:.6} }}"))
+                .collect();
+            format!("  \"shards_grid\": [\n{}\n  ],\n", entries.join(",\n"))
+        };
         let json = format!(
-            "{{\n  \"schema\": \"besync-bench/v3\",\n  \"quick\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema\": \"besync-bench/v3\",\n  \"quick\": {},\n{}  \"scenarios\": [\n{}\n  ]\n}}\n",
             quick,
+            shards_json,
             body.join(",\n")
         );
         if let Err(e) = std::fs::write(&path, json) {

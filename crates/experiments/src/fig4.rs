@@ -11,11 +11,12 @@
 //! absolute gap is small.
 
 use besync::priority::PolicyKind;
+use besync::RunReport;
 use besync_data::Metric;
 use besync_scenarios::{ScenarioSpec, SystemKind, WorkloadKind};
+use besync_sweep::{run_sweep, SweepError, SweepOptions};
 
 use crate::output::{fnum, Row};
-use crate::runner::{default_threads, parallel_map};
 use crate::Mode;
 
 /// One scatter point of Figure 4.
@@ -120,10 +121,11 @@ fn grid_for(mode: Mode) -> Grid {
     }
 }
 
-/// Runs the Figure 4 grid.
-pub fn run(mode: Mode, seed: u64) -> Vec<Fig4Row> {
-    let g = grid_for(mode);
-    let mut jobs = Vec::new();
+/// One grid cell's coordinates.
+type Cell = (Metric, u32, u32, f64, f64, f64);
+
+fn cells_for(g: &Grid) -> Vec<Cell> {
+    let mut cells = Vec::new();
     for &metric in &g.metrics {
         for &m in &g.ms {
             for &n in &g.ns {
@@ -139,33 +141,19 @@ pub fn run(mode: Mode, seed: u64) -> Vec<Fig4Row> {
                             continue;
                         }
                         for &mb in &g.mbs {
-                            jobs.push((metric, m, n, bs, bc, mb));
+                            cells.push((metric, m, n, bs, bc, mb));
                         }
                     }
                 }
             }
         }
     }
-    let measure = g.measure;
-    parallel_map(
-        jobs,
-        default_threads(),
-        move |(metric, m, n, bs, bc, mb)| run_cell(metric, m, n, bs, bc, mb, measure, seed),
-    )
+    cells
 }
 
-/// Runs a single grid cell — exposed for benches.
-#[allow(clippy::too_many_arguments)]
-pub fn run_cell(
-    metric: Metric,
-    m: u32,
-    n: u32,
-    bs: f64,
-    bc: f64,
-    mb: f64,
-    measure: f64,
-    seed: u64,
-) -> Fig4Row {
+/// The two specs a cell compares, in reply order: ideal then coop.
+fn cell_specs(cell: Cell, measure: f64, seed: u64) -> [ScenarioSpec; 2] {
+    let (metric, m, n, bs, bc, mb) = cell;
     let scenario = |system: SystemKind| ScenarioSpec {
         name: format!("fig4/{}/m{m}/n{n}/bs{bs}/bc{bc}/mb{mb}", metric.name()),
         seed: seed ^ ((m as u64) << 32 | (n as u64) << 16),
@@ -186,8 +174,13 @@ pub fn run_cell(
         measure,
         ..ScenarioSpec::default()
     };
-    let ideal = scenario(SystemKind::Ideal).run().divergence.total_weighted;
-    let ours = scenario(SystemKind::Coop).run().divergence.total_weighted;
+    [scenario(SystemKind::Ideal), scenario(SystemKind::Coop)]
+}
+
+fn cell_row(cell: Cell, ideal: &RunReport, ours: &RunReport) -> Fig4Row {
+    let (metric, m, n, bs, bc, mb) = cell;
+    let ideal = ideal.divergence.total_weighted;
+    let ours = ours.divergence.total_weighted;
     let ratio = if ideal > 1e-9 { ours / ideal } else { f64::NAN };
     Fig4Row {
         metric: metric.name(),
@@ -200,6 +193,49 @@ pub fn run_cell(
         ours,
         ratio,
     }
+}
+
+/// Runs the Figure 4 grid in-process.
+pub fn run(mode: Mode, seed: u64) -> Vec<Fig4Row> {
+    run_with(mode, seed, &SweepOptions::default()).expect("in-process sweeps cannot fail")
+}
+
+/// Runs the Figure 4 grid through a sweep runner — in-process threads or
+/// `--shards N` worker processes, byte-identical either way.
+///
+/// # Errors
+///
+/// Only the process-sharded path can fail (worker spawn/protocol).
+pub fn run_with(mode: Mode, seed: u64, opts: &SweepOptions) -> Result<Vec<Fig4Row>, SweepError> {
+    let g = grid_for(mode);
+    let cells = cells_for(&g);
+    let mut specs = Vec::with_capacity(cells.len() * 2);
+    for &cell in &cells {
+        specs.extend(cell_specs(cell, g.measure, seed));
+    }
+    let outcomes = run_sweep(&specs, opts)?;
+    Ok(cells
+        .iter()
+        .zip(outcomes.chunks_exact(2))
+        .map(|(&cell, pair)| cell_row(cell, &pair[0].report, &pair[1].report))
+        .collect())
+}
+
+/// Runs a single grid cell in the calling thread — exposed for benches.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell(
+    metric: Metric,
+    m: u32,
+    n: u32,
+    bs: f64,
+    bc: f64,
+    mb: f64,
+    measure: f64,
+    seed: u64,
+) -> Fig4Row {
+    let cell = (metric, m, n, bs, bc, mb);
+    let [ideal, ours] = cell_specs(cell, measure, seed);
+    cell_row(cell, &ideal.run(), &ours.run())
 }
 
 /// Summary statistics the paper's Figure 4 conveys: the ratio by x-band.

@@ -12,10 +12,10 @@
 use besync::priority::PolicyKind;
 use besync_data::Metric;
 use besync_scenarios::{ScenarioSpec, SystemKind, WorkloadKind};
+use besync_sweep::{run_sweep, SweepError, SweepOptions};
 use besync_workloads::buoy::BuoyConfig;
 
 use crate::output::{fnum, Row};
-use crate::runner::{default_threads, parallel_map};
 use crate::Mode;
 
 /// One bandwidth point of Figure 5.
@@ -71,19 +71,30 @@ fn setup_for(mode: Mode) -> Setup {
     }
 }
 
-/// Runs both panels of Figure 5.
+/// Runs both panels of Figure 5 in-process.
 pub fn run(mode: Mode, seed: u64) -> Vec<Fig5Row> {
+    run_with(mode, seed, &SweepOptions::default()).expect("in-process sweeps cannot fail")
+}
+
+/// Runs both panels of Figure 5 through a sweep runner (see
+/// [`crate::fig4::run_with`] for the `--shards` semantics).
+///
+/// # Errors
+///
+/// Only the process-sharded path can fail (worker spawn/protocol).
+pub fn run_with(mode: Mode, seed: u64, opts: &SweepOptions) -> Result<Vec<Fig5Row>, SweepError> {
     let s = setup_for(mode);
     let duration = s.cfg.duration;
     let warmup = s.warmup;
     let buoy_cfg = s.cfg;
-    let mut jobs = Vec::new();
+    let mut points = Vec::new();
     for &(regime, mb) in &[("fixed", 0.0), ("fluctuating", 0.25)] {
         for &bw in &s.bandwidths {
-            jobs.push((regime, mb, bw));
+            points.push((regime, mb, bw));
         }
     }
-    parallel_map(jobs, default_threads(), move |(regime, mb, bw)| {
+    let mut specs = Vec::with_capacity(points.len() * 2);
+    for &(regime, mb, bw) in &points {
         let scenario = |system: SystemKind| ScenarioSpec {
             name: format!("fig5/{regime}/bw{bw}"),
             seed,
@@ -101,15 +112,20 @@ pub fn run(mode: Mode, seed: u64) -> Vec<Fig5Row> {
             measure: duration - warmup,
             ..ScenarioSpec::default()
         };
-        let ideal = scenario(SystemKind::Ideal).run().divergence.mean_unweighted;
-        let ours = scenario(SystemKind::Coop).run().divergence.mean_unweighted;
-        Fig5Row {
+        specs.push(scenario(SystemKind::Ideal));
+        specs.push(scenario(SystemKind::Coop));
+    }
+    let outcomes = run_sweep(&specs, opts)?;
+    Ok(points
+        .iter()
+        .zip(outcomes.chunks_exact(2))
+        .map(|(&(regime, _, bw), pair)| Fig5Row {
             regime,
             bandwidth_per_min: bw,
-            ideal,
-            ours,
-        }
-    })
+            ideal: pair[0].report.divergence.mean_unweighted,
+            ours: pair[1].report.divergence.mean_unweighted,
+        })
+        .collect())
 }
 
 #[cfg(test)]

@@ -16,12 +16,13 @@
 //! cost + estimation error).
 
 use besync::priority::{PolicyKind, RateEstimator};
+use besync::RunReport;
 use besync_baselines::CgmVariant;
 use besync_data::Metric;
 use besync_scenarios::{ScenarioSpec, SystemKind, WorkloadKind};
+use besync_sweep::{run_sweep, SweepError, SweepOptions};
 
 use crate::output::{fnum, Row};
-use crate::runner::{default_threads, parallel_map};
 use crate::Mode;
 
 /// One bandwidth-fraction point of Figure 6.
@@ -104,23 +105,43 @@ fn grid_for(mode: Mode) -> Grid {
     }
 }
 
-/// Runs the Figure 6 grid.
+/// Runs the Figure 6 grid in-process.
 pub fn run(mode: Mode, seed: u64) -> Vec<Fig6Row> {
-    let g = grid_for(mode);
-    let mut jobs = Vec::new();
-    for &m in &g.ms {
-        for &f in &g.fractions {
-            jobs.push((m, f));
-        }
-    }
-    let (n, measure) = (g.n, g.measure);
-    parallel_map(jobs, default_threads(), move |(m, fraction)| {
-        run_point(m, n, fraction, measure, seed)
-    })
+    run_with(mode, seed, &SweepOptions::default()).expect("in-process sweeps cannot fail")
 }
 
-/// Runs a single (m, fraction) point — exposed for benches.
-pub fn run_point(m: u32, n: u32, fraction: f64, measure: f64, seed: u64) -> Fig6Row {
+/// Runs the Figure 6 grid through a sweep runner (see
+/// [`crate::fig4::run_with`] for the `--shards` semantics).
+///
+/// # Errors
+///
+/// Only the process-sharded path can fail (worker spawn/protocol).
+pub fn run_with(mode: Mode, seed: u64, opts: &SweepOptions) -> Result<Vec<Fig6Row>, SweepError> {
+    let g = grid_for(mode);
+    let mut points = Vec::new();
+    for &m in &g.ms {
+        for &f in &g.fractions {
+            points.push((m, f));
+        }
+    }
+    let mut specs = Vec::with_capacity(points.len() * 5);
+    for &(m, fraction) in &points {
+        specs.extend(point_specs(m, g.n, fraction, g.measure, seed));
+    }
+    let outcomes = run_sweep(&specs, opts)?;
+    Ok(points
+        .iter()
+        .zip(outcomes.chunks_exact(5))
+        .map(|(&(m, fraction), five)| {
+            let reports: Vec<&RunReport> = five.iter().map(|o| &o.report).collect();
+            point_row(m, g.n, fraction, &reports)
+        })
+        .collect())
+}
+
+/// The five specs a (m, fraction) point compares, in reply order: ideal
+/// cooperative, our algorithm, ideal cache-based, CGM1, CGM2.
+fn point_specs(m: u32, n: u32, fraction: f64, measure: f64, seed: u64) -> [ScenarioSpec; 5] {
     let bandwidth = fraction * (m as f64) * (n as f64);
     let warmup = (measure * 0.3).max(50.0);
     let wl_seed = seed ^ ((m as u64) << 24);
@@ -151,36 +172,38 @@ pub fn run_point(m: u32, n: u32, fraction: f64, measure: f64, seed: u64) -> Fig6
         measure,
         ..ScenarioSpec::default()
     };
-    let ideal_coop = coop(SystemKind::Ideal, RateEstimator::Known)
-        .run()
-        .divergence
-        .mean_unweighted;
-    let ours = coop(SystemKind::Coop, RateEstimator::LongRun)
-        .run()
-        .divergence
-        .mean_unweighted;
-
     let cgm = |variant: CgmVariant| ScenarioSpec {
         sim_seed: seed,
         ..coop(SystemKind::Cgm(variant), RateEstimator::LongRun)
     };
-    let ideal_cache = cgm(CgmVariant::IdealCacheBased)
-        .run()
-        .divergence
-        .mean_unweighted;
-    let cgm1 = cgm(CgmVariant::Cgm1).run().divergence.mean_unweighted;
-    let cgm2 = cgm(CgmVariant::Cgm2).run().divergence.mean_unweighted;
+    [
+        coop(SystemKind::Ideal, RateEstimator::Known),
+        coop(SystemKind::Coop, RateEstimator::LongRun),
+        cgm(CgmVariant::IdealCacheBased),
+        cgm(CgmVariant::Cgm1),
+        cgm(CgmVariant::Cgm2),
+    ]
+}
 
+fn point_row(m: u32, n: u32, fraction: f64, reports: &[&RunReport]) -> Fig6Row {
     Fig6Row {
         m,
         n,
         fraction,
-        ideal_coop,
-        ours,
-        ideal_cache,
-        cgm1,
-        cgm2,
+        ideal_coop: reports[0].divergence.mean_unweighted,
+        ours: reports[1].divergence.mean_unweighted,
+        ideal_cache: reports[2].divergence.mean_unweighted,
+        cgm1: reports[3].divergence.mean_unweighted,
+        cgm2: reports[4].divergence.mean_unweighted,
     }
+}
+
+/// Runs a single (m, fraction) point in the calling thread — exposed for
+/// benches.
+pub fn run_point(m: u32, n: u32, fraction: f64, measure: f64, seed: u64) -> Fig6Row {
+    let specs = point_specs(m, n, fraction, measure, seed);
+    let reports: Vec<RunReport> = specs.iter().map(ScenarioSpec::run).collect();
+    point_row(m, n, fraction, &reports.iter().collect::<Vec<_>>())
 }
 
 #[cfg(test)]

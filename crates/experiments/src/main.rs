@@ -20,6 +20,7 @@ use std::process::ExitCode;
 
 use besync_experiments::output::{render_table, write_csv, Row};
 use besync_experiments::{bounds, competitive, fig4, fig5, fig6, params, sampling, validate, Mode};
+use besync_sweep::{Shards, SweepOptions};
 
 struct Manifest<'a> {
     experiment: &'a str,
@@ -68,6 +69,11 @@ struct Opts {
     mode: Mode,
     seed: u64,
     out: PathBuf,
+    /// Sweep distribution for the spec-based grids (fig4/5/6,
+    /// param-sweep): `--shards 0` = in-process threads (the default),
+    /// `--shards N` = N worker processes. Output is byte-identical
+    /// either way — that is the sweep runner's contract.
+    sweep: SweepOptions,
 }
 
 fn emit<R: Row>(name: &str, opts: &Opts, rows: &[R]) {
@@ -105,14 +111,16 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
             emit("validate_skew", opts, &rows);
         }
         "param-sweep" => {
-            let rows = params::run(opts.mode, opts.seed);
+            let rows =
+                params::run_with(opts.mode, opts.seed, &opts.sweep).map_err(|e| e.to_string())?;
             emit("param_sweep", opts, &rows);
             if let Some((a, w)) = params::best(&rows) {
                 println!("best setting: alpha={a}, omega={w}");
             }
         }
         "fig4" => {
-            let rows = fig4::run(opts.mode, opts.seed);
+            let rows =
+                fig4::run_with(opts.mode, opts.seed, &opts.sweep).map_err(|e| e.to_string())?;
             emit("fig4", opts, &rows);
             println!("median ratio by achievable-divergence band:");
             for (band, median) in fig4::summarize(&rows) {
@@ -120,11 +128,13 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
             }
         }
         "fig5" => {
-            let rows = fig5::run(opts.mode, opts.seed);
+            let rows =
+                fig5::run_with(opts.mode, opts.seed, &opts.sweep).map_err(|e| e.to_string())?;
             emit("fig5", opts, &rows);
         }
         "fig6" => {
-            let rows = fig6::run(opts.mode, opts.seed);
+            let rows =
+                fig6::run_with(opts.mode, opts.seed, &opts.sweep).map_err(|e| e.to_string())?;
             emit("fig6", opts, &rows);
         }
         "bounds" => {
@@ -160,12 +170,18 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    // Hidden worker mode: when the sweep supervisor re-execs this binary
+    // it must become a protocol worker before any argument parsing.
+    if std::env::args().nth(1).as_deref() == Some(besync_sweep::WORKER_FLAG) {
+        return besync_sweep::worker_main();
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd: Option<String> = None;
     let mut opts = Opts {
         mode: Mode::Standard,
         seed: 42,
         out: PathBuf::from("results"),
+        sweep: SweepOptions::default(),
     };
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -188,6 +204,16 @@ fn main() -> ExitCode {
                 }
             },
             "--out" => opts.out = PathBuf::from(it.next().unwrap_or_default()),
+            "--shards" => {
+                let v = it.next().unwrap_or_default();
+                match Shards::parse(&v) {
+                    Some(s) => opts.sweep.shards = s,
+                    None => {
+                        eprintln!("invalid --shards `{v}` (0 = in-process, N = worker processes)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!("{}", HELP);
                 return ExitCode::SUCCESS;
@@ -216,6 +242,13 @@ const HELP: &str = "\
 experiments — regenerate the paper's tables and figures
 
 usage: experiments <command> [--mode quick|standard|full] [--seed N] [--out DIR]
+                   [--shards N]
+
+--shards N runs the spec-based grids (fig4, fig5, fig6, param-sweep)
+across N worker processes instead of in-process threads (0, the
+default). Output is byte-identical for any N — the sweep runner merges
+worker reports in input order and the codec round-trips every value bit
+for bit. Other commands ignore the flag.
 
 commands:
   validate-uniform   §4.3 uniform-parameter policy comparison

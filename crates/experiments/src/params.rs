@@ -9,9 +9,9 @@
 
 use besync_data::Metric;
 use besync_scenarios::{ScenarioSpec, SystemKind, WorkloadKind};
+use besync_sweep::{run_sweep, SweepError, SweepOptions};
 
 use crate::output::{fnum, Row};
-use crate::runner::{default_threads, parallel_map};
 use crate::Mode;
 
 /// One (α, ω) cell.
@@ -82,10 +82,20 @@ fn grid_for(mode: Mode) -> Grid {
     }
 }
 
-/// Runs the α/ω sweep.
+/// Runs the α/ω sweep in-process.
 pub fn run(mode: Mode, seed: u64) -> Vec<ParamRow> {
+    run_with(mode, seed, &SweepOptions::default()).expect("in-process sweeps cannot fail")
+}
+
+/// Runs the α/ω sweep through a sweep runner (see
+/// [`crate::fig4::run_with`] for the `--shards` semantics).
+///
+/// # Errors
+///
+/// Only the process-sharded path can fail (worker spawn/protocol).
+pub fn run_with(mode: Mode, seed: u64, opts: &SweepOptions) -> Result<Vec<ParamRow>, SweepError> {
     let g = grid_for(mode);
-    let jobs: Vec<(f64, f64, Metric)> = g
+    let cells: Vec<(f64, f64, Metric)> = g
         .alphas
         .iter()
         .flat_map(|&a| {
@@ -96,11 +106,12 @@ pub fn run(mode: Mode, seed: u64) -> Vec<ParamRow> {
         })
         .collect();
     let (sources, objects, measure) = (g.sources, g.objects, g.measure);
-    parallel_map(jobs, default_threads(), move |(alpha, omega, metric)| {
-        // Bandwidth below the aggregate update rate, fluctuating: the
-        // regime where threshold adaptation matters.
-        let total_objects = (sources * objects) as f64;
-        let report = ScenarioSpec {
+    // Bandwidth below the aggregate update rate, fluctuating: the regime
+    // where threshold adaptation matters.
+    let total_objects = (sources * objects) as f64;
+    let specs: Vec<ScenarioSpec> = cells
+        .iter()
+        .map(|&(alpha, omega, metric)| ScenarioSpec {
             name: format!("params/a{alpha}/w{omega}/{}", metric.name()),
             seed,
             system: SystemKind::Coop,
@@ -120,16 +131,20 @@ pub fn run(mode: Mode, seed: u64) -> Vec<ParamRow> {
             warmup: measure * 0.2,
             measure,
             ..ScenarioSpec::default()
-        }
-        .run();
-        ParamRow {
+        })
+        .collect();
+    let outcomes = run_sweep(&specs, opts)?;
+    Ok(cells
+        .iter()
+        .zip(&outcomes)
+        .map(|(&(alpha, omega, metric), outcome)| ParamRow {
             alpha,
             omega,
             metric: metric.name(),
-            divergence: report.divergence.mean_weighted,
-            feedback_rate: report.feedback_messages as f64 / measure,
-        }
-    })
+            divergence: outcome.report.divergence.mean_weighted,
+            feedback_rate: outcome.report.feedback_messages as f64 / measure,
+        })
+        .collect())
 }
 
 /// The (α, ω) with lowest divergence in a result set (ties: first).

@@ -16,14 +16,20 @@
 //! function is an error.
 
 use besync::priority::{PolicyKind, RateEstimator};
+use besync::RunReport;
+use besync_data::account::DivergenceReport;
 use besync_data::metric::abs_deviation;
 use besync_data::Metric;
+use besync_sim::stats::{RawRunningStats, RunningStats};
 use besync_workloads::buoy::BuoyConfig;
 
 use crate::spec::{ScenarioSpec, SystemKind, WorkloadKind};
 
 /// Format tag, first line of every encoded scenario.
 const HEADER: &str = "besync-scenario v1";
+
+/// Format tag, first line of every encoded run report.
+const REPORT_HEADER: &str = "besync-report v1";
 
 fn policy_name(p: PolicyKind) -> &'static str {
     match p {
@@ -248,6 +254,143 @@ pub fn decode(text: &str) -> Result<ScenarioSpec, String> {
     })
 }
 
+/// Formats an `f64` so decoding reproduces it bit for bit.
+///
+/// Finite values use Rust's shortest round-trip decimal formatting (the
+/// same guarantee the scenario codec leans on). Non-finite values — an
+/// empty `RunningStats` legitimately carries `±∞`, and a degenerate run
+/// can produce `NaN` means — are written as an explicit `!x` bit pattern
+/// so even NaN payloads survive.
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        format!("!x{:016x}", x.to_bits())
+    }
+}
+
+/// Inverse of [`fmt_f64`], accepting only canonical spellings — one
+/// legal text per value. The `!x` form must be exactly 16 hex digits
+/// (no sign, no short forms) and must denote a *non-finite* value;
+/// decimal text that parses to a non-finite value (an overflowing
+/// `1e999`, or a literal `NaN`/`inf` smuggled outside the `!x` form) is
+/// rejected symmetrically.
+fn parse_f64(s: &str) -> Option<f64> {
+    if let Some(hex) = s.strip_prefix("!x") {
+        if hex.len() != 16 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let v = f64::from_bits(u64::from_str_radix(hex, 16).ok()?);
+        return (!v.is_finite()).then_some(v);
+    }
+    let v: f64 = s.parse().ok()?;
+    v.is_finite().then_some(v)
+}
+
+/// Encodes a [`RunReport`] as the line-based text form — the reply unit
+/// of the sweep-shard worker protocol. Every counter and every `f64`
+/// (including the raw threshold-summary accumulator state) survives the
+/// trip bit for bit, so a report collected from a worker process is
+/// indistinguishable from one produced in-process.
+pub fn encode_report(report: &RunReport) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str(REPORT_HEADER);
+    out.push('\n');
+    let mut kv = |k: &str, v: String| {
+        out.push_str(k);
+        out.push(' ');
+        out.push_str(&v);
+        out.push('\n');
+    };
+    let d = &report.divergence;
+    kv("objects", d.objects.to_string());
+    kv("total_unweighted", fmt_f64(d.total_unweighted));
+    kv("total_weighted", fmt_f64(d.total_weighted));
+    kv("mean_unweighted", fmt_f64(d.mean_unweighted));
+    kv("mean_weighted", fmt_f64(d.mean_weighted));
+    kv("max_unweighted", fmt_f64(d.max_unweighted));
+    kv("refreshes_applied", d.refreshes_applied.to_string());
+    kv("refreshes_sent", report.refreshes_sent.to_string());
+    kv(
+        "refreshes_delivered",
+        report.refreshes_delivered.to_string(),
+    );
+    kv("feedback_messages", report.feedback_messages.to_string());
+    kv("polls_sent", report.polls_sent.to_string());
+    kv("max_cache_queue", report.max_cache_queue.to_string());
+    kv("mean_queue_wait", fmt_f64(report.mean_queue_wait));
+    let t = report.threshold_stats.to_raw();
+    kv("threshold_count", t.count.to_string());
+    kv("threshold_mean", fmt_f64(t.mean));
+    kv("threshold_m2", fmt_f64(t.m2));
+    kv("threshold_min", fmt_f64(t.min));
+    kv("threshold_max", fmt_f64(t.max));
+    kv("updates_processed", report.updates_processed.to_string());
+    out
+}
+
+/// Decodes the line-based text form back into a [`RunReport`].
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed or missing field. Never
+/// panics: a hostile or truncated worker reply must surface as a
+/// structured error the sweep supervisor can act on, not take it down.
+pub fn decode_report(text: &str) -> Result<RunReport, String> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(REPORT_HEADER) {
+        return Err(format!("missing `{REPORT_HEADER}` header"));
+    }
+    let mut pairs = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (key, value) = line.split_once(' ').unwrap_or((line, ""));
+        pairs.push((key.trim(), value.trim()));
+    }
+    let get = |key: &str| -> Result<&str, String> {
+        pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("missing field `{key}`"))
+    };
+    let num = |key: &str| -> Result<f64, String> {
+        parse_f64(get(key)?).ok_or_else(|| format!("bad number in `{key}`"))
+    };
+    let int = |key: &str| -> Result<u64, String> {
+        get(key)?
+            .parse()
+            .map_err(|_| format!("bad integer in `{key}`"))
+    };
+    Ok(RunReport {
+        divergence: DivergenceReport {
+            objects: int("objects")? as usize,
+            total_unweighted: num("total_unweighted")?,
+            total_weighted: num("total_weighted")?,
+            mean_unweighted: num("mean_unweighted")?,
+            mean_weighted: num("mean_weighted")?,
+            max_unweighted: num("max_unweighted")?,
+            refreshes_applied: int("refreshes_applied")?,
+        },
+        refreshes_sent: int("refreshes_sent")?,
+        refreshes_delivered: int("refreshes_delivered")?,
+        feedback_messages: int("feedback_messages")?,
+        polls_sent: int("polls_sent")?,
+        max_cache_queue: int("max_cache_queue")? as usize,
+        mean_queue_wait: num("mean_queue_wait")?,
+        threshold_stats: RunningStats::from_raw(RawRunningStats {
+            count: int("threshold_count")?,
+            mean: num("threshold_mean")?,
+            m2: num("threshold_m2")?,
+            min: num("threshold_min")?,
+            max: num("threshold_max")?,
+        }),
+        updates_processed: int("updates_processed")?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +471,136 @@ mod tests {
         let bad_bool = text.replace("fluctuating_weights false", "fluctuating_weights fals");
         let err = decode(&bad_bool).unwrap_err();
         assert!(err.contains("fluctuating_weights"), "{err}");
+    }
+
+    fn exotic_report() -> RunReport {
+        // Worst-case float inventory: negative zero, subnormals, huge and
+        // tiny magnitudes, NaN with a non-default payload, both
+        // infinities (an empty RunningStats carries ±∞ legitimately).
+        RunReport {
+            divergence: DivergenceReport {
+                objects: 12_345,
+                total_unweighted: -0.0,
+                total_weighted: f64::MIN_POSITIVE / 8.0, // subnormal
+                mean_unweighted: 0.1 + 0.2,              // classic non-representable sum
+                mean_weighted: f64::from_bits(0x7ff8_0000_0000_beef), // NaN, payload bits
+                max_unweighted: 1.797e308,
+                refreshes_applied: u64::MAX,
+            },
+            refreshes_sent: 0,
+            refreshes_delivered: u64::MAX - 1,
+            feedback_messages: 7,
+            polls_sent: 3,
+            max_cache_queue: usize::MAX,
+            mean_queue_wait: f64::NEG_INFINITY,
+            threshold_stats: RunningStats::new(), // min = +∞, max = −∞
+            updates_processed: 1,
+        }
+    }
+
+    fn assert_reports_bit_identical(a: &RunReport, b: &RunReport) {
+        assert_eq!(a.divergence.objects, b.divergence.objects);
+        for (x, y) in [
+            (a.divergence.total_unweighted, b.divergence.total_unweighted),
+            (a.divergence.total_weighted, b.divergence.total_weighted),
+            (a.divergence.mean_unweighted, b.divergence.mean_unweighted),
+            (a.divergence.mean_weighted, b.divergence.mean_weighted),
+            (a.divergence.max_unweighted, b.divergence.max_unweighted),
+            (a.mean_queue_wait, b.mean_queue_wait),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+        assert_eq!(
+            a.divergence.refreshes_applied,
+            b.divergence.refreshes_applied
+        );
+        assert_eq!(a.refreshes_sent, b.refreshes_sent);
+        assert_eq!(a.refreshes_delivered, b.refreshes_delivered);
+        assert_eq!(a.feedback_messages, b.feedback_messages);
+        assert_eq!(a.polls_sent, b.polls_sent);
+        assert_eq!(a.max_cache_queue, b.max_cache_queue);
+        assert_eq!(a.updates_processed, b.updates_processed);
+        let (ta, tb) = (a.threshold_stats.to_raw(), b.threshold_stats.to_raw());
+        assert_eq!(ta.count, tb.count);
+        for (x, y) in [
+            (ta.mean, tb.mean),
+            (ta.m2, tb.m2),
+            (ta.min, tb.min),
+            (ta.max, tb.max),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "threshold stats {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn run_report_round_trips_bit_exact() {
+        // A real report from an actual run...
+        let real = by_name("small").unwrap().quick().run();
+        assert_reports_bit_identical(&real, &decode_report(&encode_report(&real)).unwrap());
+        // ...and a synthetic one stuffed with every float pathology.
+        let exotic = exotic_report();
+        let back = decode_report(&encode_report(&exotic)).unwrap();
+        assert_reports_bit_identical(&exotic, &back);
+        // Idempotence: re-encoding the decoded report reproduces the text.
+        assert_eq!(encode_report(&exotic), encode_report(&back));
+    }
+
+    #[test]
+    fn non_finite_floats_only_decode_through_the_bit_form() {
+        let text = encode_report(&by_name("small").unwrap().quick().run());
+        // Textual NaN / inf / overflowing decimals must be rejected: the
+        // only legal spelling of a non-finite value is the explicit `!x`
+        // bit pattern, so a sloppy producer can't silently smuggle one in.
+        for bad in ["NaN", "inf", "-inf", "infinity", "1e999"] {
+            let mangled = replace_field_value(&text, "mean_queue_wait", bad);
+            let err = decode_report(&mangled).unwrap_err();
+            assert!(err.contains("mean_queue_wait"), "{bad}: {err}");
+        }
+        // The bit form itself round-trips a quiet NaN.
+        let nan_text = replace_field_value(&text, "mean_queue_wait", "!x7ff8000000000000");
+        assert!(decode_report(&nan_text).unwrap().mean_queue_wait.is_nan());
+        // …but only in canonical form: exactly 16 hex digits, no sign,
+        // and never denoting a finite value (finite values have exactly
+        // one legal spelling — the decimal one).
+        for bad in [
+            "!x0",                 // short
+            "!x+7ff8000000000000", // sign smuggled past from_str_radix
+            "!x3ff0000000000000",  // finite 1.0 through the bit form
+            "!x7ff80000000000000", // too long
+            "!xgff8000000000000g", // non-hex
+        ] {
+            let mangled = replace_field_value(&text, "mean_queue_wait", bad);
+            assert!(decode_report(&mangled).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn report_decode_reports_missing_and_malformed_fields() {
+        assert!(decode_report("not a report").is_err());
+        let text = encode_report(&by_name("small").unwrap().quick().run());
+        let truncated: String = text
+            .lines()
+            .filter(|l| !l.starts_with("updates_processed"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = decode_report(&truncated).unwrap_err();
+        assert!(err.contains("updates_processed"), "{err}");
+        let mangled = replace_field_value(&text, "refreshes_sent", "twelve");
+        assert!(decode_report(&mangled).is_err());
+    }
+
+    /// Replaces `key`'s value in an encoded key-value text.
+    fn replace_field_value(text: &str, key: &str, value: &str) -> String {
+        text.lines()
+            .map(|l| {
+                if l.starts_with(&format!("{key} ")) {
+                    format!("{key} {value}")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 
     #[test]

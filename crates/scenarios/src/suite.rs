@@ -63,8 +63,11 @@ fn coop(
 /// the size × metric grid; `bound_medium`/`fluct_medium` cover the
 /// Bound-policy and fluctuating-weight regimes; `fluct_bw_medium` covers
 /// fluctuating *bandwidth* (`m_B > 0`, the `Wave::Sine` credit-accrual
-/// path on every link); `huge` covers the ≥100k-object scale; and the
-/// `ideal_*`/`cgm*_*` scenarios cover the figure-regeneration schedulers.
+/// path on every link); `huge` covers the ≥100k-object scale;
+/// `fluct_both_huge` combines all three pressures (sine weights, sine
+/// bandwidth, 131 072 objects — the mixed regime the sharded sweep
+/// runner makes cheap to explore); and the `ideal_*`/`cgm*_*` scenarios
+/// cover the figure-regeneration schedulers.
 pub fn suite() -> Vec<ScenarioSpec> {
     vec![
         coop(
@@ -184,6 +187,22 @@ pub fn suite() -> Vec<ScenarioSpec> {
             10.0,
             120.0,
         ),
+        ScenarioSpec {
+            workload: poisson(128, 1024, (0.05, 0.5), (1.0, 4.0), true),
+            bandwidth_change_rate: 0.25,
+            ..coop(
+                "fluct_both_huge",
+                "coop, 131072 objects, fluctuating weights AND bandwidth — the mixed regime at 100k scale",
+                1313,
+                128,
+                1024,
+                Metric::Staleness,
+                7000.0,
+                55.0,
+                10.0,
+                120.0,
+            )
+        },
         ScenarioSpec {
             name: "ideal_medium".into(),
             description: "ideal omniscient scheduler, 2048 objects — figure-regeneration yardstick"
@@ -354,6 +373,20 @@ mod tests {
     fn huge_is_at_least_100k_objects() {
         let huge = by_name("huge").unwrap();
         assert!(huge.total_objects() >= 100_000, "{}", huge.total_objects());
+    }
+
+    #[test]
+    fn fluct_both_huge_mixes_every_pressure_at_scale() {
+        let s = by_name("fluct_both_huge").unwrap();
+        assert!(s.total_objects() >= 100_000, "{}", s.total_objects());
+        assert!(s.bandwidth_change_rate > 0.0);
+        match s.workload {
+            WorkloadKind::Poisson {
+                fluctuating_weights,
+                ..
+            } => assert!(fluctuating_weights, "weights must fluctuate"),
+            _ => panic!("expected a Poisson workload"),
+        }
     }
 
     #[test]

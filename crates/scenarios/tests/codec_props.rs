@@ -1,0 +1,338 @@
+//! Codec hardening properties.
+//!
+//! The sweep supervisor decodes whatever a worker process writes to its
+//! pipe, and a worker decodes whatever the supervisor sends, so both
+//! directions of `besync_scenarios::codec` must (a) round-trip every
+//! representable value bit for bit and (b) turn arbitrary garbage into a
+//! structured `Err` — never a panic that would take down the supervisor.
+
+use besync::priority::{PolicyKind, RateEstimator};
+use besync::RunReport;
+use besync_data::account::DivergenceReport;
+use besync_data::Metric;
+use besync_scenarios::codec::{decode, decode_report, encode, encode_report};
+use besync_scenarios::{ScenarioSpec, SystemKind, WorkloadKind};
+use besync_sim::stats::{RawRunningStats, RunningStats};
+use besync_workloads::buoy::BuoyConfig;
+use proptest::prelude::*;
+
+/// ASCII names without newlines (newlines are rejected by `encode` — a
+/// separate, deliberate guard with its own unit test).
+fn name() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26, 1..16)
+        .prop_map(|bytes| bytes.into_iter().map(|b| (b'a' + b) as char).collect())
+}
+
+/// Floats that stress the shortest-round-trip formatter: magnitudes from
+/// subnormal to near-max, negative zero, and awkward decimal sums.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e6f64..1e6,
+        Just(0.0),
+        Just(-0.0),
+        Just(0.1 + 0.2),
+        Just(f64::MIN_POSITIVE / 64.0),
+        Just(1.7976931348623157e308),
+        Just(-4.9e-324),
+        (-300.0f64..300.0).prop_map(|e| e.exp()),
+    ]
+}
+
+/// Any f64 bit pattern at all, including NaNs with payloads and ±∞.
+fn any_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        finite_f64(),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::NAN),
+        (0u64..=u64::MAX).prop_map(f64::from_bits),
+    ]
+}
+
+fn system_kind() -> impl Strategy<Value = SystemKind> {
+    use besync_baselines::CgmVariant;
+    prop_oneof![
+        Just(SystemKind::Coop),
+        Just(SystemKind::Ideal),
+        Just(SystemKind::Cgm(CgmVariant::IdealCacheBased)),
+        Just(SystemKind::Cgm(CgmVariant::Cgm1)),
+        Just(SystemKind::Cgm(CgmVariant::Cgm2)),
+    ]
+}
+
+fn workload_kind() -> impl Strategy<Value = WorkloadKind> {
+    prop_oneof![
+        (
+            1u32..2000,
+            1u32..2000,
+            finite_f64(),
+            finite_f64(),
+            prop::bool::ANY
+        )
+            .prop_map(
+                |(sources, objects_per_source, rate, weight, fluctuating_weights)| {
+                    WorkloadKind::Poisson {
+                        sources,
+                        objects_per_source,
+                        rate_range: (rate, rate + 1.0),
+                        weight_range: (weight, weight + 2.0),
+                        fluctuating_weights,
+                    }
+                }
+            ),
+        (1u32..200, 1u32..8, finite_f64(), finite_f64()).prop_map(
+            |(buoys, components, sample_interval, noise)| WorkloadKind::Buoy {
+                config: BuoyConfig {
+                    buoys,
+                    components,
+                    sample_interval,
+                    duration: 86_400.0,
+                    reversion: 0.05,
+                    noise,
+                },
+            }
+        ),
+    ]
+}
+
+fn scenario() -> impl Strategy<Value = ScenarioSpec> {
+    let policy = prop_oneof![
+        Just(PolicyKind::Area),
+        Just(PolicyKind::PoissonClosedForm),
+        Just(PolicyKind::SimpleWeighted),
+        Just(PolicyKind::Bound),
+    ];
+    let estimator = prop_oneof![
+        Just(RateEstimator::Known),
+        Just(RateEstimator::LongRun),
+        Just(RateEstimator::SinceRefresh),
+    ];
+    let metric = prop_oneof![
+        Just(Metric::Staleness),
+        Just(Metric::Lag),
+        Just(Metric::abs_deviation()),
+    ];
+    (
+        (name(), name(), 0u64..=u64::MAX, 0u64..=u64::MAX),
+        (system_kind(), workload_kind(), policy, estimator, metric),
+        (
+            finite_f64(),
+            finite_f64(),
+            finite_f64(),
+            finite_f64(),
+            finite_f64(),
+        ),
+        (finite_f64(), finite_f64()),
+    )
+        .prop_map(
+            |(
+                (name, description, seed, sim_seed),
+                (system, workload, policy, estimator, metric),
+                (cache_bandwidth_mean, source_bandwidth_mean, bandwidth_change_rate, alpha, omega),
+                (warmup, measure),
+            )| ScenarioSpec {
+                name,
+                description,
+                seed,
+                sim_seed,
+                system,
+                workload,
+                policy,
+                estimator,
+                metric,
+                cache_bandwidth_mean,
+                source_bandwidth_mean,
+                bandwidth_change_rate,
+                alpha,
+                omega,
+                warmup,
+                measure,
+            },
+        )
+}
+
+fn report() -> impl Strategy<Value = RunReport> {
+    (
+        (
+            0usize..1_000_000,
+            any_f64(),
+            any_f64(),
+            any_f64(),
+            any_f64(),
+        ),
+        (any_f64(), 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX),
+        (
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0usize..=usize::MAX,
+            any_f64(),
+        ),
+        (0u64..1_000_000, any_f64(), any_f64(), any_f64(), any_f64()),
+    )
+        .prop_map(
+            |(
+                (objects, total_unweighted, total_weighted, mean_unweighted, mean_weighted),
+                (max_unweighted, refreshes_applied, refreshes_sent, refreshes_delivered),
+                (feedback_messages, polls_sent, max_cache_queue, mean_queue_wait),
+                (count, mean, m2, min, max),
+            )| RunReport {
+                divergence: DivergenceReport {
+                    objects,
+                    total_unweighted,
+                    total_weighted,
+                    mean_unweighted,
+                    mean_weighted,
+                    max_unweighted,
+                    refreshes_applied,
+                },
+                refreshes_sent,
+                refreshes_delivered,
+                feedback_messages,
+                polls_sent,
+                max_cache_queue,
+                mean_queue_wait,
+                threshold_stats: RunningStats::from_raw(RawRunningStats {
+                    count,
+                    mean,
+                    m2,
+                    min,
+                    max,
+                }),
+                updates_processed: feedback_messages ^ polls_sent,
+            },
+        )
+}
+
+/// Mutilates `text` deterministically from `(kind, a, b)` draws.
+fn garble(text: &str, kind: u8, a: usize, b: u8) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    match kind % 5 {
+        // Truncate mid-stream.
+        0 => {
+            bytes.truncate(a % (bytes.len() + 1));
+        }
+        // Flip one byte to printable garbage.
+        1 => {
+            if !bytes.is_empty() {
+                let i = a % bytes.len();
+                bytes[i] = 32 + (b % 95);
+            }
+        }
+        // Drop one whole line.
+        2 => {
+            let lines: Vec<&str> = text.lines().collect();
+            let keep: Vec<&str> = lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != a % lines.len().max(1))
+                .map(|(_, l)| *l)
+                .collect();
+            bytes = keep.join("\n").into_bytes();
+        }
+        // Duplicate one line (first occurrence wins on decode; must not
+        // panic either way).
+        3 => {
+            let lines: Vec<&str> = text.lines().collect();
+            let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+            for (i, l) in lines.iter().enumerate() {
+                out.push(l);
+                if i == a % lines.len().max(1) {
+                    out.push(l);
+                }
+            }
+            bytes = out.join("\n").into_bytes();
+        }
+        // Inject a junk line mid-stream.
+        _ => {
+            let lines: Vec<&str> = text.lines().collect();
+            let mut out: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+            out.insert(a % (lines.len() + 1), format!("junk {b}"));
+            bytes = out.join("\n").into_bytes();
+        }
+    }
+    // All codec text is ASCII, so any slicing above stays valid UTF-8.
+    String::from_utf8(bytes).expect("codec text is ASCII")
+}
+
+proptest! {
+    /// Random specs round-trip: decode(encode(s)) re-encodes to the
+    /// exact same text, i.e. field-level bit-identity.
+    #[test]
+    fn random_specs_round_trip(spec in scenario()) {
+        let text = encode(&spec).expect("generated specs are encodable");
+        let back = decode(&text).expect("encoded specs decode");
+        prop_assert_eq!(&text, &encode(&back).unwrap());
+    }
+
+    /// Garbled spec text never panics the decoder; it either decodes (a
+    /// benign mutation, e.g. a dropped duplicate) or errors structurally.
+    #[test]
+    fn garbled_specs_never_panic(
+        spec in scenario(),
+        kind in 0u8..=255,
+        a in 0usize..10_000,
+        b in 0u8..=255,
+    ) {
+        let text = encode(&spec).unwrap();
+        let mangled = garble(&text, kind, a, b);
+        let _ = decode(&mangled);
+    }
+
+    /// Pure garbage (no structure at all) errors, never panics.
+    #[test]
+    fn arbitrary_bytes_never_panic_spec_decoder(
+        bytes in prop::collection::vec(0u8..128, 0..400),
+    ) {
+        let text: String = bytes.into_iter().map(|b| b as char).collect();
+        let _ = decode(&text);
+        let _ = decode_report(&text);
+    }
+
+    /// Random reports — every counter and every f64 bit pattern,
+    /// including NaN payloads and ±∞ — survive the codec bit for bit.
+    #[test]
+    fn random_reports_round_trip_bit_exact(r in report()) {
+        let text = encode_report(&r);
+        let back = decode_report(&text).expect("encoded reports decode");
+        prop_assert_eq!(r.divergence.objects, back.divergence.objects);
+        prop_assert_eq!(r.divergence.total_unweighted.to_bits(),
+                        back.divergence.total_unweighted.to_bits());
+        prop_assert_eq!(r.divergence.total_weighted.to_bits(),
+                        back.divergence.total_weighted.to_bits());
+        prop_assert_eq!(r.divergence.mean_unweighted.to_bits(),
+                        back.divergence.mean_unweighted.to_bits());
+        prop_assert_eq!(r.divergence.mean_weighted.to_bits(),
+                        back.divergence.mean_weighted.to_bits());
+        prop_assert_eq!(r.divergence.max_unweighted.to_bits(),
+                        back.divergence.max_unweighted.to_bits());
+        prop_assert_eq!(r.divergence.refreshes_applied, back.divergence.refreshes_applied);
+        prop_assert_eq!(r.refreshes_sent, back.refreshes_sent);
+        prop_assert_eq!(r.refreshes_delivered, back.refreshes_delivered);
+        prop_assert_eq!(r.feedback_messages, back.feedback_messages);
+        prop_assert_eq!(r.polls_sent, back.polls_sent);
+        prop_assert_eq!(r.max_cache_queue, back.max_cache_queue);
+        prop_assert_eq!(r.mean_queue_wait.to_bits(), back.mean_queue_wait.to_bits());
+        prop_assert_eq!(r.updates_processed, back.updates_processed);
+        let (a, b) = (r.threshold_stats.to_raw(), back.threshold_stats.to_raw());
+        prop_assert_eq!(a.count, b.count);
+        prop_assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        prop_assert_eq!(a.m2.to_bits(), b.m2.to_bits());
+        prop_assert_eq!(a.min.to_bits(), b.min.to_bits());
+        prop_assert_eq!(a.max.to_bits(), b.max.to_bits());
+        // And the text itself is a fixpoint.
+        prop_assert_eq!(text, encode_report(&back));
+    }
+
+    /// Garbled report text — the hostile-worker-reply case — never
+    /// panics the supervisor's decoder.
+    #[test]
+    fn garbled_reports_never_panic(
+        r in report(),
+        kind in 0u8..=255,
+        a in 0usize..10_000,
+        b in 0u8..=255,
+    ) {
+        let mangled = garble(&encode_report(&r), kind, a, b);
+        let _ = decode_report(&mangled);
+    }
+}

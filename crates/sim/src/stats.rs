@@ -152,6 +152,28 @@ pub struct RunningStats {
     max: f64,
 }
 
+/// The raw Welford accumulator state of a [`RunningStats`].
+///
+/// Exists so run reports can cross a process boundary losslessly: the
+/// sweep-shard worker protocol serializes whole `RunReport`s, and going
+/// through the derived quantities (`variance()` rounds through a divide)
+/// would break the supervisor's bit-identity guarantee. Note that an
+/// *empty* summary carries `min = +∞` / `max = −∞` — any serializer for
+/// this struct must represent non-finite values faithfully.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawRunningStats {
+    /// Number of samples pushed.
+    pub count: u64,
+    /// Running mean.
+    pub mean: f64,
+    /// Sum of squared deviations from the running mean.
+    pub m2: f64,
+    /// Smallest sample (`+∞` if empty).
+    pub min: f64,
+    /// Largest sample (`−∞` if empty).
+    pub max: f64,
+}
+
 impl RunningStats {
     /// An empty summary.
     pub fn new() -> Self {
@@ -210,6 +232,30 @@ impl RunningStats {
     /// Largest sample (−inf if empty).
     pub fn max(&self) -> f64 {
         self.max
+    }
+
+    /// Exposes the raw accumulator state (lossless; see
+    /// [`RawRunningStats`]).
+    pub fn to_raw(&self) -> RawRunningStats {
+        RawRunningStats {
+            count: self.n,
+            mean: self.mean,
+            m2: self.m2,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Rebuilds a summary from raw accumulator state — the exact inverse
+    /// of [`RunningStats::to_raw`], bit for bit.
+    pub fn from_raw(raw: RawRunningStats) -> RunningStats {
+        RunningStats {
+            n: raw.count,
+            mean: raw.mean,
+            m2: raw.m2,
+            min: raw.min,
+            max: raw.max,
+        }
     }
 
     /// Merges another summary into this one.
@@ -312,6 +358,27 @@ mod tests {
         assert!((left.variance() - all.variance()).abs() < 1e-10);
         assert_eq!(left.min(), all.min());
         assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn raw_round_trip_is_lossless() {
+        let mut s = RunningStats::new();
+        for x in [0.1, -3.25, 7.5, 0.1] {
+            s.push(x);
+        }
+        let back = RunningStats::from_raw(s.to_raw());
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.mean().to_bits(), s.mean().to_bits());
+        assert_eq!(back.variance().to_bits(), s.variance().to_bits());
+        assert_eq!(back.min().to_bits(), s.min().to_bits());
+        assert_eq!(back.max().to_bits(), s.max().to_bits());
+
+        // Empty summaries carry non-finite min/max; the raw form must
+        // preserve them exactly too.
+        let empty = RunningStats::new().to_raw();
+        assert_eq!(empty.min, f64::INFINITY);
+        assert_eq!(empty.max, f64::NEG_INFINITY);
+        assert_eq!(RunningStats::from_raw(empty).to_raw(), empty);
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Process-sharded sweep execution.
+//!
+//! The paper's figures are grids of independent, seeded simulator runs.
+//! Within one process those fan out over threads ([`parallel_map`]); this
+//! crate adds the next scaling layer: a supervisor that spawns N *worker
+//! processes*, streams [`besync_scenarios::codec`]-encoded
+//! [`ScenarioSpec`]s to them over stdin/stdout with a line-framed
+//! request/response protocol ([`protocol`]), collects encoded
+//! [`RunReport`]s, and merges them **in input order**.
+//!
+//! The contract, pinned by `tests/sweep_equivalence.rs` at the workspace
+//! root: output is byte-identical to an in-process run regardless of
+//! worker count, scheduling, stragglers, or worker crashes. Three
+//! properties compose to give that guarantee:
+//!
+//! 1. specs replay identically after a codec round trip (pinned in
+//!    `besync_scenarios::codec`),
+//! 2. reports survive the codec bit for bit (every counter and `f64`),
+//! 3. the supervisor fills one result slot per input spec, exactly once,
+//!    and returns slots in input order no matter which worker answered.
+//!
+//! Worker processes are re-execs of the current binary behind the hidden
+//! [`WORKER_FLAG`] argument (binaries opt in by calling [`worker_main`]
+//! when they see it), or any command via
+//! [`supervisor::WorkerSpawn::Command`] — the standalone
+//! `besync-sweep-worker` binary in this crate is such a worker. The
+//! supervisor bounds in-flight work per worker (backpressure), respawns
+//! crashed workers and resubmits only unacknowledged specs (at-most-once
+//! per report slot), and treats garbled replies as worker faults — a
+//! hostile worker exhausts a respawn budget and surfaces as a structured
+//! [`supervisor::SweepError`], never a panic.
+//!
+//! [`ScenarioSpec`]: besync_scenarios::ScenarioSpec
+//! [`RunReport`]: besync::RunReport
+
+pub mod pool;
+pub mod protocol;
+pub mod supervisor;
+pub mod worker;
+
+pub use pool::{default_threads, parallel_map};
+pub use supervisor::{run_sweep, Shards, SweepError, SweepOptions, SweepOutcome, WorkerSpawn};
+pub use worker::{worker_main, ABORT_ENV, WORKER_FLAG};

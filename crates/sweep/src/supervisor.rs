@@ -1,0 +1,699 @@
+//! The supervisor side: spawn workers, stream specs, merge reports.
+//!
+//! See the crate docs for the determinism contract. Implementation
+//! shape: one OS thread per worker reads that worker's stdout and
+//! forwards lines (tagged with the worker's slot and incarnation) into
+//! one mpsc channel; the supervisor loop owns all state — the pending
+//! queue, per-worker in-flight sets, and the result slots — so there is
+//! no shared-state locking anywhere. Stale messages from a killed
+//! incarnation are discarded by tag.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Instant;
+
+use besync::RunReport;
+use besync_scenarios::{codec, ScenarioSpec};
+
+use crate::pool::{default_threads, parallel_map};
+use crate::protocol::{self, Response};
+use crate::worker::{ABORT_ENV, WORKER_FLAG};
+
+/// How a sweep distributes its specs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shards {
+    /// Run every spec in this process, fanned out over threads. The
+    /// baseline the sharded paths are pinned byte-identical to.
+    InProcess,
+    /// Spawn this many worker processes (clamped to the spec count).
+    Workers(u32),
+}
+
+impl Shards {
+    /// Parses the CLI knob: `0` means in-process, `N ≥ 1` means N worker
+    /// processes.
+    pub fn parse(s: &str) -> Option<Shards> {
+        let n: u32 = s.parse().ok()?;
+        Some(match n {
+            0 => Shards::InProcess,
+            n => Shards::Workers(n),
+        })
+    }
+
+    /// The CLI spelling ([`Shards::parse`]'s inverse).
+    pub fn count(self) -> u32 {
+        match self {
+            Shards::InProcess => 0,
+            Shards::Workers(n) => n,
+        }
+    }
+}
+
+/// How to start a worker process.
+#[derive(Debug, Clone)]
+pub enum WorkerSpawn {
+    /// Re-exec [`std::env::current_exe`] with the hidden
+    /// [`WORKER_FLAG`] argument. Requires the current binary to dispatch
+    /// to [`crate::worker_main`] on that flag — the `experiments` and
+    /// `besync-bench` binaries do.
+    CurrentExe,
+    /// Run an explicit command (program, arguments). Used by test
+    /// harnesses, whose own binary (libtest) cannot dispatch the flag.
+    Command(PathBuf, Vec<String>),
+}
+
+/// Sweep runner knobs. `Default` is an in-process run on
+/// [`default_threads`] threads — callers that never touch `shards`
+/// get exactly the old `parallel_map` behaviour.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Process-sharding layout.
+    pub shards: Shards,
+    /// Backpressure bound: specs in flight per worker. The supervisor
+    /// keeps a worker's pipeline at most this deep, so a crash loses at
+    /// most `window` specs and slow workers can't hoard the queue.
+    pub window: usize,
+    /// Thread count for the in-process path (`None` →
+    /// [`default_threads`]).
+    pub threads: Option<usize>,
+    /// How to start workers.
+    pub worker: WorkerSpawn,
+    /// Extra environment for *initial* worker spawns only — respawned
+    /// replacements never inherit it. This is the fault-injection hook:
+    /// tests set [`ABORT_ENV`] here to crash workers mid-grid.
+    pub worker_env: Vec<(String, String)>,
+    /// Total worker respawns allowed before the sweep gives up with
+    /// [`SweepError::RespawnBudget`]. Bounds the damage of a
+    /// persistently hostile or crashing worker command.
+    pub max_respawns: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            shards: Shards::InProcess,
+            window: 2,
+            threads: None,
+            worker: WorkerSpawn::CurrentExe,
+            worker_env: Vec::new(),
+            max_respawns: 8,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Options with everything default but the shard layout.
+    pub fn with_shards(shards: Shards) -> Self {
+        SweepOptions {
+            shards,
+            ..SweepOptions::default()
+        }
+    }
+}
+
+/// One merged sweep result: the report for the spec at the same input
+/// index, plus where the time went (worker-measured when sharded).
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The simulation's report.
+    pub report: RunReport,
+    /// Workload + system construction wall seconds.
+    pub build_seconds: f64,
+    /// Event-loop wall seconds.
+    pub wall_seconds: f64,
+}
+
+/// Why a sharded sweep failed. In-process sweeps cannot fail.
+#[derive(Debug)]
+pub enum SweepError {
+    /// A spec refused to encode (e.g. a custom deviation function);
+    /// detected before any process is spawned.
+    Encode {
+        /// Name of the offending scenario.
+        scenario: String,
+        /// The codec's complaint.
+        message: String,
+    },
+    /// A worker process could not be started.
+    Spawn {
+        /// The OS error, stringified.
+        message: String,
+    },
+    /// A worker answered `ERR` — it received a spec it could not decode
+    /// or run. Always a protocol/codec bug, never load-dependent, so it
+    /// is not retried.
+    Worker {
+        /// Report slot the worker was answering for.
+        seq: usize,
+        /// The worker's message.
+        message: String,
+    },
+    /// Workers kept crashing (or talking garbage) past
+    /// [`SweepOptions::max_respawns`].
+    RespawnBudget {
+        /// Respawns consumed before giving up.
+        respawns: usize,
+        /// The fault that broke the budget.
+        last_fault: String,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Encode { scenario, message } => {
+                write!(
+                    f,
+                    "scenario `{scenario}` cannot be shipped to a worker: {message}"
+                )
+            }
+            SweepError::Spawn { message } => write!(f, "could not spawn sweep worker: {message}"),
+            SweepError::Worker { seq, message } => {
+                write!(f, "worker rejected spec {seq}: {message}")
+            }
+            SweepError::RespawnBudget {
+                respawns,
+                last_fault,
+            } => write!(
+                f,
+                "gave up after {respawns} worker respawns; last fault: {last_fault}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Runs every spec and returns outcomes **in input order** — the
+/// supervisor's whole point. With [`Shards::InProcess`] this cannot
+/// fail; with [`Shards::Workers`] it spawns processes and can.
+pub fn run_sweep(
+    specs: &[ScenarioSpec],
+    opts: &SweepOptions,
+) -> Result<Vec<SweepOutcome>, SweepError> {
+    match opts.shards {
+        Shards::InProcess => Ok(run_in_process(specs, opts)),
+        Shards::Workers(n) => run_sharded(specs, n as usize, opts),
+    }
+}
+
+fn run_in_process(specs: &[ScenarioSpec], opts: &SweepOptions) -> Vec<SweepOutcome> {
+    let threads = opts.threads.unwrap_or_else(default_threads);
+    parallel_map(specs.to_vec(), threads, |spec| {
+        let build_start = Instant::now();
+        let system = spec.build();
+        let build_seconds = build_start.elapsed().as_secs_f64();
+        let run_start = Instant::now();
+        let report = system.run();
+        SweepOutcome {
+            report,
+            build_seconds,
+            wall_seconds: run_start.elapsed().as_secs_f64(),
+        }
+    })
+}
+
+/// Channel traffic from reader threads to the supervisor loop.
+enum Msg {
+    /// One stdout line from worker `slot`'s incarnation `incarnation`.
+    Line {
+        slot: usize,
+        incarnation: u64,
+        line: String,
+    },
+    /// Worker `slot`'s stdout closed (crash, or clean exit at shutdown).
+    Eof { slot: usize, incarnation: u64 },
+}
+
+/// One worker process slot. The `Drop` impl reaps the child so early
+/// error returns never leak processes.
+struct Slot {
+    child: Child,
+    /// `Some` while the worker is accepting specs; dropped to signal a
+    /// clean shutdown (the worker exits on stdin EOF).
+    stdin: Option<ChildStdin>,
+    /// Bumped on every respawn; messages tagged with an older value are
+    /// from a killed predecessor and are discarded.
+    incarnation: u64,
+    /// Seqs dispatched but not yet reported, in dispatch order.
+    in_flight: Vec<usize>,
+}
+
+impl Drop for Slot {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Supervisor<'a> {
+    opts: &'a SweepOptions,
+    /// Encoded (unescaped) codec text per spec, index = seq.
+    payloads: Vec<String>,
+    tx: Sender<Msg>,
+    rx: Receiver<Msg>,
+    slots: Vec<Slot>,
+    /// Seqs not yet dispatched (or returned by a crash), front first.
+    pending: VecDeque<usize>,
+    results: Vec<Option<SweepOutcome>>,
+    done: usize,
+    respawns: usize,
+}
+
+fn run_sharded(
+    specs: &[ScenarioSpec],
+    shards: usize,
+    opts: &SweepOptions,
+) -> Result<Vec<SweepOutcome>, SweepError> {
+    if specs.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Encode everything up front: an unencodable spec is a caller bug
+    // and must surface before any process is spawned.
+    let payloads: Vec<String> = specs
+        .iter()
+        .map(|s| {
+            codec::encode(s).map_err(|message| SweepError::Encode {
+                scenario: s.name.clone(),
+                message,
+            })
+        })
+        .collect::<Result<_, _>>()?;
+
+    let workers = shards.clamp(1, specs.len());
+    let (tx, rx) = channel();
+    let mut sup = Supervisor {
+        opts,
+        payloads,
+        tx,
+        rx,
+        slots: Vec::with_capacity(workers),
+        pending: (0..specs.len()).collect(),
+        results: specs.iter().map(|_| None).collect(),
+        done: 0,
+        respawns: 0,
+    };
+    for slot in 0..workers {
+        let s = spawn_worker(opts, true, &sup.tx, slot, 0)?;
+        sup.slots.push(s);
+    }
+    sup.run()?;
+
+    // Graceful shutdown: close every stdin, let workers exit on EOF.
+    for slot in &mut sup.slots {
+        slot.stdin = None;
+    }
+    for slot in &mut sup.slots {
+        let _ = slot.child.wait();
+    }
+    Ok(sup
+        .results
+        .into_iter()
+        .map(|r| r.expect("supervisor loop ended with an unfilled slot"))
+        .collect())
+}
+
+fn spawn_worker(
+    opts: &SweepOptions,
+    first_incarnation: bool,
+    tx: &Sender<Msg>,
+    slot: usize,
+    incarnation: u64,
+) -> Result<Slot, SweepError> {
+    let mut cmd = match &opts.worker {
+        WorkerSpawn::CurrentExe => {
+            let exe = std::env::current_exe().map_err(|e| SweepError::Spawn {
+                message: format!("current_exe: {e}"),
+            })?;
+            let mut c = Command::new(exe);
+            c.arg(WORKER_FLAG);
+            c
+        }
+        WorkerSpawn::Command(program, args) => {
+            let mut c = Command::new(program);
+            c.args(args);
+            c
+        }
+    };
+    cmd.stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    if first_incarnation {
+        for (k, v) in &opts.worker_env {
+            cmd.env(k, v);
+        }
+    } else {
+        // Respawned replacements never inherit fault injection — neither
+        // the explicit per-sweep env nor anything leaking in from the
+        // supervisor's own environment.
+        cmd.env_remove(ABORT_ENV);
+        for (k, _) in &opts.worker_env {
+            cmd.env_remove(k);
+        }
+    }
+    let mut child = cmd.spawn().map_err(|e| SweepError::Spawn {
+        message: e.to_string(),
+    })?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let stdin = child.stdin.take().expect("stdin was piped");
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stdout);
+        let mut buf = Vec::with_capacity(4096);
+        loop {
+            buf.clear();
+            match read_line_bounded(&mut reader, &mut buf, MAX_REPLY_BYTES) {
+                Ok(true) => {
+                    // Invalid UTF-8 decodes lossily; the resulting parse
+                    // failure surfaces as a worker fault, which is right.
+                    let line = String::from_utf8_lossy(&buf).into_owned();
+                    if tx
+                        .send(Msg::Line {
+                            slot,
+                            incarnation,
+                            line,
+                        })
+                        .is_err()
+                    {
+                        return; // supervisor gone; just unwind
+                    }
+                }
+                // EOF, oversized reply, or read error: all end this
+                // incarnation — the supervisor treats the Eof as a fault
+                // if work remains.
+                Ok(false) | Err(_) => break,
+            }
+        }
+        let _ = tx.send(Msg::Eof { slot, incarnation });
+    });
+    Ok(Slot {
+        child,
+        stdin: Some(stdin),
+        incarnation,
+        in_flight: Vec::new(),
+    })
+}
+
+/// A reply line can't legitimately exceed a few kilobytes (the largest
+/// payload is one encoded `RunReport`), so anything near this bound is a
+/// hostile or broken worker flooding its pipe. Bounding the read keeps
+/// such a worker from hanging the supervisor on a newline-free stream —
+/// it becomes an ordinary fault (kill, respawn, budget) instead.
+const MAX_REPLY_BYTES: usize = 1 << 20;
+
+/// Reads one `\n`-terminated line (newline excluded) into `buf`.
+/// Returns `Ok(true)` for a line (a partial line at EOF counts — its
+/// parse failure is the right outcome for a worker that died
+/// mid-write), `Ok(false)` for clean EOF, and an error if the line
+/// exceeds `max` bytes before a newline shows up.
+fn read_line_bounded(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<bool> {
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(!buf.is_empty());
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&chunk[..pos]);
+            reader.consume(pos + 1);
+            return Ok(true);
+        }
+        buf.extend_from_slice(chunk);
+        let consumed = chunk.len();
+        reader.consume(consumed);
+        if buf.len() > max {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "reply line exceeds the protocol bound",
+            ));
+        }
+    }
+}
+
+impl Supervisor<'_> {
+    fn run(&mut self) -> Result<(), SweepError> {
+        for slot in 0..self.slots.len() {
+            self.dispatch(slot)?;
+        }
+        while self.done < self.results.len() {
+            let msg = self
+                .rx
+                .recv()
+                .expect("supervisor holds a sender; recv cannot disconnect");
+            match msg {
+                Msg::Line {
+                    slot,
+                    incarnation,
+                    line,
+                } => {
+                    if self.slots[slot].incarnation != incarnation {
+                        continue; // stale line from a killed predecessor
+                    }
+                    self.handle_line(slot, &line)?;
+                }
+                Msg::Eof { slot, incarnation } => {
+                    if self.slots[slot].incarnation != incarnation {
+                        continue;
+                    }
+                    // EOF with the sweep unfinished is a crash. (A worker
+                    // that is merely idle keeps its stdin open and does
+                    // not EOF; clean exits only happen after shutdown.)
+                    self.fault(slot, "worker exited early")?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_line(&mut self, slot: usize, line: &str) -> Result<(), SweepError> {
+        match protocol::parse_response(line) {
+            Ok(Response::Report {
+                seq,
+                build_seconds,
+                wall_seconds,
+                report_text,
+            }) => {
+                let Some(pos) = self.slots[slot].in_flight.iter().position(|&s| s == seq) else {
+                    // A seq we never dispatched to this worker (or a
+                    // duplicate of an acknowledged one): hostile.
+                    return self.fault(slot, &format!("unexpected report for spec {seq}"));
+                };
+                let report = match codec::decode_report(&report_text) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        return self.fault(slot, &format!("undecodable report for spec {seq}: {e}"))
+                    }
+                };
+                self.slots[slot].in_flight.remove(pos);
+                // At-most-once per report slot: `in_flight` sets are
+                // disjoint and resubmission only happens for
+                // unacknowledged seqs, so this slot is always empty —
+                // but a hostile double-report must still not double-count.
+                if self.results[seq].is_none() {
+                    self.results[seq] = Some(SweepOutcome {
+                        report,
+                        build_seconds,
+                        wall_seconds,
+                    });
+                    self.done += 1;
+                }
+                self.dispatch(slot)
+            }
+            Ok(Response::Err { seq, message }) => Err(SweepError::Worker { seq, message }),
+            Err(e) => self.fault(slot, &format!("unparseable reply: {e}")),
+        }
+    }
+
+    /// Tops worker `slot`'s pipeline up to the in-flight window.
+    fn dispatch(&mut self, slot: usize) -> Result<(), SweepError> {
+        let window = self.opts.window.max(1);
+        while self.slots[slot].in_flight.len() < window {
+            let Some(seq) = self.pending.pop_front() else {
+                return Ok(());
+            };
+            let line = protocol::format_request(seq, &self.payloads[seq]);
+            let wrote = match self.slots[slot].stdin.as_mut() {
+                Some(stdin) => writeln!(stdin, "{line}")
+                    .and_then(|()| stdin.flush())
+                    .is_ok(),
+                None => false,
+            };
+            if wrote {
+                self.slots[slot].in_flight.push(seq);
+            } else {
+                // The pipe is gone — the worker died between replies.
+                // Give the seq back before respawning so it is counted
+                // as lost-and-resubmitted exactly once.
+                self.pending.push_front(seq);
+                return self.fault(slot, "worker stdin closed mid-sweep");
+            }
+        }
+        Ok(())
+    }
+
+    /// Kills and replaces worker `slot`, resubmitting its lost specs.
+    ///
+    /// Recursion note: `fault` calls `dispatch` (to load the
+    /// replacement), which can fault again if the replacement dies
+    /// instantly; the depth is bounded by the respawn budget.
+    fn fault(&mut self, slot: usize, reason: &str) -> Result<(), SweepError> {
+        self.respawns += 1;
+        if self.respawns > self.opts.max_respawns {
+            return Err(SweepError::RespawnBudget {
+                respawns: self.respawns - 1,
+                last_fault: format!("worker {slot}: {reason}"),
+            });
+        }
+        {
+            let s = &mut self.slots[slot];
+            let _ = s.child.kill();
+            let _ = s.child.wait();
+            // Resubmit lost specs at the head of the queue in their
+            // original order: the earliest unfilled report slots are the
+            // ones the merge is waiting on. Only unacknowledged seqs are
+            // in flight, so no spec can ever run for an already-filled
+            // slot (at-most-once).
+            let lost = std::mem::take(&mut s.in_flight);
+            debug_assert!(lost.iter().all(|&seq| self.results[seq].is_none()));
+            for &seq in lost.iter().rev() {
+                self.pending.push_front(seq);
+            }
+        }
+        let incarnation = self.slots[slot].incarnation + 1;
+        let replacement = spawn_worker(self.opts, false, &self.tx, slot, incarnation)?;
+        self.slots[slot] = replacement;
+        self.dispatch(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use besync_scenarios::by_name;
+
+    fn tiny_specs(n: usize) -> Vec<ScenarioSpec> {
+        (0..n)
+            .map(|i| {
+                let mut s = by_name("small").unwrap().quick();
+                s.seed ^= i as u64; // distinct runs, distinct reports
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shards_knob_parses() {
+        assert_eq!(Shards::parse("0"), Some(Shards::InProcess));
+        assert_eq!(Shards::parse("1"), Some(Shards::Workers(1)));
+        assert_eq!(Shards::parse("16"), Some(Shards::Workers(16)));
+        assert_eq!(Shards::parse("-1"), None);
+        assert_eq!(Shards::parse("many"), None);
+        assert_eq!(Shards::Workers(4).count(), 4);
+        assert_eq!(Shards::InProcess.count(), 0);
+    }
+
+    #[test]
+    fn in_process_sweep_matches_direct_runs() {
+        let specs = tiny_specs(5);
+        let outcomes = run_sweep(&specs, &SweepOptions::default()).unwrap();
+        assert_eq!(outcomes.len(), specs.len());
+        for (spec, outcome) in specs.iter().zip(&outcomes) {
+            let direct = spec.run();
+            assert_eq!(outcome.report.updates_processed, direct.updates_processed);
+            assert_eq!(outcome.report.refreshes_sent, direct.refreshes_sent);
+            assert_eq!(
+                outcome.report.mean_divergence().to_bits(),
+                direct.mean_divergence().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_empty_everywhere() {
+        assert!(run_sweep(&[], &SweepOptions::default()).unwrap().is_empty());
+        assert!(
+            run_sweep(&[], &SweepOptions::with_shards(Shards::Workers(4)))
+                .unwrap()
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn unencodable_spec_fails_before_spawning() {
+        use besync_data::metric::squared_deviation;
+        use besync_data::Metric;
+        let mut spec = by_name("small").unwrap().quick();
+        spec.metric = Metric::Deviation(squared_deviation);
+        // A worker command that cannot exist: if encoding didn't gate
+        // first, this would surface as Spawn instead of Encode.
+        let opts = SweepOptions {
+            shards: Shards::Workers(2),
+            worker: WorkerSpawn::Command("/nonexistent/worker".into(), Vec::new()),
+            ..SweepOptions::default()
+        };
+        match run_sweep(&[spec], &opts) {
+            Err(SweepError::Encode { scenario, .. }) => assert_eq!(scenario, "small"),
+            other => panic!("expected Encode error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_worker_binary_is_a_spawn_error() {
+        let opts = SweepOptions {
+            shards: Shards::Workers(1),
+            worker: WorkerSpawn::Command("/nonexistent/besync-worker".into(), Vec::new()),
+            ..SweepOptions::default()
+        };
+        match run_sweep(&tiny_specs(2), &opts) {
+            Err(SweepError::Spawn { .. }) => {}
+            other => panic!("expected Spawn error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_line_reader_caps_hostile_floods() {
+        use std::io::BufReader;
+        let mut buf = Vec::new();
+
+        // Normal lines come through intact, newline stripped.
+        let mut r = BufReader::new(&b"one\ntwo\n"[..]);
+        assert!(read_line_bounded(&mut r, &mut buf, 64).unwrap());
+        assert_eq!(buf, b"one");
+        buf.clear();
+        assert!(read_line_bounded(&mut r, &mut buf, 64).unwrap());
+        assert_eq!(buf, b"two");
+        buf.clear();
+        assert!(!read_line_bounded(&mut r, &mut buf, 64).unwrap());
+
+        // A partial line at EOF is still delivered (its parse failure is
+        // the fault signal).
+        let mut r = BufReader::new(&b"cut off"[..]);
+        buf.clear();
+        assert!(read_line_bounded(&mut r, &mut buf, 64).unwrap());
+        assert_eq!(buf, b"cut off");
+
+        // A newline-free flood errors out at the bound instead of
+        // accumulating forever.
+        let flood = vec![b'x'; 1000];
+        let mut r = BufReader::new(&flood[..]);
+        buf.clear();
+        assert!(read_line_bounded(&mut r, &mut buf, 64).is_err());
+    }
+
+    #[test]
+    fn sweep_errors_display_their_cause() {
+        let e = SweepError::RespawnBudget {
+            respawns: 3,
+            last_fault: "worker 1: exited early".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains("exited early"), "{msg}");
+    }
+}

@@ -1,0 +1,172 @@
+//! The worker side of the sweep protocol.
+//!
+//! A worker is a child process that reads `SPEC` lines from stdin, runs
+//! each scenario to completion, and writes one `REPORT` (or `ERR`) line
+//! to stdout per spec, in the order received. It exits cleanly when
+//! stdin closes. Workers are usually re-execs of the supervisor's own
+//! binary: binaries opt in by calling [`worker_main`] when their first
+//! argument is [`WORKER_FLAG`], before any other argument parsing.
+
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+use besync_scenarios::codec;
+
+use crate::protocol;
+
+/// Hidden argv flag that turns a participating binary into a worker.
+pub const WORKER_FLAG: &str = "--sweep-worker";
+
+/// Test-only fault injection: when set to `k`, the worker calls
+/// [`std::process::abort`] upon *receiving* its `k`-th spec — after the
+/// supervisor has dispatched it, before any reply — simulating a crash
+/// with work in flight. The supervisor clears this variable when it
+/// respawns a crashed worker, so injected faults don't cascade forever.
+pub const ABORT_ENV: &str = "BESYNC_SWEEP_ABORT_AFTER";
+
+/// Runs the worker loop over stdin/stdout. Call this (and nothing else)
+/// when a binary is invoked with [`WORKER_FLAG`].
+pub fn worker_main() -> std::process::ExitCode {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    run_worker(stdin.lock(), stdout.lock())
+}
+
+/// The worker loop, parameterized over its streams for testability.
+pub fn run_worker(input: impl BufRead, mut output: impl Write) -> std::process::ExitCode {
+    let abort_after: Option<u64> = std::env::var(ABORT_ENV).ok().and_then(|v| v.parse().ok());
+    let mut received = 0u64;
+    for line in input.lines() {
+        let Ok(line) = line else {
+            return std::process::ExitCode::FAILURE;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        received += 1;
+        if abort_after == Some(received) {
+            std::process::abort();
+        }
+        let reply = handle_request(&line);
+        if writeln!(output, "{reply}")
+            .and_then(|()| output.flush())
+            .is_err()
+        {
+            // Supervisor hung up; nothing useful left to do.
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+    std::process::ExitCode::SUCCESS
+}
+
+/// Runs one request line to a single reply line.
+fn handle_request(line: &str) -> String {
+    let (seq, spec_text) = match protocol::parse_request(line) {
+        Ok(req) => req,
+        // No sequence number recoverable from a mangled request; answer
+        // on slot 0 — the supervisor treats any ERR as fatal anyway.
+        Err(e) => return protocol::format_err(0, &format!("bad request: {e}")),
+    };
+    let spec = match codec::decode(&spec_text) {
+        Ok(spec) => spec,
+        Err(e) => return protocol::format_err(seq, &format!("bad spec: {e}")),
+    };
+    let build_start = Instant::now();
+    let system = spec.build();
+    let build_seconds = build_start.elapsed().as_secs_f64();
+    let run_start = Instant::now();
+    let report = system.run();
+    let wall_seconds = run_start.elapsed().as_secs_f64();
+    protocol::format_report(
+        seq,
+        build_seconds,
+        wall_seconds,
+        &codec::encode_report(&report),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Response;
+    use besync_scenarios::by_name;
+
+    #[test]
+    fn worker_answers_specs_in_order_and_exits_on_eof() {
+        let spec = by_name("small").unwrap().quick();
+        let encoded = codec::encode(&spec).unwrap();
+        let input = format!(
+            "{}\n\n{}\n",
+            protocol::format_request(4, &encoded),
+            protocol::format_request(9, &encoded),
+        );
+        let mut out = Vec::new();
+        let code = run_worker(input.as_bytes(), &mut out);
+        assert_eq!(code, std::process::ExitCode::SUCCESS);
+        let replies: Vec<Response> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| protocol::parse_response(l).unwrap())
+            .collect();
+        assert_eq!(replies.len(), 2);
+        let expected = spec.run();
+        for (reply, want_seq) in replies.iter().zip([4usize, 9]) {
+            match reply {
+                Response::Report {
+                    seq, report_text, ..
+                } => {
+                    assert_eq!(*seq, want_seq);
+                    let report = codec::decode_report(report_text).unwrap();
+                    assert_eq!(report.updates_processed, expected.updates_processed);
+                    assert_eq!(report.refreshes_sent, expected.refreshes_sent);
+                    assert_eq!(
+                        report.mean_divergence().to_bits(),
+                        expected.mean_divergence().to_bits()
+                    );
+                }
+                other => panic!("expected a report, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn undecodable_spec_yields_err_reply_and_keeps_serving() {
+        let good = codec::encode(&by_name("small").unwrap().quick()).unwrap();
+        let input = format!(
+            "SPEC 0 not-a-scenario\n{}\n",
+            protocol::format_request(1, &good)
+        );
+        let mut out = Vec::new();
+        assert_eq!(
+            run_worker(input.as_bytes(), &mut out),
+            std::process::ExitCode::SUCCESS
+        );
+        let text = String::from_utf8(out).unwrap();
+        let mut lines = text.lines();
+        match protocol::parse_response(lines.next().unwrap()).unwrap() {
+            Response::Err { seq, message } => {
+                assert_eq!(seq, 0);
+                assert!(message.contains("bad spec"), "{message}");
+            }
+            other => panic!("expected ERR, got {other:?}"),
+        }
+        assert!(matches!(
+            protocol::parse_response(lines.next().unwrap()).unwrap(),
+            Response::Report { seq: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn mangled_request_line_yields_err_reply() {
+        let mut out = Vec::new();
+        run_worker(&b"REPORT 0 junk\n"[..], &mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            matches!(
+                protocol::parse_response(text.lines().next().unwrap()).unwrap(),
+                Response::Err { .. }
+            ),
+            "{text}"
+        );
+    }
+}

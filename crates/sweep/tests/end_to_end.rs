@@ -1,0 +1,167 @@
+//! End-to-end sharded sweeps against real worker processes.
+//!
+//! These drive the actual supervisor ⇄ worker pipe protocol using the
+//! `besync-sweep-worker` binary (built by cargo alongside this test),
+//! plus hostile stand-ins (`cat`, `true`) that exercise the fault paths.
+//! The workspace-root `tests/sweep_equivalence.rs` pins the same
+//! guarantees at figure-grid scale through the `experiments` binary.
+
+use std::path::PathBuf;
+
+use besync_scenarios::{by_name, ScenarioSpec};
+use besync_sweep::{
+    run_sweep, Shards, SweepError, SweepOptions, SweepOutcome, WorkerSpawn, ABORT_ENV,
+};
+
+fn worker_bin() -> WorkerSpawn {
+    WorkerSpawn::Command(
+        PathBuf::from(env!("CARGO_BIN_EXE_besync-sweep-worker")),
+        Vec::new(),
+    )
+}
+
+fn sharded(shards: u32) -> SweepOptions {
+    SweepOptions {
+        shards: Shards::Workers(shards),
+        worker: worker_bin(),
+        ..SweepOptions::default()
+    }
+}
+
+/// A small mixed batch: different seeds, systems, and metrics, so a
+/// merge-order bug cannot cancel out.
+fn mixed_specs() -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    for (name, seeds) in [("small", [1u64, 2, 3]), ("equiv_cgm1", [0, 7, 9])] {
+        for seed in seeds {
+            let mut s = by_name(name).unwrap().quick();
+            s.seed ^= seed;
+            specs.push(s);
+        }
+    }
+    specs.push(by_name("golden_deviation_poisson").unwrap().quick());
+    specs
+}
+
+fn assert_outcomes_identical(a: &[SweepOutcome], b: &[SweepOutcome]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.report.updates_processed, y.report.updates_processed,
+            "slot {i}: updates"
+        );
+        assert_eq!(
+            x.report.refreshes_sent, y.report.refreshes_sent,
+            "slot {i}: refreshes"
+        );
+        assert_eq!(
+            x.report.refreshes_delivered, y.report.refreshes_delivered,
+            "slot {i}: delivered"
+        );
+        assert_eq!(
+            x.report.feedback_messages, y.report.feedback_messages,
+            "slot {i}: feedback"
+        );
+        assert_eq!(x.report.polls_sent, y.report.polls_sent, "slot {i}: polls");
+        assert_eq!(
+            x.report.mean_divergence().to_bits(),
+            y.report.mean_divergence().to_bits(),
+            "slot {i}: divergence bits"
+        );
+        assert_eq!(
+            x.report.divergence.total_weighted.to_bits(),
+            y.report.divergence.total_weighted.to_bits(),
+            "slot {i}: weighted divergence bits"
+        );
+    }
+}
+
+#[test]
+fn sharded_outcomes_match_in_process_bit_for_bit() {
+    let specs = mixed_specs();
+    let baseline = run_sweep(&specs, &SweepOptions::default()).unwrap();
+    for shards in [1, 2, 5] {
+        let outcomes = run_sweep(&specs, &sharded(shards)).unwrap();
+        assert_outcomes_identical(&baseline, &outcomes);
+    }
+    // More workers than specs: clamped, still identical.
+    let outcomes = run_sweep(&specs[..2], &sharded(16)).unwrap();
+    assert_outcomes_identical(&baseline[..2], &outcomes);
+}
+
+#[test]
+fn crashing_workers_respawn_and_the_merge_is_unchanged() {
+    let specs = mixed_specs();
+    let baseline = run_sweep(&specs, &SweepOptions::default()).unwrap();
+    // Every initial worker aborts on receiving its 2nd spec (after its
+    // 1st reply at the earliest); respawned replacements are clean.
+    let mut opts = sharded(2);
+    opts.worker_env
+        .push((ABORT_ENV.to_string(), "2".to_string()));
+    let outcomes = run_sweep(&specs, &opts).unwrap();
+    assert_outcomes_identical(&baseline, &outcomes);
+}
+
+#[test]
+fn instantly_crashing_workers_recover_within_the_budget() {
+    // Abort on the 1st spec: the harshest injectable fault (no initial
+    // worker ever replies). The clean replacements finish the sweep
+    // well inside the default respawn budget, output unchanged.
+    let specs = mixed_specs();
+    let baseline = run_sweep(&specs, &SweepOptions::default()).unwrap();
+    let mut opts = sharded(2);
+    opts.worker_env
+        .push((ABORT_ENV.to_string(), "1".to_string()));
+    let outcomes = run_sweep(&specs, &opts).unwrap();
+    assert_outcomes_identical(&baseline, &outcomes);
+}
+
+#[test]
+fn echoing_worker_is_a_structured_error_not_a_panic() {
+    // `cat` echoes every SPEC line straight back: an endless stream of
+    // unparseable replies. The supervisor must burn its respawn budget
+    // and return a structured error.
+    let opts = SweepOptions {
+        shards: Shards::Workers(2),
+        worker: WorkerSpawn::Command("cat".into(), Vec::new()),
+        max_respawns: 3,
+        ..SweepOptions::default()
+    };
+    match run_sweep(&mixed_specs(), &opts) {
+        Err(SweepError::RespawnBudget { respawns, .. }) => assert_eq!(respawns, 3),
+        other => panic!("expected RespawnBudget, got {other:?}"),
+    }
+}
+
+#[test]
+fn newline_free_flooding_worker_is_a_structured_error_not_a_hang() {
+    // `cat /dev/zero` streams bytes with no newline, ever: without a
+    // bounded line reader the supervisor would accumulate one endless
+    // line and block forever. With the bound it's an ordinary fault.
+    let opts = SweepOptions {
+        shards: Shards::Workers(1),
+        worker: WorkerSpawn::Command("cat".into(), vec!["/dev/zero".to_string()]),
+        max_respawns: 2,
+        ..SweepOptions::default()
+    };
+    match run_sweep(&mixed_specs(), &opts) {
+        Err(SweepError::RespawnBudget { .. }) => {}
+        other => panic!("expected RespawnBudget, got {other:?}"),
+    }
+}
+
+#[test]
+fn instantly_exiting_worker_is_a_structured_error() {
+    // `true` exits before reading anything: EOF with work pending, every
+    // time.
+    let opts = SweepOptions {
+        shards: Shards::Workers(1),
+        worker: WorkerSpawn::Command("true".into(), Vec::new()),
+        max_respawns: 2,
+        ..SweepOptions::default()
+    };
+    match run_sweep(&mixed_specs(), &opts) {
+        Err(SweepError::RespawnBudget { .. }) => {}
+        other => panic!("expected RespawnBudget, got {other:?}"),
+    }
+}

@@ -1,0 +1,114 @@
+//! Golden byte-identity tests for the process-sharded sweep runner.
+//!
+//! The contract under test: a figure grid run with `--shards 0`
+//! (in-process threads), `--shards 1`, or `--shards 4` (worker
+//! processes) produces **byte-identical CSV output**, and killing a
+//! worker mid-grid (respawn + resubmission) does not change a single
+//! byte either. The workers are real child processes — the
+//! `experiments` binary in its hidden `--sweep-worker` mode — so these
+//! tests cross the same pipes production sweeps cross.
+//!
+//! `crates/sweep/tests/end_to_end.rs` covers the supervisor mechanics on
+//! tiny scenario batches; this file pins the figure-grid deliverable.
+
+use std::path::PathBuf;
+
+use besync_experiments::output::render_csv;
+use besync_experiments::{fig4, fig6, params, Mode};
+use besync_sweep::{Shards, SweepOptions, WorkerSpawn, ABORT_ENV};
+
+/// Locates the `experiments` binary next to this test executable
+/// (`target/<profile>/deps/<test>-<hash>` → `target/<profile>/`),
+/// refreshing it through cargo first: a filtered
+/// `cargo test --test sweep_equivalence` never builds other packages'
+/// binaries, so without the rebuild these tests could compare current
+/// in-process code against a *stale* worker. The rebuild is a no-op
+/// when the binary is already fresh, and runs once per test process.
+fn experiments_binary() -> PathBuf {
+    static BIN: std::sync::OnceLock<PathBuf> = std::sync::OnceLock::new();
+    BIN.get_or_init(|| {
+        let exe = std::env::current_exe().expect("test executable path");
+        let dir = exe
+            .parent()
+            .and_then(|deps| deps.parent())
+            .expect("target profile dir");
+        let bin = dir.join(format!("experiments{}", std::env::consts::EXE_SUFFIX));
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+        let mut cmd = std::process::Command::new(cargo);
+        cmd.args(["build", "-p", "besync_experiments", "--bin", "experiments"]);
+        if dir.file_name().and_then(|n| n.to_str()) == Some("release") {
+            cmd.arg("--release");
+        }
+        let status = cmd
+            .status()
+            .expect("spawn cargo to build the worker binary");
+        assert!(
+            status.success(),
+            "building the experiments worker binary failed"
+        );
+        assert!(bin.exists(), "no worker binary at {}", bin.display());
+        bin
+    })
+    .clone()
+}
+
+fn opts(shards: Shards) -> SweepOptions {
+    SweepOptions {
+        shards,
+        worker: WorkerSpawn::Command(experiments_binary(), vec!["--sweep-worker".to_string()]),
+        ..SweepOptions::default()
+    }
+}
+
+const SEED: u64 = 42;
+
+#[test]
+fn fig4_quick_grid_is_byte_identical_across_shard_counts() {
+    let in_process =
+        render_csv(&fig4::run_with(Mode::Quick, SEED, &opts(Shards::InProcess)).unwrap());
+    for shards in [1u32, 4] {
+        let sharded =
+            render_csv(&fig4::run_with(Mode::Quick, SEED, &opts(Shards::Workers(shards))).unwrap());
+        assert_eq!(
+            in_process, sharded,
+            "--shards {shards} CSV diverges from the in-process run"
+        );
+    }
+}
+
+#[test]
+fn fig6_and_param_sweep_quick_grids_are_byte_identical_sharded() {
+    // fig6 exercises all five schedulers (incl. the CGM baselines and
+    // their polls counter) through the worker pipe; the α/ω sweep
+    // exercises single-spec cells.
+    let fig6_base =
+        render_csv(&fig6::run_with(Mode::Quick, SEED, &opts(Shards::InProcess)).unwrap());
+    let fig6_sharded =
+        render_csv(&fig6::run_with(Mode::Quick, SEED, &opts(Shards::Workers(2))).unwrap());
+    assert_eq!(fig6_base, fig6_sharded);
+
+    let params_base =
+        render_csv(&params::run_with(Mode::Quick, SEED, &opts(Shards::InProcess)).unwrap());
+    let params_sharded =
+        render_csv(&params::run_with(Mode::Quick, SEED, &opts(Shards::Workers(2))).unwrap());
+    assert_eq!(params_base, params_sharded);
+}
+
+#[test]
+fn worker_killed_mid_grid_still_merges_byte_identically() {
+    let in_process =
+        render_csv(&fig4::run_with(Mode::Quick, SEED, &opts(Shards::InProcess)).unwrap());
+    // Every initial worker aborts upon *receiving* its 2nd spec — a
+    // crash with one spec acknowledged and one in flight. The
+    // supervisor must respawn (replacements don't inherit the hook) and
+    // resubmit exactly the unacknowledged specs.
+    let mut crashy = opts(Shards::Workers(3));
+    crashy
+        .worker_env
+        .push((ABORT_ENV.to_string(), "2".to_string()));
+    let merged = render_csv(&fig4::run_with(Mode::Quick, SEED, &crashy).unwrap());
+    assert_eq!(
+        in_process, merged,
+        "a mid-grid worker crash changed the merged output"
+    );
+}
