@@ -29,10 +29,10 @@
 //!
 //! [`CoopSystem`]: besync::system::CoopSystem
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use besync_scenarios::{suite, ScenarioSpec};
-use besync_sweep::{run_sweep, Shards, SweepOptions, SweepOutcome};
+use besync_sweep::{run_sweep, Shards, SweepOptions, SweepOutcome, TransportKind};
 
 /// Runs the scenario `repeats` times and reports the median wall clock
 /// (event loop and construction separately). Counters must agree
@@ -380,6 +380,7 @@ besync-bench — seeded end-to-end throughput scenarios for the paper's schedule
 
 usage: besync-bench [--out PATH] [--compare PATH] [--tolerance F]
                     [--only NAME] [--repeat N] [--quick] [--shards LIST]
+                    [--workers pipes|tcp[://HOST:PORT]] [--spec-deadline SECS]
                     [--list]
 
   --out PATH       write results as JSON (e.g. BENCH_pr2.json); never run this
@@ -401,6 +402,12 @@ usage: besync-bench [--out PATH] [--compare PATH] [--tolerance F]
                    wall-clock, and hard-fail if any merged counter differs
                    from the in-process table (the sharded runner's
                    byte-identity contract); recorded as shards_grid in --out
+  --workers KIND   worker channel for the --shards grid: `pipes` (child
+                   stdio, default) or `tcp`/`tcp://HOST:PORT` (supervisor
+                   listens; workers dial back with --connect). Identity
+                   holds across transports
+  --spec-deadline  seconds a worker may hold one spec before it is presumed
+                   hung and replaced (default 600; 0 disables)
   --list           print scenario names with descriptions and exit";
 
 fn main() -> std::process::ExitCode {
@@ -416,6 +423,8 @@ fn main() -> std::process::ExitCode {
     let mut quick = false;
     let mut repeats: Option<usize> = None;
     let mut shards_grid: Vec<Shards> = Vec::new();
+    let mut transport = TransportKind::Pipes;
+    let mut spec_deadline = SweepOptions::default().spec_deadline;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -445,14 +454,32 @@ fn main() -> std::process::ExitCode {
             "--quick" => quick = true,
             "--shards" => {
                 let list = args.next().unwrap_or_default();
-                let parsed: Option<Vec<Shards>> = list.split(',').map(Shards::parse).collect();
-                match parsed {
-                    Some(v) if !v.is_empty() => shards_grid = v,
+                match Shards::parse_list(&list) {
+                    Ok(v) => shards_grid = v,
+                    Err(e) => {
+                        eprintln!("--shards: {e}");
+                        return std::process::ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--workers" => {
+                let v = args.next().unwrap_or_default();
+                match TransportKind::parse(&v) {
+                    Ok(t) => transport = t,
+                    Err(e) => {
+                        eprintln!("--workers: {e}");
+                        return std::process::ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--spec-deadline" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<f64>() {
+                    Ok(secs) if secs.is_finite() && secs >= 0.0 => {
+                        spec_deadline = (secs > 0.0).then(|| Duration::from_secs_f64(secs));
+                    }
                     _ => {
-                        eprintln!(
-                            "--shards needs a comma-separated list of counts (0 = in-process), \
-                             e.g. 0,2,4"
-                        );
+                        eprintln!("--spec-deadline needs seconds (0 disables the deadline)");
                         return std::process::ExitCode::FAILURE;
                     }
                 }
@@ -537,7 +564,12 @@ fn main() -> std::process::ExitCode {
     // here across real worker processes on every invocation that asks.
     let mut shard_points: Vec<(u32, f64)> = Vec::new();
     for &shards in &shards_grid {
-        let opts = SweepOptions::with_shards(shards);
+        let opts = SweepOptions {
+            shards,
+            transport: transport.clone(),
+            spec_deadline,
+            ..SweepOptions::default()
+        };
         let start = Instant::now();
         let outcomes = match run_sweep(&selected, &opts) {
             Ok(o) => o,

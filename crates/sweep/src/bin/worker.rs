@@ -4,8 +4,9 @@
 //! [`besync_sweep::WORKER_FLAG`]); this binary exists for harnesses that
 //! have no worker-capable binary of their own — the sweep crate's own
 //! end-to-end tests drive it via `CARGO_BIN_EXE_besync-sweep-worker`.
-//! It speaks the worker protocol on stdin/stdout regardless of
-//! arguments.
+//! It speaks the worker protocol on stdin/stdout, or over TCP when
+//! started with `--connect host:port` (the supervisor's TCP transport
+//! appends that flag itself); any other arguments are ignored.
 
 fn main() -> std::process::ExitCode {
     besync_sweep::worker_main()

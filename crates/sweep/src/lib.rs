@@ -4,14 +4,18 @@
 //! Within one process those fan out over threads ([`parallel_map`]); this
 //! crate adds the next scaling layer: a supervisor that spawns N *worker
 //! processes*, streams [`besync_scenarios::codec`]-encoded
-//! [`ScenarioSpec`]s to them over stdin/stdout with a line-framed
-//! request/response protocol ([`protocol`]), collects encoded
-//! [`RunReport`]s, and merges them **in input order**.
+//! [`ScenarioSpec`]s to them with a line-framed request/response protocol
+//! ([`protocol`]), collects encoded [`RunReport`]s, and merges them **in
+//! input order**. The channel itself is abstracted behind
+//! [`transport::WorkerTransport`]: child-process pipes by default, or a
+//! TCP listener that workers started with `--connect host:port` dial back
+//! into ([`transport::TransportKind::Tcp`]) — the first step toward
+//! remote workers.
 //!
 //! The contract, pinned by `tests/sweep_equivalence.rs` at the workspace
 //! root: output is byte-identical to an in-process run regardless of
-//! worker count, scheduling, stragglers, or worker crashes. Three
-//! properties compose to give that guarantee:
+//! worker count, transport, scheduling, stragglers, or worker faults.
+//! Three properties compose to give that guarantee:
 //!
 //! 1. specs replay identically after a codec round trip (pinned in
 //!    `besync_scenarios::codec`),
@@ -23,21 +27,35 @@
 //! [`WORKER_FLAG`] argument (binaries opt in by calling [`worker_main`]
 //! when they see it), or any command via
 //! [`supervisor::WorkerSpawn::Command`] — the standalone
-//! `besync-sweep-worker` binary in this crate is such a worker. The
-//! supervisor bounds in-flight work per worker (backpressure), respawns
-//! crashed workers and resubmits only unacknowledged specs (at-most-once
-//! per report slot), and treats garbled replies as worker faults — a
-//! hostile worker exhausts a respawn budget and surfaces as a structured
-//! [`supervisor::SweepError`], never a panic.
+//! `besync-sweep-worker` binary in this crate is such a worker.
+//!
+//! On top of the merge sits a robustness layer (see [`supervisor`] for
+//! the mechanics): bounded in-flight work per worker (backpressure),
+//! per-spec deadlines, `PING`/`PONG` heartbeats that catch frozen
+//! processes and partitioned TCP peers, seeded-deterministic exponential
+//! backoff between respawns ([`backoff`]), per-slot respawn budgets, and
+//! graceful degradation — a sweep whose workers all die still completes
+//! (in-process) byte-identically, reporting the damage in a structured
+//! [`supervisor::SweepSummary`] rather than failing. Worker stderr tails
+//! are captured for every fault. The fault classes themselves are
+//! injectable for tests via the [`FAULT_ENV`] environment knob
+//! ([`worker::Fault`]).
 //!
 //! [`ScenarioSpec`]: besync_scenarios::ScenarioSpec
 //! [`RunReport`]: besync::RunReport
 
+pub mod backoff;
 pub mod pool;
 pub mod protocol;
 pub mod supervisor;
+pub mod transport;
 pub mod worker;
 
+pub use backoff::BackoffPolicy;
 pub use pool::{default_threads, parallel_map};
-pub use supervisor::{run_sweep, Shards, SweepError, SweepOptions, SweepOutcome, WorkerSpawn};
-pub use worker::{worker_main, ABORT_ENV, WORKER_FLAG};
+pub use supervisor::{
+    run_sweep, run_sweep_summarized, DegradedSlot, Shards, SweepError, SweepOptions, SweepOutcome,
+    SweepRun, SweepSummary, WorkerSpawn,
+};
+pub use transport::TransportKind;
+pub use worker::{worker_main, Fault, ABORT_ENV, CONNECT_FLAG, FAULT_ENV, WORKER_FLAG};

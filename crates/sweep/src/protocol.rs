@@ -4,12 +4,20 @@
 //!
 //! ```text
 //! supervisor → worker:  SPEC <seq> <escaped scenario text>
+//!                       PING <beat>
 //! worker → supervisor:  REPORT <seq> <build bits> <wall bits> <escaped report text>
 //!                       ERR <seq> <escaped message>
+//!                       PONG <beat>
 //! ```
 //!
 //! `<seq>` is the spec's index in the sweep's input order — the report
-//! slot it fills. The scenario/report payloads are the multi-line
+//! slot it fills. `PING`/`PONG` are the liveness heartbeat: `<beat>` is
+//! an opaque per-worker counter the worker echoes back verbatim. A
+//! worker answers `PING` from its I/O thread immediately, even while a
+//! simulation is running, so the supervisor can tell a *frozen process*
+//! (no `PONG` — kill by heartbeat timeout) from a *hung or slow
+//! simulation* (`PONG`s flow but no `REPORT` — kill by per-spec
+//! deadline). The scenario/report payloads are the multi-line
 //! [`besync_scenarios::codec`] texts with newlines, carriage returns,
 //! and backslashes escaped ([`escape`]/[`unescape`]), so one message is
 //! always exactly one line. `<build bits>`/`<wall bits>` are the
@@ -73,27 +81,67 @@ fn parse_bits(s: &str) -> Result<f64, String> {
         .map_err(|_| format!("bad f64 bit pattern `{s}`"))
 }
 
+/// One supervisor → worker message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run this scenario and answer on report slot `seq`.
+    Spec {
+        /// Input-order slot the eventual report fills.
+        seq: usize,
+        /// Encoded [`besync_scenarios::codec`] scenario text (unescaped).
+        spec_text: String,
+    },
+    /// Liveness probe; the worker echoes `beat` back as a `PONG`.
+    Ping {
+        /// Opaque heartbeat counter, echoed verbatim.
+        beat: u64,
+    },
+}
+
 /// Formats a `SPEC` request line (no trailing newline).
 pub fn format_request(seq: usize, spec_text: &str) -> String {
     format!("SPEC {seq} {}", escape(spec_text))
 }
 
-/// Parses a `SPEC` request line into `(seq, scenario text)`.
+/// Formats a `PING` heartbeat line (no trailing newline).
+pub fn format_ping(beat: u64) -> String {
+    format!("PING {beat}")
+}
+
+/// Formats the matching `PONG` reply line (no trailing newline).
+pub fn format_pong(beat: u64) -> String {
+    format!("PONG {beat}")
+}
+
+/// Parses one supervisor → worker line (`SPEC` or `PING`).
 ///
 /// # Errors
 ///
 /// Returns a message describing the malformation.
-pub fn parse_request(line: &str) -> Result<(usize, String), String> {
-    let rest = line
-        .strip_prefix("SPEC ")
-        .ok_or_else(|| format!("expected a SPEC line, got `{}`", preview(line)))?;
-    let (seq, payload) = rest
-        .split_once(' ')
-        .ok_or_else(|| "SPEC line has no payload".to_string())?;
-    let seq: usize = seq
-        .parse()
-        .map_err(|_| format!("bad SPEC sequence number `{seq}`"))?;
-    Ok((seq, unescape(payload)?))
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    if let Some(rest) = line.strip_prefix("SPEC ") {
+        let (seq, payload) = rest
+            .split_once(' ')
+            .ok_or_else(|| "SPEC line has no payload".to_string())?;
+        let seq: usize = seq
+            .parse()
+            .map_err(|_| format!("bad SPEC sequence number `{seq}`"))?;
+        Ok(Request::Spec {
+            seq,
+            spec_text: unescape(payload)?,
+        })
+    } else if let Some(beat) = line.strip_prefix("PING ") {
+        Ok(Request::Ping {
+            beat: beat
+                .parse()
+                .map_err(|_| format!("bad PING beat `{}`", preview(beat)))?,
+        })
+    } else {
+        Err(format!(
+            "expected a SPEC or PING line, got `{}`",
+            preview(line)
+        ))
+    }
 }
 
 /// One worker reply.
@@ -117,6 +165,12 @@ pub enum Response {
         seq: usize,
         /// Human-readable cause.
         message: String,
+    },
+    /// Heartbeat echo: the worker process is alive and its I/O loop is
+    /// servicing the channel.
+    Pong {
+        /// The `PING` counter being echoed.
+        beat: u64,
     },
 }
 
@@ -171,6 +225,12 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 .map_err(|_| format!("bad ERR sequence number `{seq}`"))?,
             message: unescape(message)?,
         })
+    } else if let Some(beat) = line.strip_prefix("PONG ") {
+        Ok(Response::Pong {
+            beat: beat
+                .parse()
+                .map_err(|_| format!("bad PONG beat `{}`", preview(beat)))?,
+        })
     } else {
         Err(format!("unrecognized reply `{}`", preview(line)))
     }
@@ -220,8 +280,35 @@ mod tests {
         let line = format_request(17, "besync-scenario v1\nname x\n");
         assert_eq!(
             parse_request(&line).unwrap(),
-            (17, "besync-scenario v1\nname x\n".to_string())
+            Request::Spec {
+                seq: 17,
+                spec_text: "besync-scenario v1\nname x\n".to_string()
+            }
         );
+    }
+
+    #[test]
+    fn heartbeat_frames_round_trip() {
+        for beat in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(
+                parse_request(&format_ping(beat)).unwrap(),
+                Request::Ping { beat }
+            );
+            assert_eq!(
+                parse_response(&format_pong(beat)).unwrap(),
+                Response::Pong { beat }
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_heartbeat_frames_yield_errors_not_panics() {
+        for line in ["PING", "PING ", "PING x", "PING -1", "PING 1 2"] {
+            assert!(parse_request(line).is_err(), "accepted `{line}`");
+        }
+        for line in ["PONG", "PONG ", "PONG x", "PONG -1", "PONG 1 2", "PING 1"] {
+            assert!(parse_response(line).is_err(), "accepted `{line}`");
+        }
     }
 
     #[test]
@@ -284,7 +371,10 @@ mod tests {
             let payload: String = bytes.into_iter().map(|b| b as char).collect();
             let line = format_request(seq, &payload);
             prop_assert!(!line.contains('\n'));
-            prop_assert_eq!(parse_request(&line).unwrap(), (seq, payload));
+            prop_assert_eq!(
+                parse_request(&line).unwrap(),
+                Request::Spec { seq, spec_text: payload }
+            );
         }
 
         /// No reply line, however mangled, panics the parser.

@@ -1,27 +1,57 @@
 //! The supervisor side: spawn workers, stream specs, merge reports.
 //!
 //! See the crate docs for the determinism contract. Implementation
-//! shape: one OS thread per worker reads that worker's stdout and
+//! shape: one OS thread per worker reads that worker's reply stream and
 //! forwards lines (tagged with the worker's slot and incarnation) into
 //! one mpsc channel; the supervisor loop owns all state — the pending
 //! queue, per-worker in-flight sets, and the result slots — so there is
 //! no shared-state locking anywhere. Stale messages from a killed
 //! incarnation are discarded by tag.
+//!
+//! # The robustness layer
+//!
+//! The loop waits on its channel with a timeout and runs a timer pass
+//! after every wake-up, which is where the fault model lives:
+//!
+//! * **Per-spec deadline** — the spec at the head of a worker's
+//!   pipeline gets [`SweepOptions::spec_deadline`] of service time;
+//!   exceeding it means the worker hung mid-simulation (the `hang`
+//!   fault class) and the slot is killed and respawned.
+//! * **Heartbeats** — after [`SweepOptions::heartbeat_interval`] of
+//!   silence from a worker that owes replies, the supervisor sends
+//!   `PING`; a worker whose I/O thread is alive answers immediately
+//!   even while computing. No `PONG` within
+//!   [`SweepOptions::heartbeat_timeout`] means the *process* is frozen
+//!   (stopped, swapped out, or a partitioned TCP peer) — killed without
+//!   waiting for the full deadline.
+//! * **Backoff** — respawns wait out a seeded-deterministic
+//!   exponential-with-jitter delay ([`BackoffPolicy`]), so a
+//!   crash-looping worker command can't melt the host. Nothing
+//!   time-derived feeds the merge, so byte-identity holds.
+//! * **Graceful degradation** — each slot has a respawn budget
+//!   ([`SweepOptions::max_respawns`]). A slot that exhausts it is
+//!   *retired*, not fatal: its specs return to the queue, surviving
+//!   workers absorb them, and whatever is left when every slot is dead
+//!   runs in-process. The sweep then still succeeds, byte-identical,
+//!   with the damage reported in [`SweepSummary::degraded`].
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
+use std::io::BufRead;
+use std::io::BufReader;
 use std::path::PathBuf;
-use std::process::{Child, ChildStdin, Command, Stdio};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::time::Instant;
+use std::process::Command;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
 
 use besync::RunReport;
 use besync_scenarios::{codec, ScenarioSpec};
 
+use crate::backoff::BackoffPolicy;
 use crate::pool::{default_threads, parallel_map};
 use crate::protocol::{self, Response};
-use crate::worker::{ABORT_ENV, WORKER_FLAG};
+use crate::transport::{make_transport, StderrTail, TransportKind, WorkerLink, WorkerTransport};
+use crate::worker::{ABORT_ENV, FAULT_ENV, WORKER_FLAG};
 
 /// How a sweep distributes its specs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,13 +65,39 @@ pub enum Shards {
 
 impl Shards {
     /// Parses the CLI knob: `0` means in-process, `N ≥ 1` means N worker
-    /// processes.
+    /// processes. Strict digits only — `+3`, ` 3`, and `3.0` are all
+    /// rejected rather than guessed at.
     pub fn parse(s: &str) -> Option<Shards> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
         let n: u32 = s.parse().ok()?;
         Some(match n {
             0 => Shards::InProcess,
             n => Shards::Workers(n),
         })
+    }
+
+    /// Parses a comma-separated `--shards` list (`0,2,4`), naming the
+    /// offending token on failure instead of silently dropping it.
+    ///
+    /// # Errors
+    ///
+    /// A message quoting the first malformed entry.
+    pub fn parse_list(s: &str) -> Result<Vec<Shards>, String> {
+        if s.is_empty() {
+            return Err("empty --shards list (expected e.g. `0,2,4`)".to_string());
+        }
+        s.split(',')
+            .map(|tok| {
+                Shards::parse(tok).ok_or_else(|| {
+                    format!(
+                        "bad --shards entry `{tok}` in `{s}` (expected a non-negative \
+                         integer; 0 = in-process)"
+                    )
+                })
+            })
+            .collect()
     }
 
     /// The CLI spelling ([`Shards::parse`]'s inverse).
@@ -82,14 +138,34 @@ pub struct SweepOptions {
     pub threads: Option<usize>,
     /// How to start workers.
     pub worker: WorkerSpawn,
+    /// Which channel carries the protocol: child-process pipes (the
+    /// default) or a TCP listener workers dial back into.
+    pub transport: TransportKind,
     /// Extra environment for *initial* worker spawns only — respawned
     /// replacements never inherit it. This is the fault-injection hook:
-    /// tests set [`ABORT_ENV`] here to crash workers mid-grid.
+    /// tests set [`FAULT_ENV`] here to make workers misbehave mid-grid.
     pub worker_env: Vec<(String, String)>,
-    /// Total worker respawns allowed before the sweep gives up with
-    /// [`SweepError::RespawnBudget`]. Bounds the damage of a
-    /// persistently hostile or crashing worker command.
+    /// Worker respawns allowed **per slot** before that slot is retired
+    /// and its work is absorbed by the surviving workers (ultimately
+    /// in-process — see [`SweepSummary::degraded`]). Bounds the damage
+    /// of a persistently hostile or crashing worker command.
     pub max_respawns: usize,
+    /// Service-time bound for the spec at the head of a worker's
+    /// pipeline. A worker that holds a spec longer than this without
+    /// reporting is presumed hung, killed, and respawned; the spec is
+    /// resubmitted under the at-most-once accounting. `None` disables
+    /// the deadline (not recommended off the beaten path).
+    pub spec_deadline: Option<Duration>,
+    /// Silence span after which a worker that owes replies is sent a
+    /// `PING`.
+    pub heartbeat_interval: Duration,
+    /// How long an unanswered `PING` may stand before the worker is
+    /// presumed frozen and killed. Distinct from the spec deadline: a
+    /// busy-but-healthy worker PONGs from its I/O thread immediately.
+    pub heartbeat_timeout: Duration,
+    /// Respawn delay schedule (seeded-deterministic, see
+    /// [`BackoffPolicy`]).
+    pub backoff: BackoffPolicy,
 }
 
 impl Default for SweepOptions {
@@ -99,8 +175,13 @@ impl Default for SweepOptions {
             window: 2,
             threads: None,
             worker: WorkerSpawn::CurrentExe,
+            transport: TransportKind::Pipes,
             worker_env: Vec::new(),
             max_respawns: 8,
+            spec_deadline: Some(Duration::from_secs(600)),
+            heartbeat_interval: Duration::from_secs(5),
+            heartbeat_timeout: Duration::from_secs(10),
+            backoff: BackoffPolicy::default(),
         }
     }
 }
@@ -127,7 +208,81 @@ pub struct SweepOutcome {
     pub wall_seconds: f64,
 }
 
-/// Why a sharded sweep failed. In-process sweeps cannot fail.
+/// A retired worker slot: it burnt its whole respawn budget and was
+/// taken out of rotation. Carries everything needed to diagnose the
+/// worker from the sweep output alone.
+#[derive(Debug, Clone)]
+pub struct DegradedSlot {
+    /// Which worker slot was retired.
+    pub slot: usize,
+    /// Respawns consumed before retirement.
+    pub respawns: usize,
+    /// The fault that retired it.
+    pub last_fault: String,
+    /// The worker's final ~20 stderr lines, oldest first.
+    pub stderr_tail: Vec<String>,
+}
+
+/// What the robustness layer had to do to finish the sweep. All-zero /
+/// empty on a clean run.
+#[derive(Debug, Clone, Default)]
+pub struct SweepSummary {
+    /// Total worker respawns across all slots.
+    pub respawns: usize,
+    /// Slots retired after exhausting their respawn budget.
+    pub degraded: Vec<DegradedSlot>,
+    /// Specs that ended up running in-process because every worker slot
+    /// was retired before they were served.
+    pub drained_in_process: usize,
+}
+
+impl SweepSummary {
+    /// True when any slot was retired (the sweep completed, but not the
+    /// way it was asked to).
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
+    }
+
+    /// A multi-line human-readable rendering (empty string when there
+    /// is nothing to report).
+    pub fn render(&self) -> String {
+        if self.respawns == 0 && !self.is_degraded() {
+            return String::new();
+        }
+        let mut out = format!("sweep summary: {} worker respawn(s)", self.respawns);
+        for d in &self.degraded {
+            out.push_str(&format!(
+                "\n  slot {} retired after {} respawn(s): {}",
+                d.slot, d.respawns, d.last_fault
+            ));
+            for line in &d.stderr_tail {
+                out.push_str(&format!("\n    stderr| {line}"));
+            }
+        }
+        if self.drained_in_process > 0 {
+            out.push_str(&format!(
+                "\n  {} spec(s) drained in-process after all worker slots were retired",
+                self.drained_in_process
+            ));
+        }
+        out
+    }
+}
+
+/// A finished sweep: the in-input-order outcomes plus the robustness
+/// summary.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// One outcome per input spec, in input order.
+    pub outcomes: Vec<SweepOutcome>,
+    /// What it took to get them.
+    pub summary: SweepSummary,
+}
+
+/// Why a sharded sweep failed. In-process sweeps cannot fail, and
+/// worker crashes/hangs degrade rather than fail — what remains is
+/// caller bugs (unencodable specs, unspawnable commands, protocol-level
+/// rejections).
 #[derive(Debug)]
 pub enum SweepError {
     /// A spec refused to encode (e.g. a custom deviation function);
@@ -138,7 +293,8 @@ pub enum SweepError {
         /// The codec's complaint.
         message: String,
     },
-    /// A worker process could not be started.
+    /// A worker process could not be started (initial spawn — respawn
+    /// failures consume the slot's budget instead).
     Spawn {
         /// The OS error, stringified.
         message: String,
@@ -151,14 +307,8 @@ pub enum SweepError {
         seq: usize,
         /// The worker's message.
         message: String,
-    },
-    /// Workers kept crashing (or talking garbage) past
-    /// [`SweepOptions::max_respawns`].
-    RespawnBudget {
-        /// Respawns consumed before giving up.
-        respawns: usize,
-        /// The fault that broke the budget.
-        last_fault: String,
+        /// The worker's last stderr lines at the time of the rejection.
+        stderr_tail: Vec<String>,
     },
 }
 
@@ -172,16 +322,17 @@ impl fmt::Display for SweepError {
                 )
             }
             SweepError::Spawn { message } => write!(f, "could not spawn sweep worker: {message}"),
-            SweepError::Worker { seq, message } => {
-                write!(f, "worker rejected spec {seq}: {message}")
+            SweepError::Worker {
+                seq,
+                message,
+                stderr_tail,
+            } => {
+                write!(f, "worker rejected spec {seq}: {message}")?;
+                if !stderr_tail.is_empty() {
+                    write!(f, "; worker stderr tail: {}", stderr_tail.join(" ⏎ "))?;
+                }
+                Ok(())
             }
-            SweepError::RespawnBudget {
-                respawns,
-                last_fault,
-            } => write!(
-                f,
-                "gave up after {respawns} worker respawns; last fault: {last_fault}"
-            ),
         }
     }
 }
@@ -190,70 +341,101 @@ impl std::error::Error for SweepError {}
 
 /// Runs every spec and returns outcomes **in input order** — the
 /// supervisor's whole point. With [`Shards::InProcess`] this cannot
-/// fail; with [`Shards::Workers`] it spawns processes and can.
+/// fail; with [`Shards::Workers`] it spawns processes and can. Prints
+/// the robustness summary to stderr when anything noteworthy happened;
+/// use [`run_sweep_summarized`] to get it structurally.
 pub fn run_sweep(
     specs: &[ScenarioSpec],
     opts: &SweepOptions,
 ) -> Result<Vec<SweepOutcome>, SweepError> {
+    let run = run_sweep_summarized(specs, opts)?;
+    let rendered = run.summary.render();
+    if !rendered.is_empty() {
+        eprintln!("{rendered}");
+    }
+    Ok(run.outcomes)
+}
+
+/// [`run_sweep`], returning the [`SweepSummary`] alongside the outcomes
+/// instead of printing it.
+pub fn run_sweep_summarized(
+    specs: &[ScenarioSpec],
+    opts: &SweepOptions,
+) -> Result<SweepRun, SweepError> {
     match opts.shards {
-        Shards::InProcess => Ok(run_in_process(specs, opts)),
+        Shards::InProcess => Ok(SweepRun {
+            outcomes: run_in_process(specs, opts),
+            summary: SweepSummary::default(),
+        }),
         Shards::Workers(n) => run_sharded(specs, n as usize, opts),
+    }
+}
+
+/// Builds and runs one spec, timing the phases separately.
+fn run_spec(spec: &ScenarioSpec) -> SweepOutcome {
+    let build_start = Instant::now();
+    let system = spec.build();
+    let build_seconds = build_start.elapsed().as_secs_f64();
+    let run_start = Instant::now();
+    let report = system.run();
+    SweepOutcome {
+        report,
+        build_seconds,
+        wall_seconds: run_start.elapsed().as_secs_f64(),
     }
 }
 
 fn run_in_process(specs: &[ScenarioSpec], opts: &SweepOptions) -> Vec<SweepOutcome> {
     let threads = opts.threads.unwrap_or_else(default_threads);
-    parallel_map(specs.to_vec(), threads, |spec| {
-        let build_start = Instant::now();
-        let system = spec.build();
-        let build_seconds = build_start.elapsed().as_secs_f64();
-        let run_start = Instant::now();
-        let report = system.run();
-        SweepOutcome {
-            report,
-            build_seconds,
-            wall_seconds: run_start.elapsed().as_secs_f64(),
-        }
-    })
+    parallel_map(specs.to_vec(), threads, |spec| run_spec(&spec))
 }
 
 /// Channel traffic from reader threads to the supervisor loop.
 enum Msg {
-    /// One stdout line from worker `slot`'s incarnation `incarnation`.
+    /// One reply line from worker `slot`'s incarnation `incarnation`.
     Line {
         slot: usize,
         incarnation: u64,
         line: String,
     },
-    /// Worker `slot`'s stdout closed (crash, or clean exit at shutdown).
+    /// Worker `slot`'s reply stream closed (crash, or clean exit at
+    /// shutdown).
     Eof { slot: usize, incarnation: u64 },
 }
 
-/// One worker process slot. The `Drop` impl reaps the child so early
-/// error returns never leak processes.
+/// One worker process slot.
 struct Slot {
-    child: Child,
-    /// `Some` while the worker is accepting specs; dropped to signal a
-    /// clean shutdown (the worker exits on stdin EOF).
-    stdin: Option<ChildStdin>,
+    /// The transport channel (kills/reaps its process on drop, so early
+    /// error returns never leak children).
+    link: Box<dyn WorkerLink>,
+    /// Rolling tail of the worker's stderr for crash diagnostics.
+    stderr: StderrTail,
     /// Bumped on every respawn; messages tagged with an older value are
     /// from a killed predecessor and are discarded.
     incarnation: u64,
     /// Seqs dispatched but not yet reported, in dispatch order.
     in_flight: Vec<usize>,
-}
-
-impl Drop for Slot {
-    fn drop(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-    }
+    /// When the current head of `in_flight` started being serviced —
+    /// the per-spec deadline clock.
+    front_since: Option<Instant>,
+    /// Last time any line arrived from this worker.
+    last_line: Instant,
+    /// Outstanding heartbeat, if any: `(beat, sent_at)`.
+    ping: Option<(u64, Instant)>,
+    /// Heartbeat counter (monotone per slot; echoed back in `PONG`).
+    beats: u64,
+    /// Faults this slot has suffered (== respawns consumed, until the
+    /// budget-breaking fault that retires it).
+    faults: usize,
+    /// Retired: no longer dispatched to, process already killed.
+    dead: bool,
 }
 
 struct Supervisor<'a> {
     opts: &'a SweepOptions,
     /// Encoded (unescaped) codec text per spec, index = seq.
     payloads: Vec<String>,
+    transport: Box<dyn WorkerTransport>,
     tx: Sender<Msg>,
     rx: Receiver<Msg>,
     slots: Vec<Slot>,
@@ -261,16 +443,19 @@ struct Supervisor<'a> {
     pending: VecDeque<usize>,
     results: Vec<Option<SweepOutcome>>,
     done: usize,
-    respawns: usize,
+    summary: SweepSummary,
 }
 
 fn run_sharded(
     specs: &[ScenarioSpec],
     shards: usize,
     opts: &SweepOptions,
-) -> Result<Vec<SweepOutcome>, SweepError> {
+) -> Result<SweepRun, SweepError> {
     if specs.is_empty() {
-        return Ok(Vec::new());
+        return Ok(SweepRun {
+            outcomes: Vec::new(),
+            summary: SweepSummary::default(),
+        });
     }
     // Encode everything up front: an unencodable spec is a caller bug
     // and must surface before any process is spawned.
@@ -284,117 +469,72 @@ fn run_sharded(
         })
         .collect::<Result<_, _>>()?;
 
+    let transport = make_transport(&opts.transport).map_err(|message| SweepError::Spawn {
+        message: format!("transport setup: {message}"),
+    })?;
     let workers = shards.clamp(1, specs.len());
     let (tx, rx) = channel();
     let mut sup = Supervisor {
         opts,
         payloads,
+        transport,
         tx,
         rx,
         slots: Vec::with_capacity(workers),
         pending: (0..specs.len()).collect(),
         results: specs.iter().map(|_| None).collect(),
         done: 0,
-        respawns: 0,
+        summary: SweepSummary::default(),
     };
     for slot in 0..workers {
-        let s = spawn_worker(opts, true, &sup.tx, slot, 0)?;
+        // An initial spawn failure is a hard error: nothing was lost
+        // yet and the worker command is clearly unusable.
+        let s = sup
+            .spawn_slot(slot, 0, true)
+            .map_err(|message| SweepError::Spawn { message })?;
         sup.slots.push(s);
     }
     sup.run()?;
 
-    // Graceful shutdown: close every stdin, let workers exit on EOF.
-    for slot in &mut sup.slots {
-        slot.stdin = None;
+    // Graceful degradation endgame: every slot retired with work still
+    // queued — finish it here. Retirement already returned each dead
+    // slot's in-flight specs to `pending`, so `pending` is exactly the
+    // unfilled set.
+    if sup.done < sup.results.len() {
+        let leftover: Vec<usize> = std::mem::take(&mut sup.pending).into();
+        debug_assert_eq!(leftover.len(), sup.results.len() - sup.done);
+        sup.summary.drained_in_process = leftover.len();
+        let local = run_in_process(
+            &leftover
+                .iter()
+                .map(|&i| specs[i].clone())
+                .collect::<Vec<_>>(),
+            opts,
+        );
+        for (seq, outcome) in leftover.into_iter().zip(local) {
+            debug_assert!(sup.results[seq].is_none());
+            sup.results[seq] = Some(outcome);
+            sup.done += 1;
+        }
     }
-    for slot in &mut sup.slots {
-        let _ = slot.child.wait();
-    }
-    Ok(sup
-        .results
-        .into_iter()
-        .map(|r| r.expect("supervisor loop ended with an unfilled slot"))
-        .collect())
-}
 
-fn spawn_worker(
-    opts: &SweepOptions,
-    first_incarnation: bool,
-    tx: &Sender<Msg>,
-    slot: usize,
-    incarnation: u64,
-) -> Result<Slot, SweepError> {
-    let mut cmd = match &opts.worker {
-        WorkerSpawn::CurrentExe => {
-            let exe = std::env::current_exe().map_err(|e| SweepError::Spawn {
-                message: format!("current_exe: {e}"),
-            })?;
-            let mut c = Command::new(exe);
-            c.arg(WORKER_FLAG);
-            c
-        }
-        WorkerSpawn::Command(program, args) => {
-            let mut c = Command::new(program);
-            c.args(args);
-            c
-        }
-    };
-    cmd.stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .stderr(Stdio::inherit());
-    if first_incarnation {
-        for (k, v) in &opts.worker_env {
-            cmd.env(k, v);
-        }
-    } else {
-        // Respawned replacements never inherit fault injection — neither
-        // the explicit per-sweep env nor anything leaking in from the
-        // supervisor's own environment.
-        cmd.env_remove(ABORT_ENV);
-        for (k, _) in &opts.worker_env {
-            cmd.env_remove(k);
+    // Graceful shutdown: close every live input, let workers exit on
+    // EOF, reap them.
+    for slot in &mut sup.slots {
+        if !slot.dead {
+            slot.link.close_input();
         }
     }
-    let mut child = cmd.spawn().map_err(|e| SweepError::Spawn {
-        message: e.to_string(),
-    })?;
-    let stdout = child.stdout.take().expect("stdout was piped");
-    let stdin = child.stdin.take().expect("stdin was piped");
-    let tx = tx.clone();
-    std::thread::spawn(move || {
-        let mut reader = BufReader::new(stdout);
-        let mut buf = Vec::with_capacity(4096);
-        loop {
-            buf.clear();
-            match read_line_bounded(&mut reader, &mut buf, MAX_REPLY_BYTES) {
-                Ok(true) => {
-                    // Invalid UTF-8 decodes lossily; the resulting parse
-                    // failure surfaces as a worker fault, which is right.
-                    let line = String::from_utf8_lossy(&buf).into_owned();
-                    if tx
-                        .send(Msg::Line {
-                            slot,
-                            incarnation,
-                            line,
-                        })
-                        .is_err()
-                    {
-                        return; // supervisor gone; just unwind
-                    }
-                }
-                // EOF, oversized reply, or read error: all end this
-                // incarnation — the supervisor treats the Eof as a fault
-                // if work remains.
-                Ok(false) | Err(_) => break,
-            }
-        }
-        let _ = tx.send(Msg::Eof { slot, incarnation });
-    });
-    Ok(Slot {
-        child,
-        stdin: Some(stdin),
-        incarnation,
-        in_flight: Vec::new(),
+    for slot in &mut sup.slots {
+        slot.link.wait();
+    }
+    Ok(SweepRun {
+        outcomes: sup
+            .results
+            .into_iter()
+            .map(|r| r.expect("supervisor loop ended with an unfilled slot"))
+            .collect(),
+        summary: sup.summary,
     })
 }
 
@@ -437,35 +577,216 @@ fn read_line_bounded(
     }
 }
 
+/// Floor/ceiling for the supervisor's timer tick so the loop neither
+/// spins nor oversleeps a deadline by much.
+const MIN_TICK: Duration = Duration::from_millis(2);
+const MAX_TICK: Duration = Duration::from_millis(500);
+
 impl Supervisor<'_> {
+    /// Spawns (or respawns) the worker for `slot`.
+    fn spawn_slot(
+        &mut self,
+        slot: usize,
+        incarnation: u64,
+        first_incarnation: bool,
+    ) -> Result<Slot, String> {
+        let mut cmd = match &self.opts.worker {
+            WorkerSpawn::CurrentExe => {
+                let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+                let mut c = Command::new(exe);
+                c.arg(WORKER_FLAG);
+                c
+            }
+            WorkerSpawn::Command(program, args) => {
+                let mut c = Command::new(program);
+                c.args(args);
+                c
+            }
+        };
+        cmd.args(self.transport.worker_args());
+        if first_incarnation {
+            for (k, v) in &self.opts.worker_env {
+                cmd.env(k, v);
+            }
+        } else {
+            // Respawned replacements never inherit fault injection —
+            // neither the explicit per-sweep env nor anything leaking in
+            // from the supervisor's own environment.
+            cmd.env_remove(FAULT_ENV);
+            cmd.env_remove(ABORT_ENV);
+            for (k, _) in &self.opts.worker_env {
+                cmd.env_remove(k);
+            }
+        }
+        let mut link = self.transport.spawn(cmd)?;
+        let stderr = match link.take_stderr() {
+            Some(stream) => StderrTail::tail(stream),
+            None => StderrTail::empty(),
+        };
+        let reader = link
+            .take_reader()
+            .ok_or_else(|| "transport link has no reader stream".to_string())?;
+        let tx = self.tx.clone();
+        std::thread::spawn(move || {
+            let mut reader = BufReader::new(reader);
+            let mut buf = Vec::with_capacity(4096);
+            loop {
+                buf.clear();
+                match read_line_bounded(&mut reader, &mut buf, MAX_REPLY_BYTES) {
+                    Ok(true) => {
+                        // Invalid UTF-8 decodes lossily; the resulting
+                        // parse failure surfaces as a worker fault,
+                        // which is right.
+                        let line = String::from_utf8_lossy(&buf).into_owned();
+                        if tx
+                            .send(Msg::Line {
+                                slot,
+                                incarnation,
+                                line,
+                            })
+                            .is_err()
+                        {
+                            return; // supervisor gone; just unwind
+                        }
+                    }
+                    // EOF, oversized reply, or read error: all end this
+                    // incarnation — the supervisor treats the Eof as a
+                    // fault if work remains.
+                    Ok(false) | Err(_) => break,
+                }
+            }
+            let _ = tx.send(Msg::Eof { slot, incarnation });
+        });
+        Ok(Slot {
+            link,
+            stderr,
+            incarnation,
+            in_flight: Vec::new(),
+            front_since: None,
+            last_line: Instant::now(),
+            ping: None,
+            beats: 0,
+            faults: 0,
+            dead: false,
+        })
+    }
+
     fn run(&mut self) -> Result<(), SweepError> {
         for slot in 0..self.slots.len() {
             self.dispatch(slot)?;
         }
         while self.done < self.results.len() {
-            let msg = self
-                .rx
-                .recv()
-                .expect("supervisor holds a sender; recv cannot disconnect");
-            match msg {
-                Msg::Line {
+            if self.slots.iter().all(|s| s.dead) {
+                // Fully degraded: the caller drains the rest in-process.
+                return Ok(());
+            }
+            match self.rx.recv_timeout(self.next_tick()) {
+                Ok(Msg::Line {
                     slot,
                     incarnation,
                     line,
-                } => {
-                    if self.slots[slot].incarnation != incarnation {
+                }) => {
+                    let s = &mut self.slots[slot];
+                    if s.dead || s.incarnation != incarnation {
                         continue; // stale line from a killed predecessor
                     }
+                    s.last_line = Instant::now();
                     self.handle_line(slot, &line)?;
                 }
-                Msg::Eof { slot, incarnation } => {
-                    if self.slots[slot].incarnation != incarnation {
+                Ok(Msg::Eof { slot, incarnation }) => {
+                    let s = &self.slots[slot];
+                    if s.dead || s.incarnation != incarnation {
                         continue;
                     }
-                    // EOF with the sweep unfinished is a crash. (A worker
-                    // that is merely idle keeps its stdin open and does
-                    // not EOF; clean exits only happen after shutdown.)
+                    // EOF with the sweep unfinished is a crash. (A
+                    // worker that is merely idle keeps its channel open
+                    // and does not EOF; clean exits only happen after
+                    // shutdown.)
                     self.fault(slot, "worker exited early")?;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("supervisor holds a sender; recv cannot disconnect")
+                }
+            }
+            self.check_timers()?;
+        }
+        Ok(())
+    }
+
+    /// How long the loop may sleep before the next deadline/heartbeat
+    /// edge on any live, busy slot.
+    fn next_tick(&self) -> Duration {
+        let now = Instant::now();
+        let mut next: Option<Instant> = None;
+        let mut upd = |t: Instant| {
+            next = Some(match next {
+                Some(cur) if cur <= t => cur,
+                _ => t,
+            });
+        };
+        for s in self.slots.iter().filter(|s| !s.dead) {
+            if s.in_flight.is_empty() {
+                continue; // nothing owed; nothing to time out
+            }
+            if let (Some(deadline), Some(front)) = (self.opts.spec_deadline, s.front_since) {
+                upd(front + deadline);
+            }
+            match s.ping {
+                Some((_, sent)) => upd(sent + self.opts.heartbeat_timeout),
+                None => upd(s.last_line + self.opts.heartbeat_interval),
+            }
+        }
+        match next {
+            Some(t) => t.saturating_duration_since(now).clamp(MIN_TICK, MAX_TICK),
+            None => MAX_TICK,
+        }
+    }
+
+    /// The timer pass: per-spec deadlines and heartbeat escalation.
+    fn check_timers(&mut self) -> Result<(), SweepError> {
+        let deadline = self.opts.spec_deadline;
+        let hb_interval = self.opts.heartbeat_interval;
+        let hb_timeout = self.opts.heartbeat_timeout;
+        for slot in 0..self.slots.len() {
+            let s = &mut self.slots[slot];
+            if s.dead || s.in_flight.is_empty() {
+                continue;
+            }
+            if let (Some(deadline), Some(front)) = (deadline, s.front_since) {
+                if front.elapsed() >= deadline {
+                    let seq = s.in_flight[0];
+                    self.fault(
+                        slot,
+                        &format!(
+                            "spec {seq} exceeded its {:.1}s deadline (worker hung or overloaded)",
+                            deadline.as_secs_f64()
+                        ),
+                    )?;
+                    continue;
+                }
+            }
+            match s.ping {
+                Some((beat, sent)) => {
+                    if sent.elapsed() >= hb_timeout {
+                        self.fault(
+                            slot,
+                            &format!(
+                                "no PONG {beat} within {:.1}s (worker frozen or partitioned)",
+                                hb_timeout.as_secs_f64()
+                            ),
+                        )?;
+                    }
+                }
+                None => {
+                    if s.last_line.elapsed() >= hb_interval {
+                        let beat = s.beats;
+                        s.beats += 1;
+                        s.ping = Some((beat, Instant::now()));
+                        if s.link.write_line(&protocol::format_ping(beat)).is_err() {
+                            self.fault(slot, "worker channel closed (ping)")?;
+                        }
+                    }
                 }
             }
         }
@@ -491,7 +812,13 @@ impl Supervisor<'_> {
                         return self.fault(slot, &format!("undecodable report for spec {seq}: {e}"))
                     }
                 };
-                self.slots[slot].in_flight.remove(pos);
+                let s = &mut self.slots[slot];
+                s.in_flight.remove(pos);
+                if pos == 0 {
+                    // The head was served; the next spec's service (and
+                    // deadline) clock starts now.
+                    s.front_since = (!s.in_flight.is_empty()).then(Instant::now);
+                }
                 // At-most-once per report slot: `in_flight` sets are
                 // disjoint and resubmission only happens for
                 // unacknowledged seqs, so this slot is always empty —
@@ -506,55 +833,71 @@ impl Supervisor<'_> {
                 }
                 self.dispatch(slot)
             }
-            Ok(Response::Err { seq, message }) => Err(SweepError::Worker { seq, message }),
+            Ok(Response::Pong { beat }) => {
+                let s = &mut self.slots[slot];
+                if s.ping.map(|(b, _)| b) == Some(beat) {
+                    s.ping = None;
+                }
+                // A stale or unsolicited PONG still proved liveness via
+                // `last_line`; nothing else to do.
+                Ok(())
+            }
+            Ok(Response::Err { seq, message }) => Err(SweepError::Worker {
+                seq,
+                message,
+                stderr_tail: self.slots[slot].stderr.snapshot(),
+            }),
             Err(e) => self.fault(slot, &format!("unparseable reply: {e}")),
         }
     }
 
     /// Tops worker `slot`'s pipeline up to the in-flight window.
     fn dispatch(&mut self, slot: usize) -> Result<(), SweepError> {
+        if self.slots[slot].dead {
+            return Ok(());
+        }
         let window = self.opts.window.max(1);
         while self.slots[slot].in_flight.len() < window {
             let Some(seq) = self.pending.pop_front() else {
                 return Ok(());
             };
             let line = protocol::format_request(seq, &self.payloads[seq]);
-            let wrote = match self.slots[slot].stdin.as_mut() {
-                Some(stdin) => writeln!(stdin, "{line}")
-                    .and_then(|()| stdin.flush())
-                    .is_ok(),
-                None => false,
-            };
-            if wrote {
-                self.slots[slot].in_flight.push(seq);
+            let s = &mut self.slots[slot];
+            if s.link.write_line(&line).is_ok() {
+                if s.in_flight.is_empty() {
+                    s.front_since = Some(Instant::now());
+                }
+                s.in_flight.push(seq);
             } else {
-                // The pipe is gone — the worker died between replies.
+                // The channel is gone — the worker died between replies.
                 // Give the seq back before respawning so it is counted
                 // as lost-and-resubmitted exactly once.
                 self.pending.push_front(seq);
-                return self.fault(slot, "worker stdin closed mid-sweep");
+                return self.fault(slot, "worker channel closed mid-sweep");
             }
         }
         Ok(())
     }
 
-    /// Kills and replaces worker `slot`, resubmitting its lost specs.
+    /// Kills worker `slot`, resubmits its lost specs, and either
+    /// respawns it (after the backoff delay) or retires it when its
+    /// budget is spent. Retirement is *not* an error — surviving slots
+    /// (ultimately the in-process drain) absorb the work.
     ///
     /// Recursion note: `fault` calls `dispatch` (to load the
     /// replacement), which can fault again if the replacement dies
-    /// instantly; the depth is bounded by the respawn budget.
+    /// instantly; the depth is bounded by the per-slot budget.
     fn fault(&mut self, slot: usize, reason: &str) -> Result<(), SweepError> {
-        self.respawns += 1;
-        if self.respawns > self.opts.max_respawns {
-            return Err(SweepError::RespawnBudget {
-                respawns: self.respawns - 1,
-                last_fault: format!("worker {slot}: {reason}"),
-            });
+        if self.slots[slot].dead {
+            return Ok(());
         }
-        {
+        let tail = {
             let s = &mut self.slots[slot];
-            let _ = s.child.kill();
-            let _ = s.child.wait();
+            s.faults += 1;
+            s.link.kill();
+            s.link.wait();
+            s.ping = None;
+            s.front_since = None;
             // Resubmit lost specs at the head of the queue in their
             // original order: the earliest unfilled report slots are the
             // ones the merge is waiting on. Only unacknowledged seqs are
@@ -565,11 +908,50 @@ impl Supervisor<'_> {
             for &seq in lost.iter().rev() {
                 self.pending.push_front(seq);
             }
+            self.slots[slot].stderr.snapshot()
+        };
+        let faults = self.slots[slot].faults;
+        eprintln!("sweep: worker slot {slot} fault #{faults}: {reason}");
+        for line in &tail {
+            eprintln!("sweep: worker slot {slot} stderr| {line}");
         }
+
+        if faults > self.opts.max_respawns {
+            // Budget spent: retire the slot instead of failing the
+            // sweep. (`faults - 1` respawns actually happened; this
+            // fault consumed the would-be-next one.)
+            self.slots[slot].dead = true;
+            self.summary.degraded.push(DegradedSlot {
+                slot,
+                respawns: faults - 1,
+                last_fault: reason.to_string(),
+                stderr_tail: tail,
+            });
+            eprintln!(
+                "sweep: worker slot {slot} retired after {} respawn(s); \
+                 remaining work shifts to surviving workers",
+                faults - 1
+            );
+            return Ok(());
+        }
+
+        let delay = self.opts.backoff.delay(slot, faults - 1);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        self.summary.respawns += 1;
         let incarnation = self.slots[slot].incarnation + 1;
-        let replacement = spawn_worker(self.opts, false, &self.tx, slot, incarnation)?;
-        self.slots[slot] = replacement;
-        self.dispatch(slot)
+        match self.spawn_slot(slot, incarnation, false) {
+            Ok(mut replacement) => {
+                replacement.faults = faults;
+                self.slots[slot] = replacement;
+                self.dispatch(slot)
+            }
+            // A failed *respawn* is just another fault against the
+            // budget (the command may come back — flaky FS, PID limits);
+            // the recursion retires the slot once the budget is gone.
+            Err(message) => self.fault(slot, &format!("respawn failed: {message}")),
+        }
     }
 }
 
@@ -593,10 +975,28 @@ mod tests {
         assert_eq!(Shards::parse("0"), Some(Shards::InProcess));
         assert_eq!(Shards::parse("1"), Some(Shards::Workers(1)));
         assert_eq!(Shards::parse("16"), Some(Shards::Workers(16)));
-        assert_eq!(Shards::parse("-1"), None);
-        assert_eq!(Shards::parse("many"), None);
+        for bad in ["-1", "many", "", "+3", " 3", "3 ", "3.0", "0x4"] {
+            assert_eq!(Shards::parse(bad), None, "accepted `{bad}`");
+        }
         assert_eq!(Shards::Workers(4).count(), 4);
         assert_eq!(Shards::InProcess.count(), 0);
+    }
+
+    #[test]
+    fn shards_list_parse_names_the_bad_token() {
+        assert_eq!(
+            Shards::parse_list("0,2,4"),
+            Ok(vec![
+                Shards::InProcess,
+                Shards::Workers(2),
+                Shards::Workers(4)
+            ])
+        );
+        for (list, bad) in [("0,x,4", "`x`"), ("0,,4", "``"), ("1,+2", "`+2`")] {
+            let err = Shards::parse_list(list).unwrap_err();
+            assert!(err.contains(bad), "error for `{list}` was: {err}");
+        }
+        assert!(Shards::parse_list("").unwrap_err().contains("empty"));
     }
 
     #[test]
@@ -689,11 +1089,34 @@ mod tests {
 
     #[test]
     fn sweep_errors_display_their_cause() {
-        let e = SweepError::RespawnBudget {
-            respawns: 3,
-            last_fault: "worker 1: exited early".into(),
+        let e = SweepError::Worker {
+            seq: 3,
+            message: "bad spec: missing field".into(),
+            stderr_tail: vec!["thread panicked at foo".into()],
         };
         let msg = e.to_string();
-        assert!(msg.contains('3') && msg.contains("exited early"), "{msg}");
+        assert!(msg.contains('3') && msg.contains("missing field"), "{msg}");
+        assert!(msg.contains("panicked"), "stderr tail missing: {msg}");
+    }
+
+    #[test]
+    fn degraded_summaries_render_their_story() {
+        let summary = SweepSummary {
+            respawns: 4,
+            degraded: vec![DegradedSlot {
+                slot: 1,
+                respawns: 2,
+                last_fault: "worker exited early".into(),
+                stderr_tail: vec!["boom".into()],
+            }],
+            drained_in_process: 7,
+        };
+        assert!(summary.is_degraded());
+        let text = summary.render();
+        for needle in ["4 worker respawn", "slot 1", "boom", "7 spec(s)"] {
+            assert!(text.contains(needle), "missing `{needle}` in: {text}");
+        }
+        assert!(SweepSummary::default().render().is_empty());
+        assert!(!SweepSummary::default().is_degraded());
     }
 }

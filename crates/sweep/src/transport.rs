@@ -1,0 +1,502 @@
+//! Worker transports: how supervisor and worker exchange protocol lines.
+//!
+//! The sweep protocol ([`crate::protocol`]) is plain line frames, so it
+//! does not care what byte channel carries it. This module abstracts
+//! that channel behind two small traits:
+//!
+//! * [`WorkerTransport`] — spawns one worker and hands back its
+//!   [`WorkerLink`]. A transport owns whatever shared resource spawning
+//!   needs (the TCP flavour holds the listener socket).
+//! * [`WorkerLink`] — one live worker channel: a raw reader stream for
+//!   the supervisor's per-worker reader thread, line writes for
+//!   `SPEC`/`PING`, a captured stderr stream, and kill/close/wait.
+//!
+//! Two implementations ship:
+//!
+//! * [`PipeTransport`] — the classic child-process stdin/stdout pipes.
+//! * [`TcpTransport`] — a `std::net` listener; each spawned worker gets
+//!   `--connect host:port` appended to its argv, dials back in, and
+//!   speaks the identical protocol over the socket. This is the local
+//!   stepping stone to genuinely remote workers: the supervisor side
+//!   already treats the channel as an unreliable byte stream (deadlines,
+//!   heartbeats, respawn), so moving the other end off-host changes
+//!   nothing above this module.
+//!
+//! Nothing here interprets protocol bytes; faults (EOF, floods,
+//! garbage) are surfaced to the supervisor as ordinary read/write
+//! errors and handled by its robustness layer.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which channel carries the protocol. Parsed from the CLI `--workers`
+/// flag (`pipes`, `tcp`, or `tcp://host:port`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Child-process stdin/stdout pipes (the default).
+    #[default]
+    Pipes,
+    /// TCP loopback (or any bindable address): the supervisor listens on
+    /// `bind`, workers dial back with `--connect`. `host:port` form;
+    /// port 0 asks the OS for a free port.
+    Tcp {
+        /// Address the supervisor's listener binds, e.g. `127.0.0.1:0`.
+        bind: String,
+    },
+}
+
+impl TransportKind {
+    /// Parses the CLI spelling: `pipes` (or `process`), `tcp`
+    /// (= `tcp://127.0.0.1:0`), or `tcp://host:port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the bad value.
+    pub fn parse(s: &str) -> Result<TransportKind, String> {
+        match s {
+            "pipes" | "process" | "pipe" => Ok(TransportKind::Pipes),
+            "tcp" => Ok(TransportKind::Tcp {
+                bind: "127.0.0.1:0".to_string(),
+            }),
+            other => match other.strip_prefix("tcp://") {
+                Some(addr) if addr.contains(':') && !addr.ends_with(':') => {
+                    Ok(TransportKind::Tcp {
+                        bind: addr.to_string(),
+                    })
+                }
+                Some(addr) => Err(format!(
+                    "bad --workers address `{addr}`: expected host:port (port 0 = auto)"
+                )),
+                None => Err(format!(
+                    "bad --workers value `{other}`: expected `pipes`, `tcp`, or `tcp://host:port`"
+                )),
+            },
+        }
+    }
+}
+
+/// Spawns workers and wires up their channels. One transport instance
+/// serves one whole sweep (respawns included).
+pub trait WorkerTransport {
+    /// Extra argv the worker binary needs to find its channel back to
+    /// this transport (empty for pipes, `--connect addr` for TCP).
+    fn worker_args(&self) -> Vec<String>;
+
+    /// Spawns `cmd` (program/args/env prepared by the caller,
+    /// [`Self::worker_args`] already appended) and returns its link.
+    ///
+    /// # Errors
+    ///
+    /// A stringified OS / handshake error.
+    fn spawn(&mut self, cmd: Command) -> Result<Box<dyn WorkerLink>, String>;
+}
+
+/// One live worker channel. All methods must be callable after the
+/// worker died — they report errors rather than panic.
+pub trait WorkerLink: Send {
+    /// The protocol-reply stream, taken once by the supervisor's reader
+    /// thread. `None` on the second take.
+    fn take_reader(&mut self) -> Option<Box<dyn Read + Send>>;
+
+    /// The worker's stderr, taken once (the supervisor tails it for
+    /// crash diagnostics). `None` if unavailable or already taken.
+    fn take_stderr(&mut self) -> Option<Box<dyn Read + Send>>;
+
+    /// Writes one protocol line (newline appended) and flushes.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error; the supervisor treats it as a fault of
+    /// this worker.
+    fn write_line(&mut self, line: &str) -> io::Result<()>;
+
+    /// Signals a clean shutdown (close the pipe / half-close the
+    /// socket); the worker exits when it sees EOF on its input.
+    fn close_input(&mut self);
+
+    /// Force-kills the worker process and severs the channel.
+    fn kill(&mut self);
+
+    /// Reaps the worker process (blocking).
+    fn wait(&mut self);
+}
+
+/// Builds the transport instance for `kind`.
+///
+/// # Errors
+///
+/// TCP: the listener failed to bind.
+pub fn make_transport(kind: &TransportKind) -> Result<Box<dyn WorkerTransport>, String> {
+    match kind {
+        TransportKind::Pipes => Ok(Box::new(PipeTransport)),
+        TransportKind::Tcp { bind } => Ok(Box::new(TcpTransport::bind(bind)?)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pipes
+
+/// The child-process stdin/stdout transport.
+pub struct PipeTransport;
+
+impl WorkerTransport for PipeTransport {
+    fn worker_args(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    fn spawn(&mut self, mut cmd: Command) -> Result<Box<dyn WorkerLink>, String> {
+        cmd.stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        let mut child = cmd.spawn().map_err(|e| e.to_string())?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let stderr = child.stderr.take().map(|s| Box::new(s) as _);
+        let stdin = child.stdin.take().expect("stdin was piped");
+        Ok(Box::new(PipeLink {
+            child,
+            stdin: Some(stdin),
+            stdout: Some(Box::new(stdout)),
+            stderr,
+        }))
+    }
+}
+
+struct PipeLink {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    stdout: Option<Box<dyn Read + Send>>,
+    stderr: Option<Box<dyn Read + Send>>,
+}
+
+impl WorkerLink for PipeLink {
+    fn take_reader(&mut self) -> Option<Box<dyn Read + Send>> {
+        self.stdout.take()
+    }
+
+    fn take_stderr(&mut self) -> Option<Box<dyn Read + Send>> {
+        self.stderr.take()
+    }
+
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        let stdin = self
+            .stdin
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::BrokenPipe, "worker stdin closed"))?;
+        writeln!(stdin, "{line}")?;
+        stdin.flush()
+    }
+
+    fn close_input(&mut self) {
+        self.stdin = None;
+    }
+
+    fn kill(&mut self) {
+        self.stdin = None;
+        let _ = self.child.kill();
+    }
+
+    fn wait(&mut self) {
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for PipeLink {
+    fn drop(&mut self) {
+        // Early error returns must not leak processes.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP
+
+/// How long a freshly spawned worker gets to dial back before the spawn
+/// is declared failed. Generous: this is process start + one loopback
+/// connect, not a simulation.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The TCP transport: one listener for the whole sweep; each spawn
+/// hands the worker `--connect <addr>` and waits for it to dial in.
+pub struct TcpTransport {
+    listener: TcpListener,
+    addr: String,
+}
+
+impl TcpTransport {
+    /// Binds the sweep's listener.
+    ///
+    /// # Errors
+    ///
+    /// The bind failure, stringified.
+    pub fn bind(bind: &str) -> Result<TcpTransport, String> {
+        let listener =
+            TcpListener::bind(bind).map_err(|e| format!("could not bind tcp://{bind}: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("could not configure listener: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("listener has no local address: {e}"))?
+            .to_string();
+        Ok(TcpTransport { listener, addr })
+    }
+
+    /// The bound address workers must `--connect` to (real port, even
+    /// when bound with port 0).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl WorkerTransport for TcpTransport {
+    fn worker_args(&self) -> Vec<String> {
+        vec![crate::worker::CONNECT_FLAG.to_string(), self.addr.clone()]
+    }
+
+    fn spawn(&mut self, mut cmd: Command) -> Result<Box<dyn WorkerLink>, String> {
+        // The socket carries the protocol; the standard streams only
+        // exist for diagnostics (stderr) — stdout is silenced so a
+        // worker that misbehaves there can't confuse anything.
+        cmd.stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        let mut child = cmd.spawn().map_err(|e| e.to_string())?;
+        let stderr = child.stderr.take().map(|s| Box::new(s) as _);
+
+        // Accept the dial-back. Spawns are sequential (the supervisor
+        // loop is single-threaded), so the next connection is this
+        // worker's. Poll so a worker that dies before connecting turns
+        // into a spawn error instead of a hang.
+        let start = Instant::now();
+        let stream = loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => break stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if let Ok(Some(status)) = child.try_wait() {
+                        return Err(format!("worker exited before connecting ({status})"));
+                    }
+                    if start.elapsed() > CONNECT_TIMEOUT {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return Err(format!(
+                            "worker did not connect to {} within {:?}",
+                            self.addr, CONNECT_TIMEOUT
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(format!("accept failed: {e}"));
+                }
+            }
+        };
+        stream
+            .set_nonblocking(false)
+            .map_err(|e| format!("could not configure worker socket: {e}"))?;
+        let reader = stream
+            .try_clone()
+            .map_err(|e| format!("could not clone worker socket: {e}"))?;
+        Ok(Box::new(TcpLink {
+            child,
+            stream,
+            reader: Some(Box::new(reader)),
+            stderr,
+        }))
+    }
+}
+
+struct TcpLink {
+    child: Child,
+    stream: TcpStream,
+    reader: Option<Box<dyn Read + Send>>,
+    stderr: Option<Box<dyn Read + Send>>,
+}
+
+impl WorkerLink for TcpLink {
+    fn take_reader(&mut self) -> Option<Box<dyn Read + Send>> {
+        self.reader.take()
+    }
+
+    fn take_stderr(&mut self) -> Option<Box<dyn Read + Send>> {
+        self.stderr.take()
+    }
+
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        writeln!(&mut self.stream, "{line}")?;
+        self.stream.flush()
+    }
+
+    fn close_input(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Write);
+    }
+
+    fn kill(&mut self) {
+        // Sever the socket first so the supervisor's reader thread
+        // unblocks even if the process ignores the kill for a moment.
+        let _ = self.stream.shutdown(Shutdown::Both);
+        let _ = self.child.kill();
+    }
+
+    fn wait(&mut self) {
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for TcpLink {
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stderr tailing
+
+/// How many trailing stderr lines are kept per worker.
+pub const STDERR_TAIL_LINES: usize = 20;
+
+/// Longest stderr line retained verbatim; the rest is truncated (a
+/// crashing worker can spew arbitrarily wide lines).
+const STDERR_LINE_CAP: usize = 400;
+
+/// A bounded tail of a worker's stderr, filled by a background thread.
+///
+/// The supervisor attaches this to fault logs and degraded-slot
+/// summaries so a dead worker is diagnosable from the sweep output
+/// alone — without it, a worker that panics before its first reply is
+/// just "exited early".
+#[derive(Clone)]
+pub struct StderrTail {
+    lines: Arc<Mutex<VecDeque<String>>>,
+}
+
+impl StderrTail {
+    /// An empty tail (used when the link has no stderr stream).
+    pub fn empty() -> StderrTail {
+        StderrTail {
+            lines: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Starts a thread draining `stream` into the tail buffer. The
+    /// thread exits when the stream does; it holds only the buffer Arc,
+    /// so it never blocks supervisor shutdown.
+    pub fn tail(stream: Box<dyn Read + Send>) -> StderrTail {
+        let tail = StderrTail::empty();
+        let lines = Arc::clone(&tail.lines);
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stream);
+            for line in reader.split(b'\n') {
+                let Ok(raw) = line else { break };
+                let mut text = String::from_utf8_lossy(&raw).into_owned();
+                if text.len() > STDERR_LINE_CAP {
+                    let mut cut = STDERR_LINE_CAP;
+                    while !text.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    text.truncate(cut);
+                    text.push('…');
+                }
+                let mut buf = lines.lock().unwrap_or_else(|e| e.into_inner());
+                if buf.len() == STDERR_TAIL_LINES {
+                    buf.pop_front();
+                }
+                buf.push_back(text);
+            }
+        });
+        tail
+    }
+
+    /// The current tail, oldest line first.
+    pub fn snapshot(&self) -> Vec<String> {
+        self.lines
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_kind_parses_the_cli_spellings() {
+        assert_eq!(TransportKind::parse("pipes"), Ok(TransportKind::Pipes));
+        assert_eq!(TransportKind::parse("process"), Ok(TransportKind::Pipes));
+        assert_eq!(
+            TransportKind::parse("tcp"),
+            Ok(TransportKind::Tcp {
+                bind: "127.0.0.1:0".into()
+            })
+        );
+        assert_eq!(
+            TransportKind::parse("tcp://127.0.0.1:9099"),
+            Ok(TransportKind::Tcp {
+                bind: "127.0.0.1:9099".into()
+            })
+        );
+        for bad in ["", "udp://x:1", "tcp://", "tcp://nohost", "tcp://host:"] {
+            assert!(TransportKind::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn tcp_transport_reports_its_real_port() {
+        let t = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let addr = t.addr().to_string();
+        assert!(addr.starts_with("127.0.0.1:"));
+        assert_ne!(addr, "127.0.0.1:0", "port 0 must resolve to a real port");
+        let args = t.worker_args();
+        assert_eq!(args[0], crate::worker::CONNECT_FLAG);
+        assert_eq!(args[1], addr);
+    }
+
+    #[test]
+    fn stderr_tail_keeps_only_the_last_lines() {
+        let mut blob = String::new();
+        for i in 0..50 {
+            blob.push_str(&format!("line {i}\n"));
+        }
+        let tail = StderrTail::tail(Box::new(std::io::Cursor::new(blob.into_bytes())));
+        // The tailing thread races us; poll briefly for the final state.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = tail.snapshot();
+            if snap.len() == STDERR_TAIL_LINES && snap.last().map(String::as_str) == Some("line 49")
+            {
+                assert_eq!(snap[0], "line 30");
+                break;
+            }
+            assert!(Instant::now() < deadline, "tail never settled: {snap:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn stderr_tail_truncates_hostile_lines() {
+        let blob = format!("{}\n", "x".repeat(10_000));
+        let tail = StderrTail::tail(Box::new(std::io::Cursor::new(blob.into_bytes())));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = tail.snapshot();
+            if let Some(line) = snap.first() {
+                assert!(line.chars().count() <= STDERR_LINE_CAP + 1);
+                assert!(line.ends_with('…'));
+                break;
+            }
+            assert!(Instant::now() < deadline, "tail never filled");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}

@@ -1,16 +1,20 @@
 //! End-to-end sharded sweeps against real worker processes.
 //!
-//! These drive the actual supervisor ⇄ worker pipe protocol using the
-//! `besync-sweep-worker` binary (built by cargo alongside this test),
-//! plus hostile stand-ins (`cat`, `true`) that exercise the fault paths.
-//! The workspace-root `tests/sweep_equivalence.rs` pins the same
+//! These drive the actual supervisor ⇄ worker protocol using the
+//! `besync-sweep-worker` binary (built by cargo alongside this test) over
+//! both transports, plus hostile stand-ins (`cat`, `sleep`, `true`) and
+//! the [`FAULT_ENV`] injection harness that exercise every fault class:
+//! crash, hang, stall, garble, flood, and an unresponsive/partitioned
+//! peer. The workspace-root `tests/sweep_equivalence.rs` pins the same
 //! guarantees at figure-grid scale through the `experiments` binary.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use besync_scenarios::{by_name, ScenarioSpec};
 use besync_sweep::{
-    run_sweep, Shards, SweepError, SweepOptions, SweepOutcome, WorkerSpawn, ABORT_ENV,
+    run_sweep, run_sweep_summarized, BackoffPolicy, Shards, SweepOptions, SweepOutcome, SweepRun,
+    TransportKind, WorkerSpawn, ABORT_ENV, FAULT_ENV,
 };
 
 fn worker_bin() -> WorkerSpawn {
@@ -20,12 +24,26 @@ fn worker_bin() -> WorkerSpawn {
     )
 }
 
+/// Sharded options tuned for tests: real worker binary, near-zero
+/// backoff (the schedule itself is pinned separately in
+/// `frame_props.rs` — here it would only slow the suite down).
 fn sharded(shards: u32) -> SweepOptions {
     SweepOptions {
         shards: Shards::Workers(shards),
         worker: worker_bin(),
+        backoff: BackoffPolicy {
+            base_ms: 1,
+            cap_ms: 8,
+            seed: 0xbe57_c0de,
+        },
         ..SweepOptions::default()
     }
+}
+
+fn with_fault(mut opts: SweepOptions, fault: &str) -> SweepOptions {
+    opts.worker_env
+        .push((FAULT_ENV.to_string(), fault.to_string()));
+    opts
 }
 
 /// A small mixed batch: different seeds, systems, and metrics, so a
@@ -41,6 +59,10 @@ fn mixed_specs() -> Vec<ScenarioSpec> {
     }
     specs.push(by_name("golden_deviation_poisson").unwrap().quick());
     specs
+}
+
+fn baseline() -> Vec<SweepOutcome> {
+    run_sweep(&mixed_specs(), &SweepOptions::default()).unwrap()
 }
 
 fn assert_outcomes_identical(a: &[SweepOutcome], b: &[SweepOutcome]) {
@@ -76,10 +98,47 @@ fn assert_outcomes_identical(a: &[SweepOutcome], b: &[SweepOutcome]) {
     }
 }
 
+/// Runs the sweep expecting a *clean recovery*: identical outcomes, at
+/// least one respawn, no degradation.
+fn assert_recovers(opts: &SweepOptions, min_respawns: usize) -> SweepRun {
+    let run = run_sweep_summarized(&mixed_specs(), opts).unwrap();
+    assert_outcomes_identical(&baseline(), &run.outcomes);
+    assert!(
+        run.summary.respawns >= min_respawns,
+        "expected ≥ {min_respawns} respawns, saw {}",
+        run.summary.respawns
+    );
+    assert!(
+        !run.summary.is_degraded(),
+        "unexpected degradation: {}",
+        run.summary.render()
+    );
+    run
+}
+
+/// Runs the sweep expecting *graceful degradation*: still identical
+/// outcomes, but with retired slots and an in-process drain.
+fn assert_degrades(opts: &SweepOptions) -> SweepRun {
+    let specs = mixed_specs();
+    let run = run_sweep_summarized(&specs, opts).unwrap();
+    assert_outcomes_identical(&baseline(), &run.outcomes);
+    assert!(run.summary.is_degraded(), "expected retired slots");
+    assert_eq!(
+        run.summary.degraded.len(),
+        (opts.shards.count() as usize).min(specs.len()),
+        "every slot should retire"
+    );
+    assert!(
+        run.summary.drained_in_process > 0,
+        "expected an in-process drain"
+    );
+    run
+}
+
 #[test]
 fn sharded_outcomes_match_in_process_bit_for_bit() {
     let specs = mixed_specs();
-    let baseline = run_sweep(&specs, &SweepOptions::default()).unwrap();
+    let baseline = baseline();
     for shards in [1, 2, 5] {
         let outcomes = run_sweep(&specs, &sharded(shards)).unwrap();
         assert_outcomes_identical(&baseline, &outcomes);
@@ -90,78 +149,170 @@ fn sharded_outcomes_match_in_process_bit_for_bit() {
 }
 
 #[test]
-fn crashing_workers_respawn_and_the_merge_is_unchanged() {
+fn tcp_transport_matches_pipes_bit_for_bit() {
     let specs = mixed_specs();
-    let baseline = run_sweep(&specs, &SweepOptions::default()).unwrap();
-    // Every initial worker aborts on receiving its 2nd spec (after its
-    // 1st reply at the earliest); respawned replacements are clean.
+    let baseline = baseline();
+    let mut opts = sharded(2);
+    opts.transport = TransportKind::Tcp {
+        bind: "127.0.0.1:0".to_string(),
+    };
+    let run = run_sweep_summarized(&specs, &opts).unwrap();
+    assert_outcomes_identical(&baseline, &run.outcomes);
+    assert_eq!(run.summary.respawns, 0);
+}
+
+#[test]
+fn crashing_workers_respawn_and_the_merge_is_unchanged() {
+    // Legacy knob spelling: every initial worker aborts on receiving its
+    // 2nd spec; respawned replacements are clean.
     let mut opts = sharded(2);
     opts.worker_env
         .push((ABORT_ENV.to_string(), "2".to_string()));
-    let outcomes = run_sweep(&specs, &opts).unwrap();
-    assert_outcomes_identical(&baseline, &outcomes);
+    assert_recovers(&opts, 1);
 }
 
 #[test]
 fn instantly_crashing_workers_recover_within_the_budget() {
-    // Abort on the 1st spec: the harshest injectable fault (no initial
-    // worker ever replies). The clean replacements finish the sweep
-    // well inside the default respawn budget, output unchanged.
-    let specs = mixed_specs();
-    let baseline = run_sweep(&specs, &SweepOptions::default()).unwrap();
-    let mut opts = sharded(2);
-    opts.worker_env
-        .push((ABORT_ENV.to_string(), "1".to_string()));
-    let outcomes = run_sweep(&specs, &opts).unwrap();
-    assert_outcomes_identical(&baseline, &outcomes);
+    // Abort on the 1st spec: no initial worker ever replies. The clean
+    // replacements finish the sweep inside the default budget.
+    assert_recovers(&with_fault(sharded(2), "abort:1"), 2);
 }
 
 #[test]
-fn echoing_worker_is_a_structured_error_not_a_panic() {
+fn crashing_tcp_workers_respawn_too() {
+    let mut opts = with_fault(sharded(2), "abort:1");
+    opts.transport = TransportKind::Tcp {
+        bind: "127.0.0.1:0".to_string(),
+    };
+    assert_recovers(&opts, 2);
+}
+
+#[test]
+fn exiting_workers_with_status_are_an_ordinary_crash() {
+    // `exit:2:7` exits with a nonzero status instead of SIGABRT — same
+    // fault class, same recovery.
+    assert_recovers(&with_fault(sharded(2), "exit:2:7"), 1);
+}
+
+#[test]
+fn hung_workers_are_detected_by_the_spec_deadline() {
+    // `hang:1`: the compute thread wedges forever on its first spec but
+    // the I/O thread keeps answering PINGs — only the per-spec deadline
+    // can catch this one.
+    let mut opts = with_fault(sharded(2), "hang:1");
+    opts.spec_deadline = Some(Duration::from_secs(1));
+    let run = assert_recovers(&opts, 1);
+    assert_eq!(run.summary.drained_in_process, 0);
+}
+
+#[test]
+fn stalling_workers_inside_the_deadline_need_no_respawn() {
+    // A 50ms stall is indistinguishable from a slow spec; with the
+    // (generous) default deadline nothing should be killed.
+    let run = run_sweep_summarized(&mixed_specs(), &with_fault(sharded(2), "stall-ms:1:50"))
+        .expect("stall within deadline");
+    assert_outcomes_identical(&baseline(), &run.outcomes);
+    assert_eq!(run.summary.respawns, 0);
+}
+
+#[test]
+fn stalling_workers_past_the_deadline_are_killed_and_replaced() {
+    let mut opts = with_fault(sharded(1), "stall-ms:1:20000");
+    opts.spec_deadline = Some(Duration::from_secs(1));
+    assert_recovers(&opts, 1);
+}
+
+#[test]
+fn garbling_workers_are_respawned_on_the_first_bad_frame() {
+    assert_recovers(&with_fault(sharded(2), "garble:1"), 1);
+}
+
+#[test]
+fn flooding_workers_hit_the_line_bound_and_are_replaced() {
+    // `flood:1` writes 2 MiB with no newline: the bounded reader gives
+    // up at 1 MiB and the slot faults instead of the supervisor hanging.
+    assert_recovers(&with_fault(sharded(1), "flood:1"), 1);
+}
+
+#[test]
+fn unresponsive_workers_are_detected_by_heartbeat() {
+    // `sleep 30` accepts specs (the pipe buffers them) but never writes
+    // a byte: no crash, no EOF, no reply to deadline against — only the
+    // PING/PONG probe can tell it is gone. This is also the local model
+    // of a partitioned TCP peer. Budget 0 → first fault retires the
+    // slot and the sweep degrades to in-process completion.
+    let mut opts = SweepOptions {
+        worker: WorkerSpawn::Command("sleep".into(), vec!["30".to_string()]),
+        max_respawns: 0,
+        heartbeat_interval: Duration::from_millis(100),
+        heartbeat_timeout: Duration::from_millis(400),
+        spec_deadline: Some(Duration::from_secs(60)),
+        ..sharded(1)
+    };
+    opts.shards = Shards::Workers(1);
+    let run = assert_degrades(&opts);
+    assert!(
+        run.summary.degraded[0].last_fault.contains("PONG"),
+        "expected a heartbeat fault, got: {}",
+        run.summary.degraded[0].last_fault
+    );
+}
+
+#[test]
+fn echoing_workers_degrade_to_in_process_completion() {
     // `cat` echoes every SPEC line straight back: an endless stream of
-    // unparseable replies. The supervisor must burn its respawn budget
-    // and return a structured error.
+    // unparseable replies. The budget burns down, the slots retire, and
+    // the sweep still completes byte-identically in-process.
     let opts = SweepOptions {
-        shards: Shards::Workers(2),
         worker: WorkerSpawn::Command("cat".into(), Vec::new()),
         max_respawns: 3,
-        ..SweepOptions::default()
+        ..sharded(2)
     };
-    match run_sweep(&mixed_specs(), &opts) {
-        Err(SweepError::RespawnBudget { respawns, .. }) => assert_eq!(respawns, 3),
-        other => panic!("expected RespawnBudget, got {other:?}"),
+    let run = assert_degrades(&opts);
+    assert_eq!(run.summary.respawns, 6, "3 respawns per slot × 2 slots");
+    for d in &run.summary.degraded {
+        assert_eq!(d.respawns, 3);
+        assert!(d.last_fault.contains("unparseable"), "{}", d.last_fault);
     }
 }
 
 #[test]
-fn newline_free_flooding_worker_is_a_structured_error_not_a_hang() {
+fn newline_free_flooding_workers_degrade_not_hang() {
     // `cat /dev/zero` streams bytes with no newline, ever: without a
     // bounded line reader the supervisor would accumulate one endless
-    // line and block forever. With the bound it's an ordinary fault.
+    // line and block forever. With it, each incarnation faults promptly
+    // and the sweep degrades.
     let opts = SweepOptions {
-        shards: Shards::Workers(1),
         worker: WorkerSpawn::Command("cat".into(), vec!["/dev/zero".to_string()]),
         max_respawns: 2,
-        ..SweepOptions::default()
+        ..sharded(1)
     };
-    match run_sweep(&mixed_specs(), &opts) {
-        Err(SweepError::RespawnBudget { .. }) => {}
-        other => panic!("expected RespawnBudget, got {other:?}"),
-    }
+    assert_degrades(&opts);
 }
 
 #[test]
-fn instantly_exiting_worker_is_a_structured_error() {
+fn instantly_exiting_workers_degrade_not_fail() {
     // `true` exits before reading anything: EOF with work pending, every
-    // time.
+    // time, until the budget retires the slot.
     let opts = SweepOptions {
-        shards: Shards::Workers(1),
         worker: WorkerSpawn::Command("true".into(), Vec::new()),
         max_respawns: 2,
-        ..SweepOptions::default()
+        ..sharded(1)
     };
-    match run_sweep(&mixed_specs(), &opts) {
-        Err(SweepError::RespawnBudget { .. }) => {}
-        other => panic!("expected RespawnBudget, got {other:?}"),
-    }
+    assert_degrades(&opts);
+}
+
+#[test]
+fn degraded_slots_carry_the_workers_stderr_tail() {
+    // Faults announce themselves on stderr; with a zero respawn budget
+    // the announcement must surface in the DegradedSlot so the cause is
+    // diagnosable from the sweep output alone.
+    let mut opts = with_fault(sharded(1), "exit:1:3");
+    opts.max_respawns = 0;
+    let run = assert_degrades(&opts);
+    let tail = run.summary.degraded[0].stderr_tail.join("\n");
+    assert!(
+        tail.contains("injected fault"),
+        "stderr tail should carry the fault announcement, got: {tail:?}"
+    );
 }

@@ -1,0 +1,153 @@
+//! Hardening properties for the heartbeat frames, the fault-spec
+//! mini-language, and the respawn backoff schedule.
+//!
+//! The spec/report payload codec has its own garble corpus in
+//! `besync_scenarios` (`tests/codec_props.rs`); this file extends the
+//! same treatment to what PR 6 added around it: `PING`/`PONG` framing,
+//! `BESYNC_SWEEP_FAULT` specs, and the deterministic backoff policy that
+//! paces worker respawns.
+
+use besync_sweep::protocol::{
+    format_ping, format_pong, parse_request, parse_response, Request, Response,
+};
+use besync_sweep::worker::Fault;
+use besync_sweep::BackoffPolicy;
+use proptest::prelude::*;
+
+/// Mutilates a single-line frame deterministically from `(kind, a, b)`.
+fn garble_line(line: &str, kind: u8, a: usize, b: u8) -> String {
+    let mut bytes = line.as_bytes().to_vec();
+    match kind % 4 {
+        // Truncate mid-frame.
+        0 => bytes.truncate(a % (bytes.len() + 1)),
+        // Flip one byte to printable garbage.
+        1 => {
+            if !bytes.is_empty() {
+                let i = a % bytes.len();
+                bytes[i] = 32 + (b % 95);
+            }
+        }
+        // Prepend junk (frame tag no longer leads the line).
+        2 => {
+            let mut out = format!("junk{b} ").into_bytes();
+            out.extend_from_slice(&bytes);
+            bytes = out;
+        }
+        // Append junk (trailing fields the parser must reject).
+        _ => bytes.extend_from_slice(format!(" {b}").as_bytes()),
+    }
+    // All frames are ASCII, so any slicing above stays valid UTF-8.
+    String::from_utf8(bytes).expect("frames are ASCII")
+}
+
+fn fault() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        (1u64..=u64::MAX).prop_map(|nth| Fault::Abort { nth }),
+        (1u64..=u64::MAX, 0u8..=255).prop_map(|(nth, code)| Fault::Exit { nth, code }),
+        (1u64..=u64::MAX).prop_map(|nth| Fault::Hang { nth }),
+        (1u64..=u64::MAX, 0u64..=u64::MAX).prop_map(|(nth, ms)| Fault::StallMs { nth, ms }),
+        (1u64..=u64::MAX).prop_map(|nth| Fault::Garble { nth }),
+        (1u64..=u64::MAX).prop_map(|nth| Fault::Flood { nth }),
+    ]
+}
+
+fn policy() -> impl Strategy<Value = BackoffPolicy> {
+    (0u64..10_000, 0u64..1_000_000, 0u64..=u64::MAX).prop_map(|(base_ms, cap_ms, seed)| {
+        BackoffPolicy {
+            base_ms,
+            cap_ms,
+            seed,
+        }
+    })
+}
+
+proptest! {
+    /// Every beat round-trips through both heartbeat directions.
+    #[test]
+    fn heartbeats_round_trip_any_beat(beat in 0u64..=u64::MAX) {
+        prop_assert_eq!(
+            parse_request(&format_ping(beat)).unwrap(),
+            Request::Ping { beat }
+        );
+        match parse_response(&format_pong(beat)).unwrap() {
+            Response::Pong { beat: back } => prop_assert_eq!(back, beat),
+            other => prop_assert!(false, "expected Pong, got {:?}", other),
+        }
+    }
+
+    /// Garbled heartbeat frames — in either direction — error
+    /// structurally or happen to stay parseable; they never panic, and a
+    /// mutated PING can never decode as a spec dispatch.
+    #[test]
+    fn garbled_heartbeats_never_panic(
+        beat in 0u64..=u64::MAX,
+        kind in 0u8..=255,
+        a in 0usize..10_000,
+        b in 0u8..=255,
+    ) {
+        if let Ok(req) = parse_request(&garble_line(&format_ping(beat), kind, a, b)) {
+            prop_assert!(
+                !matches!(req, Request::Spec { .. }),
+                "a mangled PING must not turn into a SPEC: {:?}", req
+            );
+        }
+        let _ = parse_response(&garble_line(&format_pong(beat), kind, a, b));
+    }
+
+    /// Fault specs round-trip through their text form.
+    #[test]
+    fn fault_specs_round_trip(f in fault()) {
+        prop_assert_eq!(Fault::parse(&f.to_spec()).unwrap(), f);
+    }
+
+    /// Garbled fault specs parse or error — never panic — and arbitrary
+    /// ASCII is handled the same way.
+    #[test]
+    fn garbled_fault_specs_never_panic(
+        f in fault(),
+        kind in 0u8..=255,
+        a in 0usize..10_000,
+        b in 0u8..=255,
+        junk in prop::collection::vec(0u8..128, 0..60),
+    ) {
+        let _ = Fault::parse(&garble_line(&f.to_spec(), kind, a, b));
+        let text: String = junk.into_iter().map(|x| x as char).collect();
+        let _ = Fault::parse(&text);
+    }
+
+    /// The backoff schedule is deterministic per seed (a fresh policy
+    /// with the same fields reproduces it exactly), never exceeds the
+    /// effective cap, and is monotone nondecreasing while the
+    /// exponential step is still doubling below the cap.
+    #[test]
+    fn backoff_schedule_is_pinned(p in policy(), slot in 0usize..64) {
+        let twin = BackoffPolicy { base_ms: p.base_ms, cap_ms: p.cap_ms, seed: p.seed };
+        let effective_cap = p.cap_ms.max(p.base_ms).max(1);
+        let mut prev = 0u64;
+        for attempt in 0..48usize {
+            let d = p.delay_ms(slot, attempt);
+            prop_assert_eq!(d, twin.delay_ms(slot, attempt), "nondeterministic at {}", attempt);
+            prop_assert!(d <= effective_cap, "delay {} over cap {}", d, effective_cap);
+            prop_assert!(d >= 1 || p.step_ms(attempt) <= 1, "vanishing delay at {}", attempt);
+            if attempt > 0 && p.step_ms(attempt) == 2 * p.step_ms(attempt - 1) {
+                prop_assert!(
+                    d >= prev,
+                    "non-monotone below cap: {} after {} at attempt {}", d, prev, attempt
+                );
+            }
+            prev = d;
+        }
+    }
+
+    /// Different seeds genuinely decorrelate: across many slots and
+    /// attempts at least one delay differs (the jitter is not a no-op).
+    #[test]
+    fn backoff_seed_actually_matters(seed in 0u64..=u64::MAX) {
+        let a = BackoffPolicy { base_ms: 1_000, cap_ms: 1 << 20, seed };
+        let b = BackoffPolicy { base_ms: 1_000, cap_ms: 1 << 20, seed: seed.wrapping_add(1) };
+        let differs = (0..8usize).any(|slot| {
+            (0..8usize).any(|attempt| a.delay_ms(slot, attempt) != b.delay_ms(slot, attempt))
+        });
+        prop_assert!(differs);
+    }
+}

@@ -2,20 +2,26 @@
 //!
 //! The contract under test: a figure grid run with `--shards 0`
 //! (in-process threads), `--shards 1`, or `--shards 4` (worker
-//! processes) produces **byte-identical CSV output**, and killing a
-//! worker mid-grid (respawn + resubmission) does not change a single
-//! byte either. The workers are real child processes — the
-//! `experiments` binary in its hidden `--sweep-worker` mode — so these
-//! tests cross the same pipes production sweeps cross.
+//! processes) produces **byte-identical CSV output** — over child-process
+//! pipes *and* over the TCP transport — and no worker fault changes a
+//! single byte either: not a crash mid-grid (respawn + resubmission),
+//! not a hang caught by the per-spec deadline, not even every worker
+//! slot dying (graceful degradation to in-process completion). The
+//! workers are real child processes — the `experiments` binary in its
+//! hidden `--sweep-worker` mode — so these tests cross the same channels
+//! production sweeps cross.
 //!
 //! `crates/sweep/tests/end_to_end.rs` covers the supervisor mechanics on
 //! tiny scenario batches; this file pins the figure-grid deliverable.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use besync_experiments::output::render_csv;
 use besync_experiments::{fig4, fig6, params, Mode};
-use besync_sweep::{Shards, SweepOptions, WorkerSpawn, ABORT_ENV};
+use besync_sweep::{
+    BackoffPolicy, Shards, SweepOptions, TransportKind, WorkerSpawn, ABORT_ENV, FAULT_ENV,
+};
 
 /// Locates the `experiments` binary next to this test executable
 /// (`target/<profile>/deps/<test>-<hash>` → `target/<profile>/`),
@@ -56,16 +62,33 @@ fn opts(shards: Shards) -> SweepOptions {
     SweepOptions {
         shards,
         worker: WorkerSpawn::Command(experiments_binary(), vec!["--sweep-worker".to_string()]),
+        // Near-zero backoff: the schedule itself is pinned by its own
+        // property tests; here a real delay would only slow CI.
+        backoff: BackoffPolicy {
+            base_ms: 1,
+            cap_ms: 8,
+            seed: 0xbe57_c0de,
+        },
         ..SweepOptions::default()
     }
 }
 
+fn tcp(mut o: SweepOptions) -> SweepOptions {
+    o.transport = TransportKind::Tcp {
+        bind: "127.0.0.1:0".to_string(),
+    };
+    o
+}
+
 const SEED: u64 = 42;
+
+fn fig4_in_process() -> String {
+    render_csv(&fig4::run_with(Mode::Quick, SEED, &opts(Shards::InProcess)).unwrap())
+}
 
 #[test]
 fn fig4_quick_grid_is_byte_identical_across_shard_counts() {
-    let in_process =
-        render_csv(&fig4::run_with(Mode::Quick, SEED, &opts(Shards::InProcess)).unwrap());
+    let in_process = fig4_in_process();
     for shards in [1u32, 4] {
         let sharded =
             render_csv(&fig4::run_with(Mode::Quick, SEED, &opts(Shards::Workers(shards))).unwrap());
@@ -77,15 +100,33 @@ fn fig4_quick_grid_is_byte_identical_across_shard_counts() {
 }
 
 #[test]
+fn fig4_quick_grid_is_byte_identical_over_tcp() {
+    let in_process = fig4_in_process();
+    for shards in [1u32, 4] {
+        let sharded = render_csv(
+            &fig4::run_with(Mode::Quick, SEED, &tcp(opts(Shards::Workers(shards)))).unwrap(),
+        );
+        assert_eq!(
+            in_process, sharded,
+            "--shards {shards} over TCP diverges from the in-process run"
+        );
+    }
+}
+
+#[test]
 fn fig6_and_param_sweep_quick_grids_are_byte_identical_sharded() {
     // fig6 exercises all five schedulers (incl. the CGM baselines and
     // their polls counter) through the worker pipe; the α/ω sweep
-    // exercises single-spec cells.
+    // exercises single-spec cells. fig6 additionally crosses the TCP
+    // transport.
     let fig6_base =
         render_csv(&fig6::run_with(Mode::Quick, SEED, &opts(Shards::InProcess)).unwrap());
     let fig6_sharded =
         render_csv(&fig6::run_with(Mode::Quick, SEED, &opts(Shards::Workers(2))).unwrap());
     assert_eq!(fig6_base, fig6_sharded);
+    let fig6_tcp =
+        render_csv(&fig6::run_with(Mode::Quick, SEED, &tcp(opts(Shards::Workers(2)))).unwrap());
+    assert_eq!(fig6_base, fig6_tcp);
 
     let params_base =
         render_csv(&params::run_with(Mode::Quick, SEED, &opts(Shards::InProcess)).unwrap());
@@ -96,8 +137,7 @@ fn fig6_and_param_sweep_quick_grids_are_byte_identical_sharded() {
 
 #[test]
 fn worker_killed_mid_grid_still_merges_byte_identically() {
-    let in_process =
-        render_csv(&fig4::run_with(Mode::Quick, SEED, &opts(Shards::InProcess)).unwrap());
+    let in_process = fig4_in_process();
     // Every initial worker aborts upon *receiving* its 2nd spec — a
     // crash with one spec acknowledged and one in flight. The
     // supervisor must respawn (replacements don't inherit the hook) and
@@ -110,5 +150,41 @@ fn worker_killed_mid_grid_still_merges_byte_identically() {
     assert_eq!(
         in_process, merged,
         "a mid-grid worker crash changed the merged output"
+    );
+}
+
+#[test]
+fn worker_hung_mid_grid_is_deadlined_and_the_merge_is_unchanged() {
+    let in_process = fig4_in_process();
+    // Every initial worker hangs on its 1st spec with its I/O thread
+    // still answering heartbeats — only the per-spec deadline can catch
+    // it. The respawned replacements are clean and finish the grid.
+    let mut hung = opts(Shards::Workers(2));
+    hung.spec_deadline = Some(Duration::from_secs(1));
+    hung.worker_env
+        .push((FAULT_ENV.to_string(), "hang:1".to_string()));
+    let merged = render_csv(&fig4::run_with(Mode::Quick, SEED, &hung).unwrap());
+    assert_eq!(
+        in_process, merged,
+        "a deadline-killed hang changed the merged output"
+    );
+}
+
+#[test]
+fn all_workers_dead_degrades_to_in_process_and_the_grid_is_unchanged() {
+    let in_process = fig4_in_process();
+    // A worker command that can never speak the protocol (`cat` echoes
+    // requests back) with a tiny respawn budget: every slot retires and
+    // the grid must complete in-process — same bytes, not an error.
+    let degraded = SweepOptions {
+        shards: Shards::Workers(2),
+        worker: WorkerSpawn::Command("cat".into(), Vec::new()),
+        max_respawns: 1,
+        ..opts(Shards::Workers(2))
+    };
+    let merged = render_csv(&fig4::run_with(Mode::Quick, SEED, &degraded).unwrap());
+    assert_eq!(
+        in_process, merged,
+        "graceful degradation changed the merged output"
     );
 }
