@@ -51,7 +51,17 @@ impl BackoffPolicy {
         let base = self.base_ms.max(1);
         let cap = self.cap_ms.max(base);
         let exp = u32::try_from(attempt).unwrap_or(u32::MAX).min(32);
-        base.checked_shl(exp).map_or(cap, |v| v.min(cap))
+        // `checked_shl` only rejects shift counts ≥ 64, not bits shifted
+        // out of range, so it cannot detect overflow here; compare
+        // against the leading zeros instead so an overflowing step
+        // saturates to the cap rather than silently losing high bits
+        // (which would drop the step below `base` and break the
+        // monotone schedule).
+        if exp >= base.leading_zeros() {
+            cap
+        } else {
+            (base << exp).min(cap)
+        }
     }
 
     /// The delay in milliseconds. Deterministic in `(seed, slot,
@@ -106,6 +116,29 @@ mod tests {
             let d = p.delay_ms(0, attempt);
             assert!(d <= p.cap_ms);
         }
+    }
+
+    #[test]
+    fn huge_bases_saturate_to_the_cap_instead_of_losing_bits() {
+        // A base where shifting would push bits off the top: the step
+        // must pin to the cap, never wrap below the base (a shifted-out
+        // step used to come back as ~0 and break monotonicity).
+        let p = BackoffPolicy {
+            base_ms: 1 << 33,
+            cap_ms: u64::MAX,
+            seed: 3,
+        };
+        let mut prev = 0u64;
+        for attempt in 0..64usize {
+            let step = p.step_ms(attempt);
+            assert!(
+                step >= p.base_ms,
+                "step {step} fell below base at attempt {attempt}"
+            );
+            assert!(step >= prev, "non-monotone step at attempt {attempt}");
+            prev = step;
+        }
+        assert_eq!(p.step_ms(63), p.cap_ms);
     }
 
     #[test]

@@ -427,6 +427,13 @@ struct Slot {
     /// Faults this slot has suffered (== respawns consumed, until the
     /// budget-breaking fault that retires it).
     faults: usize,
+    /// `Some` marks the slot *down*: its worker was killed and the
+    /// replacement may not spawn before this backoff edge (handled in
+    /// the timer pass — sleeping inline would stall timers and message
+    /// processing for every other slot). Down slots are skipped by
+    /// dispatch, and channel messages still in flight from the killed
+    /// incarnation are discarded.
+    respawn_at: Option<Instant>,
     /// Retired: no longer dispatched to, process already killed.
     dead: bool,
 }
@@ -667,6 +674,7 @@ impl Supervisor<'_> {
             ping: None,
             beats: 0,
             faults: 0,
+            respawn_at: None,
             dead: false,
         })
     }
@@ -687,7 +695,7 @@ impl Supervisor<'_> {
                     line,
                 }) => {
                     let s = &mut self.slots[slot];
-                    if s.dead || s.incarnation != incarnation {
+                    if s.dead || s.respawn_at.is_some() || s.incarnation != incarnation {
                         continue; // stale line from a killed predecessor
                     }
                     s.last_line = Instant::now();
@@ -695,7 +703,7 @@ impl Supervisor<'_> {
                 }
                 Ok(Msg::Eof { slot, incarnation }) => {
                     let s = &self.slots[slot];
-                    if s.dead || s.incarnation != incarnation {
+                    if s.dead || s.respawn_at.is_some() || s.incarnation != incarnation {
                         continue;
                     }
                     // EOF with the sweep unfinished is a crash. (A
@@ -726,6 +734,11 @@ impl Supervisor<'_> {
             });
         };
         for s in self.slots.iter().filter(|s| !s.dead) {
+            if let Some(at) = s.respawn_at {
+                // A down slot's only timer is its backoff edge.
+                upd(at);
+                continue;
+            }
             if s.in_flight.is_empty() {
                 continue; // nothing owed; nothing to time out
             }
@@ -749,8 +762,19 @@ impl Supervisor<'_> {
         let hb_interval = self.opts.heartbeat_interval;
         let hb_timeout = self.opts.heartbeat_timeout;
         for slot in 0..self.slots.len() {
+            if self.slots[slot].dead {
+                continue;
+            }
+            if let Some(at) = self.slots[slot].respawn_at {
+                // Down, waiting out its backoff: no process to time
+                // out; spawn the replacement once the edge passes.
+                if Instant::now() >= at {
+                    self.respawn(slot)?;
+                }
+                continue;
+            }
             let s = &mut self.slots[slot];
-            if s.dead || s.in_flight.is_empty() {
+            if s.in_flight.is_empty() {
                 continue;
             }
             if let (Some(deadline), Some(front)) = (deadline, s.front_since) {
@@ -852,8 +876,9 @@ impl Supervisor<'_> {
     }
 
     /// Tops worker `slot`'s pipeline up to the in-flight window.
+    /// No-op for retired slots and for down slots awaiting respawn.
     fn dispatch(&mut self, slot: usize) -> Result<(), SweepError> {
-        if self.slots[slot].dead {
+        if self.slots[slot].dead || self.slots[slot].respawn_at.is_some() {
             return Ok(());
         }
         let window = self.opts.window.max(1);
@@ -880,13 +905,17 @@ impl Supervisor<'_> {
     }
 
     /// Kills worker `slot`, resubmits its lost specs, and either
-    /// respawns it (after the backoff delay) or retires it when its
-    /// budget is spent. Retirement is *not* an error — surviving slots
-    /// (ultimately the in-process drain) absorb the work.
+    /// schedules its respawn (after the backoff delay, via the timer
+    /// pass — never an inline sleep, which would stall timers and
+    /// message processing for every other slot and could misread a
+    /// queued-but-unread `PONG` as a heartbeat timeout) or retires it
+    /// when its budget is spent. Retirement is *not* an error —
+    /// surviving slots (ultimately the in-process drain) absorb the
+    /// work.
     ///
-    /// Recursion note: `fault` calls `dispatch` (to load the
-    /// replacement), which can fault again if the replacement dies
-    /// instantly; the depth is bounded by the per-slot budget.
+    /// Recursion note: `fault` tops up every surviving slot, and
+    /// `dispatch` can fault another slot whose channel died; the depth
+    /// is bounded by the per-slot budgets.
     fn fault(&mut self, slot: usize, reason: &str) -> Result<(), SweepError> {
         if self.slots[slot].dead {
             return Ok(());
@@ -921,6 +950,7 @@ impl Supervisor<'_> {
             // sweep. (`faults - 1` respawns actually happened; this
             // fault consumed the would-be-next one.)
             self.slots[slot].dead = true;
+            self.slots[slot].respawn_at = None;
             self.summary.degraded.push(DegradedSlot {
                 slot,
                 respawns: faults - 1,
@@ -932,14 +962,28 @@ impl Supervisor<'_> {
                  remaining work shifts to surviving workers",
                 faults - 1
             );
-            return Ok(());
+        } else {
+            let delay = self.opts.backoff.delay(slot, faults - 1);
+            self.slots[slot].respawn_at = Some(Instant::now() + delay);
         }
+        // The returned specs must be absorbed *now*: an idle surviving
+        // worker has no future report to trigger its own dispatch, and
+        // the in-process drain only runs once every slot is dead — so
+        // without this top-up a retirement (or a long backoff) with
+        // idle survivors would strand the specs and hang the sweep.
+        for s in 0..self.slots.len() {
+            self.dispatch(s)?;
+        }
+        Ok(())
+    }
 
-        let delay = self.opts.backoff.delay(slot, faults - 1);
-        if !delay.is_zero() {
-            std::thread::sleep(delay);
-        }
+    /// Spawns the replacement for a down slot whose backoff edge has
+    /// passed. A failed *respawn* is just another fault against the
+    /// budget (the command may come back — flaky FS, PID limits);
+    /// repeated failures retire the slot once the budget is gone.
+    fn respawn(&mut self, slot: usize) -> Result<(), SweepError> {
         self.summary.respawns += 1;
+        let faults = self.slots[slot].faults;
         let incarnation = self.slots[slot].incarnation + 1;
         match self.spawn_slot(slot, incarnation, false) {
             Ok(mut replacement) => {
@@ -947,9 +991,6 @@ impl Supervisor<'_> {
                 self.slots[slot] = replacement;
                 self.dispatch(slot)
             }
-            // A failed *respawn* is just another fault against the
-            // budget (the command may come back — flaky FS, PID limits);
-            // the recursion retires the slot once the budget is gone.
             Err(message) => self.fault(slot, &format!("respawn failed: {message}")),
         }
     }

@@ -15,8 +15,11 @@
 //!
 //! * [`PipeTransport`] — the classic child-process stdin/stdout pipes.
 //! * [`TcpTransport`] — a `std::net` listener; each spawned worker gets
-//!   `--connect host:port` appended to its argv, dials back in, and
-//!   speaks the identical protocol over the socket. This is the local
+//!   `--connect host:port` plus a per-spawn `--connect-token` appended
+//!   to its argv, dials back in, presents the token as its first line
+//!   (so an unrelated process dialing the port is never adopted as the
+//!   worker), and speaks the identical protocol over the socket. This
+//!   is the local
 //!   stepping stone to genuinely remote workers: the supervisor side
 //!   already treats the channel as an unreliable byte stream (deadlines,
 //!   heartbeats, respawn), so moving the other end off-host changes
@@ -220,6 +223,53 @@ impl Drop for PipeLink {
 /// connect, not a simulation.
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// How long one accepted connection gets to present its handshake token
+/// before it is dropped. The real worker writes the token immediately
+/// after connecting, so this only rate-limits how fast a silent rogue
+/// connection can burn the connect window.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A fresh per-spawn handshake token. OS-seeded without pulling in an
+/// RNG dependency: each `RandomState` draws its keys from the system
+/// entropy pool. Never feeds the merge, so byte-identity is untouched.
+fn fresh_token() -> String {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    let a = RandomState::new().build_hasher().finish();
+    let b = RandomState::new().build_hasher().finish();
+    format!("{a:016x}{b:016x}")
+}
+
+/// Reads the first line off a freshly accepted connection and checks it
+/// against the spawn's token. Byte-at-a-time on purpose: buffering past
+/// the newline would swallow the start of the protocol stream.
+fn handshake(mut stream: &TcpStream, token: &str) -> Result<(), String> {
+    stream
+        .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
+        .map_err(|e| format!("could not set handshake timeout: {e}"))?;
+    let mut got = Vec::with_capacity(token.len());
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err("connection closed before handshake".to_string()),
+            Ok(_) if byte[0] == b'\n' => break,
+            Ok(_) => {
+                got.push(byte[0]);
+                if got.len() > token.len() {
+                    return Err("handshake line too long".to_string());
+                }
+            }
+            Err(e) => return Err(format!("handshake read: {e}")),
+        }
+    }
+    if got != token.as_bytes() {
+        return Err("wrong handshake token".to_string());
+    }
+    stream
+        .set_read_timeout(None)
+        .map_err(|e| format!("could not clear handshake timeout: {e}"))
+}
+
 /// The TCP transport: one listener for the whole sweep; each spawn
 /// hands the worker `--connect <addr>` and waits for it to dial in.
 pub struct TcpTransport {
@@ -262,31 +312,46 @@ impl WorkerTransport for TcpTransport {
         // The socket carries the protocol; the standard streams only
         // exist for diagnostics (stderr) — stdout is silenced so a
         // worker that misbehaves there can't confuse anything.
+        let token = fresh_token();
+        cmd.arg(crate::worker::TOKEN_FLAG).arg(&token);
         cmd.stdin(Stdio::null())
             .stdout(Stdio::null())
             .stderr(Stdio::piped());
         let mut child = cmd.spawn().map_err(|e| e.to_string())?;
         let stderr = child.stderr.take().map(|s| Box::new(s) as _);
 
-        // Accept the dial-back. Spawns are sequential (the supervisor
-        // loop is single-threaded), so the next connection is this
-        // worker's. Poll so a worker that dies before connecting turns
-        // into a spawn error instead of a hang.
+        // Accept the dial-back, adopting only the connection that
+        // presents this spawn's token as its first line: without the
+        // handshake, any local process dialing the listener in the
+        // window would be adopted as the worker and could inject REPORT
+        // frames into the results. Poll so a worker that dies before
+        // connecting turns into a spawn error instead of a hang.
         let start = Instant::now();
         let stream = loop {
+            if start.elapsed() > CONNECT_TIMEOUT {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(format!(
+                    "worker did not connect to {} within {:?}",
+                    self.addr, CONNECT_TIMEOUT
+                ));
+            }
             match self.listener.accept() {
-                Ok((stream, _)) => break stream,
+                Ok((stream, peer)) => {
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    match handshake(&stream, &token) {
+                        Ok(()) => break stream,
+                        Err(e) => {
+                            eprintln!("sweep: rejecting connection from {peer}: {e}");
+                            let _ = stream.shutdown(Shutdown::Both);
+                        }
+                    }
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     if let Ok(Some(status)) = child.try_wait() {
                         return Err(format!("worker exited before connecting ({status})"));
-                    }
-                    if start.elapsed() > CONNECT_TIMEOUT {
-                        let _ = child.kill();
-                        let _ = child.wait();
-                        return Err(format!(
-                            "worker did not connect to {} within {:?}",
-                            self.addr, CONNECT_TIMEOUT
-                        ));
                     }
                     std::thread::sleep(Duration::from_millis(5));
                 }
@@ -297,9 +362,6 @@ impl WorkerTransport for TcpTransport {
                 }
             }
         };
-        stream
-            .set_nonblocking(false)
-            .map_err(|e| format!("could not configure worker socket: {e}"))?;
         let reader = stream
             .try_clone()
             .map_err(|e| format!("could not clone worker socket: {e}"))?;

@@ -45,6 +45,13 @@ pub const WORKER_FLAG: &str = "--sweep-worker";
 /// protocol over the socket instead of stdin/stdout.
 pub const CONNECT_FLAG: &str = "--connect";
 
+/// Worker argv flag carrying the TCP spawn's handshake token
+/// (`--connect-token <hex>`): the worker writes the token as its first
+/// line on the socket, and the supervisor adopts only the connection
+/// that presents it — an unrelated local process dialing the listener
+/// port cannot be mistaken for the worker.
+pub const TOKEN_FLAG: &str = "--connect-token";
+
 /// Fault-injection hook: a [`Fault`] spec like `hang:2` or `exit:1:3`.
 /// Every fault-class end-to-end test drives the worker through this
 /// variable. Cleared by the supervisor on respawn.
@@ -191,25 +198,51 @@ impl Fault {
 
 /// Runs the worker loop. Call this (and nothing else) when a binary is
 /// invoked with [`WORKER_FLAG`]. Scans its own argv for [`CONNECT_FLAG`]
-/// to pick the channel: present → TCP dial-back, absent → stdin/stdout.
+/// (and [`TOKEN_FLAG`]) to pick the channel: present → TCP dial-back,
+/// absent → stdin/stdout. A channel flag without its value is a hard
+/// usage error — silently falling back to stdin would surface at the
+/// supervisor only as an opaque connect-timeout or early-exit fault.
 pub fn worker_main() -> std::process::ExitCode {
+    let mut addr = None;
+    let mut token = None;
     let mut args = std::env::args();
-    let addr = loop {
+    args.next(); // argv[0]
+    while let Some(a) = args.next() {
+        let target = if a == CONNECT_FLAG {
+            &mut addr
+        } else if a == TOKEN_FLAG {
+            &mut token
+        } else {
+            continue;
+        };
         match args.next() {
-            Some(a) if a == CONNECT_FLAG => break args.next(),
-            Some(_) => continue,
-            None => break None,
+            Some(v) => *target = Some(v),
+            None => {
+                eprintln!(
+                    "sweep-worker: {a} requires a value \
+                     (usage: {CONNECT_FLAG} host:port [{TOKEN_FLAG} hex])"
+                );
+                return std::process::ExitCode::FAILURE;
+            }
         }
-    };
+    }
     match addr {
         Some(addr) => {
-            let stream = match std::net::TcpStream::connect(&addr) {
+            let mut stream = match std::net::TcpStream::connect(&addr) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("sweep-worker: could not connect to {addr}: {e}");
                     return std::process::ExitCode::FAILURE;
                 }
             };
+            // Handshake first: the supervisor adopts this connection
+            // only after reading the spawn's token back.
+            if let Some(token) = token {
+                if let Err(e) = writeln!(stream, "{token}").and_then(|()| stream.flush()) {
+                    eprintln!("sweep-worker: could not send handshake token: {e}");
+                    return std::process::ExitCode::FAILURE;
+                }
+            }
             let reader = match stream.try_clone() {
                 Ok(r) => r,
                 Err(e) => {

@@ -14,7 +14,7 @@ use std::time::Duration;
 use besync_scenarios::{by_name, ScenarioSpec};
 use besync_sweep::{
     run_sweep, run_sweep_summarized, BackoffPolicy, Shards, SweepOptions, SweepOutcome, SweepRun,
-    TransportKind, WorkerSpawn, ABORT_ENV, FAULT_ENV,
+    TransportKind, WorkerSpawn, ABORT_ENV, CONNECT_FLAG, FAULT_ENV, TOKEN_FLAG,
 };
 
 fn worker_bin() -> WorkerSpawn {
@@ -300,6 +300,110 @@ fn instantly_exiting_workers_degrade_not_fail() {
         ..sharded(1)
     };
     assert_degrades(&opts);
+}
+
+#[test]
+fn retired_slot_with_idle_survivor_hands_its_specs_over() {
+    // Two workers race for a lock: the winner execs the real worker,
+    // the loser holds its dispatched specs for a second (the pipe
+    // buffers them unread) and then exits. By then the winner has
+    // drained the queue and sits idle — so the loser's returned specs
+    // are only served if retirement itself tops the survivor up;
+    // nothing else ever re-dispatches an idle slot, and the in-process
+    // drain only runs once *every* slot is dead. A regression here is
+    // a supervisor hang, not a wrong answer.
+    let lock = std::env::temp_dir().join(format!("besync-sweep-lock-{}", std::process::id()));
+    let _ = std::fs::remove_dir(&lock);
+    let script = format!(
+        "if mkdir \"$BESYNC_TEST_LOCK\" 2>/dev/null; then exec \"{}\"; else sleep 1; exit 7; fi",
+        env!("CARGO_BIN_EXE_besync-sweep-worker"),
+    );
+    let mut opts = SweepOptions {
+        worker: WorkerSpawn::Command("sh".into(), vec!["-c".to_string(), script]),
+        max_respawns: 0,
+        ..sharded(2)
+    };
+    opts.worker_env.push((
+        "BESYNC_TEST_LOCK".to_string(),
+        lock.display().to_string(),
+    ));
+    let run = run_sweep_summarized(&mixed_specs(), &opts).unwrap();
+    let _ = std::fs::remove_dir(&lock);
+    assert_outcomes_identical(&baseline(), &run.outcomes);
+    assert_eq!(
+        run.summary.degraded.len(),
+        1,
+        "exactly the lock loser should retire: {}",
+        run.summary.render()
+    );
+    assert_eq!(run.summary.respawns, 0, "budget 0 allows no respawns");
+    assert_eq!(
+        run.summary.drained_in_process, 0,
+        "the surviving worker, not the in-process drain, must absorb \
+         the retired slot's specs"
+    );
+}
+
+#[test]
+fn tcp_rogue_connections_are_never_adopted_as_workers() {
+    use besync_sweep::protocol;
+    use besync_sweep::transport::{TcpTransport, WorkerTransport};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let mut t = TcpTransport::bind("127.0.0.1:0").unwrap();
+    let addr = t.addr().to_string();
+    // Rogues dial in before the worker even spawns and inject
+    // protocol-shaped junk; they sit ahead of the real worker in the
+    // accept queue, exactly the adoption window under attack.
+    let rogues: Vec<TcpStream> = (0..2)
+        .map(|i| {
+            let mut s = TcpStream::connect(&addr).unwrap();
+            writeln!(s, "REPORT {i} 0000000000000000 0000000000000000 rogue").unwrap();
+            s
+        })
+        .collect();
+    let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_besync-sweep-worker"));
+    cmd.args(t.worker_args());
+    let mut link = t.spawn(cmd).expect("spawn must skip the rogues");
+    // The adopted link must be the genuine worker: only it can answer a
+    // PING. (Read on a helper thread so a regression fails fast instead
+    // of hanging the suite.)
+    let reader = link.take_reader().unwrap();
+    link.write_line(&protocol::format_ping(42)).unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        let _ = BufReader::new(reader).read_line(&mut line);
+        let _ = tx.send(line);
+    });
+    let line = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("no reply from the adopted connection — was a rogue adopted?");
+    assert_eq!(line.trim_end(), protocol::format_pong(42));
+    drop(rogues);
+    link.kill();
+    link.wait();
+}
+
+#[test]
+fn worker_rejects_channel_flags_without_values() {
+    // A trailing `--connect` used to fall back silently to stdin — under
+    // the TCP transport that surfaced only as an opaque connect-timeout
+    // at the supervisor. It must be a loud usage error instead.
+    for flag in [CONNECT_FLAG, TOKEN_FLAG] {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_besync-sweep-worker"))
+            .arg(flag)
+            .stdin(std::process::Stdio::null())
+            .output()
+            .unwrap();
+        assert!(
+            !out.status.success(),
+            "`{flag}` without a value must exit nonzero"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("requires a value"), "`{flag}`: {stderr}");
+    }
 }
 
 #[test]
