@@ -31,8 +31,43 @@
 
 use std::time::{Duration, Instant};
 
-use besync_scenarios::{suite, ScenarioSpec};
-use besync_sweep::{run_sweep, Shards, SweepOptions, SweepOutcome, TransportKind};
+use besync_scenarios::{by_name, suite, ScenarioSpec};
+use besync_sweep::{sweep, Shards, SweepOptions, SweepOutcome, TransportKind};
+use besync_verify::{check_scenario, collect, ScenarioStats, StatBaseline, Tier};
+
+/// Fixed floating-point microbenchmark, wall-clocked: a deterministic
+/// mix of the simulator's hot arithmetic (`ln`, `exp`, Welford-style
+/// accumulation over a splitmix64 stream). Recorded in the bench JSON
+/// as `calibration_seconds` so trajectory comparisons can tell a slower
+/// *container* from a slower *tree* — the BENCH_pr6.json wall-clock
+/// anomaly was exactly that ambiguity. Minimum of three reps: the
+/// calibration must track the machine's speed, not its scheduling
+/// noise.
+fn calibration_seconds() -> f64 {
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut best = f64::INFINITY;
+    for rep in 0..3u64 {
+        let mut state = 0x5ca1_ab1e ^ rep;
+        let mut acc = 0.0f64;
+        let start = Instant::now();
+        for _ in 0..1_000_000 {
+            state = splitmix64(state);
+            let u = (state >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
+            let gap = -(1.0 - u).ln();
+            acc += (-gap).exp();
+        }
+        let wall = start.elapsed().as_secs_f64();
+        std::hint::black_box(acc);
+        best = best.min(wall);
+    }
+    best
+}
 
 /// Runs the scenario `repeats` times and reports the median wall clock
 /// (event loop and construction separately). Counters must agree
@@ -218,9 +253,28 @@ fn compare_against_baseline(
     baseline_path: &str,
     quick: bool,
     tolerance: f64,
+    cur_calibration: Option<f64>,
 ) -> Result<(), Vec<String>> {
     let Some((base_quick, baselines)) = parse_baseline(baseline_text) else {
         return Err(vec![format!("could not parse baseline {baseline_path}")]);
+    };
+    // Machine-speed ratio between the two recordings, when both carry a
+    // calibration point: > 1 means this container is slower than the one
+    // the baseline was recorded on, and raw events/sec deltas by that
+    // factor are container drift, not tree regressions.
+    let cal_ratio: Option<f64> = match (
+        cur_calibration,
+        field(baseline_text, "calibration_seconds").and_then(|v| v.parse::<f64>().ok()),
+    ) {
+        (Some(cur), Some(base)) if cur > 0.0 && base > 0.0 => {
+            let ratio = cur / base;
+            eprintln!(
+                "compare: calibration {cur:.3}s vs {base:.3}s in {baseline_path} — this \
+                 container runs the fixed FP workload {ratio:.2}x the baseline's wall-clock"
+            );
+            Some(ratio)
+        }
+        _ => None,
     };
     if base_quick != quick {
         eprintln!(
@@ -280,12 +334,16 @@ fn compare_against_baseline(
         }
         r.baseline_events_per_sec = Some(b.events_per_sec);
         let ratio = r.events_per_sec / b.events_per_sec.max(1e-12);
-        if ratio < 1.0 - tolerance {
+        // `ratio * cal_ratio` discounts container speed drift; without a
+        // calibration point on both sides the raw ratio is all there is.
+        let adjusted = cal_ratio.map(|c| ratio * c);
+        let adj_note = adjusted.map_or(String::new(), |a| format!(", {a:.2}x adjusted"));
+        if adjusted.unwrap_or(ratio) < 1.0 - tolerance {
             // Report-only: CI runner timing noise must not fail PRs, but
             // the trajectory is visible in the log and the artifact.
             eprintln!(
                 "compare: PERF REGRESSION (report-only) `{}`: {:.0} events/sec vs baseline \
-                 {:.0} ({:.2}x, tolerance {:.0}%)",
+                 {:.0} ({:.2}x{adj_note}, tolerance {:.0}%)",
                 r.name,
                 r.events_per_sec,
                 b.events_per_sec,
@@ -294,7 +352,7 @@ fn compare_against_baseline(
             );
         } else {
             eprintln!(
-                "compare: `{}` {:.2}x baseline events/sec (ok)",
+                "compare: `{}` {:.2}x baseline events/sec{adj_note} (ok)",
                 r.name, ratio
             );
         }
@@ -382,6 +440,7 @@ usage: besync-bench [--out PATH] [--compare PATH] [--tolerance F]
                     [--only NAME] [--repeat N] [--quick] [--shards LIST]
                     [--workers pipes|tcp[://HOST:PORT]] [--spec-deadline SECS]
                     [--list]
+       besync-bench verify [--accept bits|stats] ...   (see `verify --help`)
 
   --out PATH       write results as JSON (e.g. BENCH_pr2.json); never run this
                    against a checked-in baseline path in CI — write elsewhere
@@ -408,13 +467,99 @@ usage: besync-bench [--out PATH] [--compare PATH] [--tolerance F]
                    holds across transports
   --spec-deadline  seconds a worker may hold one spec before it is presumed
                    hung and replaced (default 600; 0 disables)
-  --list           print scenario names with descriptions and exit";
+  --list           print scenario names with descriptions and exit
+
+verification: the `verify` subcommand unifies the repo's two acceptance
+tiers under one flag surface. `verify --accept bits` replays the suite and
+demands bit-identical counters against a bench JSON baseline (what
+`--compare` has always gated; that flag remains as the inline spelling).
+`verify --accept stats` runs scenarios across N derived seeds and checks
+metric moments against STATS_baseline.txt — the gate that survives
+intentional numerics changes. See `besync-bench verify --help`.";
+
+const VERIFY_HELP: &str = "\
+besync-bench verify — counter-identity and statistical acceptance gates
+
+usage: besync-bench verify [--accept bits|stats] [--baseline PATH]
+                           [--scenarios A,B,..] [--seeds N]
+                           [--tier strict|standard|loose] [--record]
+                           [--tolerance F] [--repeat N] [--quick]
+                           [--shards N] [--workers pipes|tcp[://HOST:PORT]]
+                           [--spec-deadline SECS]
+
+  --accept bits    tier 1, bit identity: run the bench suite once and demand
+                   every counter match the bench-JSON baseline(s) exactly
+                   (events/sec deltas are report-only, counters hard-fail).
+                   Needs at least one --baseline pointing at a BENCH_*.json.
+                   Catches *any* trajectory change; right for refactors that
+                   promise not to move the simulation at all.
+  --accept stats   tier 2, distribution identity (default): run each scenario
+                   across N derived seeds, fold the recorded metrics into
+                   moments, and z-check them against the stored baseline.
+                   Right for intentional numerics changes (solver swaps,
+                   resampled randomness) whose physics must not move.
+  --baseline PATH  bits: bench JSON baseline; repeatable, all are checked.
+                   stats: the moments file (default STATS_baseline.txt)
+  --scenarios L    stats: comma-separated scenario names
+                   (default medium,ideal_medium,cgm1_medium,cgm2_medium)
+  --seeds N        stats: derived seeds per scenario (default 32)
+  --tier T         stats: acceptance tier — strict (z<=3, refactors),
+                   standard (z<=4, numerics changes; default), loose (z<=6,
+                   small-N smoke)
+  --record         stats: write/refresh the baseline entries instead of
+                   checking (commit the file alongside the change)
+  --tolerance F    bits: allowed fractional events/sec regression, report-only
+                   (default 0.25)
+  --repeat N       bits: repeats per scenario (default 1)
+  --quick          CI smoke scale for either tier; stats baselines store
+                   quick and full entries separately
+  --shards N       run the underlying sweeps over N worker processes
+  --workers KIND   worker channel for --shards (pipes | tcp[://HOST:PORT])
+  --spec-deadline  per-spec worker deadline in seconds (0 disables)";
+
+/// Runs each selected scenario and prints the per-scenario table row by
+/// row (shared by the main flow and `verify --accept bits`).
+fn run_table(selected: &[ScenarioSpec], repeats: usize) -> Vec<ScenarioResult> {
+    println!(
+        "{:<15} {:>9} {:>8} {:>10} {:>10} {:>11} {:>12} {:>11} {:>10}",
+        "scenario",
+        "system",
+        "objects",
+        "events",
+        "build (s)",
+        "wall (s)",
+        "events/sec",
+        "refreshes",
+        "mean div"
+    );
+    let mut results = Vec::new();
+    for s in selected {
+        let r = run_scenario(s, repeats);
+        println!(
+            "{:<15} {:>9} {:>8} {:>10} {:>10.3} {:>11.3} {:>12.0} {:>11} {:>10.6}",
+            r.name,
+            r.system,
+            r.objects,
+            r.events,
+            r.build_seconds,
+            r.wall_seconds,
+            r.events_per_sec,
+            r.refreshes_sent,
+            r.mean_divergence
+        );
+        results.push(r);
+    }
+    results
+}
 
 fn main() -> std::process::ExitCode {
     // Hidden worker mode: when the sweep supervisor re-execs this binary
     // it must become a protocol worker before any argument parsing.
     if std::env::args().nth(1).as_deref() == Some(besync_sweep::WORKER_FLAG) {
         return besync_sweep::worker_main();
+    }
+    if std::env::args().nth(1).as_deref() == Some("verify") {
+        return verify_main(std::env::args().skip(2).collect());
     }
     let mut out: Option<String> = None;
     let mut compare: Vec<String> = Vec::new();
@@ -523,38 +668,13 @@ fn main() -> std::process::ExitCode {
         return std::process::ExitCode::FAILURE;
     }
 
-    println!(
-        "{:<15} {:>9} {:>8} {:>10} {:>10} {:>11} {:>12} {:>11} {:>10}",
-        "scenario",
-        "system",
-        "objects",
-        "events",
-        "build (s)",
-        "wall (s)",
-        "events/sec",
-        "refreshes",
-        "mean div"
-    );
     // Quick mode defaults to a single repeat, but an explicit --repeat
     // wins (CI uses that to cross-check determinism cheaply).
     let repeats = repeats.unwrap_or(if quick { 1 } else { 3 });
-    let mut results = Vec::new();
-    for s in &selected {
-        let r = run_scenario(s, repeats);
-        println!(
-            "{:<15} {:>9} {:>8} {:>10} {:>10.3} {:>11.3} {:>12.0} {:>11} {:>10.6}",
-            r.name,
-            r.system,
-            r.objects,
-            r.events,
-            r.build_seconds,
-            r.wall_seconds,
-            r.events_per_sec,
-            r.refreshes_sent,
-            r.mean_divergence
-        );
-        results.push(r);
-    }
+    let mut results = run_table(&selected, repeats);
+
+    // Only pay the ~0.3s calibration when something will read it.
+    let calibration = (out.is_some() || !compare.is_empty()).then(calibration_seconds);
 
     let mut failed = false;
 
@@ -571,7 +691,7 @@ fn main() -> std::process::ExitCode {
             ..SweepOptions::default()
         };
         let start = Instant::now();
-        let outcomes = match run_sweep(&selected, &opts) {
+        let outcomes = match sweep(&selected, &opts).map(|run| run.into_outcomes()) {
             Ok(o) => o,
             Err(e) => {
                 eprintln!(
@@ -604,9 +724,14 @@ fn main() -> std::process::ExitCode {
     for path in compare {
         match std::fs::read_to_string(&path) {
             Ok(text) => {
-                if let Err(mismatches) =
-                    compare_against_baseline(&mut results, &text, &path, quick, tolerance)
-                {
+                if let Err(mismatches) = compare_against_baseline(
+                    &mut results,
+                    &text,
+                    &path,
+                    quick,
+                    tolerance,
+                    calibration,
+                ) {
                     for m in &mismatches {
                         eprintln!("compare: DETERMINISM MISMATCH {m}");
                     }
@@ -634,8 +759,9 @@ fn main() -> std::process::ExitCode {
             format!("  \"shards_grid\": [\n{}\n  ],\n", entries.join(",\n"))
         };
         let json = format!(
-            "{{\n  \"schema\": \"besync-bench/v3\",\n  \"quick\": {},\n{}  \"scenarios\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema\": \"besync-bench/v4\",\n  \"quick\": {},\n  \"calibration_seconds\": {:.6},\n{}  \"scenarios\": [\n{}\n  ]\n}}\n",
             quick,
+            calibration.unwrap_or_else(calibration_seconds),
             shards_json,
             body.join(",\n")
         );
@@ -648,6 +774,284 @@ fn main() -> std::process::ExitCode {
     if failed {
         std::process::ExitCode::FAILURE
     } else {
+        std::process::ExitCode::SUCCESS
+    }
+}
+
+/// Default scenario set for `verify --accept stats`: the headline coop
+/// scenario plus one per figure-regeneration scheduler, so the gate
+/// covers every system kind the optimizations touch.
+const STATS_SCENARIOS: &str = "medium,ideal_medium,cgm1_medium,cgm2_medium";
+
+/// Default stats baseline path, repo-root-relative (like BENCH_*.json).
+const STATS_BASELINE: &str = "STATS_baseline.txt";
+
+/// The `verify` subcommand: both acceptance tiers behind one flag
+/// surface (`--accept bits|stats`).
+fn verify_main(argv: Vec<String>) -> std::process::ExitCode {
+    let fail = |msg: &str| {
+        eprintln!("{msg}\n{VERIFY_HELP}");
+        std::process::ExitCode::FAILURE
+    };
+    let mut accept = "stats".to_string();
+    let mut baselines: Vec<String> = Vec::new();
+    let mut scenarios = STATS_SCENARIOS.to_string();
+    let mut seeds: u32 = 32;
+    let mut tier = Tier::Standard;
+    let mut record = false;
+    let mut quick = false;
+    let mut tolerance = 0.25;
+    let mut repeats: usize = 1;
+    let mut shards = Shards::InProcess;
+    let mut transport = TransportKind::Pipes;
+    let mut spec_deadline = SweepOptions::default().spec_deadline;
+    let mut args = argv.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--accept" => match args.next().as_deref() {
+                Some("bits") => accept = "bits".into(),
+                Some("stats") => accept = "stats".into(),
+                _ => return fail("--accept needs `bits` or `stats`"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baselines.push(p),
+                None => return fail("--baseline needs a path"),
+            },
+            "--scenarios" => match args.next() {
+                Some(list) => scenarios = list,
+                None => return fail("--scenarios needs a comma-separated list"),
+            },
+            "--seeds" => match args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                Some(n) => seeds = n,
+                None => return fail("--seeds needs a positive integer"),
+            },
+            "--tier" => match args.next().and_then(|v| Tier::parse(&v)) {
+                Some(t) => tier = t,
+                None => return fail("--tier needs strict, standard, or loose"),
+            },
+            "--record" => record = true,
+            "--quick" => quick = true,
+            "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                _ => return fail("--tolerance needs a fraction in [0, 1)"),
+            },
+            "--repeat" => match args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                Some(n) => repeats = n,
+                None => return fail("--repeat needs a positive integer"),
+            },
+            "--shards" => match args.next().and_then(|v| Shards::parse(&v)) {
+                Some(s) => shards = s,
+                None => return fail("--shards needs a worker count (0 = in-process)"),
+            },
+            "--workers" => {
+                let v = args.next().unwrap_or_default();
+                match TransportKind::parse(&v) {
+                    Ok(t) => transport = t,
+                    Err(e) => {
+                        eprintln!("--workers: {e}");
+                        return std::process::ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--spec-deadline" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<f64>() {
+                    Ok(secs) if secs.is_finite() && secs >= 0.0 => {
+                        spec_deadline = (secs > 0.0).then(|| Duration::from_secs_f64(secs));
+                    }
+                    _ => return fail("--spec-deadline needs seconds (0 disables)"),
+                }
+            }
+            "--help" | "-h" => {
+                println!("{VERIFY_HELP}");
+                return std::process::ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let opts = SweepOptions {
+        shards,
+        transport,
+        spec_deadline,
+        ..SweepOptions::default()
+    };
+    match accept.as_str() {
+        "bits" => verify_bits(&baselines, quick, tolerance, repeats),
+        _ => verify_stats(&scenarios, seeds, quick, tier, record, &baselines, &opts),
+    }
+}
+
+/// Tier 1: counter identity against bench-JSON baselines — the same
+/// gate `--compare` applies inline, behind the unified verify UX.
+fn verify_bits(
+    baselines: &[String],
+    quick: bool,
+    tolerance: f64,
+    repeats: usize,
+) -> std::process::ExitCode {
+    if baselines.is_empty() {
+        eprintln!("verify --accept bits needs at least one --baseline BENCH_*.json");
+        return std::process::ExitCode::FAILURE;
+    }
+    let selected: Vec<ScenarioSpec> = suite()
+        .into_iter()
+        .map(|s| if quick { s.quick() } else { s })
+        .collect();
+    let mut results = run_table(&selected, repeats);
+    let calibration = Some(calibration_seconds());
+    let mut failed = false;
+    for path in baselines {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                if let Err(mismatches) = compare_against_baseline(
+                    &mut results,
+                    &text,
+                    path,
+                    quick,
+                    tolerance,
+                    calibration,
+                ) {
+                    for m in &mismatches {
+                        eprintln!("verify[bits]: DETERMINISM MISMATCH {m}");
+                    }
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: could not read baseline {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("verify[bits]: FAILED");
+        std::process::ExitCode::FAILURE
+    } else {
+        eprintln!(
+            "verify[bits]: ok — counters identical across {} baseline(s)",
+            baselines.len()
+        );
+        std::process::ExitCode::SUCCESS
+    }
+}
+
+/// Tier 2: statistical acceptance — metric moments across derived seeds
+/// against the stored stats baseline.
+fn verify_stats(
+    scenarios: &str,
+    seeds: u32,
+    quick: bool,
+    tier: Tier,
+    record: bool,
+    baselines: &[String],
+    opts: &SweepOptions,
+) -> std::process::ExitCode {
+    if baselines.len() > 1 {
+        eprintln!("verify --accept stats takes at most one --baseline");
+        return std::process::ExitCode::FAILURE;
+    }
+    let path = std::path::PathBuf::from(baselines.first().map_or(STATS_BASELINE, String::as_str));
+    let names: Vec<&str> = scenarios.split(',').filter(|s| !s.is_empty()).collect();
+    if names.is_empty() {
+        eprintln!("verify --accept stats: no scenarios selected");
+        return std::process::ExitCode::FAILURE;
+    }
+    let mut collected: Vec<ScenarioStats> = Vec::new();
+    for name in &names {
+        let Some(base) = by_name(name) else {
+            eprintln!("verify[stats]: no scenario named `{name}` (see --list)");
+            return std::process::ExitCode::FAILURE;
+        };
+        let start = Instant::now();
+        match collect(&base, seeds, quick, opts) {
+            Ok(stats) => {
+                let div = stats
+                    .metrics
+                    .iter()
+                    .find(|(n, _)| n == "mean_divergence")
+                    .map(|(_, s)| (s.mean(), s.std_dev()))
+                    .unwrap_or((f64::NAN, f64::NAN));
+                eprintln!(
+                    "verify[stats]: collected `{name}` × {seeds} seeds in {:.1}s \
+                     (divergence {:.6} ± {:.6})",
+                    start.elapsed().as_secs_f64(),
+                    div.0,
+                    div.1
+                );
+                collected.push(stats);
+            }
+            Err(e) => {
+                eprintln!("verify[stats]: sweep failed for `{name}`: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+    if record {
+        let mut baseline = if path.exists() {
+            match StatBaseline::load(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("verify[stats]: {e}");
+                    return std::process::ExitCode::FAILURE;
+                }
+            }
+        } else {
+            StatBaseline::default()
+        };
+        for stats in collected {
+            baseline.upsert(stats);
+        }
+        if let Err(e) = baseline.save(&path) {
+            eprintln!("verify[stats]: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+        eprintln!(
+            "verify[stats]: recorded {} scenario(s) × {seeds} seeds (quick={quick}) to {}",
+            names.len(),
+            path.display()
+        );
+        return std::process::ExitCode::SUCCESS;
+    }
+    let baseline = match StatBaseline::load(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("verify[stats]: {e} (record one with --record)");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let mut checks = 0usize;
+    let mut failures = 0usize;
+    for stats in &collected {
+        let Some(entry) = baseline.get(&stats.scenario, quick) else {
+            eprintln!(
+                "FAIL {}: no baseline entry at quick={quick} in {} (record one with --record)",
+                stats.scenario,
+                path.display()
+            );
+            failures += 1;
+            continue;
+        };
+        for r in check_scenario(stats, entry, tier) {
+            checks += 1;
+            let verdict = if r.pass { "PASS" } else { "FAIL" };
+            println!("{verdict} {}/{}: {}", r.scenario, r.metric, r.detail);
+            if !r.pass {
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "verify[stats]: FAILED — {failures} failure(s) over {checks} check(s) at tier {}",
+            tier.name()
+        );
+        std::process::ExitCode::FAILURE
+    } else {
+        eprintln!(
+            "verify[stats]: ok — {checks} check(s) passed at tier {} across {} scenario(s) × {seeds} seeds",
+            tier.name(),
+            names.len()
+        );
         std::process::ExitCode::SUCCESS
     }
 }

@@ -14,7 +14,7 @@ use besync::priority::PolicyKind;
 use besync::RunReport;
 use besync_data::Metric;
 use besync_scenarios::{ScenarioSpec, SystemKind, WorkloadKind};
-use besync_sweep::{run_sweep, SweepError, SweepOptions};
+use besync_sweep::{sweep, SweepError, SweepOptions};
 
 use crate::output::{fnum, Row};
 use crate::Mode;
@@ -213,7 +213,7 @@ pub fn run_with(mode: Mode, seed: u64, opts: &SweepOptions) -> Result<Vec<Fig4Ro
     for &cell in &cells {
         specs.extend(cell_specs(cell, g.measure, seed));
     }
-    let outcomes = run_sweep(&specs, opts)?;
+    let outcomes = sweep(&specs, opts)?.into_outcomes();
     Ok(cells
         .iter()
         .zip(outcomes.chunks_exact(2))

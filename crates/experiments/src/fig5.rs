@@ -12,7 +12,7 @@
 use besync::priority::PolicyKind;
 use besync_data::Metric;
 use besync_scenarios::{ScenarioSpec, SystemKind, WorkloadKind};
-use besync_sweep::{run_sweep, SweepError, SweepOptions};
+use besync_sweep::{sweep, SweepError, SweepOptions};
 use besync_workloads::buoy::BuoyConfig;
 
 use crate::output::{fnum, Row};
@@ -115,7 +115,7 @@ pub fn run_with(mode: Mode, seed: u64, opts: &SweepOptions) -> Result<Vec<Fig5Ro
         specs.push(scenario(SystemKind::Ideal));
         specs.push(scenario(SystemKind::Coop));
     }
-    let outcomes = run_sweep(&specs, opts)?;
+    let outcomes = sweep(&specs, opts)?.into_outcomes();
     Ok(points
         .iter()
         .zip(outcomes.chunks_exact(2))

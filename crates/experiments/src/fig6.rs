@@ -20,7 +20,7 @@ use besync::RunReport;
 use besync_baselines::CgmVariant;
 use besync_data::Metric;
 use besync_scenarios::{ScenarioSpec, SystemKind, WorkloadKind};
-use besync_sweep::{run_sweep, SweepError, SweepOptions};
+use besync_sweep::{sweep, SweepError, SweepOptions};
 
 use crate::output::{fnum, Row};
 use crate::Mode;
@@ -128,7 +128,7 @@ pub fn run_with(mode: Mode, seed: u64, opts: &SweepOptions) -> Result<Vec<Fig6Ro
     for &(m, fraction) in &points {
         specs.extend(point_specs(m, g.n, fraction, g.measure, seed));
     }
-    let outcomes = run_sweep(&specs, opts)?;
+    let outcomes = sweep(&specs, opts)?.into_outcomes();
     Ok(points
         .iter()
         .zip(outcomes.chunks_exact(5))

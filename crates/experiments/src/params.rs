@@ -9,7 +9,7 @@
 
 use besync_data::Metric;
 use besync_scenarios::{ScenarioSpec, SystemKind, WorkloadKind};
-use besync_sweep::{run_sweep, SweepError, SweepOptions};
+use besync_sweep::{sweep, SweepError, SweepOptions};
 
 use crate::output::{fnum, Row};
 use crate::Mode;
@@ -133,7 +133,7 @@ pub fn run_with(mode: Mode, seed: u64, opts: &SweepOptions) -> Result<Vec<ParamR
             ..ScenarioSpec::default()
         })
         .collect();
-    let outcomes = run_sweep(&specs, opts)?;
+    let outcomes = sweep(&specs, opts)?.into_outcomes();
     Ok(cells
         .iter()
         .zip(&outcomes)

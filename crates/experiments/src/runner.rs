@@ -3,7 +3,7 @@
 //! Grids are embarrassingly parallel (each cell is an independent,
 //! seeded simulation). The machinery lives in [`besync_sweep`] since the
 //! process-sharded supervisor arrived: [`parallel_map`] fans out over
-//! threads in this process, and [`besync_sweep::run_sweep`] additionally
+//! threads in this process, and [`besync_sweep::sweep`] additionally
 //! fans out over worker *processes* (`--shards N` on the `experiments`
 //! binary), merging reports in input order either way — so tables and
 //! CSVs are deterministic, and byte-identical across shard counts.

@@ -261,7 +261,11 @@ pub fn decode(text: &str) -> Result<ScenarioSpec, String> {
 /// empty `RunningStats` legitimately carries `±∞`, and a degenerate run
 /// can produce `NaN` means — are written as an explicit `!x` bit pattern
 /// so even NaN payloads survive.
-fn fmt_f64(x: f64) -> String {
+///
+/// Public because every text artifact in the repo that must survive a
+/// round trip (worker protocol frames, the statistical-acceptance
+/// baseline) shares this one canonical spelling.
+pub fn fmt_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
@@ -275,7 +279,7 @@ fn fmt_f64(x: f64) -> String {
 /// decimal text that parses to a non-finite value (an overflowing
 /// `1e999`, or a literal `NaN`/`inf` smuggled outside the `!x` form) is
 /// rejected symmetrically.
-fn parse_f64(s: &str) -> Option<f64> {
+pub fn parse_f64(s: &str) -> Option<f64> {
     if let Some(hex) = s.strip_prefix("!x") {
         if hex.len() != 16 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
             return None;

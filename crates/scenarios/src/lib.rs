@@ -30,5 +30,5 @@ pub mod codec;
 pub mod spec;
 pub mod suite;
 
-pub use spec::{ReadySystem, ScenarioSpec, SystemKind, WorkloadKind};
+pub use spec::{ReadySystem, ScenarioSpec, ScenarioSpecBuilder, SystemKind, WorkloadKind};
 pub use suite::{all, by_name, goldens, suite};

@@ -172,7 +172,170 @@ impl ReadySystem {
     }
 }
 
+/// Chainable typed construction for [`ScenarioSpec`].
+///
+/// Starts from [`ScenarioSpec::default`] (the Poisson workload regime),
+/// so a builder chain sets only what differs — the same property the
+/// struct-update literals it replaces had, but with real method names
+/// instead of positional fields. Workload-regime setters
+/// ([`objects`](Self::objects), [`rate_range`](Self::rate_range), …)
+/// apply to the Poisson family and panic if the builder was switched to
+/// a buoy workload first: mixing the two is a construction bug, not a
+/// runtime condition.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpecBuilder {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioSpecBuilder {
+    /// One-line description for `besync-bench --list`.
+    pub fn description(mut self, description: impl Into<String>) -> Self {
+        self.spec.description = description.into();
+        self
+    }
+
+    /// Workload seed; the simulation seed is left untouched.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Both seeds at once: workload draws and simulation-side phases.
+    pub fn seeds(mut self, seed: u64, sim_seed: u64) -> Self {
+        self.spec.seed = seed;
+        self.spec.sim_seed = sim_seed;
+        self
+    }
+
+    /// Which scheduler runs the scenario.
+    pub fn system(mut self, system: SystemKind) -> Self {
+        self.spec.system = system;
+        self
+    }
+
+    /// Poisson-family object layout: `sources × objects_per_source`.
+    pub fn objects(mut self, sources: u32, objects_per_source: u32) -> Self {
+        {
+            let (s, o) = self.poisson_layout();
+            *s = sources;
+            *o = objects_per_source;
+        }
+        self
+    }
+
+    /// Poisson rates drawn uniformly from `(lo, hi)`.
+    pub fn rate_range(mut self, lo: f64, hi: f64) -> Self {
+        match &mut self.spec.workload {
+            WorkloadKind::Poisson { rate_range, .. } => *rate_range = (lo, hi),
+            WorkloadKind::Buoy { .. } => panic!("rate_range() requires the Poisson workload"),
+        }
+        self
+    }
+
+    /// Base weights drawn uniformly from `(lo, hi)`.
+    pub fn weight_range(mut self, lo: f64, hi: f64) -> Self {
+        match &mut self.spec.workload {
+            WorkloadKind::Poisson { weight_range, .. } => *weight_range = (lo, hi),
+            WorkloadKind::Buoy { .. } => panic!("weight_range() requires the Poisson workload"),
+        }
+        self
+    }
+
+    /// Sine-wave weights with random amplitudes/periods (§6).
+    pub fn fluctuating_weights(mut self, on: bool) -> Self {
+        match &mut self.spec.workload {
+            WorkloadKind::Poisson {
+                fluctuating_weights,
+                ..
+            } => *fluctuating_weights = on,
+            WorkloadKind::Buoy { .. } => {
+                panic!("fluctuating_weights() requires the Poisson workload")
+            }
+        }
+        self
+    }
+
+    /// Replaces the workload with the §6.2.1 synthetic wind-buoy trace.
+    pub fn buoy(mut self, config: BuoyConfig) -> Self {
+        self.spec.workload = WorkloadKind::Buoy { config };
+        self
+    }
+
+    /// Source-side refresh priority policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.spec.policy = policy;
+        self
+    }
+
+    /// Rate estimator for closed-form policies.
+    pub fn estimator(mut self, estimator: RateEstimator) -> Self {
+        self.spec.estimator = estimator;
+        self
+    }
+
+    /// Divergence metric being minimized.
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.spec.metric = metric;
+        self
+    }
+
+    /// Mean cache-side and per-source bandwidth (messages/second).
+    pub fn bandwidth(mut self, cache: f64, source: f64) -> Self {
+        self.spec.cache_bandwidth_mean = cache;
+        self.spec.source_bandwidth_mean = source;
+        self
+    }
+
+    /// The paper's `m_B`: peak relative bandwidth change rate.
+    pub fn bandwidth_change_rate(mut self, m_b: f64) -> Self {
+        self.spec.bandwidth_change_rate = m_b;
+        self
+    }
+
+    /// Threshold factors α and ω.
+    pub fn thresholds(mut self, alpha: f64, omega: f64) -> Self {
+        self.spec.alpha = alpha;
+        self.spec.omega = omega;
+        self
+    }
+
+    /// Warm-up and measured durations (seconds).
+    pub fn window(mut self, warmup: f64, measure: f64) -> Self {
+        self.spec.warmup = warmup;
+        self.spec.measure = measure;
+        self
+    }
+
+    /// Finishes the chain. (Named `finish`, not `build`, because on the
+    /// spec itself [`ScenarioSpec::build`] means *lower to a runnable
+    /// system*.)
+    pub fn finish(self) -> ScenarioSpec {
+        self.spec
+    }
+
+    fn poisson_layout(&mut self) -> (&mut u32, &mut u32) {
+        match &mut self.spec.workload {
+            WorkloadKind::Poisson {
+                sources,
+                objects_per_source,
+                ..
+            } => (sources, objects_per_source),
+            WorkloadKind::Buoy { .. } => panic!("objects() requires the Poisson workload"),
+        }
+    }
+}
+
 impl ScenarioSpec {
+    /// Starts a [`ScenarioSpecBuilder`] for a named scenario.
+    pub fn builder(name: impl Into<String>) -> ScenarioSpecBuilder {
+        ScenarioSpecBuilder {
+            spec: ScenarioSpec {
+                name: name.into(),
+                ..ScenarioSpec::default()
+            },
+        }
+    }
+
     /// Total number of objects in the scenario.
     pub fn total_objects(&self) -> u32 {
         match self.workload {
@@ -395,6 +558,44 @@ mod tests {
         assert_eq!(q.warmup, 5.0);
         assert_eq!(q.measure, 4.0);
         assert_eq!(q.cache_bandwidth_mean, 1.5);
+    }
+
+    #[test]
+    fn builder_chain_equals_struct_literal() {
+        let built = ScenarioSpec::builder("tiny")
+            .seed(99)
+            .system(SystemKind::Coop)
+            .objects(2, 8)
+            .rate_range(0.05, 0.5)
+            .weight_range(1.0, 4.0)
+            .fluctuating_weights(false)
+            .bandwidth(6.0, 3.0)
+            .window(5.0, 40.0)
+            .finish();
+        let literal = tiny(SystemKind::Coop);
+        assert_eq!(built.name, literal.name);
+        assert_eq!(built.seed, literal.seed);
+        assert_eq!(built.sim_seed, literal.sim_seed);
+        assert_eq!(built.workload, literal.workload);
+        assert_eq!(built.cache_bandwidth_mean, literal.cache_bandwidth_mean);
+        assert_eq!(built.source_bandwidth_mean, literal.source_bandwidth_mean);
+        assert_eq!(
+            (built.warmup, built.measure),
+            (literal.warmup, literal.measure)
+        );
+        // Same spec ⇒ same trajectory.
+        let (a, b) = (built.run(), literal.run());
+        assert_eq!(a.updates_processed, b.updates_processed);
+        assert_eq!(a.mean_divergence().to_bits(), b.mean_divergence().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "Poisson workload")]
+    fn builder_rejects_poisson_setters_on_buoy_workloads() {
+        use besync_workloads::buoy::BuoyConfig;
+        let _ = ScenarioSpec::builder("bad")
+            .buoy(BuoyConfig::quick())
+            .rate_range(0.1, 1.0);
     }
 
     #[test]

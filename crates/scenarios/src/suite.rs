@@ -4,29 +4,17 @@
 //! fixed configurations whose exact trajectories the golden tests pin
 //! (`tests/golden_report.rs`, `tests/scheduler_equivalence.rs`). Each
 //! definition exists exactly once, here, and is referenced by name
-//! everywhere else.
+//! everywhere else. Every entry is assembled through
+//! [`ScenarioSpec::builder`]; the builder starts from
+//! [`ScenarioSpec::default`], so each chain states only what the
+//! scenario pins down — exactly what the struct-update literals it
+//! replaced did.
 
 use besync::priority::{PolicyKind, RateEstimator};
 use besync_baselines::CgmVariant;
 use besync_data::Metric;
 
-use crate::spec::{ScenarioSpec, SystemKind, WorkloadKind};
-
-fn poisson(
-    sources: u32,
-    objects_per_source: u32,
-    rate_range: (f64, f64),
-    weight_range: (f64, f64),
-    fluctuating_weights: bool,
-) -> WorkloadKind {
-    WorkloadKind::Poisson {
-        sources,
-        objects_per_source,
-        rate_range,
-        weight_range,
-        fluctuating_weights,
-    }
-}
+use crate::spec::{ScenarioSpec, ScenarioSpecBuilder, SystemKind};
 
 /// A cooperative bench scenario over the standard bench regime
 /// (`rate ∈ (0.05, 0.5)`, constant weights in `(1, 4)`, Area policy).
@@ -42,20 +30,17 @@ fn coop(
     source_bw: f64,
     warmup: f64,
     measure: f64,
-) -> ScenarioSpec {
-    ScenarioSpec {
-        name: name.into(),
-        description: description.into(),
-        seed,
-        system: SystemKind::Coop,
-        workload: poisson(sources, objects_per_source, (0.05, 0.5), (1.0, 4.0), false),
-        metric,
-        cache_bandwidth_mean: cache_bw,
-        source_bandwidth_mean: source_bw,
-        warmup,
-        measure,
-        ..ScenarioSpec::default()
-    }
+) -> ScenarioSpecBuilder {
+    ScenarioSpec::builder(name)
+        .description(description)
+        .seed(seed)
+        .objects(sources, objects_per_source)
+        .rate_range(0.05, 0.5)
+        .weight_range(1.0, 4.0)
+        .fluctuating_weights(false)
+        .metric(metric)
+        .bandwidth(cache_bw, source_bw)
+        .window(warmup, measure)
 }
 
 /// The fixed bench scenario set. `medium` is the headline comparison
@@ -81,7 +66,8 @@ pub fn suite() -> Vec<ScenarioSpec> {
             4.0,
             50.0,
             600.0,
-        ),
+        )
+        .finish(),
         coop(
             "medium",
             "coop, 2048 objects, staleness — the headline PR-over-PR scenario",
@@ -93,7 +79,8 @@ pub fn suite() -> Vec<ScenarioSpec> {
             5.0,
             50.0,
             1500.0,
-        ),
+        )
+        .finish(),
         coop(
             "medium_value",
             "coop, 2048 objects, value deviation — medium with the deviation metric",
@@ -105,7 +92,8 @@ pub fn suite() -> Vec<ScenarioSpec> {
             5.0,
             50.0,
             1500.0,
-        ),
+        )
+        .finish(),
         coop(
             "large",
             "coop, 16384 objects, staleness — the large end of the size grid",
@@ -117,7 +105,8 @@ pub fn suite() -> Vec<ScenarioSpec> {
             16.0,
             25.0,
             400.0,
-        ),
+        )
+        .finish(),
         coop(
             "large_value",
             "coop, 16384 objects, value deviation — large with the deviation metric",
@@ -129,52 +118,50 @@ pub fn suite() -> Vec<ScenarioSpec> {
             16.0,
             25.0,
             400.0,
-        ),
-        ScenarioSpec {
-            policy: PolicyKind::Bound,
-            ..coop(
-                "bound_medium",
-                "coop, Bound policy — non-piecewise-constant priorities, per-tick requote sweeps",
-                909,
-                32,
-                64,
-                Metric::Staleness,
-                90.0,
-                5.0,
-                50.0,
-                1500.0,
-            )
-        },
-        ScenarioSpec {
-            workload: poisson(32, 64, (0.05, 0.5), (1.0, 4.0), true),
-            ..coop(
-                "fluct_medium",
-                "coop, sine-wave weights — the non-constant-weight accounting slow path",
-                1010,
-                32,
-                64,
-                Metric::Staleness,
-                90.0,
-                5.0,
-                50.0,
-                1500.0,
-            )
-        },
-        ScenarioSpec {
-            bandwidth_change_rate: 0.25,
-            ..coop(
-                "fluct_bw_medium",
-                "coop, fluctuating bandwidth (m_B = 0.25) — Wave::Sine accrual on every link",
-                1111,
-                32,
-                64,
-                Metric::Staleness,
-                90.0,
-                5.0,
-                50.0,
-                1500.0,
-            )
-        },
+        )
+        .finish(),
+        coop(
+            "bound_medium",
+            "coop, Bound policy — non-piecewise-constant priorities, per-tick requote sweeps",
+            909,
+            32,
+            64,
+            Metric::Staleness,
+            90.0,
+            5.0,
+            50.0,
+            1500.0,
+        )
+        .policy(PolicyKind::Bound)
+        .finish(),
+        coop(
+            "fluct_medium",
+            "coop, sine-wave weights — the non-constant-weight accounting slow path",
+            1010,
+            32,
+            64,
+            Metric::Staleness,
+            90.0,
+            5.0,
+            50.0,
+            1500.0,
+        )
+        .fluctuating_weights(true)
+        .finish(),
+        coop(
+            "fluct_bw_medium",
+            "coop, fluctuating bandwidth (m_B = 0.25) — Wave::Sine accrual on every link",
+            1111,
+            32,
+            64,
+            Metric::Staleness,
+            90.0,
+            5.0,
+            50.0,
+            1500.0,
+        )
+        .bandwidth_change_rate(0.25)
+        .finish(),
         coop(
             "huge",
             "coop, 131072 objects, staleness — the >=100k-object scale regime",
@@ -186,127 +173,120 @@ pub fn suite() -> Vec<ScenarioSpec> {
             55.0,
             10.0,
             120.0,
-        ),
-        ScenarioSpec {
-            workload: poisson(128, 1024, (0.05, 0.5), (1.0, 4.0), true),
-            bandwidth_change_rate: 0.25,
-            ..coop(
-                "fluct_both_huge",
-                "coop, 131072 objects, fluctuating weights AND bandwidth — the mixed regime at 100k scale",
-                1313,
-                128,
-                1024,
-                Metric::Staleness,
-                7000.0,
-                55.0,
-                10.0,
-                120.0,
-            )
-        },
-        ScenarioSpec {
-            name: "ideal_medium".into(),
-            description: "ideal omniscient scheduler, 2048 objects — figure-regeneration yardstick"
-                .into(),
-            seed: 606,
-            system: SystemKind::Ideal,
-            workload: poisson(32, 64, (0.05, 0.5), (1.0, 4.0), false),
-            metric: Metric::Staleness,
-            cache_bandwidth_mean: 90.0,
-            source_bandwidth_mean: 5.0,
-            warmup: 50.0,
-            measure: 1500.0,
-            ..ScenarioSpec::default()
-        },
+        )
+        .finish(),
+        coop(
+            "fluct_both_huge",
+            "coop, 131072 objects, fluctuating weights AND bandwidth — the mixed regime at 100k scale",
+            1313,
+            128,
+            1024,
+            Metric::Staleness,
+            7000.0,
+            55.0,
+            10.0,
+            120.0,
+        )
+        .fluctuating_weights(true)
+        .bandwidth_change_rate(0.25)
+        .finish(),
+        ScenarioSpec::builder("ideal_medium")
+            .description("ideal omniscient scheduler, 2048 objects — figure-regeneration yardstick")
+            .seed(606)
+            .system(SystemKind::Ideal)
+            .objects(32, 64)
+            .rate_range(0.05, 0.5)
+            .weight_range(1.0, 4.0)
+            .fluctuating_weights(false)
+            .metric(Metric::Staleness)
+            .bandwidth(90.0, 5.0)
+            .window(50.0, 1500.0)
+            .finish(),
         cgm_bench("cgm1_medium", CgmVariant::Cgm1, 707),
         cgm_bench("cgm2_medium", CgmVariant::Cgm2, 808),
     ]
 }
 
 fn cgm_bench(name: &str, variant: CgmVariant, seed: u64) -> ScenarioSpec {
-    ScenarioSpec {
-        name: name.into(),
-        description: format!(
+    ScenarioSpec::builder(name)
+        .description(format!(
             "{} cache-driven baseline, 2048 objects — polling + rate estimation",
             variant.name()
-        ),
-        seed,
+        ))
         // The bench CGM scenarios have always phased their link off the
         // workload seed.
-        sim_seed: seed,
-        system: SystemKind::Cgm(variant),
-        workload: poisson(32, 64, (0.02, 1.0), (1.0, 1.0), false),
-        metric: Metric::Staleness,
-        cache_bandwidth_mean: 614.0,
-        // Unused for CGM: polling has no source-side limit (§6.3).
-        source_bandwidth_mean: 0.0,
-        warmup: 100.0,
-        measure: 500.0,
-        ..ScenarioSpec::default()
-    }
+        .seeds(seed, seed)
+        .system(SystemKind::Cgm(variant))
+        .objects(32, 64)
+        .rate_range(0.02, 1.0)
+        .weight_range(1.0, 1.0)
+        .fluctuating_weights(false)
+        .metric(Metric::Staleness)
+        // Source bandwidth is unused for CGM: polling has no source-side
+        // limit (§6.3).
+        .bandwidth(614.0, 0.0)
+        .window(100.0, 500.0)
+        .finish()
 }
 
 /// The fixed configurations pinned by the golden trajectory tests. Their
 /// trajectories must never move without an intentional, commit-annotated
 /// golden regeneration.
 pub fn goldens() -> Vec<ScenarioSpec> {
-    let ideal = |name: &str, seed: u64, metric, policy, estimator| ScenarioSpec {
-        name: name.into(),
-        description: "scheduler-equivalence golden (ideal)".into(),
-        seed,
-        system: SystemKind::Ideal,
-        workload: poisson(8, 16, (0.05, 0.6), (1.0, 3.0), false),
-        policy,
-        estimator,
-        metric,
-        cache_bandwidth_mean: 20.0,
-        source_bandwidth_mean: 6.0,
-        warmup: 20.0,
-        measure: 150.0,
-        ..ScenarioSpec::default()
+    let ideal = |name: &str, seed: u64, metric, policy, estimator| {
+        ScenarioSpec::builder(name)
+            .description("scheduler-equivalence golden (ideal)")
+            .seed(seed)
+            .system(SystemKind::Ideal)
+            .objects(8, 16)
+            .rate_range(0.05, 0.6)
+            .weight_range(1.0, 3.0)
+            .fluctuating_weights(false)
+            .policy(policy)
+            .estimator(estimator)
+            .metric(metric)
+            .bandwidth(20.0, 6.0)
+            .window(20.0, 150.0)
+            .finish()
     };
-    let cgm = |name: &str, variant, seed: u64| ScenarioSpec {
-        name: name.into(),
-        description: "scheduler-equivalence golden (CGM)".into(),
-        seed,
-        sim_seed: 5,
-        system: SystemKind::Cgm(variant),
-        workload: poisson(5, 10, (0.02, 1.0), (1.0, 1.0), false),
-        metric: Metric::Staleness,
-        cache_bandwidth_mean: 25.0,
-        source_bandwidth_mean: 0.0,
-        warmup: 50.0,
-        measure: 200.0,
-        ..ScenarioSpec::default()
+    let cgm = |name: &str, variant, seed: u64| {
+        ScenarioSpec::builder(name)
+            .description("scheduler-equivalence golden (CGM)")
+            .seeds(seed, 5)
+            .system(SystemKind::Cgm(variant))
+            .objects(5, 10)
+            .rate_range(0.02, 1.0)
+            .weight_range(1.0, 1.0)
+            .fluctuating_weights(false)
+            .metric(Metric::Staleness)
+            .bandwidth(25.0, 0.0)
+            .window(50.0, 200.0)
+            .finish()
     };
     vec![
-        ScenarioSpec {
-            name: "golden_staleness_area".into(),
-            description: "golden run: staleness metric, Area policy, moderate contention".into(),
-            seed: 7777,
-            system: SystemKind::Coop,
-            workload: poisson(4, 25, (0.05, 0.6), (1.0, 3.0), false),
-            metric: Metric::Staleness,
-            cache_bandwidth_mean: 15.0,
-            source_bandwidth_mean: 4.0,
-            warmup: 25.0,
-            measure: 200.0,
-            ..ScenarioSpec::default()
-        },
-        ScenarioSpec {
-            name: "golden_deviation_poisson".into(),
-            description: "golden run: value deviation, Poisson closed form, fluctuating weights"
-                .into(),
-            seed: 4242,
-            system: SystemKind::Coop,
-            workload: poisson(6, 10, (0.1, 1.0), (1.0, 5.0), true),
-            policy: PolicyKind::PoissonClosedForm,
-            metric: Metric::abs_deviation(),
-            cache_bandwidth_mean: 8.0,
-            source_bandwidth_mean: 3.0,
-            warmup: 20.0,
-            measure: 150.0,
-            ..ScenarioSpec::default()
-        },
+        ScenarioSpec::builder("golden_staleness_area")
+            .description("golden run: staleness metric, Area policy, moderate contention")
+            .seed(7777)
+            .objects(4, 25)
+            .rate_range(0.05, 0.6)
+            .weight_range(1.0, 3.0)
+            .fluctuating_weights(false)
+            .metric(Metric::Staleness)
+            .bandwidth(15.0, 4.0)
+            .window(25.0, 200.0)
+            .finish(),
+        ScenarioSpec::builder("golden_deviation_poisson")
+            .description("golden run: value deviation, Poisson closed form, fluctuating weights")
+            .seed(4242)
+            .objects(6, 10)
+            .rate_range(0.1, 1.0)
+            .weight_range(1.0, 5.0)
+            .fluctuating_weights(true)
+            .policy(PolicyKind::PoissonClosedForm)
+            .metric(Metric::abs_deviation())
+            .bandwidth(8.0, 3.0)
+            .window(20.0, 150.0)
+            .finish(),
         ideal(
             "equiv_ideal_staleness_area",
             11,
@@ -349,6 +329,7 @@ pub fn by_name(name: &str) -> Option<ScenarioSpec> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::WorkloadKind;
 
     #[test]
     fn names_are_unique_and_described() {
@@ -408,5 +389,47 @@ mod tests {
                 "no {kind} scenario in the suite"
             );
         }
+    }
+
+    #[test]
+    fn registry_entries_pin_their_regimes() {
+        // The builder port must not have moved any registry definition:
+        // spot-check the fields the old struct literals pinned.
+        let m = by_name("medium").unwrap();
+        assert_eq!((m.seed, m.sim_seed), (202, 0));
+        assert_eq!(m.total_objects(), 2048);
+        assert_eq!(
+            (m.cache_bandwidth_mean, m.source_bandwidth_mean),
+            (90.0, 5.0)
+        );
+        assert_eq!((m.warmup, m.measure), (50.0, 1500.0));
+
+        let c = by_name("cgm1_medium").unwrap();
+        assert_eq!((c.seed, c.sim_seed), (707, 707));
+        assert_eq!(c.system.name(), "cgm1");
+        match c.workload {
+            WorkloadKind::Poisson {
+                rate_range,
+                weight_range,
+                fluctuating_weights,
+                ..
+            } => {
+                assert_eq!(rate_range, (0.02, 1.0));
+                assert_eq!(weight_range, (1.0, 1.0));
+                assert!(!fluctuating_weights);
+            }
+            _ => panic!("expected a Poisson workload"),
+        }
+        assert_eq!(
+            (c.cache_bandwidth_mean, c.source_bandwidth_mean),
+            (614.0, 0.0)
+        );
+
+        let g = by_name("equiv_cgm_ideal").unwrap();
+        assert_eq!((g.seed, g.sim_seed), (61, 5));
+        assert_eq!((g.warmup, g.measure), (50.0, 200.0));
+
+        let b = by_name("bound_medium").unwrap();
+        assert!(matches!(b.policy, PolicyKind::Bound));
     }
 }

@@ -53,9 +53,11 @@ pub mod worker;
 
 pub use backoff::BackoffPolicy;
 pub use pool::{default_threads, parallel_map};
+#[allow(deprecated)]
+pub use supervisor::{run_sweep, run_sweep_summarized};
 pub use supervisor::{
-    run_sweep, run_sweep_summarized, DegradedSlot, Shards, SweepError, SweepOptions, SweepOutcome,
-    SweepRun, SweepSummary, WorkerSpawn,
+    sweep, DegradedSlot, Shards, SweepError, SweepOptions, SweepOutcome, SweepRun, SweepSummary,
+    WorkerSpawn,
 };
 pub use transport::TransportKind;
 pub use worker::{worker_main, Fault, ABORT_ENV, CONNECT_FLAG, FAULT_ENV, TOKEN_FLAG, WORKER_FLAG};

@@ -279,6 +279,19 @@ pub struct SweepRun {
     pub summary: SweepSummary,
 }
 
+impl SweepRun {
+    /// Consumes the run, printing the robustness summary to stderr when
+    /// anything noteworthy happened, and returns just the outcomes — the
+    /// convenience most drivers want.
+    pub fn into_outcomes(self) -> Vec<SweepOutcome> {
+        let rendered = self.summary.render();
+        if !rendered.is_empty() {
+            eprintln!("{rendered}");
+        }
+        self.outcomes
+    }
+}
+
 /// Why a sharded sweep failed. In-process sweeps cannot fail, and
 /// worker crashes/hangs degrade rather than fail — what remains is
 /// caller bugs (unencodable specs, unspawnable commands, protocol-level
@@ -339,29 +352,13 @@ impl fmt::Display for SweepError {
 
 impl std::error::Error for SweepError {}
 
-/// Runs every spec and returns outcomes **in input order** — the
-/// supervisor's whole point. With [`Shards::InProcess`] this cannot
-/// fail; with [`Shards::Workers`] it spawns processes and can. Prints
-/// the robustness summary to stderr when anything noteworthy happened;
-/// use [`run_sweep_summarized`] to get it structurally.
-pub fn run_sweep(
-    specs: &[ScenarioSpec],
-    opts: &SweepOptions,
-) -> Result<Vec<SweepOutcome>, SweepError> {
-    let run = run_sweep_summarized(specs, opts)?;
-    let rendered = run.summary.render();
-    if !rendered.is_empty() {
-        eprintln!("{rendered}");
-    }
-    Ok(run.outcomes)
-}
-
-/// [`run_sweep`], returning the [`SweepSummary`] alongside the outcomes
-/// instead of printing it.
-pub fn run_sweep_summarized(
-    specs: &[ScenarioSpec],
-    opts: &SweepOptions,
-) -> Result<SweepRun, SweepError> {
+/// Runs every spec and returns the finished [`SweepRun`]: outcomes **in
+/// input order** — the supervisor's whole point — plus the robustness
+/// [`SweepSummary`]. With [`Shards::InProcess`] this cannot fail; with
+/// [`Shards::Workers`] it spawns processes and can. Call
+/// [`SweepRun::into_outcomes`] to print the summary and keep just the
+/// outcomes.
+pub fn sweep(specs: &[ScenarioSpec], opts: &SweepOptions) -> Result<SweepRun, SweepError> {
     match opts.shards {
         Shards::InProcess => Ok(SweepRun {
             outcomes: run_in_process(specs, opts),
@@ -369,6 +366,24 @@ pub fn run_sweep_summarized(
         }),
         Shards::Workers(n) => run_sharded(specs, n as usize, opts),
     }
+}
+
+/// Pre-unification entrypoint; use [`sweep`].
+#[deprecated(note = "use `sweep(..)?.into_outcomes()`; removed next PR")]
+pub fn run_sweep(
+    specs: &[ScenarioSpec],
+    opts: &SweepOptions,
+) -> Result<Vec<SweepOutcome>, SweepError> {
+    Ok(sweep(specs, opts)?.into_outcomes())
+}
+
+/// Pre-unification entrypoint; use [`sweep`].
+#[deprecated(note = "use `sweep`; removed next PR")]
+pub fn run_sweep_summarized(
+    specs: &[ScenarioSpec],
+    opts: &SweepOptions,
+) -> Result<SweepRun, SweepError> {
+    sweep(specs, opts)
 }
 
 /// Builds and runs one spec, timing the phases separately.
@@ -1043,7 +1058,9 @@ mod tests {
     #[test]
     fn in_process_sweep_matches_direct_runs() {
         let specs = tiny_specs(5);
-        let outcomes = run_sweep(&specs, &SweepOptions::default()).unwrap();
+        let outcomes = sweep(&specs, &SweepOptions::default())
+            .unwrap()
+            .into_outcomes();
         assert_eq!(outcomes.len(), specs.len());
         for (spec, outcome) in specs.iter().zip(&outcomes) {
             let direct = spec.run();
@@ -1057,13 +1074,30 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_delegate() {
+        let specs = tiny_specs(2);
+        let outcomes = run_sweep(&specs, &SweepOptions::default()).unwrap();
+        let run = run_sweep_summarized(&specs, &SweepOptions::default()).unwrap();
+        assert_eq!(outcomes.len(), run.outcomes.len());
+        for (a, b) in outcomes.iter().zip(&run.outcomes) {
+            assert_eq!(
+                a.report.mean_divergence().to_bits(),
+                b.report.mean_divergence().to_bits()
+            );
+        }
+    }
+
+    #[test]
     fn empty_sweep_is_empty_everywhere() {
-        assert!(run_sweep(&[], &SweepOptions::default()).unwrap().is_empty());
-        assert!(
-            run_sweep(&[], &SweepOptions::with_shards(Shards::Workers(4)))
-                .unwrap()
-                .is_empty()
-        );
+        assert!(sweep(&[], &SweepOptions::default())
+            .unwrap()
+            .outcomes
+            .is_empty());
+        assert!(sweep(&[], &SweepOptions::with_shards(Shards::Workers(4)))
+            .unwrap()
+            .outcomes
+            .is_empty());
     }
 
     #[test]
@@ -1079,7 +1113,7 @@ mod tests {
             worker: WorkerSpawn::Command("/nonexistent/worker".into(), Vec::new()),
             ..SweepOptions::default()
         };
-        match run_sweep(&[spec], &opts) {
+        match sweep(&[spec], &opts) {
             Err(SweepError::Encode { scenario, .. }) => assert_eq!(scenario, "small"),
             other => panic!("expected Encode error, got {other:?}"),
         }
@@ -1092,7 +1126,7 @@ mod tests {
             worker: WorkerSpawn::Command("/nonexistent/besync-worker".into(), Vec::new()),
             ..SweepOptions::default()
         };
-        match run_sweep(&tiny_specs(2), &opts) {
+        match sweep(&tiny_specs(2), &opts) {
             Err(SweepError::Spawn { .. }) => {}
             other => panic!("expected Spawn error, got {other:?}"),
         }

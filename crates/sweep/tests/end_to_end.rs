@@ -13,8 +13,8 @@ use std::time::Duration;
 
 use besync_scenarios::{by_name, ScenarioSpec};
 use besync_sweep::{
-    run_sweep, run_sweep_summarized, BackoffPolicy, Shards, SweepOptions, SweepOutcome, SweepRun,
-    TransportKind, WorkerSpawn, ABORT_ENV, CONNECT_FLAG, FAULT_ENV, TOKEN_FLAG,
+    sweep, BackoffPolicy, Shards, SweepOptions, SweepOutcome, SweepRun, TransportKind, WorkerSpawn,
+    ABORT_ENV, CONNECT_FLAG, FAULT_ENV, TOKEN_FLAG,
 };
 
 fn worker_bin() -> WorkerSpawn {
@@ -62,7 +62,9 @@ fn mixed_specs() -> Vec<ScenarioSpec> {
 }
 
 fn baseline() -> Vec<SweepOutcome> {
-    run_sweep(&mixed_specs(), &SweepOptions::default()).unwrap()
+    sweep(&mixed_specs(), &SweepOptions::default())
+        .unwrap()
+        .into_outcomes()
 }
 
 fn assert_outcomes_identical(a: &[SweepOutcome], b: &[SweepOutcome]) {
@@ -101,7 +103,7 @@ fn assert_outcomes_identical(a: &[SweepOutcome], b: &[SweepOutcome]) {
 /// Runs the sweep expecting a *clean recovery*: identical outcomes, at
 /// least one respawn, no degradation.
 fn assert_recovers(opts: &SweepOptions, min_respawns: usize) -> SweepRun {
-    let run = run_sweep_summarized(&mixed_specs(), opts).unwrap();
+    let run = sweep(&mixed_specs(), opts).unwrap();
     assert_outcomes_identical(&baseline(), &run.outcomes);
     assert!(
         run.summary.respawns >= min_respawns,
@@ -120,7 +122,7 @@ fn assert_recovers(opts: &SweepOptions, min_respawns: usize) -> SweepRun {
 /// outcomes, but with retired slots and an in-process drain.
 fn assert_degrades(opts: &SweepOptions) -> SweepRun {
     let specs = mixed_specs();
-    let run = run_sweep_summarized(&specs, opts).unwrap();
+    let run = sweep(&specs, opts).unwrap();
     assert_outcomes_identical(&baseline(), &run.outcomes);
     assert!(run.summary.is_degraded(), "expected retired slots");
     assert_eq!(
@@ -140,11 +142,11 @@ fn sharded_outcomes_match_in_process_bit_for_bit() {
     let specs = mixed_specs();
     let baseline = baseline();
     for shards in [1, 2, 5] {
-        let outcomes = run_sweep(&specs, &sharded(shards)).unwrap();
+        let outcomes = sweep(&specs, &sharded(shards)).unwrap().into_outcomes();
         assert_outcomes_identical(&baseline, &outcomes);
     }
     // More workers than specs: clamped, still identical.
-    let outcomes = run_sweep(&specs[..2], &sharded(16)).unwrap();
+    let outcomes = sweep(&specs[..2], &sharded(16)).unwrap().into_outcomes();
     assert_outcomes_identical(&baseline[..2], &outcomes);
 }
 
@@ -156,7 +158,7 @@ fn tcp_transport_matches_pipes_bit_for_bit() {
     opts.transport = TransportKind::Tcp {
         bind: "127.0.0.1:0".to_string(),
     };
-    let run = run_sweep_summarized(&specs, &opts).unwrap();
+    let run = sweep(&specs, &opts).unwrap();
     assert_outcomes_identical(&baseline, &run.outcomes);
     assert_eq!(run.summary.respawns, 0);
 }
@@ -209,7 +211,7 @@ fn hung_workers_are_detected_by_the_spec_deadline() {
 fn stalling_workers_inside_the_deadline_need_no_respawn() {
     // A 50ms stall is indistinguishable from a slow spec; with the
     // (generous) default deadline nothing should be killed.
-    let run = run_sweep_summarized(&mixed_specs(), &with_fault(sharded(2), "stall-ms:1:50"))
+    let run = sweep(&mixed_specs(), &with_fault(sharded(2), "stall-ms:1:50"))
         .expect("stall within deadline");
     assert_outcomes_identical(&baseline(), &run.outcomes);
     assert_eq!(run.summary.respawns, 0);
@@ -323,11 +325,9 @@ fn retired_slot_with_idle_survivor_hands_its_specs_over() {
         max_respawns: 0,
         ..sharded(2)
     };
-    opts.worker_env.push((
-        "BESYNC_TEST_LOCK".to_string(),
-        lock.display().to_string(),
-    ));
-    let run = run_sweep_summarized(&mixed_specs(), &opts).unwrap();
+    opts.worker_env
+        .push(("BESYNC_TEST_LOCK".to_string(), lock.display().to_string()));
+    let run = sweep(&mixed_specs(), &opts).unwrap();
     let _ = std::fs::remove_dir(&lock);
     assert_outcomes_identical(&baseline(), &run.outcomes);
     assert_eq!(
