@@ -174,7 +174,7 @@ pub struct CgmSystem {
 impl CgmSystem {
     /// Builds a CGM run over the workload (sources in the layout are
     /// irrelevant to CGM, which sees a flat set of objects).
-    pub fn new(cfg: CgmConfig, spec: WorkloadSpec) -> Self {
+    pub fn new(cfg: CgmConfig, mut spec: WorkloadSpec) -> Self {
         spec.validate().expect("invalid workload spec");
         let total = spec.total_objects();
         let truth = TruthTable::new(cfg.metric, &spec.initial_values, spec.weights.clone());

@@ -49,21 +49,112 @@ pub fn marginal_gain(lambda: f64, freq: f64) -> f64 {
 
 #[inline]
 fn g(r: f64) -> f64 {
+    if r <= 0.25 {
+        // Direct evaluation cancels catastrophically for small r
+        // (g(r) ≈ r²/2 computed as 1 − (1 − r²/2 + …)); the Taylor
+        // series g(r) = Σₙ≥₂ (−1)ⁿ(n−1)/n!·rⁿ is exact to f64 here
+        // (the first dropped term, 12/13!·r¹³, is < 3e-17 relative at
+        // r = 0.25).
+        let c = [
+            1.0 / 2.0,
+            -1.0 / 3.0,
+            1.0 / 8.0,
+            -1.0 / 30.0,
+            1.0 / 144.0,
+            -1.0 / 840.0,
+            1.0 / 5760.0,
+            -1.0 / 45360.0,
+            1.0 / 403200.0,
+            -1.0 / 3991680.0,
+            1.0 / 43545600.0,
+        ];
+        let mut p = c[10];
+        for &ck in c[..10].iter().rev() {
+            p = ck + r * p;
+        }
+        return r * r * p;
+    }
     if r > 700.0 {
         return 1.0;
     }
     1.0 - (-r).exp() * (1.0 + r)
 }
 
-/// Inverts `g(r) = y` for `y ∈ [0, 1)`. `g` is strictly increasing with
-/// `g(0) = 0` and `g(∞) = 1`.
-fn invert_g(y: f64) -> f64 {
+/// `g(1) = 1 − 2/e`: the split between the small-`y` and large-`y`
+/// initial guesses in [`invert_g`].
+const G_AT_ONE: f64 = 1.0 - 2.0 / std::f64::consts::E;
+
+/// Inverts `g(r) = y` for `y ∈ [0, 1)` by Newton's method. `g` is
+/// strictly increasing with `g(0) = 0`, `g(∞) = 1`, and
+/// `g′(r) = r·e^{−r}`.
+///
+/// The initial guess is the leading series term `r ≈ √(2y)` below
+/// `g(1)` and two sweeps of the contraction `r = −ln(1−y) + ln(1+r)`
+/// (the exact rearrangement of `g(r) = y`) above it; Newton then
+/// converges in 2–4 steps. Debug builds cross-check every result
+/// against the retired bisection solver ([`invert_g_bisect`]).
+#[doc(hidden)]
+pub fn invert_g(y: f64) -> f64 {
     debug_assert!((0.0..1.0).contains(&y));
     if y <= 0.0 {
         return 0.0;
     }
-    // Bracket then bisect; g is cheap and this runs once per object per
-    // allocation, so robustness beats cleverness.
+    let mut r = if y < G_AT_ONE {
+        (2.0 * y).sqrt()
+    } else {
+        let l = -(-y).ln_1p();
+        let r1 = l + (1.0 + l).ln();
+        l + (1.0 + r1).ln()
+    };
+    for _ in 0..32 {
+        let d = r * (-r).exp();
+        if d < f64::MIN_POSITIVE {
+            // g′ underflows only for r ≳ 745 (y within an ulp of 1);
+            // the fixed-point initializer is already converged there.
+            break;
+        }
+        let step = (g(r) - y) / d;
+        let next = r - step;
+        if next <= 0.0 || next.is_nan() {
+            // A wild first step (possible only from a poor bracket of
+            // the convex region) is damped instead of trusted.
+            r *= 0.5;
+            continue;
+        }
+        r = next;
+        if step.abs() <= 2.0 * f64::EPSILON * r {
+            break;
+        }
+    }
+    // The bisection oracle is only as sharp as its own limits: its
+    // bracket stops at an *absolute* width of ~1e-12 (so below
+    // y ≈ 1e-9 its answer is coarser than Newton's), and its
+    // r-resolution is the evaluation noise of g divided by the slope
+    // g′(r) — which collapses as y → 1, where g is flat at f64
+    // resolution and *any* r in a wide range satisfies g(r) = y to the
+    // ulp. The tolerance carries both terms so the assertion tests the
+    // solver, not the oracle.
+    debug_assert!(
+        y < 1e-9 || {
+            let rb = invert_g_bisect(y);
+            let conditioning = 4.0 * f64::EPSILON / (rb * (-rb).exp());
+            (r - rb).abs() <= 1e-6 * rb + conditioning
+        },
+        "invert_g({y}) = {r} disagrees with bisection {}",
+        invert_g_bisect(y)
+    );
+    r
+}
+
+/// The retired bracket-and-bisect inversion, kept as the oracle for
+/// [`invert_g`]'s debug assertion and the property tests: slow, simple,
+/// and correct to its ~1e-12 bracket width.
+#[doc(hidden)]
+pub fn invert_g_bisect(y: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&y));
+    if y <= 0.0 {
+        return 0.0;
+    }
     let mut lo = 0.0_f64;
     let mut hi = 1.0_f64;
     while g(hi) < y {
@@ -139,6 +230,29 @@ pub fn allocate(rates: &[f64], budget: f64) -> Vec<f64> {
         sum
     };
 
+    // Σf(µ) and its slope in one pass, for Newton. No early exit here —
+    // the derivative is needed in full. With r = r(µλ) from `invert_g`,
+    // dfᵢ/dµ = −λᵢ²/(rᵢ²·g′(rᵢ)), and at the root e^{−r} = (1−y)/(1+r)
+    // (rearranging g(r) = y), so g′ = r·e^{−r} costs no exp call.
+    let total_and_slope = |mu: f64| -> (f64, f64) {
+        let mut sum = 0.0;
+        let mut slope = 0.0;
+        for &i in &active {
+            let lambda = rates[i];
+            let y = mu * lambda;
+            if y >= 1.0 {
+                continue;
+            }
+            let r = invert_g(y);
+            if r <= 0.0 {
+                continue;
+            }
+            sum += lambda / r;
+            slope -= lambda * lambda * (1.0 + r) / (r * r * r * (1.0 - y));
+        }
+        (sum, slope)
+    };
+
     // Σf(µ) is decreasing in µ. Bracket the root: grow µ until the total
     // is under budget, shrink until over.
     let mut hi = 1.0
@@ -158,6 +272,63 @@ pub fn allocate(rates: &[f64], budget: f64) -> Vec<f64> {
         lo /= 2.0;
         if lo < 1e-300 {
             break;
+        }
+    }
+    // Safeguarded Newton inside the bracket. Every iterate lands
+    // strictly inside (lo, hi) and updates the matching side, so the
+    // bracket invariant — total(lo) > budget ≥ total(hi), modulo the
+    // degenerate-bracket escapes above — is maintained throughout; a
+    // Newton target outside the bracket falls back to its midpoint.
+    // Typical convergence is 4–6 iterations; the cap only matters when
+    // the budget lands inside one of Σf's representational jumps (see
+    // below), where the iterates hop across the jump and shrink the
+    // bracket geometrically instead.
+    let mut mu = 0.5 * (lo + hi);
+    let mut polish = false;
+    for _ in 0..64 {
+        let (sum, slope) = total_and_slope(mu);
+        if sum > budget {
+            lo = mu;
+        } else {
+            hi = mu;
+        }
+        if hi - lo <= 2.0 * f64::EPSILON * hi {
+            break;
+        }
+        if slope >= 0.0 {
+            // All objects shut off (or none active): no gradient to
+            // follow.
+            mu = 0.5 * (lo + hi);
+            continue;
+        }
+        let step = (budget - sum) / slope;
+        if step.abs() <= f64::EPSILON * mu {
+            polish = true;
+            break;
+        }
+        let next = mu + step;
+        mu = if next > lo && next < hi {
+            next
+        } else {
+            0.5 * (lo + hi)
+        };
+    }
+    // Newton converging from one side leaves the far bracket end loose,
+    // but the allocation below reads *both* ends (µ = hi, boundary
+    // jumps from lo). Re-bracket tightly around the converged root:
+    // start a few ulps out and widen geometrically until both sides
+    // verify, falling back to the pre-polish bracket if they never do
+    // (the jump-discontinuity case, which the loop above has already
+    // bisected tight).
+    if polish {
+        let mut delta = 2.0 * f64::EPSILON * mu;
+        while mu - delta > lo && mu + delta < hi {
+            if total_for(mu - delta) > budget && total_for(mu + delta) <= budget {
+                lo = mu - delta;
+                hi = mu + delta;
+                break;
+            }
+            delta *= 4.0;
         }
     }
     for _ in 0..200 {

@@ -136,3 +136,82 @@ proptest! {
         }
     }
 }
+
+// The Newton inversion that replaced the bracket-and-bisect solver in
+// PR 7, checked against the retired solver kept as an oracle. The
+// tolerance mirrors the solver's debug assertion: a relative band plus
+// a conditioning term ε/g′(r), because near y → 1 the curve is flat at
+// f64 resolution and bisection cannot resolve r any tighter than that.
+proptest! {
+    /// Newton and bisection agree on g⁻¹ across the oracle's usable
+    /// domain (y ≥ 1e-9; below that bisection's fixed absolute bracket
+    /// is coarser than Newton's answer).
+    #[test]
+    fn invert_g_newton_matches_bisection(y in 1e-9f64..0.999_999_999) {
+        use besync_baselines::freshness::{invert_g, invert_g_bisect};
+        let rn = invert_g(y);
+        let rb = invert_g_bisect(y);
+        let conditioning = 4.0 * f64::EPSILON / (rb * (-rb).exp());
+        prop_assert!(
+            (rn - rb).abs() <= 1e-6 * rb + conditioning,
+            "y={y}: newton {rn} vs bisection {rb}"
+        );
+    }
+
+    /// The Newton-based allocation matches a reference built on the
+    /// retired bisection inversion: same per-object frequencies to
+    /// well under the allocator's own residual floor.
+    #[test]
+    fn allocate_matches_bisection_reference(
+        rates in prop::collection::vec(0.01f64..5.0, 2..12),
+        budget in 0.1f64..20.0,
+    ) {
+        use besync_baselines::freshness::invert_g_bisect;
+        let freqs = allocate(&rates, budget);
+
+        // Reference: pure outer bisection on µ over the bisection
+        // inversion — the shape of the pre-Newton implementation.
+        let freq_for = |lambda: f64, mu: f64| -> f64 {
+            let y = mu * lambda;
+            if y >= 1.0 {
+                return 0.0;
+            }
+            let r = invert_g_bisect(y);
+            if r <= 0.0 { 0.0 } else { lambda / r }
+        };
+        let total = |mu: f64| -> f64 { rates.iter().map(|&l| freq_for(l, mu)).sum() };
+        let mut hi = 1.0 / rates.iter().copied().fold(f64::INFINITY, f64::min);
+        while total(hi) > budget {
+            hi *= 2.0;
+        }
+        let mut lo = hi;
+        while total(lo) < budget {
+            lo /= 2.0;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if mid == lo || mid == hi {
+                break;
+            }
+            if total(mid) > budget {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // Compare against the µ = hi allocation before residual
+        // spreading: each common frequency within a small relative
+        // band, and the totals both at the budget.
+        let sum: f64 = freqs.iter().sum();
+        prop_assert!((sum - budget).abs() <= 1e-6 * budget);
+        for (&l, &f) in rates.iter().zip(&freqs) {
+            let reference = freq_for(l, hi);
+            // Boundary objects absorb residual budget (up to their
+            // representational jump), so only bound from below.
+            prop_assert!(
+                f + 1e-6 * budget >= reference - 1e-4 * (reference + 1.0),
+                "λ={l}: allocated {f} below reference {reference}"
+            );
+        }
+    }
+}

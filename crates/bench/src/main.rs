@@ -35,6 +35,94 @@ use besync_scenarios::{by_name, suite, ScenarioSpec};
 use besync_sweep::{sweep, Shards, SweepOptions, SweepOutcome, TransportKind};
 use besync_verify::{check_scenario, collect, ScenarioStats, StatBaseline, Tier};
 
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A/B microbench of the CGM re-allocation step at the `cgm_bench`
+/// regime (2048 objects, rates uniform in [0.02, 1.0], budget 614
+/// refreshes/s): the shipped Newton solve against the retired double
+/// bisection, reconstructed from the retained `invert_g_bisect`
+/// oracle (core solve only — no residual pass — so the measured
+/// speedup under-reports slightly). Minimum of five reps each;
+/// recorded in the bench JSON as `cgm_alloc` so allocator-speedup
+/// claims are pinned to a measurement, not a recollection.
+fn cgm_alloc_ab() -> (usize, f64, f64) {
+    use besync_baselines::freshness::{allocate, invert_g_bisect};
+    let n = 2048usize;
+    let budget = 614.0f64;
+    let mut state = 0x00c0_ffeeu64;
+    let rates: Vec<f64> = (0..n)
+        .map(|_| {
+            state = splitmix64(state);
+            0.02 + (state >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0) * 0.98
+        })
+        .collect();
+
+    let bisect_allocate = |rates: &[f64], budget: f64| -> Vec<f64> {
+        let freq_for = |lambda: f64, mu: f64| -> f64 {
+            let y = mu * lambda;
+            if y >= 1.0 {
+                return 0.0;
+            }
+            let r = invert_g_bisect(y);
+            if r <= 0.0 {
+                0.0
+            } else {
+                lambda / r
+            }
+        };
+        let total_for = |mu: f64| -> f64 {
+            let mut sum = 0.0;
+            for &l in rates {
+                sum += freq_for(l, mu);
+                if sum > budget {
+                    return f64::INFINITY;
+                }
+            }
+            sum
+        };
+        let mut hi = 1.0 / rates.iter().copied().fold(f64::INFINITY, f64::min);
+        while total_for(hi) > budget {
+            hi *= 2.0;
+        }
+        let mut lo = hi;
+        while total_for(lo) < budget {
+            lo /= 2.0;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            let converged = mid == lo || mid == hi;
+            if total_for(mid) > budget {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if converged {
+                break;
+            }
+        }
+        rates.iter().map(|&l| freq_for(l, hi)).collect()
+    };
+
+    let time = |f: &dyn Fn() -> Vec<f64>| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let newton = time(&|| allocate(&rates, budget));
+    let bisect = time(&|| bisect_allocate(&rates, budget));
+    (n, newton, bisect)
+}
+
 /// Fixed floating-point microbenchmark, wall-clocked: a deterministic
 /// mix of the simulator's hot arithmetic (`ln`, `exp`, Welford-style
 /// accumulation over a splitmix64 stream). Recorded in the bench JSON
@@ -44,13 +132,6 @@ use besync_verify::{check_scenario, collect, ScenarioStats, StatBaseline, Tier};
 /// calibration must track the machine's speed, not its scheduling
 /// noise.
 fn calibration_seconds() -> f64 {
-    fn splitmix64(mut x: u64) -> u64 {
-        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = x;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
     let mut best = f64::INFINITY;
     for rep in 0..3u64 {
         let mut state = 0x5ca1_ab1e ^ rep;
@@ -758,10 +839,21 @@ fn main() -> std::process::ExitCode {
                 .collect();
             format!("  \"shards_grid\": [\n{}\n  ],\n", entries.join(",\n"))
         };
+        let (alloc_n, alloc_newton, alloc_bisect) = cgm_alloc_ab();
+        eprintln!(
+            "cgm alloc ({alloc_n} objects): newton {:.6}s, bisect {:.6}s, {:.1}x",
+            alloc_newton,
+            alloc_bisect,
+            alloc_bisect / alloc_newton
+        );
         let json = format!(
-            "{{\n  \"schema\": \"besync-bench/v4\",\n  \"quick\": {},\n  \"calibration_seconds\": {:.6},\n{}  \"scenarios\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema\": \"besync-bench/v4\",\n  \"quick\": {},\n  \"calibration_seconds\": {:.6},\n  \"cgm_alloc\": {{ \"objects_ab\": {}, \"newton_seconds\": {:.6}, \"bisect_seconds\": {:.6}, \"speedup\": {:.1} }},\n{}  \"scenarios\": [\n{}\n  ]\n}}\n",
             quick,
             calibration.unwrap_or_else(calibration_seconds),
+            alloc_n,
+            alloc_newton,
+            alloc_bisect,
+            alloc_bisect / alloc_newton,
             shards_json,
             body.join(",\n")
         );

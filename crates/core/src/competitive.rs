@@ -117,7 +117,7 @@ impl CompetitiveSystem {
     ///
     /// Panics if the base policy is not [`PolicyKind::Area`], the spec is
     /// inconsistent, or `source_weights` doesn't cover every object.
-    pub fn new(cfg: CompetitiveConfig, spec: WorkloadSpec) -> Self {
+    pub fn new(cfg: CompetitiveConfig, mut spec: WorkloadSpec) -> Self {
         assert!(
             matches!(cfg.base.policy, PolicyKind::Area),
             "competitive runs require the Area policy"

@@ -85,7 +85,7 @@ impl IdealSystem {
     /// Builds the idealized system from the same configuration/workload a
     /// [`crate::CoopSystem`] takes, so the two are directly comparable on
     /// identical update sequences.
-    pub fn new(cfg: SystemConfig, spec: WorkloadSpec) -> Self {
+    pub fn new(cfg: SystemConfig, mut spec: WorkloadSpec) -> Self {
         spec.validate().expect("invalid workload spec");
         let layout = spec.layout;
         let total = spec.total_objects();

@@ -1,0 +1,118 @@
+//! Branch-light polynomial math for simulation hot paths.
+//!
+//! The updater hot path turns one uniform draw into one exponential
+//! gap via `-ln(1 - u)`; at millions of events per second the libm
+//! `ln` call (with its NaN/subnormal/negative-argument branches and
+//! lookup tables) is measurable. [`ln`] below is the classic
+//! atanh-series evaluation specialized to the positive normal range —
+//! a bit-level exponent/mantissa split, one range-halving compare, and
+//! a nine-term odd polynomial — which the compiler can keep entirely
+//! in registers and interleave across the four lanes of a
+//! `GapBuffer` refill (`besync_workloads::spec`).
+//!
+//! Accuracy: ≤ 8 ulp relative over the positive normal range (the
+//! tests sweep this), which is far below the sampling noise of the
+//! draws it feeds. Out of scope by construction, not by branch: zero,
+//! negatives, NaN, ∞, and subnormals — the one caller feeds `1 - u`
+//! with `u ∈ [0, 1)`, so arguments live in `(2⁻⁵³, 1]`; a
+//! `debug_assert` guards the contract instead of runtime branches.
+
+/// ln 2, split high/low so `e·ln2` keeps an extra ~27 bits: the
+/// exponent contribution can be ~700× the polynomial's, and a single
+/// rounded multiply there would dominate the error budget.
+const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+
+/// Natural log for positive, normal, finite `x` — the fast-path
+/// contract of the simulation's gap sampler.
+///
+/// # Panics
+///
+/// Debug builds panic if `x` is not a positive normal number; release
+/// builds return an unspecified finite value for such inputs.
+#[inline]
+pub fn ln(x: f64) -> f64 {
+    debug_assert!(
+        x.is_normal() && x > 0.0,
+        "fastmath::ln contract: positive normal argument, got {x:e}"
+    );
+    let bits = x.to_bits();
+    let mut e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    // Mantissa remapped to [1, 2), then halved into [√2/2, √2) so the
+    // series argument t = (m−1)/(m+1) stays within |t| ≤ 0.1716.
+    let mut m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000);
+    if m > std::f64::consts::SQRT_2 {
+        m *= 0.5;
+        e += 1;
+    }
+    // ln m = 2 atanh(t) = 2t·(1 + t²/3 + t⁴/5 + …); |t²| ≤ 0.0295 puts
+    // the first dropped term (t¹⁸/19) below 10⁻¹⁶ relative.
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    let p = 1.0
+        + t2 * ((1.0 / 3.0)
+            + t2 * ((1.0 / 5.0)
+                + t2 * ((1.0 / 7.0)
+                    + t2 * ((1.0 / 9.0)
+                        + t2 * ((1.0 / 11.0)
+                            + t2 * ((1.0 / 13.0) + t2 * ((1.0 / 15.0) + t2 * (1.0 / 17.0))))))));
+    let e = e as f64;
+    // Ordered so the small pieces accumulate before the large one.
+    e * LN2_LO + 2.0 * t * p + e * LN2_HI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ulps_apart(a: f64, b: f64) -> u64 {
+        a.to_bits().abs_diff(b.to_bits())
+    }
+
+    #[test]
+    fn matches_libm_on_the_unit_interval() {
+        // The gap sampler's actual domain: 1 − u for u ∈ [0, 1).
+        let mut worst = 0u64;
+        for k in 1..=100_000u64 {
+            let x = k as f64 / 100_000.0;
+            worst = worst.max(ulps_apart(ln(x), x.ln()));
+        }
+        assert!(worst <= 8, "worst disagreement {worst} ulps");
+    }
+
+    #[test]
+    fn matches_libm_across_magnitudes() {
+        let mut worst = 0u64;
+        let mut x = 1e-300_f64;
+        while x < 1e300 {
+            worst = worst.max(ulps_apart(ln(x), x.ln()));
+            x *= 1.000_37;
+        }
+        assert!(worst <= 8, "worst disagreement {worst} ulps");
+    }
+
+    #[test]
+    fn exact_at_one() {
+        assert_eq!(ln(1.0), 0.0);
+    }
+
+    #[test]
+    fn powers_of_two_hit_the_exponent_path() {
+        for e in [-1000, -53, -1, 1, 10, 512] {
+            let x = (e as f64).exp2();
+            assert!(
+                ulps_apart(ln(x), x.ln()) <= 1,
+                "2^{e}: {} vs {}",
+                ln(x),
+                x.ln()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive normal argument")]
+    #[cfg(debug_assertions)]
+    fn rejects_non_positive_in_debug() {
+        ln(0.0);
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod calendar;
 pub mod events;
+pub mod fastmath;
 pub mod indexed_heap;
 pub mod rng;
 pub mod signal;

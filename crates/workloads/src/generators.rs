@@ -20,7 +20,7 @@ use besync_sim::Wave;
 use rand::Rng;
 
 use crate::process::UpdateProcess;
-use crate::spec::{Updater, WorkloadSpec};
+use crate::spec::{GapBuffer, Updater, WorkloadSpec};
 use crate::walk::RandomWalk;
 
 /// §4.3 uniform experiment: a single source with `n` objects, all weights
@@ -126,6 +126,7 @@ pub fn random_walk_poisson(opts: PoissonWorkloadOptions, seed: u64) -> WorkloadS
         updaters.push(Updater::Stochastic {
             process: UpdateProcess::Poisson { rate },
             walk: RandomWalk::unit(),
+            gaps: GapBuffer::new(),
         });
     }
 

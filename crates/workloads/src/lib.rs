@@ -26,6 +26,6 @@ pub mod trace;
 pub mod walk;
 
 pub use process::UpdateProcess;
-pub use spec::{Updater, WorkloadSpec};
+pub use spec::{GapBuffer, Updater, WorkloadSpec};
 pub use trace::{Trace, TraceEvent};
 pub use walk::RandomWalk;

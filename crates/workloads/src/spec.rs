@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 
 use besync_data::ids::ObjectLayout;
 use besync_data::{ObjectId, WeightProfile};
+use besync_sim::fastmath;
 use besync_sim::rng::{self, streams};
 use besync_sim::SimTime;
 use rand::rngs::SmallRng;
@@ -19,6 +20,48 @@ use rand::Rng;
 use crate::process::UpdateProcess;
 use crate::trace::Trace;
 use crate::walk::RandomWalk;
+
+/// A four-lane buffer of pre-sampled standard-exponential gaps.
+///
+/// The Poisson updater consumes one `-ln(1 - u)` per event; drawing
+/// four uniforms at once and converting them together through
+/// [`besync_sim::fastmath::ln`] lets the compiler interleave the four
+/// polynomial evaluations (no data dependence between lanes), which a
+/// one-at-a-time libm call chain cannot do. Gaps are served in draw
+/// order, so the k-th gap of a stream is always derived from the k-th
+/// uniform — only the *interleaving* with other draws on the shared
+/// per-object stream changes, which moves individual trajectories but
+/// no distribution (every draw is iid).
+#[derive(Debug, Clone, Default)]
+pub struct GapBuffer {
+    /// Unserved gaps, `buf[..len]`, in reverse draw order (pop from the
+    /// back).
+    buf: [f64; 4],
+    len: u8,
+}
+
+impl GapBuffer {
+    /// An empty buffer; the first [`Self::next`] call refills it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next standard-exponential gap, refilling four lanes at a
+    /// time from `rng`.
+    #[inline]
+    pub fn next<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if self.len == 0 {
+            let u: [f64; 4] = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+            // Serve in draw order: buf is popped back-to-front.
+            for (lane, &ui) in self.buf.iter_mut().zip(u.iter().rev()) {
+                *lane = -fastmath::ln(1.0 - ui);
+            }
+            self.len = 4;
+        }
+        self.len -= 1;
+        self.buf[self.len as usize]
+    }
+}
 
 /// How one object's value evolves over time.
 #[derive(Debug, Clone)]
@@ -30,6 +73,9 @@ pub enum Updater {
         process: UpdateProcess,
         /// Value evolution per update.
         walk: RandomWalk,
+        /// Batched exponential gaps (Poisson processes only; Bernoulli
+        /// draws stay one-at-a-time).
+        gaps: GapBuffer,
     },
     /// Updates replay a recorded `(time, value)` script.
     Scripted {
@@ -40,9 +86,14 @@ pub enum Updater {
 
 impl Updater {
     /// The time of this object's first update at or after `start`.
-    pub fn first_time<R: Rng + ?Sized>(&self, start: SimTime, rng: &mut R) -> Option<SimTime> {
+    pub fn first_time<R: Rng + ?Sized>(&mut self, start: SimTime, rng: &mut R) -> Option<SimTime> {
         match self {
-            Updater::Stochastic { process, .. } => process.next_after(start, rng),
+            Updater::Stochastic { process, gaps, .. } => match *process {
+                UpdateProcess::Poisson { rate } if rate > 0.0 => {
+                    Some(start + gaps.next(rng) / rate)
+                }
+                _ => process.next_after(start, rng),
+            },
             Updater::Scripted { events } => events.front().map(|&(t, _)| t),
         }
     }
@@ -56,9 +107,19 @@ impl Updater {
         rng: &mut R,
     ) -> (f64, Option<SimTime>) {
         match self {
-            Updater::Stochastic { process, walk } => {
+            Updater::Stochastic {
+                process,
+                walk,
+                gaps,
+            } => {
                 let value = walk.apply(current, rng);
-                (value, process.next_after(now, rng))
+                let next = match *process {
+                    UpdateProcess::Poisson { rate } if rate > 0.0 => {
+                        Some(now + gaps.next(rng) / rate)
+                    }
+                    _ => process.next_after(now, rng),
+                };
+                (value, next)
             }
             Updater::Scripted { events } => {
                 let (_, value) = events
@@ -112,6 +173,7 @@ impl WorkloadSpec {
             updaters.push(Updater::Stochastic {
                 process,
                 walk: walk_of(obj),
+                gaps: GapBuffer::new(),
             });
             weights.push(weight_of(obj));
             initial_values.push(initial_of(obj));

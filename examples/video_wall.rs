@@ -46,6 +46,7 @@ fn screen_workload(seed: u64) -> WorkloadSpec {
         spec.updaters[obj.index()] = besync_workloads::Updater::Stochastic {
             process: besync_workloads::UpdateProcess::Poisson { rate },
             walk: besync_workloads::RandomWalk { step: 1.0 },
+            gaps: besync_workloads::GapBuffer::new(),
         };
         spec.weights[obj.index()] = WeightProfile::constant(weight);
     }

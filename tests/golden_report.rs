@@ -81,12 +81,12 @@ fn golden_staleness_area() {
         "staleness_area",
         &report,
         &Golden {
-            updates_processed: 6928,
-            refreshes_sent: 3201,
-            refreshes_delivered: 3201,
-            feedback_messages: 169,
-            max_cache_queue: 23,
-            mean_divergence: 0.405039571852,
+            updates_processed: 7037,
+            refreshes_sent: 3195,
+            refreshes_delivered: 3195,
+            feedback_messages: 168,
+            max_cache_queue: 25,
+            mean_divergence: 0.4060264181553,
         },
     );
 }
@@ -105,9 +105,9 @@ fn golden_deviation_poisson() {
             updates_processed: 5947,
             refreshes_sent: 1277,
             refreshes_delivered: 1277,
-            feedback_messages: 83,
-            max_cache_queue: 20,
-            mean_divergence: 0.8506841756691,
+            feedback_messages: 81,
+            max_cache_queue: 21,
+            mean_divergence: 0.8005957932450,
         },
     );
 }

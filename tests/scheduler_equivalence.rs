@@ -71,10 +71,10 @@ fn ideal_staleness_area() {
         "ideal_staleness_area",
         &report,
         &Golden {
-            updates_processed: 7316,
+            updates_processed: 7289,
             refreshes_sent: 3400,
             polls_sent: 0,
-            mean_divergence: 0.3920094437500,
+            mean_divergence: 0.3868146125482,
         },
     );
 }
@@ -86,10 +86,10 @@ fn ideal_deviation_poisson() {
         "ideal_deviation_poisson",
         &report,
         &Golden {
-            updates_processed: 7490,
+            updates_processed: 7431,
             refreshes_sent: 3400,
             polls_sent: 0,
-            mean_divergence: 0.3722443513479,
+            mean_divergence: 0.3474099768857,
         },
     );
 }
@@ -101,10 +101,10 @@ fn ideal_lag_simple() {
         "ideal_lag_simple",
         &report,
         &Golden {
-            updates_processed: 7271,
-            refreshes_sent: 3400,
+            updates_processed: 7198,
+            refreshes_sent: 3399,
             polls_sent: 0,
-            mean_divergence: 0.6479422910061,
+            mean_divergence: 0.6352161554723,
         },
     );
 }
@@ -116,10 +116,10 @@ fn cgm_ideal_cache_based() {
         "cgm_ideal_cache_based",
         &report,
         &Golden {
-            updates_processed: 6403,
+            updates_processed: 6317,
             refreshes_sent: 6243,
             polls_sent: 0,
-            mean_divergence: 0.2952671642701,
+            mean_divergence: 0.2873052229401,
         },
     );
 }
@@ -131,10 +131,10 @@ fn cgm1() {
         "cgm1",
         &report,
         &Golden {
-            updates_processed: 6575,
-            refreshes_sent: 3087,
-            polls_sent: 3087,
-            mean_divergence: 0.4587837517566,
+            updates_processed: 6700,
+            refreshes_sent: 3103,
+            polls_sent: 3103,
+            mean_divergence: 0.4538135106601,
         },
     );
 }
@@ -146,10 +146,10 @@ fn cgm2() {
         "cgm2",
         &report,
         &Golden {
-            updates_processed: 6079,
-            refreshes_sent: 3117,
-            polls_sent: 3117,
-            mean_divergence: 0.4169706788513,
+            updates_processed: 6125,
+            refreshes_sent: 3116,
+            polls_sent: 3116,
+            mean_divergence: 0.4252423568813,
         },
     );
 }
@@ -261,11 +261,11 @@ mod competitive_goldens {
             "competitive_equal_share",
             &report,
             &CompetitiveGolden {
-                threshold_refreshes: 1008,
-                source_refreshes: 1079,
-                feedback_messages: 69,
-                cache_objective: 3.108455753424,
-                source_objective: 2.341686307937,
+                threshold_refreshes: 996,
+                source_refreshes: 1080,
+                feedback_messages: 73,
+                cache_objective: 2.840123045792,
+                source_objective: 2.363838669585,
             },
         );
     }
@@ -277,11 +277,11 @@ mod competitive_goldens {
             "competitive_piggyback",
             &report,
             &CompetitiveGolden {
-                threshold_refreshes: 1090,
-                source_refreshes: 987,
-                feedback_messages: 77,
-                cache_objective: 3.132521235407,
-                source_objective: 2.782879991784,
+                threshold_refreshes: 1088,
+                source_refreshes: 990,
+                feedback_messages: 74,
+                cache_objective: 3.077656928409,
+                source_objective: 2.780826431438,
             },
         );
     }
@@ -293,11 +293,11 @@ mod competitive_goldens {
             "competitive_psi_zero",
             &report,
             &CompetitiveGolden {
-                threshold_refreshes: 2021,
+                threshold_refreshes: 2028,
                 source_refreshes: 0,
-                feedback_messages: 134,
-                cache_objective: 2.201490041555,
-                source_objective: 3.635854008214,
+                feedback_messages: 132,
+                cache_objective: 2.235257101532,
+                source_objective: 3.629331228980,
             },
         );
     }
