@@ -22,6 +22,7 @@
 
 use std::collections::VecDeque;
 
+use besync::fault::{FaultProfile, FaultSummary, LossLane};
 use besync::report::RunReport;
 use besync_data::{Metric, ObjectId, TruthTable};
 use besync_net::Link;
@@ -94,6 +95,10 @@ pub struct CgmConfig {
     pub measure: f64,
     /// Simulation-side seed (phases).
     pub sim_seed: u64,
+    /// Simulated-world fault profile. CGM polls over the same unreliable
+    /// medium, so of the fault classes only refresh (poll-response) loss
+    /// applies; `None` keeps the fault-free path bit-identical.
+    pub fault: Option<FaultProfile>,
 }
 
 impl Default for CgmConfig {
@@ -109,6 +114,7 @@ impl Default for CgmConfig {
             warmup: 100.0,
             measure: 500.0,
             sim_seed: 0,
+            fault: None,
         }
     }
 }
@@ -169,6 +175,10 @@ pub struct CgmSystem {
     warmup_slot: u32,
     polls: u64,
     updates_processed: u64,
+    /// Poll-response loss lane when a fault profile with positive loss is
+    /// configured (`None` otherwise — no draws on the fault-free path).
+    loss: Option<LossLane>,
+    fault_stats: FaultSummary,
 }
 
 impl CgmSystem {
@@ -234,6 +244,11 @@ impl CgmSystem {
             }
         }
 
+        let loss = cfg.fault.and_then(|profile| {
+            profile.validate().expect("invalid fault profile");
+            (profile.loss_prob > 0.0).then(|| LossLane::new(cfg.sim_seed, 0, profile.loss_prob))
+        });
+
         CgmSystem {
             truth,
             updaters: spec.updaters,
@@ -259,6 +274,8 @@ impl CgmSystem {
             warmup_slot,
             polls: 0,
             updates_processed: 0,
+            loss,
+            fault_stats: FaultSummary::default(),
             cfg,
         }
     }
@@ -283,7 +300,7 @@ impl CgmSystem {
         RunReport {
             divergence: self.truth.report(horizon),
             refreshes_sent: self.polls,
-            refreshes_delivered: self.polls,
+            refreshes_delivered: self.polls - self.fault_stats.lost_refreshes,
             feedback_messages: 0,
             polls_sent: if matches!(self.cfg.variant, CgmVariant::IdealCacheBased) {
                 0
@@ -294,6 +311,7 @@ impl CgmSystem {
             mean_queue_wait: 0.0,
             threshold_stats: RunningStats::new(),
             updates_processed: self.updates_processed,
+            faults: self.fault_stats,
         }
     }
 
@@ -334,6 +352,14 @@ impl CgmSystem {
     }
 
     fn do_poll(&mut self, now: SimTime, obj: ObjectId) {
+        // A lost poll response burns the round trip but teaches the cache
+        // nothing: no estimator observation, no refresh, and the poll
+        // bookkeeping stays put so the next response covers the gap.
+        if self.loss.as_mut().is_some_and(|l| l.draw()) {
+            self.fault_stats.lost_refreshes += 1;
+            self.polls += 1;
+            return;
+        }
         let idx = obj.index();
         let interval = (now - self.last_poll_time[idx]).max(1e-9);
         let changed = self.truth.truth(obj).source_updates > self.last_poll_updates[idx];

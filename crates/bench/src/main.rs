@@ -31,7 +31,8 @@
 
 use std::time::{Duration, Instant};
 
-use besync_scenarios::{by_name, suite, ScenarioSpec};
+use besync::fault::{FaultProfile, RecoveryPolicy};
+use besync_scenarios::{by_name, suite, ScenarioSpec, SystemKind};
 use besync_sweep::{sweep, Shards, SweepOptions, SweepOutcome, TransportKind};
 use besync_verify::{check_scenario, collect, ScenarioStats, StatBaseline, Tier};
 
@@ -520,7 +521,7 @@ besync-bench — seeded end-to-end throughput scenarios for the paper's schedule
 usage: besync-bench [--out PATH] [--compare PATH] [--tolerance F]
                     [--only NAME] [--repeat N] [--quick] [--shards LIST]
                     [--workers pipes|tcp[://HOST:PORT]] [--spec-deadline SECS]
-                    [--list]
+                    [--list] [--fault-sweep]
        besync-bench verify [--accept bits|stats] ...   (see `verify --help`)
 
   --out PATH       write results as JSON (e.g. BENCH_pr2.json); never run this
@@ -549,6 +550,11 @@ usage: besync-bench [--out PATH] [--compare PATH] [--tolerance F]
   --spec-deadline  seconds a worker may hold one spec before it is presumed
                    hung and replaced (default 600; 0 disables)
   --list           print scenario names with descriptions and exit
+  --fault-sweep    print a divergence-vs-loss-rate table over the `medium`
+                   regime: cooperative scheduling with degrade-to-stale vs
+                   retransmit recovery, the CGM-2 poller, and the omniscient
+                   ideal, all under the same seeded refresh-loss lane
+                   (honours --quick; ignores the measurement flags)
 
 verification: the `verify` subcommand unifies the repo's two acceptance
 tiers under one flag surface. `verify --accept bits` replays the suite and
@@ -581,8 +587,8 @@ usage: besync-bench verify [--accept bits|stats] [--baseline PATH]
                    resampled randomness) whose physics must not move.
   --baseline PATH  bits: bench JSON baseline; repeatable, all are checked.
                    stats: the moments file (default STATS_baseline.txt)
-  --scenarios L    stats: comma-separated scenario names
-                   (default medium,ideal_medium,cgm1_medium,cgm2_medium)
+  --scenarios L    stats: comma-separated scenario names (default: the four
+                   medium scheduler scenarios + lossy_medium,outage_medium)
   --seeds N        stats: derived seeds per scenario (default 32)
   --tier T         stats: acceptance tier — strict (z<=3, refactors),
                    standard (z<=4, numerics changes; default), loose (z<=6,
@@ -633,6 +639,67 @@ fn run_table(selected: &[ScenarioSpec], repeats: usize) -> Vec<ScenarioResult> {
     results
 }
 
+/// `--fault-sweep`: the headline unreliable-world comparison. Sweeps
+/// refresh-loss probability over the `medium` regime and prints mean
+/// divergence for four schedulers under the *same* seeded loss lane:
+/// coop with degrade-to-stale, coop with retransmit (3 s deadline),
+/// the CGM-2 poller (loses poll responses), and the omniscient ideal
+/// (loses refreshes it believes it delivered). The spread between the
+/// coop columns is what the recovery policy buys; the gap to ideal is
+/// what loss costs a scheduler that cannot observe it.
+fn fault_sweep(quick: bool) -> std::process::ExitCode {
+    let base = by_name("medium").expect("medium scenario registered");
+    let base = if quick { base.quick() } else { base };
+    let systems: [(&str, SystemKind); 4] = [
+        ("coop/degrade", SystemKind::Coop),
+        ("coop/retransmit", SystemKind::Coop),
+        ("cgm2", SystemKind::parse("cgm2").expect("cgm2 kind")),
+        ("ideal", SystemKind::Ideal),
+    ];
+    println!(
+        "fault sweep: `{}` regime, {} objects, divergence vs refresh-loss probability",
+        base.name,
+        base.total_objects()
+    );
+    println!(
+        "{:>5} {:>15} {:>15} {:>15} {:>15} {:>8} {:>8}",
+        "loss", "coop/degrade", "coop/retransmit", "cgm2", "ideal", "lost", "retx"
+    );
+    for &loss in &[0.0f64, 0.05, 0.1, 0.2, 0.3, 0.4] {
+        let mut row: Vec<f64> = Vec::with_capacity(4);
+        let mut lost = 0u64;
+        let mut retx = 0u64;
+        for (label, system) in &systems {
+            let mut spec = base.clone();
+            spec.system = *system;
+            // loss == 0 runs the fault-free path (`None`), so the first
+            // row doubles as the clean yardstick for every column.
+            spec.fault = (loss > 0.0).then(|| FaultProfile {
+                loss_prob: loss,
+                recovery: if *label == "coop/retransmit" {
+                    RecoveryPolicy::Retransmit { deadline: 3.0 }
+                } else {
+                    RecoveryPolicy::DegradeStale
+                },
+                ..FaultProfile::default()
+            });
+            let report = spec.run();
+            row.push(report.mean_divergence());
+            if *label == "coop/degrade" {
+                lost = report.faults.lost_refreshes;
+            }
+            if *label == "coop/retransmit" {
+                retx = report.faults.retransmits;
+            }
+        }
+        println!(
+            "{:>5.2} {:>15.6} {:>15.6} {:>15.6} {:>15.6} {:>8} {:>8}",
+            loss, row[0], row[1], row[2], row[3], lost, retx
+        );
+    }
+    std::process::ExitCode::SUCCESS
+}
+
 fn main() -> std::process::ExitCode {
     // Hidden worker mode: when the sweep supervisor re-execs this binary
     // it must become a protocol worker before any argument parsing.
@@ -647,6 +714,7 @@ fn main() -> std::process::ExitCode {
     let mut tolerance = 0.25;
     let mut only: Option<String> = None;
     let mut quick = false;
+    let mut want_fault_sweep = false;
     let mut repeats: Option<usize> = None;
     let mut shards_grid: Vec<Shards> = Vec::new();
     let mut transport = TransportKind::Pipes;
@@ -678,6 +746,7 @@ fn main() -> std::process::ExitCode {
                 }
             },
             "--quick" => quick = true,
+            "--fault-sweep" => want_fault_sweep = true,
             "--shards" => {
                 let list = args.next().unwrap_or_default();
                 match Shards::parse_list(&list) {
@@ -727,6 +796,10 @@ fn main() -> std::process::ExitCode {
                 return std::process::ExitCode::FAILURE;
             }
         }
+    }
+
+    if want_fault_sweep {
+        return fault_sweep(quick);
     }
 
     let selected: Vec<ScenarioSpec> = suite()
@@ -871,9 +944,11 @@ fn main() -> std::process::ExitCode {
 }
 
 /// Default scenario set for `verify --accept stats`: the headline coop
-/// scenario plus one per figure-regeneration scheduler, so the gate
-/// covers every system kind the optimizations touch.
-const STATS_SCENARIOS: &str = "medium,ideal_medium,cgm1_medium,cgm2_medium";
+/// scenario plus one per figure-regeneration scheduler (so the gate
+/// covers every system kind the optimizations touch) plus the medium
+/// fault regimes (so it also covers the loss and outage physics).
+const STATS_SCENARIOS: &str =
+    "medium,ideal_medium,cgm1_medium,cgm2_medium,lossy_medium,outage_medium";
 
 /// Default stats baseline path, repo-root-relative (like BENCH_*.json).
 const STATS_BASELINE: &str = "STATS_baseline.txt";

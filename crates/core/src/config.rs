@@ -6,6 +6,7 @@ use besync_sim::Wave;
 use rand::Rng;
 
 use crate::cache::FeedbackTargeting;
+use crate::fault::FaultProfile;
 use crate::priority::{PolicyKind, RateEstimator};
 use crate::threshold::{expected_feedback_period, ThresholdParams};
 
@@ -46,6 +47,10 @@ pub struct SystemConfig {
     /// §9: per-object maximum divergence rates, required by
     /// [`PolicyKind::Bound`].
     pub bound_rates: Option<Vec<f64>>,
+    /// Simulated-world fault profile. `None` (the default) skips the
+    /// fault machinery entirely: that path is bit-identical to the
+    /// pre-fault tree and is what every golden pins.
+    pub fault: Option<FaultProfile>,
 }
 
 impl Default for SystemConfig {
@@ -66,6 +71,7 @@ impl Default for SystemConfig {
             measure: 500.0,
             sim_seed: 0,
             bound_rates: None,
+            fault: None,
         }
     }
 }

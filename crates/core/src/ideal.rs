@@ -23,6 +23,7 @@ use besync_workloads::{Updater, WorkloadSpec};
 use rand::rngs::SmallRng;
 
 use crate::config::SystemConfig;
+use crate::fault::{FaultSummary, LossLane};
 use crate::heap::IndexedMaxHeap;
 use crate::priority::{compute_priority, AreaTracker, BoundTracker, PolicyKind, PriorityInputs};
 use crate::report::RunReport;
@@ -79,6 +80,12 @@ pub struct IdealSystem {
     /// Reusable buffer for requote sweeps (zero steady-state allocation).
     quote_scratch: Vec<(u32, f64)>,
     start: SimTime,
+    /// Refresh-loss lane when a fault profile with positive loss is
+    /// configured. The ideal scheduler has no message queue or link
+    /// outages — of the simulated-world fault classes only loss applies,
+    /// which is what the loss-sweep figure compares systems under.
+    loss: Option<LossLane>,
+    fault_stats: FaultSummary,
 }
 
 impl IdealSystem {
@@ -137,6 +144,11 @@ impl IdealSystem {
             }
         }
 
+        let loss = cfg.fault.and_then(|profile| {
+            profile.validate().expect("invalid fault profile");
+            (profile.loss_prob > 0.0).then(|| LossLane::new(cfg.sim_seed, 0, profile.loss_prob))
+        });
+
         IdealSystem {
             cfg,
             layout,
@@ -158,6 +170,8 @@ impl IdealSystem {
             stash: Vec::new(),
             quote_scratch: Vec::new(),
             start: SimTime::ZERO,
+            loss,
+            fault_stats: FaultSummary::default(),
         }
     }
 
@@ -177,13 +191,14 @@ impl IdealSystem {
         RunReport {
             divergence: self.truth.report(horizon),
             refreshes_sent: self.refreshes,
-            refreshes_delivered: self.refreshes,
+            refreshes_delivered: self.refreshes - self.fault_stats.lost_refreshes,
             feedback_messages: 0,
             polls_sent: 0,
             max_cache_queue: 0,
             mean_queue_wait: 0.0,
             threshold_stats: RunningStats::new(),
             updates_processed: self.updates_processed,
+            faults: self.fault_stats,
         }
     }
 
@@ -312,8 +327,14 @@ impl IdealSystem {
         if let Some(bounds) = &mut self.bounds {
             bounds[idx].on_refresh(now);
         }
-        // Instantaneous and perfectly fresh (the idealized assumption).
-        self.truth.apply_fresh_refresh(now, obj);
+        // The scheduler believes the refresh succeeded either way (the
+        // sending side cannot observe a silent loss).
+        if self.loss.as_mut().is_some_and(|l| l.draw()) {
+            self.fault_stats.lost_refreshes += 1;
+        } else {
+            // Instantaneous and perfectly fresh (the idealized assumption).
+            self.truth.apply_fresh_refresh(now, obj);
+        }
         self.refreshes += 1;
     }
 }

@@ -50,6 +50,7 @@
 pub mod cache;
 pub mod competitive;
 pub mod config;
+pub mod fault;
 pub mod heap;
 pub mod ideal;
 pub mod priority;
@@ -59,6 +60,7 @@ pub mod system;
 pub mod threshold;
 
 pub use config::SystemConfig;
+pub use fault::{FaultProfile, FaultSummary, RecoveryPolicy};
 pub use ideal::IdealSystem;
 pub use report::RunReport;
 pub use system::CoopSystem;

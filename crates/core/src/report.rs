@@ -3,6 +3,8 @@
 use besync_data::account::DivergenceReport;
 use besync_sim::stats::RunningStats;
 
+use crate::fault::FaultSummary;
+
 /// Everything a simulation run reports: the divergence outcome plus the
 /// protocol activity needed to judge communication overhead and stability
 /// (queue peaks reveal flooding; feedback counts reveal overhead).
@@ -26,6 +28,8 @@ pub struct RunReport {
     pub threshold_stats: RunningStats,
     /// Source updates processed during the run.
     pub updates_processed: u64,
+    /// Simulated-world fault activity (all zero on the fault-free path).
+    pub faults: FaultSummary,
 }
 
 impl RunReport {
@@ -74,9 +78,11 @@ mod tests {
             mean_queue_wait: 0.4,
             threshold_stats: RunningStats::new(),
             updates_processed: 100,
+            faults: FaultSummary::default(),
         };
         assert_eq!(r.mean_divergence(), 0.5);
         assert_eq!(r.mean_weighted_divergence(), 0.7);
         assert_eq!(r.total_messages(), 40 + 5 + 6);
+        assert!(!r.faults.any());
     }
 }

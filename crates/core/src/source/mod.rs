@@ -324,6 +324,29 @@ impl SourceRuntime {
         p
     }
 
+    /// Records a local update *without* quoting it to the heap: the
+    /// object's value, counters, and area tracker advance, but the sync
+    /// agent takes no scheduling action. Used while the source is down
+    /// (crash fault): the data keeps changing, the agent cannot react.
+    /// The accumulated area is picked up by the next quote after
+    /// restart (a resync `requote_all` or the next natural update).
+    pub fn record_update_unquoted(&mut self, now: SimTime, local: u32, new_value: f64) {
+        let idx = local as usize;
+        let st = &mut self.states[idx];
+        st.value = new_value;
+        st.updates += 1;
+        let d = self
+            .metric
+            .divergence(st.value, st.updates, st.snap_value, st.snap_updates);
+        st.area.on_update(now, d);
+    }
+
+    /// Withdraws every pending quote (a crashed sync agent loses its
+    /// in-memory priority heap).
+    pub fn clear_quotes(&mut self) {
+        self.heap.rebuild(std::iter::empty::<(u32, f64)>());
+    }
+
     /// Re-quotes every modified object's priority (used per tick by the
     /// time-dependent Bound policy).
     pub fn requote_all(&mut self, now: SimTime) {
@@ -531,5 +554,22 @@ mod tests {
     #[should_panic(expected = "Bound policy requires bound rates")]
     fn bound_policy_requires_rates() {
         let _ = make_source(1, PolicyKind::Bound);
+    }
+
+    #[test]
+    fn unquoted_updates_track_state_without_scheduling() {
+        let mut s = make_source(2, PolicyKind::Area);
+        s.record_update_unquoted(t(1.0), 0, 3.0);
+        assert!(s.candidate().is_none(), "down-time update must not quote");
+        assert_eq!(s.state(0).updates_since_refresh(), 1);
+        assert_eq!(s.state(0).value, 3.0);
+        // A later quoted update sees the accumulated divergence.
+        s.record_update(t(2.0), 0, 4.0);
+        assert!(s.candidate().is_some());
+        s.clear_quotes();
+        assert!(s.candidate().is_none());
+        // requote_all restores the pending work (the resync path).
+        s.requote_all(t(3.0));
+        assert_eq!(s.candidate().unwrap().1, 0);
     }
 }

@@ -18,6 +18,8 @@
 //! sources reason optimistically from their last *sent* snapshot, while
 //! the truth reflects what actually reached the cache and when.
 
+use std::collections::VecDeque;
+
 use besync_data::ids::ObjectLayout;
 use besync_data::{ObjectId, SourceId, TruthTable};
 use besync_net::Link;
@@ -28,6 +30,9 @@ use rand::rngs::SmallRng;
 
 use crate::cache::CacheRuntime;
 use crate::config::SystemConfig;
+use crate::fault::{
+    Episode, EpisodeSchedule, FaultProfile, FaultSummary, LossLane, RecoveryPolicy,
+};
 use crate::report::RunReport;
 use crate::source::{Snapshot, SourceRuntime};
 
@@ -42,6 +47,44 @@ pub struct RefreshMsg {
     pub snapshot: Snapshot,
     /// The source's local threshold, piggybacked (§5).
     pub threshold: f64,
+}
+
+/// Runtime state of the simulated-world fault layer. Present only when
+/// the config carries a [`FaultProfile`]; with `None` the fault-free
+/// path takes no extra queue slots and draws no fault randomness, so it
+/// stays bit-identical to the pre-fault tree.
+struct FaultLayer {
+    profile: FaultProfile,
+    /// Counter-hashed per-delivery loss decisions.
+    loss: LossLane,
+    /// Cache-link outage windows (lazily generated).
+    outages: EpisodeSchedule,
+    /// The window scheduled into `outage_slot`; its start has fired iff
+    /// `outage_active`.
+    outage: Option<Episode>,
+    outage_active: bool,
+    /// Divergence-integral probe taken at outage start.
+    outage_epoch_start: f64,
+    /// Queue slot carrying outage start/end transitions
+    /// (`total_objects + 2`).
+    outage_slot: u32,
+    /// First per-source crash slot (`total_objects + 3 + sid`).
+    crash_slot_base: u32,
+    crash: Vec<CrashState>,
+    /// Lost refreshes awaiting link-layer retransmission. The deadline
+    /// is constant, so push order is due order.
+    retries: VecDeque<(SimTime, RefreshMsg)>,
+}
+
+/// Crash/restart state of one source.
+struct CrashState {
+    sched: EpisodeSchedule,
+    /// The episode scheduled into this source's crash slot; its start
+    /// has fired iff `down`.
+    episode: Option<Episode>,
+    down: bool,
+    /// Divergence-integral probe of this source's objects at crash time.
+    epoch_start: f64,
 }
 
 /// The full cooperative system of the paper, ready to run.
@@ -88,6 +131,9 @@ pub struct CoopSystem {
     /// what keeps feedback from stealing bandwidth that refreshes arriving
     /// later in the tick would have used.
     delivery_rate_ewma: f64,
+    /// The simulated-world fault layer, `None` on the fault-free path.
+    faults: Option<FaultLayer>,
+    fault_stats: FaultSummary,
 }
 
 impl CoopSystem {
@@ -143,7 +189,43 @@ impl CoopSystem {
         // (aggregate update rate plus the once-per-second tick), the
         // occupancy-one sweet spot for a calendar queue.
         let event_rate = spec.rates.iter().sum::<f64>() + 1.0 / cfg.tick.max(1e-6);
-        let mut queue = CalendarQueue::new(total + 2, 1.0 / event_rate);
+        // A fault profile needs exact-time transitions: one slot for the
+        // shared-link outage window plus one crash slot per source. With
+        // no profile the queue is constructed exactly as before.
+        let faults = cfg.fault.map(|profile| {
+            profile.validate().expect("invalid fault profile");
+            let crash = (0..m)
+                .map(|sid| {
+                    let mut sched = EpisodeSchedule::crashes(cfg.sim_seed, sid, &profile);
+                    let episode = sched.next_episode();
+                    CrashState {
+                        sched,
+                        episode,
+                        down: false,
+                        epoch_start: 0.0,
+                    }
+                })
+                .collect();
+            let mut outages = EpisodeSchedule::outages(cfg.sim_seed, &profile);
+            let outage = outages.next_episode();
+            FaultLayer {
+                loss: LossLane::new(cfg.sim_seed, 0, profile.loss_prob),
+                profile,
+                outages,
+                outage,
+                outage_active: false,
+                outage_epoch_start: 0.0,
+                outage_slot: total as u32 + 2,
+                crash_slot_base: total as u32 + 3,
+                crash,
+                retries: VecDeque::new(),
+            }
+        });
+        let slots = match &faults {
+            None => total + 2,
+            Some(_) => total + 3 + m as usize,
+        };
+        let mut queue = CalendarQueue::new(slots, 1.0 / event_rate);
         // Scheduling order matters: the queue breaks same-instant ties by
         // schedule order, and this order (warm-up, tick, objects) is the
         // one the golden trajectories were recorded under.
@@ -161,6 +243,16 @@ impl CoopSystem {
             .all_objects()
             .map(|o| layout.source_of(o).0)
             .collect();
+        if let Some(fl) = &faults {
+            if let Some(e) = fl.outage {
+                queue.schedule(fl.outage_slot, SimTime::new(e.start));
+            }
+            for (sid, cs) in fl.crash.iter().enumerate() {
+                if let Some(e) = cs.episode {
+                    queue.schedule(fl.crash_slot_base + sid as u32, SimTime::new(e.start));
+                }
+            }
+        }
 
         CoopSystem {
             cfg,
@@ -180,6 +272,8 @@ impl CoopSystem {
             updates_processed: 0,
             deliveries_this_tick: 0,
             delivery_rate_ewma: 0.0,
+            faults,
+            fault_stats: FaultSummary::default(),
         }
     }
 
@@ -201,9 +295,11 @@ impl CoopSystem {
                 }
             } else if slot == self.tick_slot {
                 self.on_tick(now);
-            } else {
-                debug_assert_eq!(slot, self.warmup_slot);
+            } else if slot == self.warmup_slot {
                 self.truth.begin_measurement(now);
+            } else {
+                // Fault transitions only exist when a profile is set.
+                self.on_fault_event(now, slot);
             }
         }
     }
@@ -248,11 +344,29 @@ impl CoopSystem {
         let (updater, rng) = &mut self.updaters[idx];
         let (value, next) = updater.fire(now, current, rng);
         let weight = self.truth.source_update(now, obj, value);
+        if self.source_down(sid) {
+            // The data changed, but the sync agent is down: track the
+            // state silently, quote nothing, send nothing. Divergence
+            // accrues against the live truth.
+            self.sources[sid].record_update_unquoted(now, local, value);
+            self.fault_stats.missed_updates += 1;
+            return next;
+        }
+        let source = &mut self.sources[sid];
         source.record_update_weighted(now, local, value, weight);
         // §3.4: "sources have direct knowledge of update times and decide
         // whether to refresh immediately after each update".
         self.attempt_sends(now, sid);
         next
+    }
+
+    /// Whether source `sid`'s sync agent is currently crashed.
+    #[inline]
+    fn source_down(&self, sid: usize) -> bool {
+        match &self.faults {
+            Some(fl) => fl.crash[sid].down,
+            None => false,
+        }
     }
 
     fn on_tick(&mut self, now: SimTime) {
@@ -261,14 +375,21 @@ impl CoopSystem {
         msgs.clear();
         self.cache_link.service(now, &mut msgs);
         for msg in &msgs {
-            self.deliver(now, *msg);
+            self.deliver_faulty(now, *msg);
         }
         self.scratch = msgs;
 
+        // 1b) Lost refreshes whose retransmit deadline has passed
+        //     re-enter the shared link like any other traffic.
+        self.process_retries(now);
+
         // 2) Time-dependent policies (Bound) need fresh quotes each tick.
         if !self.cfg.policy.piecewise_constant() {
-            for s in &mut self.sources {
-                s.requote_all(now);
+            for sid in 0..self.sources.len() {
+                if self.source_down(sid) {
+                    continue;
+                }
+                self.sources[sid].requote_all(now);
             }
         }
 
@@ -291,6 +412,9 @@ impl CoopSystem {
     /// exists and (b) source-side credit remains. Updates the saturation
     /// flag per §5 footnote 3.
     fn attempt_sends(&mut self, now: SimTime, sid: usize) {
+        if self.source_down(sid) {
+            return;
+        }
         loop {
             let (priority, local) = match self.sources[sid].candidate() {
                 Some(c) => c,
@@ -316,7 +440,7 @@ impl CoopSystem {
                 threshold: self.sources[sid].threshold.value(),
             };
             if let Some(delivered) = self.cache_link.offer(now, msg) {
-                self.deliver(now, delivered);
+                self.deliver_faulty(now, delivered);
             }
         }
     }
@@ -349,12 +473,143 @@ impl CoopSystem {
             }
             self.cache.feedback_sent += 1;
             let sid = sid as usize;
+            if self.source_down(sid) {
+                // The message spent cache credit, but the crashed sync
+                // agent never receives it: no threshold effect.
+                continue;
+            }
             let saturated = self.sources[sid].saturated;
             self.sources[sid].threshold.on_feedback(now, saturated);
             // The lowered threshold may make objects eligible right away.
             self.attempt_sends(now, sid);
         }
         self.feedback_targets = targets;
+    }
+
+    /// Delivery with the loss lane in front: each transmitted refresh is
+    /// independently lost with the profile's probability. The source
+    /// already spent uplink credit and reset its view in `mark_sent`, so
+    /// a loss silently leaves the cache stale — under the retransmit
+    /// policy the message is queued for a deadline-delayed resend.
+    fn deliver_faulty(&mut self, now: SimTime, msg: RefreshMsg) {
+        if let Some(fl) = &mut self.faults {
+            if fl.profile.loss_prob > 0.0 && fl.loss.draw() {
+                self.fault_stats.lost_refreshes += 1;
+                if let RecoveryPolicy::Retransmit { deadline } = fl.profile.recovery {
+                    fl.retries.push_back((now + deadline, msg));
+                }
+                return;
+            }
+        }
+        self.deliver(now, msg);
+    }
+
+    /// Re-offers every lost refresh whose retransmit deadline has
+    /// passed. Retransmissions pay for cache-link bandwidth like any
+    /// refresh and can themselves be lost again.
+    fn process_retries(&mut self, now: SimTime) {
+        loop {
+            let msg = {
+                let Some(fl) = self.faults.as_mut() else {
+                    return;
+                };
+                match fl.retries.front() {
+                    Some((due, _)) if *due <= now => fl.retries.pop_front().expect("front ok").1,
+                    _ => return,
+                }
+            };
+            self.fault_stats.retransmits += 1;
+            if let Some(delivered) = self.cache_link.offer(now, msg) {
+                self.deliver_faulty(now, delivered);
+            }
+        }
+    }
+
+    /// Handles an outage or crash slot transition.
+    fn on_fault_event(&mut self, now: SimTime, slot: u32) {
+        let (outage_slot, crash_slot_base) = {
+            let fl = self
+                .faults
+                .as_ref()
+                .expect("fault slot without fault layer");
+            (fl.outage_slot, fl.crash_slot_base)
+        };
+        if slot == outage_slot {
+            self.on_outage_transition(now);
+        } else {
+            self.on_crash_transition(now, (slot - crash_slot_base) as usize);
+        }
+    }
+
+    /// Outage start: bank credit, suspend accrual, apply the queue
+    /// policy. Outage end: resume and attribute the epoch's divergence.
+    fn on_outage_transition(&mut self, now: SimTime) {
+        let horizon = self.cfg.horizon();
+        let objects = self.truth.len();
+        let fl = self.faults.as_mut().expect("outage without fault layer");
+        if !fl.outage_active {
+            let e = fl.outage.expect("outage start fired without a window");
+            fl.outage_active = true;
+            self.fault_stats.outages += 1;
+            self.fault_stats.outage_seconds += e.end.min(horizon) - e.start;
+            self.cache_link.suspend(now);
+            if fl.profile.outage_drops_queue {
+                self.fault_stats.dropped_in_outage += self.cache_link.drop_queue() as u64;
+            }
+            fl.outage_epoch_start = self.truth.divergence_integral_range(now, 0, objects);
+            self.queue.schedule(fl.outage_slot, SimTime::new(e.end));
+        } else {
+            fl.outage_active = false;
+            self.cache_link.resume(now);
+            self.fault_stats.epoch_divergence +=
+                self.truth.divergence_integral_range(now, 0, objects) - fl.outage_epoch_start;
+            fl.outage = fl.outages.next_episode();
+            if let Some(e) = fl.outage {
+                self.queue.schedule(fl.outage_slot, SimTime::new(e.start));
+            }
+        }
+    }
+
+    /// Crash start: the sync agent loses its heap and goes silent.
+    /// Restart: attribute the epoch's divergence and run the recovery
+    /// policy (resync re-quotes everything and bursts catch-up sends).
+    fn on_crash_transition(&mut self, now: SimTime, sid: usize) {
+        let horizon = self.cfg.horizon();
+        let per_source = self.layout.objects_per_source() as usize;
+        let (lo, hi) = (sid * per_source, (sid + 1) * per_source);
+        let resync = {
+            let fl = self.faults.as_mut().expect("crash without fault layer");
+            let slot = fl.crash_slot_base + sid as u32;
+            let cs = &mut fl.crash[sid];
+            if !cs.down {
+                let e = cs.episode.expect("crash start fired without an episode");
+                cs.down = true;
+                self.fault_stats.crashes += 1;
+                self.fault_stats.down_seconds += e.end.min(horizon) - e.start;
+                cs.epoch_start = self.truth.divergence_integral_range(now, lo, hi);
+                self.sources[sid].saturated = false;
+                self.sources[sid].clear_quotes();
+                self.queue.schedule(slot, SimTime::new(e.end));
+                false
+            } else {
+                cs.down = false;
+                self.fault_stats.epoch_divergence +=
+                    self.truth.divergence_integral_range(now, lo, hi) - cs.epoch_start;
+                cs.episode = cs.sched.next_episode();
+                if let Some(e) = cs.episode {
+                    self.queue.schedule(slot, SimTime::new(e.start));
+                }
+                matches!(fl.profile.recovery, RecoveryPolicy::Resync)
+            }
+        };
+        if resync {
+            // Cold-restart bulk resync: re-quote every diverged object
+            // and let the catch-up burst compete for bandwidth under
+            // the ordinary §8 priority scheme.
+            self.sources[sid].requote_all(now);
+            self.fault_stats.resync_quotes += self.sources[sid].heap.raw_len() as u64;
+            self.attempt_sends(now, sid);
+        }
     }
 
     fn deliver(&mut self, now: SimTime, msg: RefreshMsg) {
@@ -383,6 +638,7 @@ impl CoopSystem {
             mean_queue_wait: link_stats.total_wait / (link_stats.delivered.max(1) as f64),
             threshold_stats,
             updates_processed: self.updates_processed,
+            faults: self.fault_stats,
         }
     }
 }
@@ -515,5 +771,152 @@ mod tests {
                 assert!(report.mean_divergence().is_finite());
             }
         }
+    }
+
+    fn faulty_cfg(fault: FaultProfile) -> SystemConfig {
+        SystemConfig {
+            fault: Some(fault),
+            ..quick_cfg()
+        }
+    }
+
+    #[test]
+    fn refresh_loss_raises_divergence_and_is_accounted() {
+        let clean = CoopSystem::new(quick_cfg(), small_spec(11)).run();
+        let lossy = CoopSystem::new(
+            faulty_cfg(FaultProfile {
+                loss_prob: 0.4,
+                ..FaultProfile::default()
+            }),
+            small_spec(11),
+        )
+        .run();
+        assert!(lossy.faults.lost_refreshes > 0);
+        // Every sent refresh is delivered, lost, or still queued; under
+        // degrade-to-stale nothing is ever re-sent.
+        assert!(
+            lossy.refreshes_delivered + lossy.faults.lost_refreshes <= lossy.refreshes_sent,
+            "delivered {} + lost {} > sent {}",
+            lossy.refreshes_delivered,
+            lossy.faults.lost_refreshes,
+            lossy.refreshes_sent
+        );
+        assert!(
+            lossy.mean_divergence() > clean.mean_divergence(),
+            "loss {} vs clean {}",
+            lossy.mean_divergence(),
+            clean.mean_divergence()
+        );
+        // Degrade-to-stale performs no retransmissions.
+        assert_eq!(lossy.faults.retransmits, 0);
+    }
+
+    #[test]
+    fn retransmit_recovers_some_of_what_loss_costs() {
+        let base = FaultProfile {
+            loss_prob: 0.3,
+            ..FaultProfile::default()
+        };
+        let degrade = CoopSystem::new(faulty_cfg(base), small_spec(12)).run();
+        let retrans = CoopSystem::new(
+            faulty_cfg(FaultProfile {
+                recovery: RecoveryPolicy::Retransmit { deadline: 2.0 },
+                ..base
+            }),
+            small_spec(12),
+        )
+        .run();
+        assert!(retrans.faults.retransmits > 0);
+        assert!(
+            retrans.mean_divergence() <= degrade.mean_divergence() + 1e-9,
+            "retransmit {} vs degrade {}",
+            retrans.mean_divergence(),
+            degrade.mean_divergence()
+        );
+    }
+
+    #[test]
+    fn outages_suspend_the_link_and_attribute_divergence() {
+        let report = CoopSystem::new(
+            faulty_cfg(FaultProfile {
+                outage_rate: 0.05,
+                outage_duration: 5.0,
+                outage_drops_queue: true,
+                ..FaultProfile::default()
+            }),
+            small_spec(13),
+        )
+        .run();
+        assert!(report.faults.outages > 0);
+        assert!(report.faults.outage_seconds > 0.0);
+        assert!(report.faults.epoch_divergence >= 0.0);
+    }
+
+    #[test]
+    fn crashes_miss_updates_and_resync_requotes() {
+        let base = FaultProfile {
+            crash_rate: 0.05,
+            crash_downtime: 8.0,
+            ..FaultProfile::default()
+        };
+        let degrade = CoopSystem::new(faulty_cfg(base), small_spec(14)).run();
+        assert!(degrade.faults.crashes > 0);
+        assert!(degrade.faults.down_seconds > 0.0);
+        assert!(degrade.faults.missed_updates > 0);
+        assert_eq!(degrade.faults.resync_quotes, 0);
+        let resync = CoopSystem::new(
+            faulty_cfg(FaultProfile {
+                recovery: RecoveryPolicy::Resync,
+                ..base
+            }),
+            small_spec(14),
+        )
+        .run();
+        // Identical fault schedule (same seed, same lanes) — only the
+        // recovery differs, and resync re-quotes diverged objects.
+        assert_eq!(degrade.faults.crashes, resync.faults.crashes);
+        assert_eq!(
+            degrade.faults.down_seconds.to_bits(),
+            resync.faults.down_seconds.to_bits()
+        );
+        assert!(resync.faults.resync_quotes > 0);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let fault = FaultProfile {
+            loss_prob: 0.2,
+            outage_rate: 0.03,
+            outage_duration: 4.0,
+            crash_rate: 0.02,
+            crash_downtime: 6.0,
+            recovery: RecoveryPolicy::Retransmit { deadline: 1.5 },
+            ..FaultProfile::default()
+        };
+        let a = CoopSystem::new(faulty_cfg(fault), small_spec(15)).run();
+        let b = CoopSystem::new(faulty_cfg(fault), small_spec(15)).run();
+        assert_eq!(a.mean_divergence().to_bits(), b.mean_divergence().to_bits());
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.refreshes_delivered, b.refreshes_delivered);
+    }
+
+    #[test]
+    fn none_profile_is_bit_identical_to_fault_free() {
+        let plain = CoopSystem::new(quick_cfg(), small_spec(16)).run();
+        let gated = CoopSystem::new(
+            SystemConfig {
+                fault: None,
+                ..quick_cfg()
+            },
+            small_spec(16),
+        )
+        .run();
+        assert_eq!(
+            plain.mean_divergence().to_bits(),
+            gated.mean_divergence().to_bits()
+        );
+        assert_eq!(plain.refreshes_sent, gated.refreshes_sent);
+        assert_eq!(plain.feedback_messages, gated.feedback_messages);
+        assert!(!gated.faults.any());
     }
 }

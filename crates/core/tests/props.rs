@@ -322,3 +322,83 @@ proptest! {
         }
     }
 }
+
+/// Fault-schedule determinism: the simulated-world fault layer draws
+/// everything from counter-hashed splitmix64 lanes, so the same seed
+/// must reproduce byte-identical fault sequences — the property the
+/// sharded sweep's byte-identity contract rests on for fault regimes.
+mod fault_schedules {
+    use besync::fault::{EpisodeSchedule, FaultProfile, LossLane};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Same (seed, salt, prob) ⇒ byte-identical loss decisions, and
+        /// the sequence survives interleaved reconstruction.
+        #[test]
+        fn loss_lane_replays_byte_identically(
+            seed in 0u64..=u64::MAX,
+            salt in 0u64..=u64::MAX,
+            prob in 0.0f64..=1.0,
+        ) {
+            let mut a = LossLane::new(seed, salt, prob);
+            let mut b = LossLane::new(seed, salt, prob);
+            let first: Vec<bool> = (0..512).map(|_| a.draw()).collect();
+            let second: Vec<bool> = (0..512).map(|_| b.draw()).collect();
+            prop_assert_eq!(first, second);
+        }
+
+        /// Same (seed, profile) ⇒ bit-identical outage episodes, in
+        /// order, disjoint, with positive durations.
+        #[test]
+        fn outage_schedule_replays_bit_identically(
+            seed in 0u64..=u64::MAX,
+            rate in 0.001f64..0.5,
+            duration in 0.01f64..50.0,
+        ) {
+            let profile = FaultProfile {
+                outage_rate: rate,
+                outage_duration: duration,
+                ..FaultProfile::default()
+            };
+            let mut a = EpisodeSchedule::outages(seed, &profile);
+            let mut b = EpisodeSchedule::outages(seed, &profile);
+            let mut prev_end = 0.0f64;
+            for _ in 0..64 {
+                let (ea, eb) = (a.next_episode().unwrap(), b.next_episode().unwrap());
+                prop_assert_eq!(ea.start.to_bits(), eb.start.to_bits());
+                prop_assert_eq!(ea.end.to_bits(), eb.end.to_bits());
+                prop_assert!(ea.start >= prev_end, "episodes out of order");
+                prop_assert!(ea.end > ea.start, "empty episode");
+                prev_end = ea.end;
+            }
+        }
+
+        /// Per-source crash lanes are independent streams: bit-identical
+        /// on replay, and distinct sources get distinct schedules.
+        #[test]
+        fn crash_schedules_replay_and_diverge_per_source(
+            seed in 0u64..=u64::MAX,
+            source in 0u32..512,
+        ) {
+            let profile = FaultProfile {
+                crash_rate: 0.01,
+                crash_downtime: 5.0,
+                ..FaultProfile::default()
+            };
+            let mut a = EpisodeSchedule::crashes(seed, source, &profile);
+            let mut b = EpisodeSchedule::crashes(seed, source, &profile);
+            let mut other = EpisodeSchedule::crashes(seed, source.wrapping_add(1), &profile);
+            let mut all_equal = true;
+            for _ in 0..32 {
+                let (ea, eb) = (a.next_episode().unwrap(), b.next_episode().unwrap());
+                prop_assert_eq!(ea.start.to_bits(), eb.start.to_bits());
+                prop_assert_eq!(ea.end.to_bits(), eb.end.to_bits());
+                let eo = other.next_episode().unwrap();
+                if eo.start.to_bits() != ea.start.to_bits() {
+                    all_equal = false;
+                }
+            }
+            prop_assert!(!all_equal, "neighbouring sources share a crash schedule");
+        }
+    }
+}

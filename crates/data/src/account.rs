@@ -316,6 +316,18 @@ impl TruthTable {
         self.apply_refresh(t, obj, value, updates);
     }
 
+    /// The unweighted divergence integral of objects `lo..hi` advanced
+    /// to `t` — a read-only probe (nothing is mutated, no summation
+    /// order changes). The fault layer differences two probes to
+    /// attribute divergence to an outage or source-downtime epoch.
+    pub fn divergence_integral_range(&self, t: SimTime, lo: usize, hi: usize) -> f64 {
+        self.hot[lo..hi]
+            .iter()
+            .zip(&self.integrals[lo..hi])
+            .map(|(hot, integ)| integ.integral + hot.divergence * (t - hot.last_change))
+            .sum()
+    }
+
     /// Marks the end of warm-up: averages are measured from `t` onward.
     pub fn begin_measurement(&mut self, t: SimTime) {
         self.begin = Some(t);
@@ -493,6 +505,25 @@ mod tests {
         assert!((r.mean_unweighted - 2.0 / 3.0).abs() < 1e-12);
         assert!((r.max_unweighted - 1.0).abs() < 1e-12);
         assert_eq!(r.objects, 3);
+    }
+
+    #[test]
+    fn integral_probe_matches_hand_integration() {
+        let mut table = TruthTable::with_unit_weights(Metric::Staleness, &[0.0, 0.0]);
+        table.begin_measurement(t(0.0));
+        table.source_update(t(2.0), ObjectId(0), 1.0); // stale from t=2
+                                                       // Probe mid-segment: object 0 stale for 3s, object 1 never.
+        let probe = table.divergence_integral_range(t(5.0), 0, 2);
+        assert!((probe - 3.0).abs() < 1e-12);
+        // A restricted range sees only its own objects.
+        assert_eq!(table.divergence_integral_range(t(5.0), 1, 2), 0.0);
+        // Epoch attribution = difference of two probes.
+        let later = table.divergence_integral_range(t(7.0), 0, 2);
+        assert!((later - probe - 2.0).abs() < 1e-12);
+        // The probe mutates nothing: reporting is unaffected.
+        table.apply_fresh_refresh(t(6.0), ObjectId(0));
+        let r = table.report(t(10.0));
+        assert!((r.total_unweighted - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub struct LinkStats {
     pub max_queue: usize,
     /// Total seconds messages spent waiting in the queue.
     pub total_wait: f64,
+    /// Queued messages discarded by [`Link::drop_queue`] (outage policy).
+    pub dropped: u64,
 }
 
 /// A unidirectional, capacity-constrained link carrying messages of type
@@ -37,6 +39,10 @@ pub struct Link<M> {
     last_accrual: SimTime,
     queue: VecDeque<(SimTime, M)>,
     stats: LinkStats,
+    /// While `true` the link is in an outage window: capacity accrues
+    /// nothing, nothing transits, offers queue. Never set on the
+    /// fault-free path, so the arithmetic there is untouched.
+    suspended: bool,
 }
 
 impl<M> Link<M> {
@@ -70,6 +76,7 @@ impl<M> Link<M> {
             last_accrual: SimTime::ZERO,
             queue: VecDeque::new(),
             stats: LinkStats::default(),
+            suspended: false,
         }
     }
 
@@ -88,10 +95,41 @@ impl<M> Link<M> {
     fn accrue(&mut self, now: SimTime) {
         debug_assert!(now >= self.last_accrual, "link time went backwards");
         if now > self.last_accrual {
-            self.credit =
-                (self.credit + self.capacity.integral(self.last_accrual, now)).min(self.burst_cap);
+            if !self.suspended {
+                self.credit = (self.credit + self.capacity.integral(self.last_accrual, now))
+                    .min(self.burst_cap);
+            }
             self.last_accrual = now;
         }
+    }
+
+    /// Enters an outage window at `now`: credit earned up to `now` is
+    /// banked, then accrual stops and nothing transits until
+    /// [`Link::resume`]. Idempotent.
+    pub fn suspend(&mut self, now: SimTime) {
+        self.accrue(now);
+        self.suspended = true;
+    }
+
+    /// Ends an outage window at `now`. The window itself contributes no
+    /// credit. Idempotent.
+    pub fn resume(&mut self, now: SimTime) {
+        self.accrue(now);
+        self.suspended = false;
+    }
+
+    /// Whether the link is currently in an outage window.
+    pub fn is_suspended(&self) -> bool {
+        self.suspended
+    }
+
+    /// Discards every queued message (the drop-queue outage policy),
+    /// returning how many were dropped.
+    pub fn drop_queue(&mut self) -> usize {
+        let n = self.queue.len();
+        self.queue.clear();
+        self.stats.dropped += n as u64;
+        n
     }
 
     /// Current credit after accruing up to `now`.
@@ -103,7 +141,7 @@ impl<M> Link<M> {
     /// Whether one message could be sent right now without queueing.
     pub fn can_send(&mut self, now: SimTime) -> bool {
         self.accrue(now);
-        self.credit >= 1.0 && self.queue.is_empty()
+        !self.suspended && self.credit >= 1.0 && self.queue.is_empty()
     }
 
     /// Offers a message to the link. If the queue is empty and credit is
@@ -113,7 +151,7 @@ impl<M> Link<M> {
     pub fn offer(&mut self, now: SimTime, msg: M) -> Option<M> {
         self.accrue(now);
         self.stats.offered += 1;
-        if self.queue.is_empty() && self.credit >= 1.0 {
+        if !self.suspended && self.queue.is_empty() && self.credit >= 1.0 {
             self.credit -= 1.0;
             self.stats.delivered += 1;
             self.stats.immediate += 1;
@@ -130,7 +168,7 @@ impl<M> Link<M> {
     pub fn service(&mut self, now: SimTime, out: &mut Vec<M>) -> usize {
         self.accrue(now);
         let mut n = 0;
-        while self.credit >= 1.0 {
+        while !self.suspended && self.credit >= 1.0 {
             match self.queue.pop_front() {
                 Some((enq, msg)) => {
                     self.credit -= 1.0;
@@ -152,7 +190,7 @@ impl<M> Link<M> {
     pub fn try_consume(&mut self, now: SimTime, units: f64) -> bool {
         debug_assert!(units >= 0.0);
         self.accrue(now);
-        if self.queue.is_empty() && self.credit >= units {
+        if !self.suspended && self.queue.is_empty() && self.credit >= units {
             self.credit -= units;
             self.stats.consumed_units += units;
             true
@@ -314,5 +352,52 @@ mod tests {
     #[should_panic(expected = "burst cap")]
     fn rejects_tiny_burst_cap() {
         let _: Link<u32> = Link::with_burst_cap(Wave::Constant(1.0), 0.5);
+    }
+
+    #[test]
+    fn suspension_freezes_accrual_and_transit() {
+        let mut l = constant_link(10.0);
+        assert_eq!(l.credit(t(1.0)), 10.0);
+        l.suspend(t(1.0));
+        assert!(l.is_suspended());
+        // No accrual across the outage, banked credit kept.
+        assert_eq!(l.credit(t(5.0)), 10.0);
+        // Nothing transits: offers queue, overhead fails, service idles.
+        assert!(!l.can_send(t(5.0)));
+        assert!(l.offer(t(5.0), 1).is_none());
+        assert!(!l.try_consume(t(5.0), 1.0));
+        let mut out = Vec::new();
+        assert_eq!(l.service(t(5.0), &mut out), 0);
+        assert!(out.is_empty());
+        // Resume: the window contributed no credit, then accrual restarts.
+        l.resume(t(5.0));
+        assert_eq!(l.credit(t(5.0)), 10.0);
+        assert_eq!(l.service(t(5.0), &mut out), 1);
+        assert_eq!(out, vec![1]);
+        assert_eq!(l.credit(t(6.0)), 19.0);
+    }
+
+    #[test]
+    fn drop_queue_discards_and_counts() {
+        let mut l = constant_link(1.0);
+        let _ = l.offer(t(0.0), 1);
+        let _ = l.offer(t(0.0), 2);
+        assert_eq!(l.queue_len(), 2);
+        assert_eq!(l.drop_queue(), 2);
+        assert_eq!(l.queue_len(), 0);
+        assert_eq!(l.stats().dropped, 2);
+        assert_eq!(l.drop_queue(), 0);
+    }
+
+    #[test]
+    fn suspend_and_resume_are_idempotent() {
+        let mut l = constant_link(2.0);
+        l.suspend(t(1.0));
+        l.suspend(t(2.0));
+        assert_eq!(l.credit(t(3.0)), 2.0);
+        l.resume(t(3.0));
+        l.resume(t(3.0));
+        assert!(!l.is_suspended());
+        assert_eq!(l.credit(t(4.0)), 4.0);
     }
 }

@@ -15,6 +15,7 @@
 //! registered scenario uses. Encoding a scenario with a custom deviation
 //! function is an error.
 
+use besync::fault::{FaultProfile, FaultSummary, RecoveryPolicy};
 use besync::priority::{PolicyKind, RateEstimator};
 use besync::RunReport;
 use besync_data::account::DivergenceReport;
@@ -164,6 +165,24 @@ pub fn encode(spec: &ScenarioSpec) -> Result<String, String> {
     kv("omega", &spec.omega.to_string());
     kv("warmup", &spec.warmup.to_string());
     kv("measure", &spec.measure.to_string());
+    if let Some(f) = spec.fault {
+        // The fault block is emitted only when a profile is set, so
+        // fault-free scenarios keep their exact pre-fault text (and old
+        // text decodes to `fault: None`).
+        kv("fault", f.recovery.kind_name());
+        if let RecoveryPolicy::Retransmit { deadline } = f.recovery {
+            kv("fault_retransmit_deadline", &deadline.to_string());
+        }
+        kv("fault_loss_prob", &f.loss_prob.to_string());
+        kv("fault_outage_rate", &f.outage_rate.to_string());
+        kv("fault_outage_duration", &f.outage_duration.to_string());
+        kv(
+            "fault_outage_drops_queue",
+            &f.outage_drops_queue.to_string(),
+        );
+        kv("fault_crash_rate", &f.crash_rate.to_string());
+        kv("fault_crash_downtime", &f.crash_downtime.to_string());
+    }
     Ok(out)
 }
 
@@ -228,6 +247,45 @@ pub fn decode(text: &str) -> Result<ScenarioSpec, String> {
         other => return Err(format!("unknown workload kind `{other}`")),
     };
 
+    // `fault` is optional — its absence means the fault-free path — but
+    // once present, every sub-field is mandatory and the recovery kind
+    // must be known: silently decoding an unknown fault regime to
+    // something else would change what the far side simulates.
+    let fault = match pairs.iter().find(|(k, _)| k == "fault") {
+        None => None,
+        Some((_, kind)) => {
+            let recovery = match kind.as_str() {
+                "degrade-stale" => RecoveryPolicy::DegradeStale,
+                "resync" => RecoveryPolicy::Resync,
+                "retransmit" => RecoveryPolicy::Retransmit {
+                    deadline: num("fault_retransmit_deadline")?,
+                },
+                other => return Err(format!("unknown fault recovery kind `{other}`")),
+            };
+            let profile = FaultProfile {
+                loss_prob: num("fault_loss_prob")?,
+                outage_rate: num("fault_outage_rate")?,
+                outage_duration: num("fault_outage_duration")?,
+                outage_drops_queue: match get("fault_outage_drops_queue")? {
+                    "true" => true,
+                    "false" => false,
+                    other => {
+                        return Err(format!(
+                            "bad boolean `{other}` in `fault_outage_drops_queue`"
+                        ))
+                    }
+                },
+                crash_rate: num("fault_crash_rate")?,
+                crash_downtime: num("fault_crash_downtime")?,
+                recovery,
+            };
+            profile
+                .validate()
+                .map_err(|e| format!("invalid fault profile: {e}"))?;
+            Some(profile)
+        }
+    };
+
     let system_name = get("system")?;
     let policy_str = get("policy")?;
     let estimator_str = get("estimator")?;
@@ -251,6 +309,7 @@ pub fn decode(text: &str) -> Result<ScenarioSpec, String> {
         omega: num("omega")?,
         warmup: num("warmup")?,
         measure: num("measure")?,
+        fault,
     })
 }
 
@@ -330,6 +389,17 @@ pub fn encode_report(report: &RunReport) -> String {
     kv("threshold_min", fmt_f64(t.min));
     kv("threshold_max", fmt_f64(t.max));
     kv("updates_processed", report.updates_processed.to_string());
+    let f = &report.faults;
+    kv("fault_lost_refreshes", f.lost_refreshes.to_string());
+    kv("fault_retransmits", f.retransmits.to_string());
+    kv("fault_outages", f.outages.to_string());
+    kv("fault_outage_seconds", fmt_f64(f.outage_seconds));
+    kv("fault_dropped_in_outage", f.dropped_in_outage.to_string());
+    kv("fault_crashes", f.crashes.to_string());
+    kv("fault_down_seconds", fmt_f64(f.down_seconds));
+    kv("fault_missed_updates", f.missed_updates.to_string());
+    kv("fault_resync_quotes", f.resync_quotes.to_string());
+    kv("fault_epoch_divergence", fmt_f64(f.epoch_divergence));
     out
 }
 
@@ -392,6 +462,18 @@ pub fn decode_report(text: &str) -> Result<RunReport, String> {
             max: num("threshold_max")?,
         }),
         updates_processed: int("updates_processed")?,
+        faults: FaultSummary {
+            lost_refreshes: int("fault_lost_refreshes")?,
+            retransmits: int("fault_retransmits")?,
+            outages: int("fault_outages")?,
+            outage_seconds: num("fault_outage_seconds")?,
+            dropped_in_outage: int("fault_dropped_in_outage")?,
+            crashes: int("fault_crashes")?,
+            down_seconds: num("fault_down_seconds")?,
+            missed_updates: int("fault_missed_updates")?,
+            resync_quotes: int("fault_resync_quotes")?,
+            epoch_divergence: num("fault_epoch_divergence")?,
+        },
     })
 }
 
@@ -499,6 +581,18 @@ mod tests {
             mean_queue_wait: f64::NEG_INFINITY,
             threshold_stats: RunningStats::new(), // min = +∞, max = −∞
             updates_processed: 1,
+            faults: FaultSummary {
+                lost_refreshes: u64::MAX,
+                retransmits: 0,
+                outages: 3,
+                outage_seconds: f64::INFINITY,
+                dropped_in_outage: 9,
+                crashes: u64::MAX - 2,
+                down_seconds: -0.0,
+                missed_updates: 11,
+                resync_quotes: 13,
+                epoch_divergence: f64::from_bits(0x7ff8_0000_0000_dead), // NaN payload
+            },
         }
     }
 
@@ -533,6 +627,21 @@ mod tests {
             (ta.max, tb.max),
         ] {
             assert_eq!(x.to_bits(), y.to_bits(), "threshold stats {x} vs {y}");
+        }
+        let (fa, fb) = (&a.faults, &b.faults);
+        assert_eq!(fa.lost_refreshes, fb.lost_refreshes);
+        assert_eq!(fa.retransmits, fb.retransmits);
+        assert_eq!(fa.outages, fb.outages);
+        assert_eq!(fa.dropped_in_outage, fb.dropped_in_outage);
+        assert_eq!(fa.crashes, fb.crashes);
+        assert_eq!(fa.missed_updates, fb.missed_updates);
+        assert_eq!(fa.resync_quotes, fb.resync_quotes);
+        for (x, y) in [
+            (fa.outage_seconds, fb.outage_seconds),
+            (fa.down_seconds, fb.down_seconds),
+            (fa.epoch_divergence, fb.epoch_divergence),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "fault summary {x} vs {y}");
         }
     }
 
@@ -605,6 +714,66 @@ mod tests {
             })
             .collect::<Vec<_>>()
             .join("\n")
+    }
+
+    #[test]
+    fn fault_profiles_round_trip_for_every_recovery_kind() {
+        for recovery in [
+            RecoveryPolicy::DegradeStale,
+            RecoveryPolicy::Retransmit { deadline: 2.5 },
+            RecoveryPolicy::Resync,
+        ] {
+            let spec = ScenarioSpec {
+                fault: Some(FaultProfile {
+                    loss_prob: 0.125,
+                    outage_rate: 0.01,
+                    outage_duration: 7.5,
+                    outage_drops_queue: true,
+                    crash_rate: 0.002,
+                    crash_downtime: 30.0,
+                    recovery,
+                }),
+                ..by_name("small").unwrap()
+            };
+            let text = encode(&spec).unwrap();
+            let back = decode(&text).unwrap();
+            assert_eq!(text, encode(&back).unwrap(), "{}", recovery.kind_name());
+            assert_eq!(back.fault, Some(spec.fault.unwrap()));
+        }
+        // Fault-free specs emit no fault block at all, so pre-fault text
+        // is reproduced exactly and decodes back to None.
+        let plain = by_name("small").unwrap();
+        let text = encode(&plain).unwrap();
+        assert!(!text.contains("fault"), "{text}");
+        assert_eq!(decode(&text).unwrap().fault, None);
+    }
+
+    #[test]
+    fn unknown_or_invalid_fault_blocks_are_rejected() {
+        let spec = ScenarioSpec {
+            fault: Some(FaultProfile {
+                loss_prob: 0.1,
+                ..FaultProfile::default()
+            }),
+            ..by_name("small").unwrap()
+        };
+        let text = encode(&spec).unwrap();
+        // An unknown recovery kind must fail loudly, not decode to some
+        // other regime.
+        let mangled = replace_field_value(&text, "fault", "carrier-pigeon");
+        let err = decode(&mangled).unwrap_err();
+        assert!(err.contains("carrier-pigeon"), "{err}");
+        // Out-of-range probabilities are caught by profile validation.
+        let bad = replace_field_value(&text, "fault_loss_prob", "1.5");
+        assert!(decode(&bad).is_err());
+        // A fault block missing a sub-field is incomplete, not defaulted.
+        let truncated: String = text
+            .lines()
+            .filter(|l| !l.starts_with("fault_crash_rate"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = decode(&truncated).unwrap_err();
+        assert!(err.contains("fault_crash_rate"), "{err}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The declarative scenario spec and its lowering.
 
 use besync::config::SystemConfig;
+use besync::fault::FaultProfile;
 use besync::priority::{PolicyKind, RateEstimator};
 use besync::system::CoopSystem;
 use besync::{IdealSystem, RunReport};
@@ -115,6 +116,10 @@ pub struct ScenarioSpec {
     pub warmup: f64,
     /// Measured duration after warm-up (seconds).
     pub measure: f64,
+    /// Simulated-world fault profile (refresh loss, link outages, source
+    /// crashes). `None` — the default — runs the fault-free path, which
+    /// is bit-identical to the pre-fault tree.
+    pub fault: Option<FaultProfile>,
 }
 
 impl Default for ScenarioSpec {
@@ -145,6 +150,7 @@ impl Default for ScenarioSpec {
             omega: 10.0,
             warmup: 100.0,
             measure: 500.0,
+            fault: None,
         }
     }
 }
@@ -306,6 +312,12 @@ impl ScenarioSpecBuilder {
         self
     }
 
+    /// Simulated-world fault profile (loss, outages, crashes).
+    pub fn fault(mut self, profile: FaultProfile) -> Self {
+        self.spec.fault = Some(profile);
+        self
+    }
+
     /// Finishes the chain. (Named `finish`, not `build`, because on the
     /// spec itself [`ScenarioSpec::build`] means *lower to a runnable
     /// system*.)
@@ -386,6 +398,7 @@ impl ScenarioSpec {
             warmup: self.warmup,
             measure: self.measure,
             sim_seed: self.sim_seed,
+            fault: self.fault,
             ..SystemConfig::default()
         }
     }
@@ -407,6 +420,7 @@ impl ScenarioSpec {
             warmup: self.warmup,
             measure: self.measure,
             sim_seed: self.sim_seed,
+            fault: self.fault,
             ..CgmConfig::default()
         }
     }

@@ -10,6 +10,7 @@
 //! scenario pins down — exactly what the struct-update literals it
 //! replaced did.
 
+use besync::fault::{FaultProfile, RecoveryPolicy};
 use besync::priority::{PolicyKind, RateEstimator};
 use besync_baselines::CgmVariant;
 use besync_data::Metric;
@@ -51,8 +52,11 @@ fn coop(
 /// path on every link); `huge` covers the ≥100k-object scale;
 /// `fluct_both_huge` combines all three pressures (sine weights, sine
 /// bandwidth, 131 072 objects — the mixed regime the sharded sweep
-/// runner makes cheap to explore); and the `ideal_*`/`cgm*_*` scenarios
-/// cover the figure-regeneration schedulers.
+/// runner makes cheap to explore); `lossy_medium`/`outage_medium`/
+/// `crashy_huge` run the simulated-world fault classes (refresh loss
+/// with retransmission, link outages, source crash/restart with bulk
+/// resync); and the `ideal_*`/`cgm*_*` scenarios cover the
+/// figure-regeneration schedulers.
 pub fn suite() -> Vec<ScenarioSpec> {
     vec![
         coop(
@@ -189,6 +193,62 @@ pub fn suite() -> Vec<ScenarioSpec> {
         )
         .fluctuating_weights(true)
         .bandwidth_change_rate(0.25)
+        .finish(),
+        coop(
+            "lossy_medium",
+            "coop, 2048 objects, 15% refresh loss, retransmit-on-deadline recovery",
+            1414,
+            32,
+            64,
+            Metric::Staleness,
+            90.0,
+            5.0,
+            50.0,
+            1500.0,
+        )
+        .fault(FaultProfile {
+            loss_prob: 0.15,
+            recovery: RecoveryPolicy::Retransmit { deadline: 3.0 },
+            ..FaultProfile::default()
+        })
+        .finish(),
+        coop(
+            "outage_medium",
+            "coop, 2048 objects, recurring cache-link outages that hold the queue, degrade-to-stale",
+            1515,
+            32,
+            64,
+            Metric::Staleness,
+            90.0,
+            5.0,
+            50.0,
+            1500.0,
+        )
+        .fault(FaultProfile {
+            outage_rate: 0.01,
+            outage_duration: 12.0,
+            outage_drops_queue: false,
+            ..FaultProfile::default()
+        })
+        .finish(),
+        coop(
+            "crashy_huge",
+            "coop, 131072 objects, source crash/restart episodes with cold-restart bulk resync",
+            1616,
+            128,
+            1024,
+            Metric::Staleness,
+            7000.0,
+            55.0,
+            10.0,
+            120.0,
+        )
+        .fault(FaultProfile {
+            crash_rate: 0.004,
+            crash_downtime: 10.0,
+            recovery: RecoveryPolicy::Resync,
+            ..FaultProfile::default()
+        })
         .finish(),
         ScenarioSpec::builder("ideal_medium")
             .description("ideal omniscient scheduler, 2048 objects — figure-regeneration yardstick")
@@ -431,5 +491,31 @@ mod tests {
 
         let b = by_name("bound_medium").unwrap();
         assert!(matches!(b.policy, PolicyKind::Bound));
+    }
+
+    #[test]
+    fn fault_regimes_pin_their_profiles() {
+        let lossy = by_name("lossy_medium").unwrap().fault.unwrap();
+        assert_eq!(lossy.loss_prob, 0.15);
+        assert!(matches!(
+            lossy.recovery,
+            RecoveryPolicy::Retransmit { deadline } if deadline == 3.0
+        ));
+        let outage = by_name("outage_medium").unwrap().fault.unwrap();
+        assert_eq!((outage.outage_rate, outage.outage_duration), (0.01, 12.0));
+        assert!(!outage.outage_drops_queue);
+        assert!(matches!(outage.recovery, RecoveryPolicy::DegradeStale));
+        let crashy = by_name("crashy_huge").unwrap();
+        assert!(crashy.total_objects() >= 100_000);
+        let f = crashy.fault.unwrap();
+        assert_eq!((f.crash_rate, f.crash_downtime), (0.004, 10.0));
+        assert!(matches!(f.recovery, RecoveryPolicy::Resync));
+        // Every fault regime must pass profile validation.
+        for name in ["lossy_medium", "outage_medium", "crashy_huge"] {
+            by_name(name).unwrap().fault.unwrap().validate().unwrap();
+        }
+        // And every non-fault scenario stays on the fault-free path.
+        assert!(by_name("medium").unwrap().fault.is_none());
+        assert!(by_name("golden_staleness_area").unwrap().fault.is_none());
     }
 }

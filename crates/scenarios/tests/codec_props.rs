@@ -6,6 +6,7 @@
 //! representable value bit for bit and (b) turn arbitrary garbage into a
 //! structured `Err` — never a panic that would take down the supervisor.
 
+use besync::fault::{FaultProfile, FaultSummary, RecoveryPolicy};
 use besync::priority::{PolicyKind, RateEstimator};
 use besync::RunReport;
 use besync_data::account::DivergenceReport;
@@ -95,6 +96,41 @@ fn workload_kind() -> impl Strategy<Value = WorkloadKind> {
     ]
 }
 
+/// Fault profiles within `FaultProfile::validate()`'s envelope (the
+/// codec rejects invalid profiles on decode, so only valid ones can
+/// round-trip), plus `None` — the fault-free default — often enough that
+/// both encoder branches stay covered.
+fn fault_profile() -> impl Strategy<Value = Option<FaultProfile>> {
+    let recovery = prop_oneof![
+        Just(RecoveryPolicy::DegradeStale),
+        (0.001f64..100.0).prop_map(|deadline| RecoveryPolicy::Retransmit { deadline }),
+        Just(RecoveryPolicy::Resync),
+    ];
+    prop_oneof![
+        Just(None),
+        (
+            (0.0f64..=1.0, 0.0f64..0.1, 0.01f64..60.0, prop::bool::ANY),
+            (0.0f64..0.05, 0.01f64..120.0, recovery),
+        )
+            .prop_map(
+                |(
+                    (loss_prob, outage_rate, outage_duration, outage_drops_queue),
+                    (crash_rate, crash_downtime, recovery),
+                )| {
+                    Some(FaultProfile {
+                        loss_prob,
+                        outage_rate,
+                        outage_duration,
+                        outage_drops_queue,
+                        crash_rate,
+                        crash_downtime,
+                        recovery,
+                    })
+                }
+            ),
+    ]
+}
+
 fn scenario() -> impl Strategy<Value = ScenarioSpec> {
     let policy = prop_oneof![
         Just(PolicyKind::Area),
@@ -122,14 +158,14 @@ fn scenario() -> impl Strategy<Value = ScenarioSpec> {
             finite_f64(),
             finite_f64(),
         ),
-        (finite_f64(), finite_f64()),
+        (finite_f64(), finite_f64(), fault_profile()),
     )
         .prop_map(
             |(
                 (name, description, seed, sim_seed),
                 (system, workload, policy, estimator, metric),
                 (cache_bandwidth_mean, source_bandwidth_mean, bandwidth_change_rate, alpha, omega),
-                (warmup, measure),
+                (warmup, measure, fault),
             )| ScenarioSpec {
                 name,
                 description,
@@ -147,6 +183,43 @@ fn scenario() -> impl Strategy<Value = ScenarioSpec> {
                 omega,
                 warmup,
                 measure,
+                fault,
+            },
+        )
+}
+
+fn fault_summary() -> impl Strategy<Value = FaultSummary> {
+    (
+        (
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            any_f64(),
+            0u64..=u64::MAX,
+        ),
+        (
+            0u64..=u64::MAX,
+            any_f64(),
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            any_f64(),
+        ),
+    )
+        .prop_map(
+            |(
+                (lost_refreshes, retransmits, outages, outage_seconds, dropped_in_outage),
+                (crashes, down_seconds, missed_updates, resync_quotes, epoch_divergence),
+            )| FaultSummary {
+                lost_refreshes,
+                retransmits,
+                outages,
+                outage_seconds,
+                dropped_in_outage,
+                crashes,
+                down_seconds,
+                missed_updates,
+                resync_quotes,
+                epoch_divergence,
             },
         )
 }
@@ -168,6 +241,7 @@ fn report() -> impl Strategy<Value = RunReport> {
             any_f64(),
         ),
         (0u64..1_000_000, any_f64(), any_f64(), any_f64(), any_f64()),
+        fault_summary(),
     )
         .prop_map(
             |(
@@ -175,6 +249,7 @@ fn report() -> impl Strategy<Value = RunReport> {
                 (max_unweighted, refreshes_applied, refreshes_sent, refreshes_delivered),
                 (feedback_messages, polls_sent, max_cache_queue, mean_queue_wait),
                 (count, mean, m2, min, max),
+                faults,
             )| RunReport {
                 divergence: DivergenceReport {
                     objects,
@@ -199,6 +274,7 @@ fn report() -> impl Strategy<Value = RunReport> {
                     max,
                 }),
                 updates_processed: feedback_messages ^ polls_sent,
+                faults,
             },
         )
 }
@@ -319,8 +395,39 @@ proptest! {
         prop_assert_eq!(a.m2.to_bits(), b.m2.to_bits());
         prop_assert_eq!(a.min.to_bits(), b.min.to_bits());
         prop_assert_eq!(a.max.to_bits(), b.max.to_bits());
+        let (fa, fb) = (&r.faults, &back.faults);
+        prop_assert_eq!(fa.lost_refreshes, fb.lost_refreshes);
+        prop_assert_eq!(fa.retransmits, fb.retransmits);
+        prop_assert_eq!(fa.outages, fb.outages);
+        prop_assert_eq!(fa.outage_seconds.to_bits(), fb.outage_seconds.to_bits());
+        prop_assert_eq!(fa.dropped_in_outage, fb.dropped_in_outage);
+        prop_assert_eq!(fa.crashes, fb.crashes);
+        prop_assert_eq!(fa.down_seconds.to_bits(), fb.down_seconds.to_bits());
+        prop_assert_eq!(fa.missed_updates, fb.missed_updates);
+        prop_assert_eq!(fa.resync_quotes, fb.resync_quotes);
+        prop_assert_eq!(fa.epoch_divergence.to_bits(), fb.epoch_divergence.to_bits());
         // And the text itself is a fixpoint.
         prop_assert_eq!(text, encode_report(&back));
+    }
+
+    /// Any recovery-kind spelling outside the known set must decode to a
+    /// structured error — never panic, never silently pick a regime.
+    #[test]
+    fn unknown_fault_kinds_are_rejected(spec in scenario(), kind in name()) {
+        if !matches!(kind.as_str(), "degrade-stale" | "retransmit" | "resync") {
+            let mut spec = spec;
+            spec.fault = Some(FaultProfile {
+                loss_prob: 0.25,
+                ..FaultProfile::default()
+            });
+            let text = encode(&spec).unwrap();
+            let mangled: String = text
+                .lines()
+                .map(|l| if l.starts_with("fault ") { format!("fault {kind}") } else { l.to_string() })
+                .collect::<Vec<_>>()
+                .join("\n");
+            prop_assert!(decode(&mangled).is_err());
+        }
     }
 
     /// Garbled report text — the hostile-worker-reply case — never

@@ -74,6 +74,9 @@ pub mod streams {
     pub const TRACE: u64 = 6;
     /// Scheduler-internal randomness (e.g. random feedback targeting).
     pub const SCHEDULER: u64 = 7;
+    /// Simulated-world fault schedules (refresh loss, link outages,
+    /// source crash/restart episodes).
+    pub const FAULTS: u64 = 8;
 }
 
 #[cfg(test)]

@@ -53,8 +53,6 @@ pub mod worker;
 
 pub use backoff::BackoffPolicy;
 pub use pool::{default_threads, parallel_map};
-#[allow(deprecated)]
-pub use supervisor::{run_sweep, run_sweep_summarized};
 pub use supervisor::{
     sweep, DegradedSlot, Shards, SweepError, SweepOptions, SweepOutcome, SweepRun, SweepSummary,
     WorkerSpawn,

@@ -368,24 +368,6 @@ pub fn sweep(specs: &[ScenarioSpec], opts: &SweepOptions) -> Result<SweepRun, Sw
     }
 }
 
-/// Pre-unification entrypoint; use [`sweep`].
-#[deprecated(note = "use `sweep(..)?.into_outcomes()`; removed next PR")]
-pub fn run_sweep(
-    specs: &[ScenarioSpec],
-    opts: &SweepOptions,
-) -> Result<Vec<SweepOutcome>, SweepError> {
-    Ok(sweep(specs, opts)?.into_outcomes())
-}
-
-/// Pre-unification entrypoint; use [`sweep`].
-#[deprecated(note = "use `sweep`; removed next PR")]
-pub fn run_sweep_summarized(
-    specs: &[ScenarioSpec],
-    opts: &SweepOptions,
-) -> Result<SweepRun, SweepError> {
-    sweep(specs, opts)
-}
-
 /// Builds and runs one spec, timing the phases separately.
 fn run_spec(spec: &ScenarioSpec) -> SweepOutcome {
     let build_start = Instant::now();
@@ -1074,17 +1056,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_delegate() {
+    fn into_outcomes_matches_the_run_it_came_from() {
         let specs = tiny_specs(2);
-        let outcomes = run_sweep(&specs, &SweepOptions::default()).unwrap();
-        let run = run_sweep_summarized(&specs, &SweepOptions::default()).unwrap();
-        assert_eq!(outcomes.len(), run.outcomes.len());
-        for (a, b) in outcomes.iter().zip(&run.outcomes) {
-            assert_eq!(
-                a.report.mean_divergence().to_bits(),
-                b.report.mean_divergence().to_bits()
-            );
+        let run = sweep(&specs, &SweepOptions::default()).unwrap();
+        let reference: Vec<f64> = run
+            .outcomes
+            .iter()
+            .map(|o| o.report.mean_divergence())
+            .collect();
+        let outcomes = sweep(&specs, &SweepOptions::default())
+            .unwrap()
+            .into_outcomes();
+        assert_eq!(outcomes.len(), reference.len());
+        for (a, b) in outcomes.iter().zip(&reference) {
+            assert_eq!(a.report.mean_divergence().to_bits(), b.to_bits());
         }
     }
 

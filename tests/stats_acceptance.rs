@@ -87,6 +87,22 @@ fn quick_smoke_cgm2_medium() {
     check("cgm2_medium", QUICK_SEEDS, true, Tier::Loose);
 }
 
+// Simulated-world fault regimes: the fault schedules derive from the
+// per-variant sim seed, so every derived seed sees different loss
+// decisions and outage windows — the moments cover the fault physics,
+// not one fault trace. (`crashy_huge` is excluded: 131k-object runs
+// are bench/CI-smoke material, not a per-`cargo test` distribution.)
+
+#[test]
+fn quick_smoke_lossy_medium() {
+    check("lossy_medium", QUICK_SEEDS, true, Tier::Loose);
+}
+
+#[test]
+fn quick_smoke_outage_medium() {
+    check("outage_medium", QUICK_SEEDS, true, Tier::Loose);
+}
+
 // Full scale: the actual acceptance bar for numerics changes. Ignored
 // by default — 32 paper-scale runs per scenario are release-build
 // work; the CI `stats-acceptance` job runs them with `--release`.
@@ -113,4 +129,16 @@ fn full_scale_cgm1_medium() {
 #[ignore = "full-scale: run with --release (CI stats-acceptance job)"]
 fn full_scale_cgm2_medium() {
     check("cgm2_medium", FULL_SEEDS, false, Tier::Standard);
+}
+
+#[test]
+#[ignore = "full-scale: run with --release (CI stats-acceptance job)"]
+fn full_scale_lossy_medium() {
+    check("lossy_medium", FULL_SEEDS, false, Tier::Standard);
+}
+
+#[test]
+#[ignore = "full-scale: run with --release (CI stats-acceptance job)"]
+fn full_scale_outage_medium() {
+    check("outage_medium", FULL_SEEDS, false, Tier::Standard);
 }

@@ -136,6 +136,47 @@ fn fig6_and_param_sweep_quick_grids_are_byte_identical_sharded() {
 }
 
 #[test]
+fn fault_regimes_are_byte_identical_across_shards_and_transports() {
+    // The three simulated-world fault regimes cross the worker pipe and
+    // the TCP transport carrying a fault block in the spec codec and a
+    // fault summary in the report codec; every byte of every report must
+    // match the in-process run for --shards 0/1/4.
+    use besync_scenarios::codec::encode_report;
+    use besync_scenarios::suite::by_name;
+    let specs: Vec<_> = ["lossy_medium", "outage_medium", "crashy_huge"]
+        .iter()
+        .map(|n| by_name(n).expect("registered fault regime").quick())
+        .collect();
+    let reports = |o: &SweepOptions| -> Vec<String> {
+        besync_sweep::sweep(&specs, o)
+            .unwrap()
+            .outcomes
+            .iter()
+            .map(|out| encode_report(&out.report))
+            .collect()
+    };
+    let in_process = reports(&opts(Shards::InProcess));
+    assert!(
+        in_process
+            .iter()
+            .any(|r| r.contains("fault_lost_refreshes") && !r.contains("fault_lost_refreshes 0")),
+        "lossy regime reported no losses"
+    );
+    for shards in [1u32, 4] {
+        let piped = reports(&opts(Shards::Workers(shards)));
+        assert_eq!(
+            in_process, piped,
+            "--shards {shards} fault-regime reports diverge over pipes"
+        );
+        let over_tcp = reports(&tcp(opts(Shards::Workers(shards))));
+        assert_eq!(
+            in_process, over_tcp,
+            "--shards {shards} fault-regime reports diverge over TCP"
+        );
+    }
+}
+
+#[test]
 fn worker_killed_mid_grid_still_merges_byte_identically() {
     let in_process = fig4_in_process();
     // Every initial worker aborts upon *receiving* its 2nd spec — a
