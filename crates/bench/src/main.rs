@@ -29,12 +29,98 @@
 //!
 //! [`CoopSystem`]: besync::system::CoopSystem
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use besync::fault::{FaultProfile, RecoveryPolicy};
 use besync_scenarios::{by_name, suite, ScenarioSpec, SystemKind};
 use besync_sweep::{sweep, Shards, SweepOptions, SweepOutcome, TransportKind};
 use besync_verify::{check_scenario, collect, ScenarioStats, StatBaseline, Tier};
+
+/// Counting shim over the system allocator: live-bytes plus a
+/// resettable high-water mark, two relaxed atomics per call. This is
+/// how the bench reports a *per-scenario* allocation peak — process
+/// RSS (`VmHWM`) only ever grows, so after the `huge` scenario runs it
+/// says nothing about `medium`. The peak is reset before each
+/// scenario's repeats; repeats of a deterministic scenario reach the
+/// same peak, so no per-repeat bookkeeping is needed.
+struct CountingAlloc;
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static ALLOC_PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let now = LIVE_BYTES.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            ALLOC_PEAK.fetch_max(now, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let grown = new_size - layout.size();
+                let now = LIVE_BYTES.fetch_add(grown, Ordering::Relaxed) + grown;
+                ALLOC_PEAK.fetch_max(now, Ordering::Relaxed);
+            } else {
+                LIVE_BYTES.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Restarts the allocation high-water mark from the current live size.
+fn reset_alloc_peak() {
+    ALLOC_PEAK.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+fn alloc_peak_bytes() -> u64 {
+    ALLOC_PEAK.load(Ordering::Relaxed) as u64
+}
+
+/// Process peak resident set size, from `VmHWM` in `/proc/self/status`.
+/// Monotone over the process lifetime (the kernel never lowers it), so
+/// per-scenario memory attribution comes from the allocator counter
+/// above; this is the coarse "what did the whole run cost the box"
+/// number. Returns 0 where the procfs field is unavailable.
+fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+            return 0;
+        };
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                if let Some(kb) = rest
+                    .split_whitespace()
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                {
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
 
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -161,6 +247,10 @@ fn run_scenario(scenario: &ScenarioSpec, repeats: usize) -> ScenarioResult {
     let mut builds = Vec::with_capacity(repeats);
     let mut reference: Option<(u64, u64, u64, f64)> = None;
     let mut last = None;
+    // Per-scenario allocation peak: every repeat replays the same
+    // simulation, so the high-water mark after the loop is the single
+    // repeat's peak, not a sum.
+    reset_alloc_peak();
     for _ in 0..repeats.max(1) {
         let build_start = Instant::now();
         let system = scenario.build();
@@ -207,6 +297,8 @@ fn run_scenario(scenario: &ScenarioSpec, repeats: usize) -> ScenarioResult {
         refreshes_delivered: report.refreshes_delivered,
         feedback: report.feedback_messages,
         mean_divergence: report.mean_divergence(),
+        mem_bytes: peak_rss_bytes(),
+        alloc_peak_bytes: alloc_peak_bytes(),
         baseline_events_per_sec: None,
     }
 }
@@ -228,6 +320,13 @@ struct ScenarioResult {
     refreshes_delivered: u64,
     feedback: u64,
     mean_divergence: f64,
+    /// Process peak RSS (`VmHWM`) sampled after the scenario ran —
+    /// monotone across the whole invocation, 0 off-linux.
+    mem_bytes: u64,
+    /// Per-scenario heap high-water mark from the counting allocator
+    /// (reset before each scenario's repeats) — the number that means
+    /// "this scenario needs this much memory".
+    alloc_peak_bytes: u64,
     /// Filled by `--compare`: the baseline file's events/sec for this
     /// scenario, so the written JSON records the measured speedup.
     baseline_events_per_sec: Option<f64>,
@@ -251,7 +350,9 @@ impl ScenarioResult {
                 "      \"refreshes_sent\": {},\n",
                 "      \"refreshes_delivered\": {},\n",
                 "      \"feedback\": {},\n",
-                "      \"mean_divergence\": {:.9}"
+                "      \"mean_divergence\": {:.9},\n",
+                "      \"mem_bytes\": {},\n",
+                "      \"alloc_peak_bytes\": {}"
             ),
             self.name,
             self.seed,
@@ -267,6 +368,8 @@ impl ScenarioResult {
             self.refreshes_delivered,
             self.feedback,
             self.mean_divergence,
+            self.mem_bytes,
+            self.alloc_peak_bytes,
         );
         if let Some(base) = self.baseline_events_per_sec {
             s.push_str(&format!(
@@ -301,6 +404,8 @@ struct BaselineScenario {
     feedback: u64,
     mean_divergence: f64,
     events_per_sec: f64,
+    /// Absent in baselines recorded before the v5 schema.
+    alloc_peak_bytes: Option<u64>,
 }
 
 /// Parses a `besync-bench` JSON file into per-scenario baselines.
@@ -320,6 +425,7 @@ fn parse_baseline(text: &str) -> Option<(bool, Vec<BaselineScenario>)> {
             feedback: parse("feedback")? as u64,
             mean_divergence: parse("mean_divergence")?,
             events_per_sec: parse("events_per_sec")?,
+            alloc_peak_bytes: field(block, "alloc_peak_bytes").and_then(|v| v.parse().ok()),
         });
     }
     Some((quick, out))
@@ -437,6 +543,31 @@ fn compare_against_baseline(
                 "compare: `{}` {:.2}x baseline events/sec{adj_note} (ok)",
                 r.name, ratio
             );
+        }
+        // Memory trajectory, report-only like the perf line: allocation
+        // peaks are deterministic in principle but allocator-version
+        // sensitive, so they inform rather than gate.
+        if let Some(base_alloc) = b.alloc_peak_bytes.filter(|&b| b > 0) {
+            let mem_ratio = r.alloc_peak_bytes as f64 / base_alloc as f64;
+            let mb = 1.0 / (1024.0 * 1024.0);
+            if mem_ratio > 1.0 + tolerance {
+                eprintln!(
+                    "compare: MEM REGRESSION (report-only) `{}`: alloc peak {:.1} MiB vs \
+                     baseline {:.1} MiB ({:.2}x, tolerance {:.0}%)",
+                    r.name,
+                    r.alloc_peak_bytes as f64 * mb,
+                    base_alloc as f64 * mb,
+                    mem_ratio,
+                    tolerance * 100.0
+                );
+            } else {
+                eprintln!(
+                    "compare: `{}` alloc peak {:.1} MiB, {:.2}x baseline (ok)",
+                    r.name,
+                    r.alloc_peak_bytes as f64 * mb,
+                    mem_ratio
+                );
+            }
         }
     }
     if mismatches.is_empty() {
@@ -608,7 +739,7 @@ usage: besync-bench verify [--accept bits|stats] [--baseline PATH]
 /// row (shared by the main flow and `verify --accept bits`).
 fn run_table(selected: &[ScenarioSpec], repeats: usize) -> Vec<ScenarioResult> {
     println!(
-        "{:<15} {:>9} {:>8} {:>10} {:>10} {:>11} {:>12} {:>11} {:>10}",
+        "{:<15} {:>9} {:>8} {:>10} {:>10} {:>11} {:>12} {:>11} {:>10} {:>10}",
         "scenario",
         "system",
         "objects",
@@ -617,13 +748,14 @@ fn run_table(selected: &[ScenarioSpec], repeats: usize) -> Vec<ScenarioResult> {
         "wall (s)",
         "events/sec",
         "refreshes",
-        "mean div"
+        "mean div",
+        "alloc MiB"
     );
     let mut results = Vec::new();
     for s in selected {
         let r = run_scenario(s, repeats);
         println!(
-            "{:<15} {:>9} {:>8} {:>10} {:>10.3} {:>11.3} {:>12.0} {:>11} {:>10.6}",
+            "{:<15} {:>9} {:>8} {:>10} {:>10.3} {:>11.3} {:>12.0} {:>11} {:>10.6} {:>10.1}",
             r.name,
             r.system,
             r.objects,
@@ -632,7 +764,8 @@ fn run_table(selected: &[ScenarioSpec], repeats: usize) -> Vec<ScenarioResult> {
             r.wall_seconds,
             r.events_per_sec,
             r.refreshes_sent,
-            r.mean_divergence
+            r.mean_divergence,
+            r.alloc_peak_bytes as f64 / (1024.0 * 1024.0)
         );
         results.push(r);
     }
@@ -920,7 +1053,7 @@ fn main() -> std::process::ExitCode {
             alloc_bisect / alloc_newton
         );
         let json = format!(
-            "{{\n  \"schema\": \"besync-bench/v4\",\n  \"quick\": {},\n  \"calibration_seconds\": {:.6},\n  \"cgm_alloc\": {{ \"objects_ab\": {}, \"newton_seconds\": {:.6}, \"bisect_seconds\": {:.6}, \"speedup\": {:.1} }},\n{}  \"scenarios\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema\": \"besync-bench/v5\",\n  \"quick\": {},\n  \"calibration_seconds\": {:.6},\n  \"cgm_alloc\": {{ \"objects_ab\": {}, \"newton_seconds\": {:.6}, \"bisect_seconds\": {:.6}, \"speedup\": {:.1} }},\n{}  \"scenarios\": [\n{}\n  ]\n}}\n",
             quick,
             calibration.unwrap_or_else(calibration_seconds),
             alloc_n,

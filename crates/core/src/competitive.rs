@@ -22,6 +22,7 @@
 use besync_data::ids::ObjectLayout;
 use besync_data::{ObjectId, SourceId, TruthTable, WeightProfile, WeightSet};
 use besync_net::Link;
+use besync_sim::stats::RunningStats;
 use besync_sim::{CalendarQueue, SimTime};
 use besync_workloads::{Updater, WorkloadSpec};
 use rand::rngs::SmallRng;
@@ -29,8 +30,10 @@ use rand::rngs::SmallRng;
 use crate::cache::partition::{BandwidthPartition, PiggybackCredit, SharePolicy};
 use crate::cache::CacheRuntime;
 use crate::config::SystemConfig;
+use crate::fault::FaultSummary;
 use crate::heap::IndexedMaxHeap;
 use crate::priority::PolicyKind;
+use crate::report::RunReport;
 use crate::source::SourceRuntime;
 use crate::system::RefreshMsg;
 
@@ -106,6 +109,8 @@ pub struct CompetitiveSystem {
     scratch: Vec<RefreshMsg>,
     threshold_refreshes: u64,
     source_refreshes: u64,
+    refreshes_delivered: u64,
+    updates_processed: u64,
     deliveries_this_tick: u64,
     delivery_rate_ewma: f64,
 }
@@ -139,19 +144,26 @@ impl CompetitiveSystem {
         );
         let tparams = base.threshold_params(m);
 
+        // As in `CoopSystem::new`: sum the event rate first, then hand
+        // the spec's weight/rate pools to the sources back-to-front via
+        // `split_off` instead of copying slices — one less full-size
+        // transient copy of each pool at construction peak.
+        let event_rate = spec.rates.iter().sum::<f64>() + 1.0 / base.tick.max(1e-6);
+        let mut weight_pool = std::mem::take(&mut spec.weights);
+        let mut rate_pool = std::mem::take(&mut spec.rates);
         let mut sources = Vec::with_capacity(m as usize);
         let mut own_heaps = Vec::with_capacity(m as usize);
-        for sid in layout.all_sources() {
-            let base_idx = sid.0 * layout.objects_per_source();
+        for sid in (0..m).rev() {
+            let base_idx = sid * layout.objects_per_source();
             let lo = base_idx as usize;
             let hi = lo + layout.objects_per_source() as usize;
             sources.push(SourceRuntime::new(
-                sid,
+                SourceId(sid),
                 base_idx,
                 &spec.initial_values[lo..hi],
-                spec.weights[lo..hi].to_vec(),
-                spec.rates[lo..hi].to_vec(),
-                Link::new(base.source_wave(sid.0)),
+                weight_pool.split_off(lo),
+                rate_pool.split_off(lo),
+                Link::new(base.source_wave(sid)),
                 tparams,
                 base.metric,
                 base.policy,
@@ -161,6 +173,7 @@ impl CompetitiveSystem {
             ));
             own_heaps.push(IndexedMaxHeap::new(hi - lo));
         }
+        sources.reverse();
 
         let objects_per_source = vec![layout.objects_per_source(); m as usize];
         let allocations = match cfg.partition.policy {
@@ -178,7 +191,6 @@ impl CompetitiveSystem {
         // the other systems; scheduling order (warm-up, tick, objects)
         // fixes the same-instant tie order the trajectories were
         // recorded under.
-        let event_rate = spec.rates.iter().sum::<f64>() + 1.0 / base.tick.max(1e-6);
         let mut queue = CalendarQueue::new(total + 2, 1.0 / event_rate);
         queue.schedule(warmup_slot, SimTime::new(base.warmup));
         queue.schedule(tick_slot, SimTime::new(base.tick));
@@ -219,6 +231,8 @@ impl CompetitiveSystem {
             scratch: Vec::new(),
             threshold_refreshes: 0,
             source_refreshes: 0,
+            refreshes_delivered: 0,
+            updates_processed: 0,
             deliveries_this_tick: 0,
             delivery_rate_ewma: 0.0,
         }
@@ -226,6 +240,44 @@ impl CompetitiveSystem {
 
     /// Runs to the horizon and reports both objectives.
     pub fn run(mut self) -> CompetitiveReport {
+        let horizon = self.drive();
+        CompetitiveReport {
+            cache_objective: self.cache_truth.report(horizon).mean_weighted,
+            source_objective: self.source_truth.report(horizon).mean_weighted,
+            threshold_refreshes: self.threshold_refreshes,
+            source_refreshes: self.source_refreshes,
+            feedback_messages: self.cache.feedback_sent,
+        }
+    }
+
+    /// Runs to the horizon and reports in the common [`RunReport`] shape
+    /// shared by every other system — divergence is the **cache**
+    /// objective (the §7 analogue of the base protocol's weighted mean),
+    /// refreshes are the threshold + source-entitlement pools combined.
+    /// Harnesses that need the source-side objective use [`Self::run`].
+    pub fn run_report(mut self) -> RunReport {
+        let horizon = self.drive();
+        let mut threshold_stats = RunningStats::new();
+        for s in &self.sources {
+            threshold_stats.push(s.threshold.value());
+        }
+        let link_stats = self.cache_link.stats();
+        RunReport {
+            divergence: self.cache_truth.report(horizon),
+            refreshes_sent: self.threshold_refreshes + self.source_refreshes,
+            refreshes_delivered: self.refreshes_delivered,
+            feedback_messages: self.cache.feedback_sent,
+            polls_sent: 0,
+            max_cache_queue: link_stats.max_queue,
+            mean_queue_wait: link_stats.total_wait / (link_stats.delivered.max(1) as f64),
+            threshold_stats,
+            updates_processed: self.updates_processed,
+            faults: FaultSummary::default(),
+        }
+    }
+
+    /// The shared event loop; returns the horizon it ran to.
+    fn drive(&mut self) -> SimTime {
         let horizon = SimTime::new(self.cfg.horizon());
         while let Some((now, slot)) = self.queue.pop_at_or_before(horizon) {
             if slot < self.tick_slot {
@@ -238,13 +290,7 @@ impl CompetitiveSystem {
                 self.source_truth.begin_measurement(now);
             }
         }
-        CompetitiveReport {
-            cache_objective: self.cache_truth.report(horizon).mean_weighted,
-            source_objective: self.source_truth.report(horizon).mean_weighted,
-            threshold_refreshes: self.threshold_refreshes,
-            source_refreshes: self.source_refreshes,
-            feedback_messages: self.cache.feedback_sent,
-        }
+        horizon
     }
 
     fn own_priority(&self, now: SimTime, sid: usize, local: u32) -> f64 {
@@ -258,6 +304,7 @@ impl CompetitiveSystem {
         let sid = self.layout.source_of(obj).index();
         let local = self.sources[sid].local(obj);
         let current = self.sources[sid].state(local).value;
+        self.updates_processed += 1;
         let (value, next) = self.updaters[idx].fire(now, current, &mut self.rngs[idx]);
         self.cache_truth.source_update(now, obj, value);
         self.source_truth.source_update(now, obj, value);
@@ -419,6 +466,7 @@ impl CompetitiveSystem {
         self.source_truth
             .apply_refresh(now, msg.obj, msg.snapshot.value, msg.snapshot.updates);
         self.cache.observe_threshold(msg.src, msg.threshold);
+        self.refreshes_delivered += 1;
         self.deliveries_this_tick += 1;
     }
 }
@@ -506,6 +554,41 @@ mod tests {
         // Ratio 1:1 at Ψ=0.5 — piggybacks bounded by threshold sends
         // (plus own-heap availability).
         assert!(r.source_refreshes <= r.threshold_refreshes + 1);
+    }
+
+    #[test]
+    fn run_report_is_consistent_with_the_competitive_report() {
+        // Same deterministic build both times: the RunReport adapter must
+        // agree with the §7 report on every shared quantity.
+        let (spec, source_weights) = conflicted();
+        let report = CompetitiveSystem::new(
+            CompetitiveConfig {
+                base: base_cfg(),
+                source_weights,
+                partition: BandwidthPartition::new(0.4, SharePolicy::ProportionalToValue),
+            },
+            spec,
+        )
+        .run();
+        let (spec, source_weights) = conflicted();
+        let rr = CompetitiveSystem::new(
+            CompetitiveConfig {
+                base: base_cfg(),
+                source_weights,
+                partition: BandwidthPartition::new(0.4, SharePolicy::ProportionalToValue),
+            },
+            spec,
+        )
+        .run_report();
+        assert_eq!(
+            rr.refreshes_sent,
+            report.threshold_refreshes + report.source_refreshes
+        );
+        assert_eq!(rr.feedback_messages, report.feedback_messages);
+        assert_eq!(rr.divergence.mean_weighted, report.cache_objective);
+        assert!(rr.updates_processed > 0);
+        assert!(rr.refreshes_delivered > 0 && rr.refreshes_delivered <= rr.refreshes_sent);
+        assert_eq!(rr.polls_sent, 0);
     }
 
     #[test]

@@ -30,19 +30,21 @@ use crate::report::RunReport;
 
 /// Per-object scheduler state (the ideal scheduler sees every object
 /// directly, so there is no per-source bookkeeping beyond the uplinks).
-/// One full cache line per object, aligned like
-/// [`crate::source::ObjectState`], for the same random-access reason.
+/// Compressed to 56 bytes with `u32` update counters, mirroring
+/// [`crate::source::ObjectState`] — counter arithmetic widens to `u64`
+/// before the metric/estimator sees it, so priorities are bit-identical
+/// to the wide layout.
 #[derive(Debug, Clone, Copy)]
-#[repr(C, align(64))]
+#[repr(C)]
 struct ObjState {
     value: f64,
-    updates: u64,
-    snap_updates: u64,
     snap_value: f64,
     area: AreaTracker,
+    updates: u32,
+    snap_updates: u32,
 }
 
-const _: () = assert!(std::mem::size_of::<ObjState>() == 64);
+const _: () = assert!(std::mem::size_of::<ObjState>() == 56);
 
 /// The omniscient scheduler defining "theoretically achievable"
 /// divergence.
@@ -112,10 +114,10 @@ impl IdealSystem {
             .iter()
             .map(|&v| ObjState {
                 value: v,
-                updates: 0,
-                snap_updates: 0,
                 snap_value: v,
                 area: AreaTracker::new(SimTime::ZERO),
+                updates: 0,
+                snap_updates: 0,
             })
             .collect();
         let uplinks = layout
@@ -205,14 +207,16 @@ impl IdealSystem {
     fn priority_of(&self, now: SimTime, obj: u32) -> f64 {
         let idx = obj as usize;
         let st = &self.states[idx];
-        let divergence =
-            self.cfg
-                .metric
-                .divergence(st.value, st.updates, st.snap_value, st.snap_updates);
-        let since_refresh = st.updates - st.snap_updates;
+        let divergence = self.cfg.metric.divergence(
+            st.value,
+            st.updates as u64,
+            st.snap_value,
+            st.snap_updates as u64,
+        );
+        let since_refresh = (st.updates - st.snap_updates) as u64;
         let lambda_hat = self.cfg.estimator.estimate(
             self.rates[idx],
-            st.updates,
+            st.updates as u64,
             now - self.start,
             since_refresh,
             now - st.area.last_refresh(),
@@ -243,10 +247,12 @@ impl IdealSystem {
             let st = &mut self.states[idx];
             st.value = value;
             st.updates += 1;
-            let d =
-                self.cfg
-                    .metric
-                    .divergence(st.value, st.updates, st.snap_value, st.snap_updates);
+            let d = self.cfg.metric.divergence(
+                st.value,
+                st.updates as u64,
+                st.snap_value,
+                st.snap_updates as u64,
+            );
             st.area.on_update(now, d);
         }
         let p = self.priority_of(now, obj.0);

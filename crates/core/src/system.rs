@@ -144,26 +144,41 @@ impl CoopSystem {
     /// Panics if the workload spec is internally inconsistent or if
     /// `bound_rates` is required/mismatched (see
     /// [`crate::priority::PolicyKind::Bound`]).
-    pub fn new(cfg: SystemConfig, spec: WorkloadSpec) -> Self {
+    pub fn new(cfg: SystemConfig, mut spec: WorkloadSpec) -> Self {
         spec.validate().expect("invalid workload spec");
         let layout = spec.layout;
         let m = layout.sources();
         let truth = TruthTable::new(cfg.metric, &spec.initial_values, spec.weights.clone());
         let tparams = cfg.threshold_params(m);
 
+        // Bucket width ≈ the mean gap between consecutive events
+        // (aggregate update rate plus the once-per-second tick), the
+        // occupancy-one sweet spot for a calendar queue. Summed before
+        // the rate pool is consumed below.
+        let event_rate = spec.rates.iter().sum::<f64>() + 1.0 / cfg.tick.max(1e-6);
+
+        // The sources take ownership of the spec's weight/rate pools
+        // rather than copying slices out of them: at the 1M-object
+        // `mega` scale the extra transient copy of each pool is tens of
+        // megabytes of peak RSS. Splitting back-to-front makes each
+        // `split_off` O(objects-per-source), and construction order
+        // doesn't observe anything time-dependent, so reversing at the
+        // end leaves every source bit-identical to the slice-copy build.
+        let mut weight_pool = std::mem::take(&mut spec.weights);
+        let mut rate_pool = std::mem::take(&mut spec.rates);
         let mut sources = Vec::with_capacity(m as usize);
-        for sid in layout.all_sources() {
-            let base = sid.0 * layout.objects_per_source();
+        for sid in (0..m).rev() {
+            let base = sid * layout.objects_per_source();
             let lo = base as usize;
             let hi = lo + layout.objects_per_source() as usize;
             let bound_rates = cfg.bound_rates.as_ref().map(|all| all[lo..hi].to_vec());
             sources.push(SourceRuntime::new(
-                sid,
+                SourceId(sid),
                 base,
                 &spec.initial_values[lo..hi],
-                spec.weights[lo..hi].to_vec(),
-                spec.rates[lo..hi].to_vec(),
-                Link::new(cfg.source_wave(sid.0)),
+                weight_pool.split_off(lo),
+                rate_pool.split_off(lo),
+                Link::new(cfg.source_wave(sid)),
                 tparams,
                 cfg.metric,
                 cfg.policy,
@@ -172,6 +187,7 @@ impl CoopSystem {
                 SimTime::ZERO,
             ));
         }
+        sources.reverse();
 
         let cache_link = Link::new(cfg.cache_wave());
         let cache = CacheRuntime::new(
@@ -185,10 +201,6 @@ impl CoopSystem {
         let total = spec.total_objects();
         let tick_slot = total as u32;
         let warmup_slot = total as u32 + 1;
-        // Bucket width ≈ the mean gap between consecutive events
-        // (aggregate update rate plus the once-per-second tick), the
-        // occupancy-one sweet spot for a calendar queue.
-        let event_rate = spec.rates.iter().sum::<f64>() + 1.0 / cfg.tick.max(1e-6);
         // A fault profile needs exact-time transitions: one slot for the
         // shared-link outage window plus one crash slot per source. With
         // no profile the queue is constructed exactly as before.

@@ -90,40 +90,49 @@ impl ObjectTruth {
 }
 
 /// Everything one `source_update`/`apply_refresh` touches, packed into
-/// exactly one cache line.
+/// 48 bytes — three objects per pair of cache lines.
 ///
 /// `divergence`/`wdivergence` mirror the fused dual time-average the AoS
 /// layout kept (the trackers were only ever set together): the current
 /// piecewise-constant divergence level and its weighted counterpart, both
 /// pending integration over `[last_change, next transition)`.
+///
+/// The update counters are `u32` in the hot record (the public
+/// [`ObjectTruth`] stays `u64`): no bounded run applies 2³² updates to a
+/// single object, and halving the counter bytes is what shrinks the
+/// record from the old one-full-cache-line 64 bytes to 48 — at 10⁶
+/// objects that is 16 MB of hot working set saved, the difference
+/// between thrashing and fitting a realistic L3. Counter arithmetic is
+/// widened to `u64` before the metric sees it, so divergence values are
+/// bit-identical to the wide layout.
 #[derive(Debug, Clone, Copy)]
-#[repr(C, align(64))]
+#[repr(C, align(16))]
 struct HotAccount {
     source_value: f64,
     cached_value: f64,
-    source_updates: u64,
-    cached_updates: u64,
     /// Current divergence (0 initially: every cache starts synchronized).
     divergence: f64,
     /// Current weighted divergence `d · W(O, t_last)`.
     wdivergence: f64,
     last_change: SimTime,
+    source_updates: u32,
+    cached_updates: u32,
 }
 
-// The whole point of the hot split: one object, one line.
-const _: () = assert!(std::mem::size_of::<HotAccount>() == 64);
-const _: () = assert!(std::mem::align_of::<HotAccount>() == 64);
+// The whole point of the hot split: minimal, line-friendly records.
+const _: () = assert!(std::mem::size_of::<HotAccount>() == 48);
+const _: () = assert!(std::mem::align_of::<HotAccount>() == 16);
 
 impl HotAccount {
     fn synced(value: f64, t0: SimTime) -> Self {
         HotAccount {
             source_value: value,
             cached_value: value,
-            source_updates: 0,
-            cached_updates: 0,
             divergence: 0.0,
             wdivergence: 0.0,
             last_change: t0,
+            source_updates: 0,
+            cached_updates: 0,
         }
     }
 
@@ -131,9 +140,9 @@ impl HotAccount {
     fn truth(&self) -> ObjectTruth {
         ObjectTruth {
             source_value: self.source_value,
-            source_updates: self.source_updates,
+            source_updates: self.source_updates as u64,
             cached_value: self.cached_value,
-            cached_updates: self.cached_updates,
+            cached_updates: self.cached_updates as u64,
         }
     }
 }
@@ -271,9 +280,9 @@ impl TruthTable {
         hot.source_updates += 1;
         let d = self.metric.divergence(
             hot.source_value,
-            hot.source_updates,
+            hot.source_updates as u64,
             hot.cached_value,
-            hot.cached_updates,
+            hot.cached_updates as u64,
         );
         Self::advance(hot, &mut self.integrals[idx], t, d, d * weight);
         weight
@@ -296,13 +305,17 @@ impl TruthTable {
         let idx = obj.index();
         let weight = self.weights.weight_at(idx, t);
         let hot = &mut self.hot[idx];
+        debug_assert!(
+            snapshot_updates <= u32::MAX as u64,
+            "snapshot update counter exceeds the compressed hot-record range"
+        );
         hot.cached_value = snapshot_value;
-        hot.cached_updates = snapshot_updates;
+        hot.cached_updates = snapshot_updates as u32;
         let d = self.metric.divergence(
             hot.source_value,
-            hot.source_updates,
+            hot.source_updates as u64,
             hot.cached_value,
-            hot.cached_updates,
+            hot.cached_updates as u64,
         );
         Self::advance(hot, &mut self.integrals[idx], t, d, d * weight);
         self.refreshes_applied += 1;
@@ -312,7 +325,7 @@ impl TruthTable {
     /// perfectly fresh refresh). Divergence drops to zero.
     pub fn apply_fresh_refresh(&mut self, t: SimTime, obj: ObjectId) {
         let hot = &self.hot[obj.index()];
-        let (value, updates) = (hot.source_value, hot.source_updates);
+        let (value, updates) = (hot.source_value, hot.source_updates as u64);
         self.apply_refresh(t, obj, value, updates);
     }
 

@@ -15,6 +15,7 @@
 //! registered scenario uses. Encoding a scenario with a custom deviation
 //! function is an error.
 
+use besync::cache::partition::SharePolicy;
 use besync::fault::{FaultProfile, FaultSummary, RecoveryPolicy};
 use besync::priority::{PolicyKind, RateEstimator};
 use besync::RunReport;
@@ -64,6 +65,23 @@ fn parse_estimator(s: &str) -> Option<RateEstimator> {
         "known" => RateEstimator::Known,
         "long_run" => RateEstimator::LongRun,
         "since_refresh" => RateEstimator::SinceRefresh,
+        _ => return None,
+    })
+}
+
+fn share_name(s: SharePolicy) -> &'static str {
+    match s {
+        SharePolicy::EqualShare => "equal_share",
+        SharePolicy::ProportionalToObjects => "per_object",
+        SharePolicy::ProportionalToValue => "piggyback",
+    }
+}
+
+fn parse_share(s: &str) -> Option<SharePolicy> {
+    Some(match s {
+        "equal_share" => SharePolicy::EqualShare,
+        "per_object" => SharePolicy::ProportionalToObjects,
+        "piggyback" => SharePolicy::ProportionalToValue,
         _ => return None,
     })
 }
@@ -183,6 +201,13 @@ pub fn encode(spec: &ScenarioSpec) -> Result<String, String> {
         kv("fault_crash_rate", &f.crash_rate.to_string());
         kv("fault_crash_downtime", &f.crash_downtime.to_string());
     }
+    if matches!(spec.system, SystemKind::Competitive) {
+        // The Ψ partition only exists for §7 scenarios; emitting it
+        // conditionally keeps every other scenario's text byte-identical
+        // to its pre-competitive form.
+        kv("psi", &spec.psi.to_string());
+        kv("share_policy", share_name(spec.share));
+    }
     Ok(out)
 }
 
@@ -287,6 +312,21 @@ pub fn decode(text: &str) -> Result<ScenarioSpec, String> {
     };
 
     let system_name = get("system")?;
+    let system =
+        SystemKind::parse(system_name).ok_or_else(|| format!("unknown system `{system_name}`"))?;
+    // Like the fault block: the Ψ partition is absent from every
+    // non-competitive scenario's text, but once the system is §7 both
+    // fields are mandatory — defaults here would silently change what
+    // the far side simulates.
+    let (psi, share) = if matches!(system, SystemKind::Competitive) {
+        let share_str = get("share_policy")?;
+        (
+            num("psi")?,
+            parse_share(share_str).ok_or_else(|| format!("unknown share policy `{share_str}`"))?,
+        )
+    } else {
+        (0.0, SharePolicy::ProportionalToValue)
+    };
     let policy_str = get("policy")?;
     let estimator_str = get("estimator")?;
     let metric_str = get("metric")?;
@@ -295,8 +335,7 @@ pub fn decode(text: &str) -> Result<ScenarioSpec, String> {
         description: get("description")?.to_string(),
         seed: int("seed")?,
         sim_seed: int("sim_seed")?,
-        system: SystemKind::parse(system_name)
-            .ok_or_else(|| format!("unknown system `{system_name}`"))?,
+        system,
         workload,
         policy: parse_policy(policy_str).ok_or_else(|| format!("unknown policy `{policy_str}`"))?,
         estimator: parse_estimator(estimator_str)
@@ -310,6 +349,8 @@ pub fn decode(text: &str) -> Result<ScenarioSpec, String> {
         warmup: num("warmup")?,
         measure: num("measure")?,
         fault,
+        psi,
+        share,
     })
 }
 

@@ -1,12 +1,14 @@
 //! The declarative scenario spec and its lowering.
 
+use besync::cache::partition::{BandwidthPartition, SharePolicy};
+use besync::competitive::{CompetitiveConfig, CompetitiveSystem};
 use besync::config::SystemConfig;
 use besync::fault::FaultProfile;
 use besync::priority::{PolicyKind, RateEstimator};
 use besync::system::CoopSystem;
 use besync::{IdealSystem, RunReport};
 use besync_baselines::{CgmConfig, CgmSystem, CgmVariant};
-use besync_data::Metric;
+use besync_data::{Metric, WeightProfile};
 use besync_workloads::buoy::{self, BuoyConfig};
 use besync_workloads::generators::{random_walk_poisson, PoissonWorkloadOptions};
 use besync_workloads::WorkloadSpec;
@@ -20,6 +22,12 @@ pub enum SystemKind {
     Ideal,
     /// A cache-driven CGM baseline (Figure 6).
     Cgm(CgmVariant),
+    /// The §7 competitive system: cache and sources disagree on weights,
+    /// a Ψ fraction of cache bandwidth follows source priorities. The
+    /// partition itself ([`ScenarioSpec::psi`], [`ScenarioSpec::share`])
+    /// lives on the spec; the workload's weights are replaced by the §7
+    /// conflicted-halves pattern at lowering time.
+    Competitive,
 }
 
 impl SystemKind {
@@ -31,6 +39,7 @@ impl SystemKind {
             SystemKind::Cgm(CgmVariant::IdealCacheBased) => "cgm_ideal",
             SystemKind::Cgm(CgmVariant::Cgm1) => "cgm1",
             SystemKind::Cgm(CgmVariant::Cgm2) => "cgm2",
+            SystemKind::Competitive => "competitive",
         }
     }
 
@@ -42,6 +51,7 @@ impl SystemKind {
             "cgm_ideal" => SystemKind::Cgm(CgmVariant::IdealCacheBased),
             "cgm1" => SystemKind::Cgm(CgmVariant::Cgm1),
             "cgm2" => SystemKind::Cgm(CgmVariant::Cgm2),
+            "competitive" => SystemKind::Competitive,
             _ => return None,
         })
     }
@@ -120,6 +130,11 @@ pub struct ScenarioSpec {
     /// crashes). `None` — the default — runs the fault-free path, which
     /// is bit-identical to the pre-fault tree.
     pub fault: Option<FaultProfile>,
+    /// §7 only: the Ψ fraction of cache bandwidth dedicated to source
+    /// priorities. Ignored by every other [`SystemKind`].
+    pub psi: f64,
+    /// §7 only: how the Ψ pool is divided among sources.
+    pub share: SharePolicy,
 }
 
 impl Default for ScenarioSpec {
@@ -151,6 +166,8 @@ impl Default for ScenarioSpec {
             warmup: 100.0,
             measure: 500.0,
             fault: None,
+            psi: 0.0,
+            share: SharePolicy::ProportionalToValue,
         }
     }
 }
@@ -165,6 +182,8 @@ pub enum ReadySystem {
     Ideal(Box<IdealSystem>),
     /// A CGM baseline.
     Cgm(Box<CgmSystem>),
+    /// The §7 competitive system (reports its cache objective).
+    Competitive(Box<CompetitiveSystem>),
 }
 
 impl ReadySystem {
@@ -174,6 +193,7 @@ impl ReadySystem {
             ReadySystem::Coop(s) => s.run(),
             ReadySystem::Ideal(s) => s.run(),
             ReadySystem::Cgm(s) => s.run(),
+            ReadySystem::Competitive(s) => s.run_report(),
         }
     }
 }
@@ -318,6 +338,14 @@ impl ScenarioSpecBuilder {
         self
     }
 
+    /// Switches to the §7 competitive system with the given Ψ partition.
+    pub fn competitive(mut self, psi: f64, share: SharePolicy) -> Self {
+        self.spec.system = SystemKind::Competitive;
+        self.spec.psi = psi;
+        self.spec.share = share;
+        self
+    }
+
     /// Finishes the chain. (Named `finish`, not `build`, because on the
     /// spec itself [`ScenarioSpec::build`] means *lower to a runnable
     /// system*.)
@@ -445,6 +473,35 @@ impl ScenarioSpec {
             SystemKind::Cgm(_) => {
                 ReadySystem::Cgm(Box::new(CgmSystem::new(self.cgm_config(), spec)))
             }
+            SystemKind::Competitive => {
+                // The §7 conflicted-halves weighting (the shape of the
+                // paper's competitive experiment): the cache favours the
+                // first half of each source's objects 10:1, each source
+                // favours its second half. Both weight views are derived
+                // here — deterministically from the layout alone — so the
+                // scenario stays a plain-data value.
+                let mut wl = spec;
+                let n = wl.layout.objects_per_source();
+                let mut source_weights = Vec::with_capacity(wl.total_objects());
+                for obj in wl.layout.all_objects() {
+                    let local = obj.0 % n;
+                    let (cache_w, source_w) = if local < n / 2 {
+                        (10.0, 1.0)
+                    } else {
+                        (1.0, 10.0)
+                    };
+                    wl.weights[obj.index()] = WeightProfile::constant(cache_w);
+                    source_weights.push(WeightProfile::constant(source_w));
+                }
+                ReadySystem::Competitive(Box::new(CompetitiveSystem::new(
+                    CompetitiveConfig {
+                        base: self.system_config(),
+                        source_weights,
+                        partition: BandwidthPartition::new(self.psi, self.share),
+                    },
+                    wl,
+                )))
+            }
         }
     }
 
@@ -540,6 +597,7 @@ mod tests {
             SystemKind::Cgm(CgmVariant::IdealCacheBased),
             SystemKind::Cgm(CgmVariant::Cgm1),
             SystemKind::Cgm(CgmVariant::Cgm2),
+            SystemKind::Competitive,
         ] {
             let report = tiny(system).run();
             assert!(
@@ -548,6 +606,32 @@ mod tests {
                 system.name()
             );
         }
+    }
+
+    #[test]
+    fn competitive_lowering_respects_psi() {
+        // Ψ = 0 sends no source-entitlement refreshes; a positive Ψ under
+        // the piggyback option does. Seen through the RunReport adapter,
+        // that means strictly more refreshes at the same threshold flow.
+        // The cache link must be the binding constraint (threshold held
+        // high) or the threshold pool alone keeps every object fresh and
+        // the own-priority heaps are empty whenever piggyback tries to
+        // spend.
+        let constrained = |psi: f64| ScenarioSpec {
+            cache_bandwidth_mean: 1.5,
+            psi,
+            share: SharePolicy::ProportionalToValue,
+            ..tiny(SystemKind::Competitive)
+        };
+        let zero = constrained(0.0).run();
+        let half = constrained(0.5).run();
+        assert!(zero.refreshes_sent > 0);
+        assert!(
+            half.refreshes_sent > zero.refreshes_sent,
+            "piggyback at Ψ=0.5 should add source refreshes: {} vs {}",
+            half.refreshes_sent,
+            zero.refreshes_sent
+        );
     }
 
     #[test]
@@ -620,6 +704,7 @@ mod tests {
             SystemKind::Cgm(CgmVariant::IdealCacheBased),
             SystemKind::Cgm(CgmVariant::Cgm1),
             SystemKind::Cgm(CgmVariant::Cgm2),
+            SystemKind::Competitive,
         ] {
             assert_eq!(SystemKind::parse(k.name()), Some(k));
         }

@@ -10,10 +10,12 @@
 //! scenario pins down — exactly what the struct-update literals it
 //! replaced did.
 
+use besync::cache::partition::SharePolicy;
 use besync::fault::{FaultProfile, RecoveryPolicy};
 use besync::priority::{PolicyKind, RateEstimator};
 use besync_baselines::CgmVariant;
 use besync_data::Metric;
+use besync_workloads::buoy::BuoyConfig;
 
 use crate::spec::{ScenarioSpec, ScenarioSpecBuilder, SystemKind};
 
@@ -55,8 +57,12 @@ fn coop(
 /// runner makes cheap to explore); `lossy_medium`/`outage_medium`/
 /// `crashy_huge` run the simulated-world fault classes (refresh loss
 /// with retransmission, link outages, source crash/restart with bulk
-/// resync); and the `ideal_*`/`cgm*_*` scenarios cover the
-/// figure-regeneration schedulers.
+/// resync); `mega`/`mega_fluct` push to 1 048 576 objects (the
+/// million-object regime the streaming workload build and self-resizing
+/// calendar queue exist for); `buoy_week` replays the §6.2.1 synthetic
+/// wind-buoy trace; `competitive_medium` runs the §7 Ψ-partition under
+/// conflicted cache/source weights; and the `ideal_*`/`cgm*_*` scenarios
+/// cover the figure-regeneration schedulers.
 pub fn suite() -> Vec<ScenarioSpec> {
     vec![
         coop(
@@ -250,6 +256,60 @@ pub fn suite() -> Vec<ScenarioSpec> {
             ..FaultProfile::default()
         })
         .finish(),
+        coop(
+            "mega",
+            "coop, 1048576 objects, staleness — the million-object regime",
+            2020,
+            1024,
+            1024,
+            Metric::Staleness,
+            56_000.0,
+            55.0,
+            5.0,
+            30.0,
+        )
+        .finish(),
+        coop(
+            "mega_fluct",
+            "coop, 1048576 objects, fluctuating weights AND bandwidth at million-object scale",
+            2121,
+            1024,
+            1024,
+            Metric::Staleness,
+            56_000.0,
+            55.0,
+            5.0,
+            30.0,
+        )
+        .fluctuating_weights(true)
+        .bandwidth_change_rate(0.25)
+        .finish(),
+        ScenarioSpec::builder("buoy_week")
+            .description(
+                "trace-driven §6.2.1 wind-buoy fleet: 40 buoys × 2 components over 7 days",
+            )
+            .seed(1919)
+            .buoy(BuoyConfig::paper())
+            .metric(Metric::abs_deviation())
+            .bandwidth(0.02, 0.005)
+            .window(86_400.0, 518_400.0)
+            .finish(),
+        ScenarioSpec::builder("competitive_medium")
+            .description(
+                "§7 competitive Ψ-partition, 2048 objects, conflicted halves, piggyback at Ψ=0.4",
+            )
+            .seed(1717)
+            .objects(32, 64)
+            .rate_range(0.05, 0.5)
+            // The lowering replaces both weight views with the §7
+            // conflicted-halves pattern; the drawn weights are unused.
+            .weight_range(1.0, 1.0)
+            .fluctuating_weights(false)
+            .metric(Metric::Staleness)
+            .bandwidth(512.0, 32.0)
+            .window(120.0, 600.0)
+            .competitive(0.4, SharePolicy::ProportionalToValue)
+            .finish(),
         ScenarioSpec::builder("ideal_medium")
             .description("ideal omniscient scheduler, 2048 objects — figure-regeneration yardstick")
             .seed(606)
@@ -443,11 +503,54 @@ mod tests {
     #[test]
     fn suite_system_kinds_cover_all_schedulers() {
         let suite = suite();
-        for kind in ["coop", "ideal", "cgm1", "cgm2"] {
+        for kind in ["coop", "ideal", "cgm1", "cgm2", "competitive"] {
             assert!(
                 suite.iter().any(|s| s.system.name() == kind),
                 "no {kind} scenario in the suite"
             );
+        }
+        // And both workload families.
+        assert!(
+            suite
+                .iter()
+                .any(|s| matches!(s.workload, WorkloadKind::Buoy { .. })),
+            "no trace-driven scenario in the suite"
+        );
+    }
+
+    #[test]
+    fn mega_is_at_least_a_million_objects() {
+        for name in ["mega", "mega_fluct"] {
+            let s = by_name(name).unwrap();
+            assert!(s.total_objects() >= 1_000_000, "{}", s.total_objects());
+        }
+        let f = by_name("mega_fluct").unwrap();
+        assert!(f.bandwidth_change_rate > 0.0);
+        match f.workload {
+            WorkloadKind::Poisson {
+                fluctuating_weights,
+                ..
+            } => assert!(fluctuating_weights, "weights must fluctuate"),
+            _ => panic!("expected a Poisson workload"),
+        }
+    }
+
+    #[test]
+    fn competitive_and_buoy_regimes_pin_their_parameters() {
+        let c = by_name("competitive_medium").unwrap();
+        assert_eq!(c.system.name(), "competitive");
+        assert_eq!(c.psi, 0.4);
+        assert_eq!(c.share, SharePolicy::ProportionalToValue);
+        assert_eq!(c.total_objects(), 2048);
+
+        let b = by_name("buoy_week").unwrap();
+        match b.workload {
+            WorkloadKind::Buoy { config } => {
+                assert_eq!(config.total_objects(), 80);
+                // The trace must cover the whole measured window.
+                assert!(config.duration >= b.warmup + b.measure);
+            }
+            _ => panic!("expected a buoy workload"),
         }
     }
 

@@ -6,6 +6,7 @@
 //! representable value bit for bit and (b) turn arbitrary garbage into a
 //! structured `Err` — never a panic that would take down the supervisor.
 
+use besync::cache::partition::SharePolicy;
 use besync::fault::{FaultProfile, FaultSummary, RecoveryPolicy};
 use besync::priority::{PolicyKind, RateEstimator};
 use besync::RunReport;
@@ -58,6 +59,15 @@ fn system_kind() -> impl Strategy<Value = SystemKind> {
         Just(SystemKind::Cgm(CgmVariant::IdealCacheBased)),
         Just(SystemKind::Cgm(CgmVariant::Cgm1)),
         Just(SystemKind::Cgm(CgmVariant::Cgm2)),
+        Just(SystemKind::Competitive),
+    ]
+}
+
+fn share_policy() -> impl Strategy<Value = SharePolicy> {
+    prop_oneof![
+        Just(SharePolicy::EqualShare),
+        Just(SharePolicy::ProportionalToObjects),
+        Just(SharePolicy::ProportionalToValue),
     ]
 }
 
@@ -159,6 +169,7 @@ fn scenario() -> impl Strategy<Value = ScenarioSpec> {
             finite_f64(),
         ),
         (finite_f64(), finite_f64(), fault_profile()),
+        (0.0f64..1.0, share_policy()),
     )
         .prop_map(
             |(
@@ -166,6 +177,7 @@ fn scenario() -> impl Strategy<Value = ScenarioSpec> {
                 (system, workload, policy, estimator, metric),
                 (cache_bandwidth_mean, source_bandwidth_mean, bandwidth_change_rate, alpha, omega),
                 (warmup, measure, fault),
+                (psi, share),
             )| ScenarioSpec {
                 name,
                 description,
@@ -184,6 +196,8 @@ fn scenario() -> impl Strategy<Value = ScenarioSpec> {
                 warmup,
                 measure,
                 fault,
+                psi,
+                share,
             },
         )
 }

@@ -181,6 +181,22 @@ impl SlotQueue {
 /// reschedule — a slot must not be scheduled twice (callers keep at most
 /// one pending event per slot; debug builds track a per-slot pending flag
 /// and panic on violation, release builds carry no such bookkeeping).
+///
+/// # Self-resizing
+///
+/// Large queues (≥ [`RESIZE_AUTO_MIN_BUCKETS`] buckets) monitor their own
+/// occupancy and observed event rate and rebuild the bucket array when
+/// either drifts out of band — see [`CalendarQueue::set_auto_resize`].
+/// A rebuild redistributes every pending entry under the new bucket
+/// width/count and restarts the scan at `now`'s window. Pop order is
+/// unaffected **by construction**: `pop_at_or_before` always returns the
+/// global `(time, seq)` minimum among pending entries regardless of
+/// bucket geometry (entries in earlier absolute windows have strictly
+/// earlier times, equal times share a window, and the within-window scan
+/// is an exact min), every pending entry fires at or after `now`, and
+/// `⌊t·(1/δ)⌋` is monotone in `t` — so no entry can land behind the
+/// restarted scan. Small queues keep the fixed-width path and never pay
+/// for the monitoring.
 #[derive(Debug, Clone)]
 pub struct CalendarQueue {
     buckets: Vec<Vec<Entry>>,
@@ -199,7 +215,30 @@ pub struct CalendarQueue {
     len: usize,
     seq: u64,
     now: SimTime,
+    /// Whether occupancy/rate monitoring may rebuild the bucket array.
+    auto_resize: bool,
+    /// Schedules remaining until the next resize evaluation.
+    check_in: u32,
+    /// Pops since the current measurement epoch began (drives the
+    /// observed mean-gap estimate).
+    epoch_pops: u64,
+    /// Clock value when the current measurement epoch began.
+    epoch_start: SimTime,
+    /// Completed rebuilds.
+    resizes: u64,
 }
+
+/// Queues created with at least this many buckets enable auto-resizing;
+/// smaller ones keep the fixed-width path (overridable either way via
+/// [`CalendarQueue::set_auto_resize`]).
+pub const RESIZE_AUTO_MIN_BUCKETS: usize = 1024;
+
+/// Resize conditions are evaluated once per this many `schedule` calls,
+/// so steady state pays one decrement-and-branch per event.
+const RESIZE_CHECK_STRIDE: u32 = 1024;
+
+/// Minimum pops in an epoch before the observed mean gap is trusted.
+const RESIZE_MIN_EPOCH_POPS: u64 = 256;
 
 impl CalendarQueue {
     /// Creates a queue sized for about `slots` concurrently pending
@@ -224,7 +263,35 @@ impl CalendarQueue {
             len: 0,
             seq: 0,
             now: SimTime::ZERO,
+            auto_resize: count >= RESIZE_AUTO_MIN_BUCKETS,
+            check_in: RESIZE_CHECK_STRIDE,
+            epoch_pops: 0,
+            epoch_start: SimTime::ZERO,
+            resizes: 0,
         }
+    }
+
+    /// Forces occupancy/rate monitoring on or off, overriding the
+    /// size-based default from [`new`](CalendarQueue::new). Pop order is
+    /// identical either way (see the type docs); this only controls
+    /// whether the bucket array may be rebuilt.
+    pub fn set_auto_resize(&mut self, on: bool) {
+        self.auto_resize = on;
+    }
+
+    /// Whether occupancy/rate monitoring is active.
+    pub fn auto_resize(&self) -> bool {
+        self.auto_resize
+    }
+
+    /// Number of bucket-array rebuilds performed so far.
+    pub fn resizes(&self) -> u64 {
+        self.resizes
+    }
+
+    /// Current number of buckets (a power of two).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
     }
 
     /// Number of pending events.
@@ -265,6 +332,15 @@ impl CalendarQueue {
             "cannot schedule slot {slot} at {at:?} before now {:?}",
             self.now
         );
+        // Resize checks run here — never mid-pop-scan — so the scan state
+        // (`cur_abs`) is always rebuilt from a consistent `now`.
+        if self.auto_resize {
+            self.check_in -= 1;
+            if self.check_in == 0 {
+                self.check_in = RESIZE_CHECK_STRIDE;
+                self.consider_resize();
+            }
+        }
         let abs = self.abs_bucket(at);
         // The pop scan never revisits windows behind `cur_abs`; an entry
         // there would be lost. This cannot happen when scheduling from an
@@ -318,6 +394,7 @@ impl CalendarQueue {
                     }
                     let e = self.buckets[b].swap_remove(i);
                     self.len -= 1;
+                    self.epoch_pops += 1;
                     self.now = e.at;
                     #[cfg(debug_assertions)]
                     {
@@ -336,6 +413,68 @@ impl CalendarQueue {
                 }
             }
         }
+    }
+
+    /// Evaluates the resize triggers: occupancy (pending entries per
+    /// bucket drifting out of the [¼, 2) band around one) and bucket
+    /// width (the observed mean pop gap this epoch drifting outside
+    /// [δ/2, 2δ]). Decisions require a full epoch of observed pops —
+    /// during initial fill (schedules only, no pops yet) the caller's
+    /// sizing hint stands. Rolls the measurement epoch either way so the
+    /// gap estimate tracks the *current* event rate, not a lifetime
+    /// average.
+    fn consider_resize(&mut self) {
+        let epoch_pops = std::mem::replace(&mut self.epoch_pops, 0);
+        let elapsed = self.now.seconds() - self.epoch_start.seconds();
+        self.epoch_start = self.now;
+        if epoch_pops < RESIZE_MIN_EPOCH_POPS {
+            return;
+        }
+        let count = self.buckets.len();
+        let mut new_count = count;
+        if self.len >= count.saturating_mul(2) {
+            new_count = self.len.next_power_of_two();
+        } else if self.len * 4 < count && count > 2 {
+            new_count = self.len.max(2).next_power_of_two();
+        }
+        let mut new_delta = self.delta;
+        if elapsed > 0.0 {
+            let observed = elapsed / epoch_pops as f64;
+            if observed < 0.5 * self.delta || observed > 2.0 * self.delta {
+                new_delta = observed.clamp(1e-6, 3600.0);
+            }
+        }
+        if new_count != count || new_delta != self.delta {
+            self.rebuild(new_count, new_delta);
+        }
+    }
+
+    /// Redistributes every pending entry under `new_count` buckets of
+    /// width `new_delta` and restarts the scan at `now`'s window. Safe at
+    /// any point between pops: every pending entry fires at or after
+    /// `now` (pop returns the global minimum and advances the clock to
+    /// it), and `⌊t·(1/δ)⌋` is monotone in `t`, so no entry lands behind
+    /// the restarted scan. Entry `(at, seq)` stamps are untouched, so the
+    /// pop stream is bit-identical to a queue that never resized.
+    fn rebuild(&mut self, new_count: usize, new_delta: f64) {
+        debug_assert!(new_count.is_power_of_two());
+        let mut entries: Vec<Entry> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            entries.append(b);
+        }
+        if new_count != self.buckets.len() {
+            self.buckets.clear();
+            self.buckets.resize(new_count, Vec::new());
+        }
+        self.mask = new_count as u64 - 1;
+        self.delta = new_delta;
+        self.inv_delta = 1.0 / new_delta;
+        self.cur_abs = self.abs_bucket(self.now);
+        for e in entries {
+            let b = (self.abs_bucket(e.at) & self.mask) as usize;
+            self.buckets[b].push(e);
+        }
+        self.resizes += 1;
     }
 }
 

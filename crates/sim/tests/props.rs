@@ -2,8 +2,10 @@
 
 use besync_sim::signal::Signal;
 use besync_sim::stats::{PiecewiseConstant, RunningStats, TimeAverage};
-use besync_sim::{EventQueue, SimTime, Wave};
+use besync_sim::{CalendarQueue, EventQueue, SimTime, Wave};
 use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 proptest! {
     /// The piecewise-constant integral equals a brute-force sum over the
@@ -153,5 +155,119 @@ proptest! {
         }
         let span = now - begin;
         prop_assert!((ta.average(SimTime::new(now)) - reference / span).abs() < 1e-9);
+    }
+}
+
+// The calendar-resize properties run thousands of queue operations per
+// case (several rate-drift phases each, to force multiple rebuilds), so
+// they get a smaller case budget than the cheap kernel properties above.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// A resize-enabled CalendarQueue pops the identical (time, seq, slot)
+    /// stream as a BinaryHeap oracle across random schedule/pop sequences
+    /// whose event rate and population drift by orders of magnitude —
+    /// forcing multiple bucket-array rebuilds along the way.
+    #[test]
+    fn calendar_resize_matches_binary_heap_oracle(
+        phases in prop::collection::vec(
+            // (mean gap scale, target pending population) per phase
+            (0.05f64..20.0, 8usize..512),
+            3..6,
+        ),
+        seed in 0u64..u64::MAX,
+    ) {
+        let slots = 512u32;
+        let mut q = CalendarQueue::new(slots as usize, 0.5);
+        q.set_auto_resize(true);
+        // Oracle: min-heap of (time, seq) with our own seq mirroring the
+        // queue's FIFO-within-instant stamping.
+        let mut oracle: BinaryHeap<Reverse<(SimTime, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut free: Vec<u32> = (0..slots).collect();
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut pops = 0u64;
+        for &(gap_scale, target) in &phases {
+            for _ in 0..4000 {
+                let want_schedule = oracle.len() < target;
+                if want_schedule && !free.is_empty() {
+                    let slot = free.swap_remove((rnd() as usize) % free.len());
+                    // Quantized gaps make same-instant ties common.
+                    let gap = (rnd() % 32) as f64 * 0.125 * gap_scale;
+                    let at = q.now() + gap;
+                    q.schedule(slot, at);
+                    oracle.push(Reverse((at, seq, slot)));
+                    seq += 1;
+                } else if !oracle.is_empty() {
+                    let Reverse((at, _, slot)) = *oracle.peek().unwrap();
+                    // Alternate exact-limit and far-horizon pops.
+                    let limit = if rnd() % 2 == 0 { at } else { SimTime::new(1e15) };
+                    let got = q.pop_at_or_before(limit);
+                    prop_assert_eq!(got, Some((at, slot)));
+                    oracle.pop();
+                    free.push(slot);
+                    pops += 1;
+                }
+            }
+        }
+        // Drain both completely.
+        while let Some(Reverse((at, _, slot))) = oracle.pop() {
+            prop_assert_eq!(q.pop_at_or_before(SimTime::new(1e15)), Some((at, slot)));
+        }
+        prop_assert!(q.is_empty());
+        prop_assert!(pops > 1000);
+        prop_assert!(
+            q.resizes() > 0,
+            "rate/population drift across {} phases never triggered a resize",
+            phases.len(),
+        );
+    }
+
+    /// Resize-enabled and fixed-width queues pop bit-identical
+    /// (time, slot) streams for the same schedule sequence, clocks in
+    /// lockstep — the goldens' bit-identity guarantee, distilled.
+    #[test]
+    fn calendar_resize_bit_identical_to_fixed(
+        gap_scales in prop::collection::vec(0.01f64..50.0, 2..5),
+        seed in 0u64..u64::MAX,
+    ) {
+        let slots = 256usize;
+        let mut resizing = CalendarQueue::new(slots, 1.0);
+        resizing.set_auto_resize(true);
+        let mut fixed = CalendarQueue::new(slots, 1.0);
+        fixed.set_auto_resize(false);
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for slot in 0..slots as u32 {
+            let at = SimTime::new((rnd() % 64) as f64 * 0.25);
+            resizing.schedule(slot, at);
+            fixed.schedule(slot, at);
+        }
+        let horizon = SimTime::new(1e15);
+        for &scale in &gap_scales {
+            for _ in 0..3000 {
+                let a = resizing.pop_at_or_before(horizon).unwrap();
+                let b = fixed.pop_at_or_before(horizon).unwrap();
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(resizing.now(), fixed.now());
+                let next = a.0 + (rnd() % 16) as f64 * 0.25 * scale;
+                resizing.schedule(a.1, next);
+                fixed.schedule(a.1, next);
+            }
+        }
+        prop_assert_eq!(resizing.len(), fixed.len());
+        prop_assert!(resizing.resizes() > 0, "gap drift never triggered a resize");
+        prop_assert_eq!(fixed.resizes(), 0);
     }
 }

@@ -103,6 +103,12 @@ impl Default for PoissonWorkloadOptions {
     }
 }
 
+/// Objects per chunk of the streaming §6 build: large enough to
+/// amortize the loop bookkeeping, small enough that one chunk's rates,
+/// updaters, and weights (a few MB) are all cache-warm while being
+/// written.
+const BUILD_CHUNK: usize = 65_536;
+
 /// §6.1/§6.2 workload: Poisson update rates drawn uniformly, random
 /// (optionally sine-fluctuating) weights, unit random-walk values.
 ///
@@ -110,43 +116,58 @@ impl Default for PoissonWorkloadOptions {
 /// closure protocol: at the ≥100k-object scale the bench `huge` scenario
 /// runs, the intermediate rate/weight vectors plus the per-object
 /// closure dispatch and bounds checks were a measurable fraction of
-/// construction time. The RNG draw order per stream is unchanged, so
-/// the produced spec is bit-identical to the closure-based construction.
+/// construction time.
+///
+/// Construction is *streaming*: the destination vectors are reserved
+/// exactly once at full size and then filled in [`BUILD_CHUNK`]-object
+/// chunks, rates and weights together per chunk. At the 1M-object `mega`
+/// scale this keeps the pages being written plus both RNG states hot
+/// instead of making two full cold passes over ~100 MB of spec, and the
+/// working set beyond the (inherent) destination vectors stays O(chunk).
+/// Bit-identity is preserved by construction: rates come from the
+/// `PARAMS` stream and weights from the independent `WEIGHTS` stream, so
+/// drawing them chunk-interleaved leaves each stream's draw *order*
+/// untouched — every object gets exactly the values the two-pass build
+/// produced.
 pub fn random_walk_poisson(opts: PoissonWorkloadOptions, seed: u64) -> WorkloadSpec {
     let layout = ObjectLayout::new(opts.sources, opts.objects_per_source);
     let total = layout.total_objects() as usize;
     let mut params = rng::stream_rng(seed, streams::PARAMS);
+    let mut wrng = rng::stream_rng(seed, streams::WEIGHTS);
     let (rlo, rhi) = opts.rate_range;
     assert!(rlo > 0.0 && rhi >= rlo, "bad rate range");
-    let mut rates = Vec::with_capacity(total);
-    let mut updaters = Vec::with_capacity(total);
-    for _ in 0..total {
-        let rate = params.gen_range(rlo..=rhi);
-        rates.push(rate);
-        updaters.push(Updater::Stochastic {
-            process: UpdateProcess::Poisson { rate },
-            walk: RandomWalk::unit(),
-            gaps: GapBuffer::new(),
-        });
-    }
-
-    let mut wrng = rng::stream_rng(seed, streams::WEIGHTS);
     let (wlo, whi) = opts.weight_range;
     assert!(wlo >= 0.0 && whi >= wlo, "bad weight range");
+    let mut rates = Vec::with_capacity(total);
+    let mut updaters = Vec::with_capacity(total);
     let mut weights = Vec::with_capacity(total);
-    for _ in 0..total {
-        let base = wrng.gen_range(wlo..=whi);
-        weights.push(if opts.fluctuating_weights {
-            let amplitude = wrng.gen_range(0.0..0.9);
-            let period = wrng.gen_range(100.0..2000.0);
-            let phase = wrng.gen_range(0.0..std::f64::consts::TAU);
-            WeightProfile::new(
-                Wave::with_period(base, amplitude, period, phase),
-                Wave::Constant(1.0),
-            )
-        } else {
-            WeightProfile::constant(base)
-        });
+    let mut remaining = total;
+    while remaining > 0 {
+        let chunk = remaining.min(BUILD_CHUNK);
+        for _ in 0..chunk {
+            let rate = params.gen_range(rlo..=rhi);
+            rates.push(rate);
+            updaters.push(Updater::Stochastic {
+                process: UpdateProcess::Poisson { rate },
+                walk: RandomWalk::unit(),
+                gaps: GapBuffer::new(),
+            });
+        }
+        for _ in 0..chunk {
+            let base = wrng.gen_range(wlo..=whi);
+            weights.push(if opts.fluctuating_weights {
+                let amplitude = wrng.gen_range(0.0..0.9);
+                let period = wrng.gen_range(100.0..2000.0);
+                let phase = wrng.gen_range(0.0..std::f64::consts::TAU);
+                WeightProfile::new(
+                    Wave::with_period(base, amplitude, period, phase),
+                    Wave::Constant(1.0),
+                )
+            } else {
+                WeightProfile::constant(base)
+            });
+        }
+        remaining -= chunk;
     }
 
     WorkloadSpec {
