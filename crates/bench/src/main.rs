@@ -683,9 +683,11 @@ usage: besync-bench [--out PATH] [--compare PATH] [--tolerance F]
   --list           print scenario names with descriptions and exit
   --fault-sweep    print a divergence-vs-loss-rate table over the `medium`
                    regime: cooperative scheduling with degrade-to-stale vs
-                   retransmit recovery, the CGM-2 poller, and the omniscient
-                   ideal, all under the same seeded refresh-loss lane
-                   (honours --quick; ignores the measurement flags)
+                   blind retransmit vs fault-aware retransmit (delivery-ack
+                   loss estimator scaling the quotes), the CGM-2 poller, and
+                   the omniscient ideal, all under the same seeded
+                   refresh-loss lane (honours --quick; ignores the
+                   measurement flags)
 
 verification: the `verify` subcommand unifies the repo's two acceptance
 tiers under one flag surface. `verify --accept bits` replays the suite and
@@ -719,7 +721,8 @@ usage: besync-bench verify [--accept bits|stats] [--baseline PATH]
   --baseline PATH  bits: bench JSON baseline; repeatable, all are checked.
                    stats: the moments file (default STATS_baseline.txt)
   --scenarios L    stats: comma-separated scenario names (default: the four
-                   medium scheduler scenarios + lossy_medium,outage_medium)
+                   medium scheduler scenarios + the four fault regimes
+                   lossy/outage/lossy_aware/competitive_lossy)
   --seeds N        stats: derived seeds per scenario (default 32)
   --tier T         stats: acceptance tier — strict (z<=3, refactors),
                    standard (z<=4, numerics changes; default), loose (z<=6,
@@ -774,18 +777,22 @@ fn run_table(selected: &[ScenarioSpec], repeats: usize) -> Vec<ScenarioResult> {
 
 /// `--fault-sweep`: the headline unreliable-world comparison. Sweeps
 /// refresh-loss probability over the `medium` regime and prints mean
-/// divergence for four schedulers under the *same* seeded loss lane:
-/// coop with degrade-to-stale, coop with retransmit (3 s deadline),
-/// the CGM-2 poller (loses poll responses), and the omniscient ideal
-/// (loses refreshes it believes it delivered). The spread between the
-/// coop columns is what the recovery policy buys; the gap to ideal is
+/// divergence for five schedulers under the *same* seeded loss lane:
+/// coop with degrade-to-stale, coop with blind retransmit (3 s
+/// deadline), coop with fault-aware retransmit (same deadline, plus the
+/// delivery-ack loss estimator scaling every quote), the CGM-2 poller
+/// (loses poll responses), and the omniscient ideal (loses refreshes it
+/// believes it delivered). The spread between the coop columns is what
+/// the recovery policy buys; aware vs blind retransmit is what pricing
+/// bandwidth by delivery probability buys on top; the gap to ideal is
 /// what loss costs a scheduler that cannot observe it.
 fn fault_sweep(quick: bool) -> std::process::ExitCode {
     let base = by_name("medium").expect("medium scenario registered");
     let base = if quick { base.quick() } else { base };
-    let systems: [(&str, SystemKind); 4] = [
+    let systems: [(&str, SystemKind); 5] = [
         ("coop/degrade", SystemKind::Coop),
         ("coop/retransmit", SystemKind::Coop),
+        ("coop/aware", SystemKind::Coop),
         ("cgm2", SystemKind::parse("cgm2").expect("cgm2 kind")),
         ("ideal", SystemKind::Ideal),
     ];
@@ -795,25 +802,27 @@ fn fault_sweep(quick: bool) -> std::process::ExitCode {
         base.total_objects()
     );
     println!(
-        "{:>5} {:>15} {:>15} {:>15} {:>15} {:>8} {:>8}",
-        "loss", "coop/degrade", "coop/retransmit", "cgm2", "ideal", "lost", "retx"
+        "{:>5} {:>14} {:>14} {:>14} {:>14} {:>14} {:>8} {:>8}",
+        "loss", "coop/degrade", "coop/retx", "coop/aware", "cgm2", "ideal", "lost", "retx"
     );
     for &loss in &[0.0f64, 0.05, 0.1, 0.2, 0.3, 0.4] {
-        let mut row: Vec<f64> = Vec::with_capacity(4);
+        let mut row: Vec<f64> = Vec::with_capacity(5);
         let mut lost = 0u64;
         let mut retx = 0u64;
         for (label, system) in &systems {
             let mut spec = base.clone();
             spec.system = *system;
+            let retransmit = matches!(*label, "coop/retransmit" | "coop/aware");
             // loss == 0 runs the fault-free path (`None`), so the first
             // row doubles as the clean yardstick for every column.
             spec.fault = (loss > 0.0).then(|| FaultProfile {
                 loss_prob: loss,
-                recovery: if *label == "coop/retransmit" {
+                recovery: if retransmit {
                     RecoveryPolicy::Retransmit { deadline: 3.0 }
                 } else {
                     RecoveryPolicy::DegradeStale
                 },
+                aware: *label == "coop/aware",
                 ..FaultProfile::default()
             });
             let report = spec.run();
@@ -821,13 +830,13 @@ fn fault_sweep(quick: bool) -> std::process::ExitCode {
             if *label == "coop/degrade" {
                 lost = report.faults.lost_refreshes;
             }
-            if *label == "coop/retransmit" {
+            if *label == "coop/aware" {
                 retx = report.faults.retransmits;
             }
         }
         println!(
-            "{:>5.2} {:>15.6} {:>15.6} {:>15.6} {:>15.6} {:>8} {:>8}",
-            loss, row[0], row[1], row[2], row[3], lost, retx
+            "{:>5.2} {:>14.6} {:>14.6} {:>14.6} {:>14.6} {:>14.6} {:>8} {:>8}",
+            loss, row[0], row[1], row[2], row[3], row[4], lost, retx
         );
     }
     std::process::ExitCode::SUCCESS
@@ -1079,9 +1088,10 @@ fn main() -> std::process::ExitCode {
 /// Default scenario set for `verify --accept stats`: the headline coop
 /// scenario plus one per figure-regeneration scheduler (so the gate
 /// covers every system kind the optimizations touch) plus the medium
-/// fault regimes (so it also covers the loss and outage physics).
-const STATS_SCENARIOS: &str =
-    "medium,ideal_medium,cgm1_medium,cgm2_medium,lossy_medium,outage_medium";
+/// fault regimes (so it also covers the loss and outage physics, the
+/// fault-aware estimator, and lossy competitive splits).
+const STATS_SCENARIOS: &str = "medium,ideal_medium,cgm1_medium,cgm2_medium,\
+     lossy_medium,outage_medium,lossy_aware_medium,competitive_lossy";
 
 /// Default stats baseline path, repo-root-relative (like BENCH_*.json).
 const STATS_BASELINE: &str = "STATS_baseline.txt";

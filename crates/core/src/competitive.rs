@@ -30,7 +30,7 @@ use rand::rngs::SmallRng;
 use crate::cache::partition::{BandwidthPartition, PiggybackCredit, SharePolicy};
 use crate::cache::CacheRuntime;
 use crate::config::SystemConfig;
-use crate::fault::FaultSummary;
+use crate::fault::{FaultSummary, LossLane, RecoveryPolicy};
 use crate::heap::IndexedMaxHeap;
 use crate::priority::PolicyKind;
 use crate::report::RunReport;
@@ -113,6 +113,12 @@ pub struct CompetitiveSystem {
     updates_processed: u64,
     deliveries_this_tick: u64,
     delivery_rate_ewma: f64,
+    /// Counter-hashed per-delivery loss decisions, present when the base
+    /// config carries a fault profile. The §7 harness supports the loss
+    /// class only (no outage/crash episodes, no retransmit queue):
+    /// losses degrade to stale and the accounting reports them honestly.
+    loss: Option<LossLane>,
+    fault_stats: FaultSummary,
 }
 
 impl CompetitiveSystem {
@@ -209,6 +215,24 @@ impl CompetitiveSystem {
             base.sim_seed,
         );
 
+        // The §7 harness supports loss faults only: outage and crash
+        // episodes would need the CoopSystem's extra queue slots, and a
+        // retransmit queue doesn't exist here, so reject profiles this
+        // harness would silently mis-simulate. With `fault: None` no
+        // lane exists and the trajectory is bit-identical to before.
+        let loss = base.fault.map(|profile| {
+            profile.validate().expect("invalid fault profile");
+            assert!(
+                profile.outage_rate == 0.0 && profile.crash_rate == 0.0,
+                "competitive harness supports loss faults only"
+            );
+            assert!(
+                matches!(profile.recovery, RecoveryPolicy::DegradeStale),
+                "competitive harness supports degrade-to-stale loss recovery only"
+            );
+            LossLane::new(base.sim_seed, 0, profile.loss_prob)
+        });
+
         CompetitiveSystem {
             cfg: base,
             partition: cfg.partition,
@@ -235,6 +259,8 @@ impl CompetitiveSystem {
             updates_processed: 0,
             deliveries_this_tick: 0,
             delivery_rate_ewma: 0.0,
+            loss,
+            fault_stats: FaultSummary::default(),
         }
     }
 
@@ -272,7 +298,7 @@ impl CompetitiveSystem {
             mean_queue_wait: link_stats.total_wait / (link_stats.delivered.max(1) as f64),
             threshold_stats,
             updates_processed: self.updates_processed,
-            faults: FaultSummary::default(),
+            faults: self.fault_stats,
         }
     }
 
@@ -461,6 +487,25 @@ impl CompetitiveSystem {
     }
 
     fn deliver(&mut self, now: SimTime, msg: RefreshMsg) {
+        if let Some(lane) = &mut self.loss {
+            if lane.draw() {
+                // Degrade-to-stale: the send spent its bandwidth, the
+                // cache silently keeps serving the old value.
+                self.fault_stats.lost_refreshes += 1;
+                return;
+            }
+        }
+        // Recency guard, mirroring `CoopSystem::deliver`. Without a
+        // retransmit queue deliveries stay FIFO with strictly increasing
+        // update counts per object, so this cannot fire today; it is the
+        // invariant the stale-overwrite bugfix established, kept uniform
+        // across harnesses.
+        if msg.snapshot.updates <= self.cache_truth.truth(msg.obj).cached_updates {
+            self.fault_stats.stale_drops += 1;
+            self.refreshes_delivered += 1;
+            self.deliveries_this_tick += 1;
+            return;
+        }
         self.cache_truth
             .apply_refresh(now, msg.obj, msg.snapshot.value, msg.snapshot.updates);
         self.source_truth
@@ -589,6 +634,78 @@ mod tests {
         assert!(rr.updates_processed > 0);
         assert!(rr.refreshes_delivered > 0 && rr.refreshes_delivered <= rr.refreshes_sent);
         assert_eq!(rr.polls_sent, 0);
+    }
+
+    #[test]
+    fn loss_degrades_the_competitive_objectives_and_is_accounted() {
+        use crate::fault::FaultProfile;
+        let build = |fault: Option<FaultProfile>| {
+            let (spec, source_weights) = conflicted();
+            CompetitiveSystem::new(
+                CompetitiveConfig {
+                    base: SystemConfig {
+                        fault,
+                        ..base_cfg()
+                    },
+                    source_weights,
+                    partition: BandwidthPartition::new(0.4, SharePolicy::ProportionalToValue),
+                },
+                spec,
+            )
+        };
+        let clean = build(None).run_report();
+        assert!(!clean.faults.any());
+        let lossy = build(Some(FaultProfile {
+            loss_prob: 0.3,
+            ..FaultProfile::default()
+        }))
+        .run_report();
+        assert!(lossy.faults.lost_refreshes > 0);
+        assert_eq!(lossy.faults.retransmits, 0);
+        assert!(
+            lossy.refreshes_delivered + lossy.faults.lost_refreshes <= lossy.refreshes_sent,
+            "delivered {} + lost {} > sent {}",
+            lossy.refreshes_delivered,
+            lossy.faults.lost_refreshes,
+            lossy.refreshes_sent
+        );
+        assert!(
+            lossy.mean_divergence() > clean.mean_divergence(),
+            "loss {} vs clean {}",
+            lossy.mean_divergence(),
+            clean.mean_divergence()
+        );
+        // A zero-intensity profile must match `None` exactly: the lane
+        // draws change no delivery outcome at prob 0.
+        let gated = build(Some(FaultProfile::default())).run_report();
+        assert_eq!(
+            clean.mean_divergence().to_bits(),
+            gated.mean_divergence().to_bits()
+        );
+        assert_eq!(clean.refreshes_sent, gated.refreshes_sent);
+        assert!(!gated.faults.any());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss faults only")]
+    fn competitive_rejects_outage_profiles() {
+        use crate::fault::FaultProfile;
+        let (spec, source_weights) = conflicted();
+        let _ = CompetitiveSystem::new(
+            CompetitiveConfig {
+                base: SystemConfig {
+                    fault: Some(FaultProfile {
+                        outage_rate: 0.1,
+                        outage_duration: 5.0,
+                        ..FaultProfile::default()
+                    }),
+                    ..base_cfg()
+                },
+                source_weights,
+                partition: BandwidthPartition::new(0.4, SharePolicy::ProportionalToValue),
+            },
+            spec,
+        );
     }
 
     #[test]

@@ -37,11 +37,12 @@
 
 use besync_sim::rng::{derive_seed, derive_seed2, splitmix64, streams};
 
-/// Lane labels under [`streams::FAULTS`], so the three fault classes
-/// never share hash inputs.
+/// Lane labels under [`streams::FAULTS`], so the fault classes and the
+/// fault-aware estimator never share hash inputs.
 const LOSS_LANE: u64 = 1;
 const OUTAGE_LANE: u64 = 2;
 const CRASH_LANE: u64 = 3;
+const ESTIMATOR_LANE: u64 = 4;
 
 /// How the system recovers from (or lives with) delivery failures.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,6 +95,13 @@ pub struct FaultProfile {
     pub crash_downtime: f64,
     /// The recovery policy in force.
     pub recovery: RecoveryPolicy,
+    /// Fault-aware scheduling: the cache piggybacks per-source delivery
+    /// acks on the §5 feedback channel, each source runs a
+    /// [`DeliveryEstimator`], quoted priorities are scaled by estimated
+    /// delivery probability, superseded retries are purged, and an
+    /// outage resume re-prioritizes the held queue through the §8
+    /// ordering instead of FIFO-draining it.
+    pub aware: bool,
 }
 
 impl Default for FaultProfile {
@@ -106,6 +114,7 @@ impl Default for FaultProfile {
             crash_rate: 0.0,
             crash_downtime: 0.0,
             recovery: RecoveryPolicy::DegradeStale,
+            aware: false,
         }
     }
 }
@@ -175,6 +184,84 @@ impl LossLane {
         let u = u01(splitmix64(self.seed ^ self.count));
         self.count += 1;
         u < self.prob
+    }
+}
+
+/// A source-side delivery-probability estimator fed by the cache's
+/// cumulative per-source delivery acks (piggybacked on §5 feedback).
+///
+/// Each ack carries the cache's cumulative delivered count; the source
+/// compares the delta against its own cumulative send count over the
+/// same window and folds the delivered ratio into an EWMA. Estimates
+/// are pure functions of the two counter sequences — no wall-clock, no
+/// consumed RNG — so they are interleaving-independent like every other
+/// fault lane. A small counter-hashed optimism probe (lane
+/// `ESTIMATOR_LANE`, per-source seed) occasionally blends the estimate
+/// back toward 1.0 so a source that was unlucky early cannot lock its
+/// objects out of the schedule forever.
+#[derive(Debug, Clone)]
+pub struct DeliveryEstimator {
+    seed: u64,
+    samples: u64,
+    acked_last: u64,
+    sent_last: u64,
+    estimate: f64,
+}
+
+impl DeliveryEstimator {
+    /// Lower clamp on the estimate: a priority scaled by the floor is
+    /// still nonzero, so accumulated divergence eventually wins the
+    /// uplink back even on a terrible link.
+    pub const FLOOR: f64 = 0.05;
+    /// EWMA gain per ack window.
+    const GAMMA: f64 = 0.3;
+    /// Optimism probe: probability per sample of blending toward 1.0.
+    const PROBE_PROB: f64 = 1.0 / 32.0;
+    /// Blend fraction applied when the probe fires.
+    const PROBE_BLEND: f64 = 0.25;
+
+    /// Builds source `source`'s estimator for a run. Starts optimistic
+    /// (estimate 1.0), which keeps the pre-first-ack schedule identical
+    /// to the unaware one.
+    pub fn new(sim_seed: u64, source: u32) -> Self {
+        let lane = derive_seed2(sim_seed, streams::FAULTS, ESTIMATOR_LANE);
+        DeliveryEstimator {
+            seed: derive_seed(lane, source as u64),
+            samples: 0,
+            acked_last: 0,
+            sent_last: 0,
+            estimate: 1.0,
+        }
+    }
+
+    /// Folds one ack into the estimate. `cum_acked` is the cache's
+    /// cumulative delivered count for this source; `cum_sent` is the
+    /// source's own cumulative send count. Windows with no sends carry
+    /// no signal and leave the estimate untouched.
+    pub fn on_ack(&mut self, cum_acked: u64, cum_sent: u64) {
+        let acked = cum_acked.saturating_sub(self.acked_last);
+        let sent = cum_sent.saturating_sub(self.sent_last);
+        self.acked_last = cum_acked;
+        self.sent_last = cum_sent;
+        if sent == 0 {
+            return;
+        }
+        // In-flight messages can make a window's ratio dip below the
+        // true delivery rate (sent counted, ack not yet observed) or a
+        // later window exceed 1; the clamp and the EWMA absorb both.
+        let ratio = (acked as f64 / sent as f64).clamp(0.0, 1.0);
+        self.estimate = (1.0 - Self::GAMMA) * self.estimate + Self::GAMMA * ratio;
+        if u01(splitmix64(self.seed ^ self.samples)) < Self::PROBE_PROB {
+            self.estimate += Self::PROBE_BLEND * (1.0 - self.estimate);
+        }
+        self.samples += 1;
+        self.estimate = self.estimate.clamp(Self::FLOOR, 1.0);
+    }
+
+    /// Current delivery-probability estimate, in `[FLOOR, 1]`.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.estimate
     }
 }
 
@@ -270,6 +357,15 @@ pub struct FaultSummary {
     /// Divergence integral accrued during outage/downtime epochs
     /// (weighted like the run's objective).
     pub epoch_divergence: f64,
+    /// Deliveries dropped by the recency guard: a retransmitted (or
+    /// otherwise delayed) refresh arrived after a newer refresh for the
+    /// same object and would have overwritten fresher cached data.
+    pub stale_drops: u64,
+    /// Queued retries purged before transmission because a newer
+    /// snapshot already reached the cache (always) or the source has
+    /// since updated the object (fault-aware runs), so sending them
+    /// would burn link credit for zero divergence reduction.
+    pub superseded_retries: u64,
 }
 
 impl FaultSummary {
@@ -282,6 +378,8 @@ impl FaultSummary {
             || self.crashes != 0
             || self.missed_updates != 0
             || self.resync_quotes != 0
+            || self.stale_drops != 0
+            || self.superseded_retries != 0
             || self.outage_seconds != 0.0
             || self.down_seconds != 0.0
             || self.epoch_divergence != 0.0
@@ -418,6 +516,57 @@ mod tests {
         assert!(EpisodeSchedule::crashes(1, 0, &profile)
             .next_episode()
             .is_none());
+    }
+
+    #[test]
+    fn estimator_replays_bit_identically_and_tracks_loss() {
+        let mut a = DeliveryEstimator::new(42, 3);
+        let mut b = DeliveryEstimator::new(42, 3);
+        let mut sent = 0u64;
+        let mut acked = 0u64;
+        for k in 0..500u64 {
+            sent += 1 + k % 3;
+            // Roughly 70% of the window's sends arrive.
+            acked += ((1 + k % 3) * 7) / 10;
+            a.on_ack(acked, sent);
+            b.on_ack(acked, sent);
+            assert_eq!(a.value().to_bits(), b.value().to_bits());
+        }
+        // Long-run estimate sits near the delivered fraction.
+        let frac = acked as f64 / sent as f64;
+        assert!(
+            (a.value() - frac).abs() < 0.25,
+            "estimate {} vs delivered fraction {frac}",
+            a.value()
+        );
+        // Per-source lanes differ.
+        let mut c = DeliveryEstimator::new(42, 4);
+        c.on_ack(acked, sent);
+        assert!(c.value().to_bits() != a.value().to_bits());
+    }
+
+    #[test]
+    fn estimator_stays_optimistic_without_signal_and_clamps() {
+        let mut e = DeliveryEstimator::new(7, 0);
+        assert_eq!(e.value(), 1.0);
+        // Ack windows with zero sends carry no signal.
+        e.on_ack(0, 0);
+        e.on_ack(0, 0);
+        assert_eq!(e.value(), 1.0);
+        // A dead link converges to the floor, never below.
+        let mut sent = 0;
+        for _ in 0..200 {
+            sent += 5;
+            e.on_ack(0, sent);
+        }
+        assert!(e.value() >= DeliveryEstimator::FLOOR);
+        assert!(e.value() <= 0.4, "dead link estimate {}", e.value());
+        // A perfect link recovers toward 1.
+        for _ in 0..200 {
+            sent += 5;
+            e.on_ack(sent, sent);
+        }
+        assert!(e.value() > 0.95, "recovered estimate {}", e.value());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use besync_data::{Metric, ObjectId, SourceId, WeightProfile, WeightSet};
 use besync_net::Link;
 use besync_sim::SimTime;
 
+use crate::fault::DeliveryEstimator;
 use crate::heap::IndexedMaxHeap;
 use crate::priority::{
     compute_priority, AreaTracker, BoundTracker, PolicyKind, PriorityInputs, RateEstimator,
@@ -115,6 +116,10 @@ pub struct SourceRuntime {
     policy: PolicyKind,
     estimator: RateEstimator,
     start: SimTime,
+    /// Fault-aware delivery-probability estimator, fed by the cache's
+    /// piggybacked acks. `None` (the default) leaves the priority path
+    /// bit-identical to the unaware system.
+    delivery: Option<DeliveryEstimator>,
 }
 
 impl SourceRuntime {
@@ -167,6 +172,31 @@ impl SourceRuntime {
             policy,
             estimator,
             start: t0,
+            delivery: None,
+        }
+    }
+
+    /// Turns on the fault-aware delivery estimator (expected-value
+    /// priority pricing). Called by the system when the fault profile
+    /// has `aware` set; the estimator starts at 1.0 so quotes are
+    /// unchanged until the first ack carries real signal.
+    pub fn enable_delivery_estimator(&mut self, sim_seed: u64) {
+        self.delivery = Some(DeliveryEstimator::new(sim_seed, self.id.0));
+    }
+
+    /// Current delivery-probability estimate (1.0 when the estimator is
+    /// disabled). Exposed for tests and diagnostics.
+    pub fn delivery_estimate(&self) -> f64 {
+        self.delivery.as_ref().map_or(1.0, |e| e.value())
+    }
+
+    /// Folds a piggybacked cache ack (the cache's cumulative delivered
+    /// count for this source) into the delivery estimator. No-op when
+    /// the estimator is disabled.
+    pub fn on_delivery_ack(&mut self, cum_acked: u64) {
+        let sent = self.sends;
+        if let Some(est) = &mut self.delivery {
+            est.on_ack(cum_acked, sent);
         }
     }
 
@@ -295,7 +325,15 @@ impl SourceRuntime {
             },
             "lazy priority diverged from compute_priority"
         );
-        p
+        // Fault-aware expected-value pricing: a quote competes for link
+        // bandwidth with the divergence it is *expected* to remove, so
+        // it is scaled by the estimated delivery probability. Applied
+        // after the lock-step assertion — `compute_priority` remains the
+        // oracle for the reliable-link priority.
+        match &self.delivery {
+            Some(est) => p * est.value(),
+            None => p,
+        }
     }
 
     /// Records a local update: the object's value becomes `new_value` at

@@ -74,6 +74,9 @@ struct FaultLayer {
     /// Lost refreshes awaiting link-layer retransmission. The deadline
     /// is constant, so push order is due order.
     retries: VecDeque<(SimTime, RefreshMsg)>,
+    /// Cumulative refreshes delivered per source — the ack counters the
+    /// cache piggybacks on §5 feedback when the profile is fault-aware.
+    delivered_per_source: Vec<u64>,
 }
 
 /// Crash/restart state of one source.
@@ -231,8 +234,21 @@ impl CoopSystem {
                 crash_slot_base: total as u32 + 3,
                 crash,
                 retries: VecDeque::new(),
+                delivered_per_source: vec![0; m as usize],
             }
         });
+        // Fault-aware scheduling: each source prices its quotes by an
+        // estimated delivery probability, fed by the cache's acks. The
+        // estimator starts at 1.0, so priorities are unchanged until the
+        // first ack arrives; without `aware` no estimator exists and the
+        // priority path is bit-identical.
+        if let Some(fl) = &faults {
+            if fl.profile.aware {
+                for s in &mut sources {
+                    s.enable_delivery_estimator(cfg.sim_seed);
+                }
+            }
+        }
         let slots = match &faults {
             None => total + 2,
             Some(_) => total + 3 + m as usize,
@@ -492,6 +508,17 @@ impl CoopSystem {
             }
             let saturated = self.sources[sid].saturated;
             self.sources[sid].threshold.on_feedback(now, saturated);
+            // Fault-aware runs piggyback the cache's cumulative delivery
+            // count for this source on the feedback message; the source
+            // folds it into its loss-rate estimator. Feedback is only
+            // sent when the link queue is empty, so the ack reflects a
+            // settled window rather than in-flight traffic.
+            if let Some(fl) = &self.faults {
+                if fl.profile.aware {
+                    let acked = fl.delivered_per_source[sid];
+                    self.sources[sid].on_delivery_ack(acked);
+                }
+            }
             // The lowered threshold may make objects eligible right away.
             self.attempt_sends(now, sid);
         }
@@ -518,8 +545,14 @@ impl CoopSystem {
 
     /// Re-offers every lost refresh whose retransmit deadline has
     /// passed. Retransmissions pay for cache-link bandwidth like any
-    /// refresh and can themselves be lost again.
+    /// refresh and can themselves be lost again. Retries superseded by
+    /// a newer snapshot are purged before they burn link credit, and
+    /// during an outage window retries wait like any other traffic
+    /// (they were already dropped at outage start under `drops_queue`).
     fn process_retries(&mut self, now: SimTime) {
+        if self.cache_link.is_suspended() {
+            return;
+        }
         loop {
             let msg = {
                 let Some(fl) = self.faults.as_mut() else {
@@ -530,11 +563,35 @@ impl CoopSystem {
                     _ => return,
                 }
             };
+            if self.retry_superseded(&msg) {
+                self.fault_stats.superseded_retries += 1;
+                continue;
+            }
             self.fault_stats.retransmits += 1;
             if let Some(delivered) = self.cache_link.offer(now, msg) {
                 self.deliver_faulty(now, delivered);
             }
         }
+    }
+
+    /// Whether a queued retry is no longer worth sending. Always purged:
+    /// the cache already holds a newer snapshot (a later send got
+    /// through), so delivery would be dropped by the recency guard
+    /// anyway. Fault-aware runs additionally purge retries whose source
+    /// has updated the object since the lost send — the retried snapshot
+    /// no longer matches the source, so under the divergence accounting
+    /// it buys nothing (and the newer state will be quoted on its own).
+    fn retry_superseded(&self, msg: &RefreshMsg) -> bool {
+        if msg.snapshot.updates <= self.truth.truth(msg.obj).cached_updates {
+            return true;
+        }
+        let aware = self.faults.as_ref().is_some_and(|fl| fl.profile.aware);
+        if !aware {
+            return false;
+        }
+        let source = &self.sources[msg.src.index()];
+        let local = source.local(msg.obj);
+        u64::from(source.state(local).updates) > msg.snapshot.updates
     }
 
     /// Handles an outage or crash slot transition.
@@ -567,6 +624,11 @@ impl CoopSystem {
             self.cache_link.suspend(now);
             if fl.profile.outage_drops_queue {
                 self.fault_stats.dropped_in_outage += self.cache_link.drop_queue() as u64;
+                // The drop policy applies to the retry side-queue too —
+                // retries must not ride out an outage that drops fresh
+                // traffic.
+                self.fault_stats.dropped_in_outage += fl.retries.len() as u64;
+                fl.retries.clear();
             }
             fl.outage_epoch_start = self.truth.divergence_integral_range(now, 0, objects);
             self.queue.schedule(fl.outage_slot, SimTime::new(e.end));
@@ -579,7 +641,34 @@ impl CoopSystem {
             if let Some(e) = fl.outage {
                 self.queue.schedule(fl.outage_slot, SimTime::new(e.start));
             }
+            if fl.profile.aware {
+                // Fault-aware resume: merge due retries into the held
+                // backlog, then replay the §8 economics over the whole
+                // queue — highest weighted divergence first — instead of
+                // FIFO-draining a backlog whose order reflects pre-outage
+                // priorities.
+                self.process_retries(now);
+                self.reorder_held_queue(now);
+            }
         }
+    }
+
+    /// Reorders the cache-link backlog by the divergence a delivery
+    /// would resolve (`weight × divergence(snapshot, cached)`), the
+    /// cache-side analogue of the §8 priority a send was quoted under.
+    fn reorder_held_queue(&mut self, now: SimTime) {
+        let truth = &self.truth;
+        let metric = self.cfg.metric;
+        self.cache_link.reorder_queue_by(|msg: &RefreshMsg| {
+            let t = truth.truth(msg.obj);
+            let gain = metric.divergence(
+                msg.snapshot.value,
+                msg.snapshot.updates,
+                t.cached_value,
+                t.cached_updates,
+            );
+            truth.weight_at(msg.obj, now) * gain
+        });
     }
 
     /// Crash start: the sync agent loses its heap and goes silent.
@@ -625,6 +714,23 @@ impl CoopSystem {
     }
 
     fn deliver(&mut self, now: SimTime, msg: RefreshMsg) {
+        if let Some(fl) = &mut self.faults {
+            // Ack accounting: the message transited the link, so it
+            // counts as delivered for the source's loss-rate estimator
+            // even if the recency guard discards it below.
+            fl.delivered_per_source[msg.src.index()] += 1;
+        }
+        // Recency guard: a retransmitted lost refresh that arrives after
+        // a newer refresh for the same object must not overwrite the
+        // fresher cached value. On the fault-free path snapshot update
+        // counts are strictly increasing per object across sends and the
+        // link is FIFO, so this guard can only fire for retransmissions.
+        if msg.snapshot.updates <= self.truth.truth(msg.obj).cached_updates {
+            self.fault_stats.stale_drops += 1;
+            self.refreshes_delivered += 1;
+            self.deliveries_this_tick += 1;
+            return;
+        }
         self.truth
             .apply_refresh(now, msg.obj, msg.snapshot.value, msg.snapshot.updates);
         self.cache.observe_threshold(msg.src, msg.threshold);
@@ -910,6 +1016,139 @@ mod tests {
         assert_eq!(a.mean_divergence().to_bits(), b.mean_divergence().to_bits());
         assert_eq!(a.faults, b.faults);
         assert_eq!(a.refreshes_delivered, b.refreshes_delivered);
+    }
+
+    #[test]
+    fn stale_retransmission_cannot_overwrite_a_newer_refresh() {
+        // Surgical delivery-order pin for the recency guard: a fresher
+        // refresh lands first, then a retransmitted copy of an older
+        // snapshot arrives late and must be discarded.
+        let mut sys = CoopSystem::new(
+            faulty_cfg(FaultProfile {
+                loss_prob: 0.3,
+                recovery: RecoveryPolicy::Retransmit { deadline: 2.0 },
+                ..FaultProfile::default()
+            }),
+            small_spec(17),
+        );
+        let obj = ObjectId(0);
+        let src = sys.layout.source_of(obj);
+        let mk = |value: f64, updates: u64| RefreshMsg {
+            obj,
+            src,
+            snapshot: Snapshot { value, updates },
+            threshold: 1.0,
+        };
+        sys.deliver(SimTime::new(1.0), mk(2.5, 9));
+        assert_eq!(sys.truth.truth(obj).cached_updates, 9);
+        assert_eq!(sys.fault_stats.stale_drops, 0);
+        sys.deliver(SimTime::new(1.5), mk(-4.0, 6));
+        let t = sys.truth.truth(obj);
+        assert_eq!(
+            t.cached_updates, 9,
+            "stale retransmission overwrote the newer refresh"
+        );
+        assert_eq!(t.cached_value, 2.5);
+        assert_eq!(sys.fault_stats.stale_drops, 1);
+        // An equal-count duplicate is stale too (<=, not <).
+        sys.deliver(SimTime::new(2.0), mk(2.5, 9));
+        assert_eq!(sys.fault_stats.stale_drops, 2);
+        // Every arrival transited the link: all three count as delivered
+        // and feed the per-source ack counter.
+        assert_eq!(sys.refreshes_delivered, 3);
+        let fl = sys.faults.as_ref().expect("fault layer present");
+        assert_eq!(fl.delivered_per_source[src.index()], 3);
+    }
+
+    #[test]
+    fn retries_hold_during_outages_and_superseded_retries_are_purged() {
+        let mut sys = CoopSystem::new(
+            faulty_cfg(FaultProfile {
+                loss_prob: 0.3,
+                recovery: RecoveryPolicy::Retransmit { deadline: 1.0 },
+                ..FaultProfile::default()
+            }),
+            small_spec(18),
+        );
+        let obj = ObjectId(0);
+        let src = sys.layout.source_of(obj);
+        let mk = |value: f64, updates: u64| RefreshMsg {
+            obj,
+            src,
+            snapshot: Snapshot { value, updates },
+            threshold: 1.0,
+        };
+        // Two due retries: one that will be superseded, one still fresh.
+        {
+            let fl = sys.faults.as_mut().expect("fault layer present");
+            fl.retries.push_back((SimTime::new(1.0), mk(1.0, 3)));
+            fl.retries.push_back((SimTime::new(1.0), mk(2.0, 8)));
+        }
+        // While the link is suspended, retries must not burn credit.
+        sys.cache_link.suspend(SimTime::new(2.0));
+        sys.process_retries(SimTime::new(2.0));
+        assert_eq!(sys.faults.as_ref().unwrap().retries.len(), 2);
+        assert_eq!(sys.fault_stats.retransmits, 0);
+        // A newer refresh (updates=5) supersedes the first retry only.
+        sys.cache_link.resume(SimTime::new(3.0));
+        sys.deliver(SimTime::new(3.0), mk(5.0, 5));
+        sys.process_retries(SimTime::new(3.0));
+        assert_eq!(sys.fault_stats.superseded_retries, 1);
+        assert_eq!(sys.fault_stats.retransmits, 1);
+        // The surviving retry was re-offered; the loss lane may lose the
+        // retransmission itself, in which case it re-queues with a fresh
+        // deadline — either way the original entries are gone.
+        let fl = sys.faults.as_ref().expect("fault layer present");
+        assert!(fl.retries.len() <= 1);
+        if let Some((due, m)) = fl.retries.front() {
+            assert_eq!(m.snapshot.updates, 8);
+            assert_eq!(*due, SimTime::new(4.0));
+            assert_eq!(sys.fault_stats.lost_refreshes, 1);
+        }
+    }
+
+    #[test]
+    fn aware_runs_differ_under_loss_but_match_without_faults() {
+        let lossy = FaultProfile {
+            loss_prob: 0.3,
+            recovery: RecoveryPolicy::Retransmit { deadline: 2.0 },
+            ..FaultProfile::default()
+        };
+        let blind = CoopSystem::new(faulty_cfg(lossy), small_spec(19)).run();
+        let aware = CoopSystem::new(
+            faulty_cfg(FaultProfile {
+                aware: true,
+                ..lossy
+            }),
+            small_spec(19),
+        )
+        .run();
+        // Same loss lane, but the estimator reprices every quote — the
+        // schedules must actually diverge for the tentpole to mean
+        // anything.
+        assert_ne!(
+            blind.mean_divergence().to_bits(),
+            aware.mean_divergence().to_bits()
+        );
+        assert!(aware.refreshes_sent > 0);
+        // A zero-intensity aware profile never sees a lost refresh, so
+        // every ack ratio is 1.0 and the estimator multiplies quotes by
+        // exactly 1.0: bit-identical to the plain run.
+        let plain = CoopSystem::new(quick_cfg(), small_spec(19)).run();
+        let idle = CoopSystem::new(
+            faulty_cfg(FaultProfile {
+                aware: true,
+                ..FaultProfile::default()
+            }),
+            small_spec(19),
+        )
+        .run();
+        assert_eq!(
+            plain.mean_divergence().to_bits(),
+            idle.mean_divergence().to_bits()
+        );
+        assert_eq!(plain.refreshes_sent, idle.refreshes_sent);
+        assert!(!idle.faults.any());
     }
 
     #[test]

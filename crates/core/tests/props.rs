@@ -373,6 +373,55 @@ mod fault_schedules {
             }
         }
 
+        /// Same (seed, source) ⇒ the delivery estimator folds the same
+        /// ack windows into bit-identical estimates, and the estimate
+        /// always stays inside [FLOOR, 1].
+        #[test]
+        fn delivery_estimator_replays_bit_identically_and_stays_bounded(
+            seed in 0u64..=u64::MAX,
+            source in 0u32..512,
+            windows in prop::collection::vec((0u64..20, 0u64..20), 1..128),
+        ) {
+            let mut a = besync::fault::DeliveryEstimator::new(seed, source);
+            let mut b = besync::fault::DeliveryEstimator::new(seed, source);
+            let mut sent = 0u64;
+            let mut acked = 0u64;
+            for (ds, da) in &windows {
+                sent += ds;
+                acked += da.min(ds);
+                a.on_ack(acked, sent);
+                b.on_ack(acked, sent);
+                prop_assert_eq!(a.value().to_bits(), b.value().to_bits());
+                prop_assert!(a.value() >= besync::fault::DeliveryEstimator::FLOOR);
+                prop_assert!(a.value() <= 1.0);
+            }
+        }
+
+        /// Feeding cumulative counters in one shot or split across extra
+        /// zero-delta acks reaches the same windowed deltas: the
+        /// estimator is a function of the ack *sequence*, not of how
+        /// often the cache happened to repeat an unchanged counter.
+        #[test]
+        fn delivery_estimator_ignores_zero_send_windows(
+            seed in 0u64..=u64::MAX,
+            source in 0u32..512,
+            windows in prop::collection::vec((1u64..20, 0u64..20), 1..64),
+        ) {
+            let mut plain = besync::fault::DeliveryEstimator::new(seed, source);
+            let mut chatty = besync::fault::DeliveryEstimator::new(seed, source);
+            let mut sent = 0u64;
+            let mut acked = 0u64;
+            for (ds, da) in &windows {
+                sent += ds;
+                acked += da.min(ds);
+                plain.on_ack(acked, sent);
+                chatty.on_ack(acked, sent);
+                // A repeated ack with no new sends must be a no-op.
+                chatty.on_ack(acked, sent);
+                prop_assert_eq!(plain.value().to_bits(), chatty.value().to_bits());
+            }
+        }
+
         /// Per-source crash lanes are independent streams: bit-identical
         /// on replay, and distinct sources get distinct schedules.
         #[test]

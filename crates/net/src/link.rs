@@ -199,6 +199,17 @@ impl<M> Link<M> {
         }
     }
 
+    /// Reorders the waiting queue by `key`, highest first (stable: equal
+    /// keys keep FIFO order). Enqueue times travel with their messages,
+    /// so waiting-time accounting is unaffected. Used by the fault-aware
+    /// outage-resume policy to re-prioritize a held backlog instead of
+    /// FIFO-draining it.
+    pub fn reorder_queue_by(&mut self, mut key: impl FnMut(&M) -> f64) {
+        self.queue
+            .make_contiguous()
+            .sort_by(|a, b| key(&b.1).total_cmp(&key(&a.1)));
+    }
+
     /// Number of messages waiting.
     pub fn queue_len(&self) -> usize {
         self.queue.len()
@@ -387,6 +398,24 @@ mod tests {
         assert_eq!(l.queue_len(), 0);
         assert_eq!(l.stats().dropped, 2);
         assert_eq!(l.drop_queue(), 0);
+    }
+
+    #[test]
+    fn reorder_queue_is_stable_and_keeps_wait_accounting() {
+        let mut l = constant_link(2.0); // burst cap 4: all four drain at once
+        let _ = l.offer(t(0.0), 10); // cut-through blocked: no credit at t=0
+        let _ = l.offer(t(0.0), 21);
+        let _ = l.offer(t(0.5), 22);
+        let _ = l.offer(t(1.0), 30);
+        // Key by tens digit: 30 first, then the two 2x entries in FIFO
+        // order (stability), then 10.
+        l.reorder_queue_by(|m| (*m / 10) as f64);
+        let mut out = Vec::new();
+        l.service(t(4.0), &mut out);
+        assert_eq!(out, vec![30, 21, 22, 10]);
+        // Waits follow the messages: 30 enqueued at t=1 (wait 3), 21 and
+        // 22 at t=0/0.5 (waits 4, 3.5), 10 at t=0 (wait 4).
+        assert!((l.stats().total_wait - (3.0 + 4.0 + 3.5 + 4.0)).abs() < 1e-12);
     }
 
     #[test]

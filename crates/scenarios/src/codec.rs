@@ -200,6 +200,11 @@ pub fn encode(spec: &ScenarioSpec) -> Result<String, String> {
         );
         kv("fault_crash_rate", &f.crash_rate.to_string());
         kv("fault_crash_downtime", &f.crash_downtime.to_string());
+        if f.aware {
+            // Emitted only when set, so pre-fault-aware scenario text
+            // stays byte-identical (and old text decodes to `false`).
+            kv("fault_aware", "true");
+        }
     }
     if matches!(spec.system, SystemKind::Competitive) {
         // The Ψ partition only exists for §7 scenarios; emitting it
@@ -303,6 +308,14 @@ pub fn decode(text: &str) -> Result<ScenarioSpec, String> {
                 crash_rate: num("fault_crash_rate")?,
                 crash_downtime: num("fault_crash_downtime")?,
                 recovery,
+                aware: match pairs.iter().find(|(k, _)| k == "fault_aware") {
+                    None => false,
+                    Some((_, v)) => match v.as_str() {
+                        "true" => true,
+                        "false" => false,
+                        other => return Err(format!("bad boolean `{other}` in `fault_aware`")),
+                    },
+                },
             };
             profile
                 .validate()
@@ -441,6 +454,8 @@ pub fn encode_report(report: &RunReport) -> String {
     kv("fault_missed_updates", f.missed_updates.to_string());
     kv("fault_resync_quotes", f.resync_quotes.to_string());
     kv("fault_epoch_divergence", fmt_f64(f.epoch_divergence));
+    kv("fault_stale_drops", f.stale_drops.to_string());
+    kv("fault_superseded_retries", f.superseded_retries.to_string());
     out
 }
 
@@ -514,6 +529,8 @@ pub fn decode_report(text: &str) -> Result<RunReport, String> {
             missed_updates: int("fault_missed_updates")?,
             resync_quotes: int("fault_resync_quotes")?,
             epoch_divergence: num("fault_epoch_divergence")?,
+            stale_drops: int("fault_stale_drops")?,
+            superseded_retries: int("fault_superseded_retries")?,
         },
     })
 }
@@ -633,6 +650,8 @@ mod tests {
                 missed_updates: 11,
                 resync_quotes: 13,
                 epoch_divergence: f64::from_bits(0x7ff8_0000_0000_dead), // NaN payload
+                stale_drops: u64::MAX - 3,
+                superseded_retries: 17,
             },
         }
     }
@@ -677,6 +696,8 @@ mod tests {
         assert_eq!(fa.crashes, fb.crashes);
         assert_eq!(fa.missed_updates, fb.missed_updates);
         assert_eq!(fa.resync_quotes, fb.resync_quotes);
+        assert_eq!(fa.stale_drops, fb.stale_drops);
+        assert_eq!(fa.superseded_retries, fb.superseded_retries);
         for (x, y) in [
             (fa.outage_seconds, fb.outage_seconds),
             (fa.down_seconds, fb.down_seconds),
@@ -773,6 +794,7 @@ mod tests {
                     crash_rate: 0.002,
                     crash_downtime: 30.0,
                     recovery,
+                    aware: false,
                 }),
                 ..by_name("small").unwrap()
             };
@@ -780,7 +802,29 @@ mod tests {
             let back = decode(&text).unwrap();
             assert_eq!(text, encode(&back).unwrap(), "{}", recovery.kind_name());
             assert_eq!(back.fault, Some(spec.fault.unwrap()));
+            // `aware: false` is the implicit default: no line emitted, so
+            // pre-fault-aware text is reproduced exactly.
+            assert!(!text.contains("fault_aware"), "{text}");
         }
+        // The aware flag round-trips when set.
+        let aware_spec = ScenarioSpec {
+            fault: Some(FaultProfile {
+                loss_prob: 0.25,
+                recovery: RecoveryPolicy::Retransmit { deadline: 4.0 },
+                aware: true,
+                ..FaultProfile::default()
+            }),
+            ..by_name("small").unwrap()
+        };
+        let text = encode(&aware_spec).unwrap();
+        assert!(text.contains("fault_aware true"), "{text}");
+        let back = decode(&text).unwrap();
+        assert_eq!(back.fault, aware_spec.fault);
+        assert_eq!(text, encode(&back).unwrap());
+        // A corrupted aware flag fails loudly, like every other boolean.
+        let bad = replace_field_value(&text, "fault_aware", "maybe");
+        let err = decode(&bad).unwrap_err();
+        assert!(err.contains("fault_aware"), "{err}");
         // Fault-free specs emit no fault block at all, so pre-fault text
         // is reproduced exactly and decodes back to None.
         let plain = by_name("small").unwrap();

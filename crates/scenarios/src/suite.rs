@@ -57,12 +57,15 @@ fn coop(
 /// runner makes cheap to explore); `lossy_medium`/`outage_medium`/
 /// `crashy_huge` run the simulated-world fault classes (refresh loss
 /// with retransmission, link outages, source crash/restart with bulk
-/// resync); `mega`/`mega_fluct` push to 1 048 576 objects (the
+/// resync); `lossy_aware_medium` is `lossy_medium` under the fault-aware
+/// scheduling layer (delivery acks, loss-rate estimation, expected-value
+/// priorities); `mega`/`mega_fluct` push to 1 048 576 objects (the
 /// million-object regime the streaming workload build and self-resizing
 /// calendar queue exist for); `buoy_week` replays the §6.2.1 synthetic
 /// wind-buoy trace; `competitive_medium` runs the §7 Ψ-partition under
-/// conflicted cache/source weights; and the `ideal_*`/`cgm*_*` scenarios
-/// cover the figure-regeneration schedulers.
+/// conflicted cache/source weights (`competitive_lossy` adds 15% refresh
+/// loss to it); and the `ideal_*`/`cgm*_*` scenarios cover the
+/// figure-regeneration schedulers.
 pub fn suite() -> Vec<ScenarioSpec> {
     vec![
         coop(
@@ -219,6 +222,27 @@ pub fn suite() -> Vec<ScenarioSpec> {
         })
         .finish(),
         coop(
+            "lossy_aware_medium",
+            "coop, 2048 objects, 15% refresh loss, fault-aware: delivery acks, loss-rate estimator, expected-value priorities",
+            1414,
+            32,
+            64,
+            Metric::Staleness,
+            90.0,
+            5.0,
+            50.0,
+            1500.0,
+        )
+        // Same seed and loss regime as `lossy_medium`, so the two differ
+        // only in scheduling policy — a direct A/B of fault awareness.
+        .fault(FaultProfile {
+            loss_prob: 0.15,
+            recovery: RecoveryPolicy::Retransmit { deadline: 3.0 },
+            aware: true,
+            ..FaultProfile::default()
+        })
+        .finish(),
+        coop(
             "outage_medium",
             "coop, 2048 objects, recurring cache-link outages that hold the queue, degrade-to-stale",
             1515,
@@ -309,6 +333,28 @@ pub fn suite() -> Vec<ScenarioSpec> {
             .bandwidth(512.0, 32.0)
             .window(120.0, 600.0)
             .competitive(0.4, SharePolicy::ProportionalToValue)
+            .finish(),
+        ScenarioSpec::builder("competitive_lossy")
+            .description(
+                "§7 competitive Ψ-partition under 15% refresh loss, degrade-to-stale",
+            )
+            .seed(1717)
+            .objects(32, 64)
+            .rate_range(0.05, 0.5)
+            .weight_range(1.0, 1.0)
+            .fluctuating_weights(false)
+            .metric(Metric::Staleness)
+            .bandwidth(512.0, 32.0)
+            .window(120.0, 600.0)
+            .competitive(0.4, SharePolicy::ProportionalToValue)
+            // Same seed and partition as `competitive_medium`: the first
+            // fault regime in the §7 harness (loss-only; the competitive
+            // system has no retransmit queue, so losses degrade to
+            // stale).
+            .fault(FaultProfile {
+                loss_prob: 0.15,
+                ..FaultProfile::default()
+            })
             .finish(),
         ScenarioSpec::builder("ideal_medium")
             .description("ideal omniscient scheduler, 2048 objects — figure-regeneration yardstick")
@@ -604,6 +650,28 @@ mod tests {
             lossy.recovery,
             RecoveryPolicy::Retransmit { deadline } if deadline == 3.0
         ));
+        assert!(!lossy.aware, "lossy_medium is the unaware baseline");
+        // lossy_aware_medium is lossy_medium's exact profile + seed with
+        // only the aware flag flipped — a direct A/B of fault awareness.
+        let aware = by_name("lossy_aware_medium").unwrap();
+        assert_eq!(aware.seed, by_name("lossy_medium").unwrap().seed);
+        let ap = aware.fault.unwrap();
+        assert!(ap.aware);
+        assert_eq!(
+            FaultProfile { aware: false, ..ap },
+            lossy,
+            "aware regime must differ from lossy_medium only in the flag"
+        );
+        // competitive_lossy: the first §7 fault regime — loss only,
+        // degrade-to-stale, same partition as competitive_medium.
+        let cl = by_name("competitive_lossy").unwrap();
+        assert_eq!(cl.system.name(), "competitive");
+        assert_eq!(cl.seed, by_name("competitive_medium").unwrap().seed);
+        assert_eq!((cl.psi, cl.share), (0.4, SharePolicy::ProportionalToValue));
+        let cf = cl.fault.unwrap();
+        assert_eq!(cf.loss_prob, 0.15);
+        assert!(matches!(cf.recovery, RecoveryPolicy::DegradeStale));
+        assert_eq!((cf.outage_rate, cf.crash_rate), (0.0, 0.0));
         let outage = by_name("outage_medium").unwrap().fault.unwrap();
         assert_eq!((outage.outage_rate, outage.outage_duration), (0.01, 12.0));
         assert!(!outage.outage_drops_queue);
@@ -614,7 +682,13 @@ mod tests {
         assert_eq!((f.crash_rate, f.crash_downtime), (0.004, 10.0));
         assert!(matches!(f.recovery, RecoveryPolicy::Resync));
         // Every fault regime must pass profile validation.
-        for name in ["lossy_medium", "outage_medium", "crashy_huge"] {
+        for name in [
+            "lossy_medium",
+            "lossy_aware_medium",
+            "outage_medium",
+            "crashy_huge",
+            "competitive_lossy",
+        ] {
             by_name(name).unwrap().fault.unwrap().validate().unwrap();
         }
         // And every non-fault scenario stays on the fault-free path.

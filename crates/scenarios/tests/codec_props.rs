@@ -120,12 +120,12 @@ fn fault_profile() -> impl Strategy<Value = Option<FaultProfile>> {
         Just(None),
         (
             (0.0f64..=1.0, 0.0f64..0.1, 0.01f64..60.0, prop::bool::ANY),
-            (0.0f64..0.05, 0.01f64..120.0, recovery),
+            (0.0f64..0.05, 0.01f64..120.0, recovery, prop::bool::ANY),
         )
             .prop_map(
                 |(
                     (loss_prob, outage_rate, outage_duration, outage_drops_queue),
-                    (crash_rate, crash_downtime, recovery),
+                    (crash_rate, crash_downtime, recovery, aware),
                 )| {
                     Some(FaultProfile {
                         loss_prob,
@@ -135,6 +135,7 @@ fn fault_profile() -> impl Strategy<Value = Option<FaultProfile>> {
                         crash_rate,
                         crash_downtime,
                         recovery,
+                        aware,
                     })
                 }
             ),
@@ -218,11 +219,13 @@ fn fault_summary() -> impl Strategy<Value = FaultSummary> {
             0u64..=u64::MAX,
             any_f64(),
         ),
+        (0u64..=u64::MAX, 0u64..=u64::MAX),
     )
         .prop_map(
             |(
                 (lost_refreshes, retransmits, outages, outage_seconds, dropped_in_outage),
                 (crashes, down_seconds, missed_updates, resync_quotes, epoch_divergence),
+                (stale_drops, superseded_retries),
             )| FaultSummary {
                 lost_refreshes,
                 retransmits,
@@ -234,6 +237,8 @@ fn fault_summary() -> impl Strategy<Value = FaultSummary> {
                 missed_updates,
                 resync_quotes,
                 epoch_divergence,
+                stale_drops,
+                superseded_retries,
             },
         )
 }

@@ -103,6 +103,21 @@ fn quick_smoke_outage_medium() {
     check("outage_medium", QUICK_SEEDS, true, Tier::Loose);
 }
 
+// PR 10 regimes: the fault-aware retransmit scheduler (delivery-ack
+// loss estimator repricing quotes) and the first lossy competitive
+// split. Their moments gate the estimator physics the same way
+// lossy_medium gates the plain loss lane.
+
+#[test]
+fn quick_smoke_lossy_aware_medium() {
+    check("lossy_aware_medium", QUICK_SEEDS, true, Tier::Loose);
+}
+
+#[test]
+fn quick_smoke_competitive_lossy() {
+    check("competitive_lossy", QUICK_SEEDS, true, Tier::Loose);
+}
+
 // Full scale: the actual acceptance bar for numerics changes. Ignored
 // by default — 32 paper-scale runs per scenario are release-build
 // work; the CI `stats-acceptance` job runs them with `--release`.
@@ -141,4 +156,16 @@ fn full_scale_lossy_medium() {
 #[ignore = "full-scale: run with --release (CI stats-acceptance job)"]
 fn full_scale_outage_medium() {
     check("outage_medium", FULL_SEEDS, false, Tier::Standard);
+}
+
+#[test]
+#[ignore = "full-scale: run with --release (CI stats-acceptance job)"]
+fn full_scale_lossy_aware_medium() {
+    check("lossy_aware_medium", FULL_SEEDS, false, Tier::Standard);
+}
+
+#[test]
+#[ignore = "full-scale: run with --release (CI stats-acceptance job)"]
+fn full_scale_competitive_lossy() {
+    check("competitive_lossy", FULL_SEEDS, false, Tier::Standard);
 }

@@ -177,6 +177,48 @@ fn fault_regimes_are_byte_identical_across_shards_and_transports() {
 }
 
 #[test]
+fn fault_aware_regimes_are_byte_identical_across_shards_and_transports() {
+    // The PR 10 regimes: the fault-aware retransmit scheduler (estimator
+    // state, ack plumbing, `fault_aware` codec flag) and the first lossy
+    // competitive split. Both must shard byte-identically — the
+    // estimator folds acks in simulation order, so any dependence on
+    // worker interleaving would show up here as a diverging report.
+    use besync_scenarios::codec::encode_report;
+    use besync_scenarios::suite::by_name;
+    let specs: Vec<_> = ["lossy_aware_medium", "competitive_lossy"]
+        .iter()
+        .map(|n| by_name(n).expect("registered fault regime").quick())
+        .collect();
+    let reports = |o: &SweepOptions| -> Vec<String> {
+        besync_sweep::sweep(&specs, o)
+            .unwrap()
+            .outcomes
+            .iter()
+            .map(|out| encode_report(&out.report))
+            .collect()
+    };
+    let in_process = reports(&opts(Shards::InProcess));
+    assert!(
+        in_process
+            .iter()
+            .all(|r| r.contains("fault_lost_refreshes") && !r.contains("fault_lost_refreshes 0")),
+        "both lossy regimes must report losses"
+    );
+    for shards in [1u32, 4] {
+        let piped = reports(&opts(Shards::Workers(shards)));
+        assert_eq!(
+            in_process, piped,
+            "--shards {shards} fault-aware reports diverge over pipes"
+        );
+        let over_tcp = reports(&tcp(opts(Shards::Workers(shards))));
+        assert_eq!(
+            in_process, over_tcp,
+            "--shards {shards} fault-aware reports diverge over TCP"
+        );
+    }
+}
+
+#[test]
 fn worker_killed_mid_grid_still_merges_byte_identically() {
     let in_process = fig4_in_process();
     // Every initial worker aborts upon *receiving* its 2nd spec — a
